@@ -1,0 +1,63 @@
+"""Ablation: ensemble size.
+
+Sec. 5: the 1000-member choice came from "comprehensive sensitivity
+tests with various choices of grid spacings, ensemble sizes, ...".
+At reduced scale the same trade-off reproduces: larger ensembles buy
+analysis accuracy at linearly-growing cost (and the LETKF's m x m
+eigenproblems grow cubically).
+"""
+
+import time
+
+import numpy as np
+from conftest import write_artifact
+from scipy.ndimage import gaussian_filter
+
+from repro.config import LETKFConfig, reduced_inner_domain
+from repro.grid import Grid
+from repro.letkf import LETKFSolver
+from repro.letkf.qc import GriddedObservations
+
+SIZES = (5, 10, 20, 40)
+
+
+def run_size(grid, m, seed=0):
+    rng = np.random.default_rng(seed)
+
+    def smooth(a):
+        return gaussian_filter(a, sigma=(1, 2, 2)).astype(np.float32)
+
+    truth = smooth(rng.normal(size=grid.shape)) * 8 + 20
+    ens = np.stack([truth + smooth(rng.normal(size=grid.shape)) * 6 + 2 for _ in range(m)])
+    obs = GriddedObservations(
+        kind="reflectivity",
+        values=truth + rng.normal(size=grid.shape).astype(np.float32),
+        valid=np.ones(grid.shape, bool),
+        error_std=1.0,
+    )
+    cfg = LETKFConfig(
+        ensemble_size=m, localization_h=8000.0, localization_v=3000.0,
+        analysis_zmin=0.0, analysis_zmax=20000.0, eigensolver="lapack",
+    )
+    solver = LETKFSolver(grid, cfg)
+    t0 = time.perf_counter()
+    ana, _ = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+    dt = time.perf_counter() - t0
+    rmse = float(np.sqrt(np.mean((ana["x"].mean(0) - truth) ** 2)))
+    return rmse, dt
+
+
+def test_ensemble_size_ablation(benchmark):
+    grid = Grid(reduced_inner_domain(nx=12, nz=8))
+    results = {m: run_size(grid, m) for m in SIZES}
+    benchmark.pedantic(run_size, args=(grid, 20), rounds=1, iterations=1)
+
+    lines = [f"{'members':>8} {'analysis RMSE':>14} {'time [ms]':>10}"]
+    for m, (rmse, dt) in results.items():
+        lines.append(f"{m:>8} {rmse:>14.3f} {dt*1e3:>10.1f}")
+    write_artifact("ablation_ensemble_size.txt", "\n".join(lines) + "\n")
+
+    # more members -> better analysis (comparing the extremes)
+    assert results[SIZES[-1]][0] < results[SIZES[0]][0]
+    # and more cost
+    assert results[SIZES[-1]][1] > results[SIZES[0]][1]

@@ -1,0 +1,53 @@
+"""Ablation: the 30-second refresh itself.
+
+The headline innovation — 30-s refresh, "120x faster than 1-hour-refresh
+systems" — exists because convective rain evolves nonlinearly in
+minutes. The OSSE reproduces it: cycling every 30 s tracks the truth's
+reflectivity pattern markedly better than assimilating the same total
+time window at a slower (150 s) refresh.
+"""
+
+import numpy as np
+from conftest import build_osse, write_artifact
+
+from repro.radar.reflectivity import dbz_from_state
+
+WINDOW_S = 360.0  # total assimilation window
+
+
+def run_refresh(interval_s: float, seed: int = 21):
+    bda = build_osse(nx=16, members=8, seed=seed)
+    n_cycles = int(WINDOW_S / 30.0)
+    slow_every = int(interval_s / 30.0)
+    for c in range(n_cycles):
+        # the nature always advances 30 s; assimilation only fires on
+        # the refresh schedule
+        bda.nature = bda.nature_model.integrate(bda.nature, 30.0)
+        if (c + 1) % slow_every == 0:
+            obs = bda.observe_nature()
+            bda._inject_additive_spread()
+            bda.cycler.run_cycle(obs)
+        else:
+            bda.ensemble.members = [
+                bda.model.integrate(st, 30.0) for st in bda.ensemble.members
+            ]
+    truth = bda.nature_dbz()
+    ana = dbz_from_state(bda.ensemble.mean_state())
+    mask = bda.obsope.coverage
+    return float(np.corrcoef(ana[mask], truth[mask])[0, 1])
+
+
+def test_refresh_ablation(benchmark):
+    corr_30s = run_refresh(30.0)
+    corr_150s = run_refresh(150.0)
+    benchmark.pedantic(run_refresh, args=(150.0,), rounds=1, iterations=1)
+
+    write_artifact(
+        "ablation_refresh.txt",
+        f"analysis-truth reflectivity correlation after a {WINDOW_S:.0f}-s window:\n"
+        f"  30-s refresh : {corr_30s:.3f}\n"
+        f"  150-s refresh: {corr_150s:.3f}\n"
+        "(the paper's premise: rapid refresh is what captures rapidly "
+        "evolving convection)\n",
+    )
+    assert corr_30s > corr_150s

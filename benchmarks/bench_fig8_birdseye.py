@@ -1,0 +1,38 @@
+"""Fig. 8: the 3-D bird's-eye view of rain cores.
+
+Volume-renders the forecast reflectivity with 10-dBZ shells from 10 to
+50 dBZ and the 3x vertical stretch of the paper's figure.
+"""
+
+import numpy as np
+from conftest import OUTPUT_DIR, write_artifact
+
+from repro.radar.reflectivity import dbz_from_state
+from repro.viz import write_png
+from repro.viz.birdseye import DEFAULT_SHELLS, render_birdseye
+
+
+def render(bda):
+    dbz = dbz_from_state(bda.nature).astype(np.float64)
+    g = bda.model.grid
+    return render_birdseye(dbz, z_heights=g.z_c, dx=g.dx, vertical_stretch=3.0)
+
+
+def test_fig8_birdseye(benchmark, cycled_osse, output_dir):
+    img = benchmark.pedantic(render, args=(cycled_osse,), rounds=1, iterations=1)
+    write_png(str(OUTPUT_DIR / "fig8_birdseye.png"), img)
+
+    # the Fig. 8 shells
+    assert DEFAULT_SHELLS == (10.0, 20.0, 30.0, 40.0, 50.0)
+    # the storm renders: colored pixels exist
+    assert np.any(np.any(img < 240, axis=-1))
+    # vertical stretch visibly elongates the image
+    dbz = dbz_from_state(cycled_osse.nature).astype(np.float64)
+    g = cycled_osse.model.grid
+    img1 = render_birdseye(dbz, z_heights=g.z_c, dx=g.dx, vertical_stretch=1.0)
+    assert img.shape[0] > img1.shape[0]
+    write_artifact(
+        "fig8_birdseye.txt",
+        f"image {img.shape[1]}x{img.shape[0]}, max dBZ {dbz.max():.1f}, "
+        f"shells {DEFAULT_SHELLS}\n",
+    )

@@ -1,0 +1,25 @@
+"""Table 1: operational NWP systems vs BDA — the problem-size claim.
+
+Regenerates the Table-1 survey with the derived problem-size-rate
+column and asserts the paper's headline: the BDA system offers two
+orders of magnitude more DA-weighted grid points per refresh second
+than every operational system listed.
+"""
+
+from conftest import write_artifact
+
+from repro.report import table1
+
+
+def test_table1_problem_size(benchmark):
+    rows, text = benchmark(table1)
+    write_artifact("table1.txt", text)
+
+    bda = rows[-1]
+    assert bda.system.name == "BDA2021"
+    ops = rows[:-1]
+    for r in ops:
+        ratio = bda.problem_size_rate / r.problem_size_rate
+        assert ratio >= 100.0, (r.system.name, ratio)
+    # and the refresh itself is 120x faster than hourly systems (Sec. 3)
+    assert 3600.0 / bda.system.init_interval_s == 120.0

@@ -1,0 +1,70 @@
+"""Shared fixtures and artifact helpers for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and writes its text/PNG artifacts under
+``benchmarks/output/`` so results survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import LETKFConfig, RadarConfig, ScaleConfig
+from repro.core import BDASystem
+from repro.model.initial import convective_sounding
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    p = OUTPUT_DIR / name
+    p.write_text(text)
+    return p
+
+
+def build_osse(*, nx: int = 20, members: int = 8, seed: int = 13) -> BDASystem:
+    """The reduced-scale OSSE used by the Fig. 1/6/7/8 benchmarks."""
+    scale_cfg = ScaleConfig().reduced(nx=nx, nz=12, members=members)
+    letkf_cfg = LETKFConfig(
+        ensemble_size=members,
+        analysis_zmin=0.0,
+        analysis_zmax=20000.0,
+        localization_h=10000.0,
+        localization_v=4000.0,
+        gross_error_refl_dbz=100.0,
+        gross_error_doppler_ms=100.0,
+        eigensolver="lapack",
+    )
+    bda = BDASystem(
+        scale_cfg,
+        letkf_cfg,
+        RadarConfig().reduced(),
+        sounding=convective_sounding(cape_factor=1.1),
+        seed=seed,
+    )
+    bda.trigger_convection(n=3, amplitude=5.0)
+    bda.spinup_nature(1800.0)
+    return bda
+
+
+@pytest.fixture(scope="session")
+def cycled_osse() -> BDASystem:
+    """An OSSE system after 12 assimilation cycles (shared, read-mostly).
+
+    Benchmarks that advance the nature run (Fig. 7) must do so on their
+    own schedule; they run after the snapshot benchmarks by file order.
+    """
+    bda = build_osse()
+    for _ in range(12):
+        bda.cycle()
+    return bda

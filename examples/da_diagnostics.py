@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""DA health diagnostics over a cycling OSSE.
+
+The instruments an operational ensemble-DA group watches while a system
+like BDA cycles: innovation statistics and the Desroziers consistency
+check of the Table-2 observation errors, rank histograms and the
+spread-skill ratio (is RTPP 0.95 holding the ensemble dispersive?), and
+object-based SAL verification of the analyzed rain field.
+
+Run:  python examples/da_diagnostics.py
+"""
+
+import numpy as np
+
+from repro.config import LETKFConfig, RadarConfig, ScaleConfig
+from repro.core import BDASystem
+from repro.letkf.diagnostics import desroziers, rank_histogram, spread_skill_ratio
+from repro.model.initial import convective_sounding
+from repro.radar.reflectivity import dbz_from_state
+from repro.verify.objects import sal
+
+
+def main() -> None:
+    print("== DA diagnostics over a cycling OSSE ==")
+    scale_cfg = ScaleConfig().reduced(nx=16, nz=12, members=8)
+    letkf_cfg = LETKFConfig(
+        ensemble_size=8, analysis_zmin=0.0, analysis_zmax=20000.0,
+        localization_h=12000.0, localization_v=4000.0,
+        gross_error_refl_dbz=100.0, gross_error_doppler_ms=100.0,
+    )
+    bda = BDASystem(scale_cfg, letkf_cfg, RadarConfig().reduced(),
+                    sounding=convective_sounding(cape_factor=1.1), seed=7)
+    bda.trigger_convection(n=2, amplitude=5.0)
+    bda.spinup_nature(1800.0)
+
+    print("cycling 8 x 30 s, collecting innovation statistics ...")
+    omb_all, oma_all = [], []
+    for _ in range(8):
+        # O-B before the cycle's analysis
+        hxb = bda.obsope.hxb_ensemble(bda.ensemble.members)
+        bda.cycle()
+        obs = bda.last_obs[0]
+        sel = obs.valid
+        omb = obs.values[sel] - hxb["reflectivity"].mean(axis=0)[sel]
+        hxa = bda.obsope.hxb_ensemble(bda.ensemble.members)
+        oma = obs.values[sel] - hxa["reflectivity"].mean(axis=0)[sel]
+        omb_all.append(omb)
+        oma_all.append(oma)
+
+    omb = np.concatenate(omb_all)
+    oma = np.concatenate(oma_all)
+    st = desroziers(omb, oma)
+    print("\nDesroziers consistency (reflectivity):")
+    print(f"  assumed obs error   : {letkf_cfg.obs_error_refl_dbz:.1f} dBZ (Table 2: 5)")
+    print(f"  estimated obs error : {st.sigma_o_estimated:.2f} dBZ")
+    print(f"  estimated bkg error : {st.sigma_b_estimated:.2f} dBZ (obs space)")
+    print(f"  consistent          : {st.consistent_with(letkf_cfg.obs_error_refl_dbz)}")
+
+    # ensemble reliability against the OSSE truth
+    truth_theta = bda.nature.to_analysis()["theta_p"]
+    ens_theta = bda.ensemble.analysis_arrays()["theta_p"]
+    ssr = spread_skill_ratio(ens_theta, truth_theta)
+    counts = rank_histogram(ens_theta, truth_theta)
+    print("\nensemble reliability (theta):")
+    print(f"  spread/skill ratio : {ssr:.2f}  (1 = reliable; <1 overconfident)")
+    hist = counts / counts.sum()
+    bars = "".join("#" if h > 1.5 / len(hist) else ("." if h < 0.5 / len(hist) else "-")
+                   for h in hist)
+    print(f"  rank histogram     : [{bars}]  (flat '-' = reliable)")
+
+    # object-based verification of the analyzed rain field
+    k2 = bda.model.grid.level_index(2000.0)
+    truth2 = np.maximum(bda.nature_dbz()[k2] + 30.0, 0.0)
+    ana2 = np.maximum(dbz_from_state(bda.ensemble.mean_state())[k2] + 30.0, 0.0)
+    s = sal(ana2, truth2, threshold=40.0)  # = 10 dBZ above the -30 floor
+    print("\nSAL verification of the analysis (2-km reflectivity):")
+    print(f"  S (structure) : {s['S']:+.2f}")
+    print(f"  A (amplitude) : {s['A']:+.2f}")
+    print(f"  L (location)  : {s['L']:.2f}")
+    print(f"  objects fc/ob : {s['n_objects_fc']}/{s['n_objects_ob']}")
+
+
+if __name__ == "__main__":
+    main()

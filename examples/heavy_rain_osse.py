@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""The July 29, 2021 heavy-rain case, as an OSSE (Figs. 6-7 workflow).
+
+Reproduces the paper's verification methodology end-to-end at reduced
+scale: cycle the BDA system against a convective nature run, issue a
+product forecast, and score it against the (simulated) MP-PAWR
+observations with the threat score — BDA vs the persistence baseline.
+
+Expected shape (cf. Fig. 7): persistence is perfect at lead 0 (it *is*
+the observation) and decays monotonically; the BDA forecast starts lower
+but holds its skill and overtakes persistence within a few minutes.
+
+Also writes the Fig.-6-style forecast/observation comparison panel.
+
+Run:  python examples/heavy_rain_osse.py [--fast]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.config import LETKFConfig, RadarConfig, ScaleConfig
+from repro.core import BDASystem
+from repro.model.initial import convective_sounding
+from repro.verify import PersistenceForecast, contingency, threat_score
+from repro.viz import render_comparison, write_png
+
+
+def build_system(*, nx: int = 20, members: int = 8, seed: int = 13) -> BDASystem:
+    scale_cfg = ScaleConfig().reduced(nx=nx, nz=12, members=members)
+    letkf_cfg = LETKFConfig(
+        ensemble_size=members,
+        analysis_zmin=0.0,
+        analysis_zmax=20000.0,
+        localization_h=10000.0,  # scaled with the coarser test mesh
+        localization_v=4000.0,
+        gross_error_refl_dbz=100.0,  # cold-start OSSE: see DESIGN.md
+        gross_error_doppler_ms=100.0,
+        eigensolver="lapack",
+    )
+    bda = BDASystem(
+        scale_cfg, letkf_cfg, RadarConfig().reduced(),
+        sounding=convective_sounding(cape_factor=1.1), seed=seed,
+    )
+    bda.trigger_convection(n=3, amplitude=5.0)
+    bda.spinup_nature(1800.0)
+    return bda
+
+
+def score_forecast(bda: BDASystem, fp, persistence, threshold: float):
+    """Threat scores at each forecast lead: BDA (deterministic member,
+    i.e. the mean-analysis forecast) vs persistence, over the full 3-D
+    radar coverage volume. The nature run keeps evolving between leads —
+    exactly the Fig. 7 procedure."""
+    mask = bda.obsope.coverage
+    leads = fp.lead_seconds
+    step = float(leads[1] - leads[0]) if len(leads) > 1 else 0.0
+    ts_bda, ts_per = [], []
+    for li, lead in enumerate(leads):
+        truth_dbz = bda.nature_dbz()
+        det = fp.member_dbz[0, li]  # member 0 = the mean-analysis forecast
+        ts_bda.append(threat_score(contingency(det, truth_dbz, threshold, mask=mask)))
+        ts_per.append(
+            threat_score(
+                contingency(persistence.at_lead(lead), truth_dbz, threshold, mask=mask)
+            )
+        )
+        if li < len(leads) - 1:
+            bda.nature = bda.nature_model.integrate(bda.nature, step)
+    return np.array(ts_bda), np.array(ts_per)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fast", action="store_true", help="fewer cycles/leads")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="reflectivity threshold [dBZ] (paper: 30 at full scale)")
+    args = ap.parse_args()
+
+    n_cycles = 8 if args.fast else 12
+    n_leads = 3 if args.fast else 5
+    lead_step = 150.0
+
+    print("== heavy-rain OSSE (the Fig. 6/7 methodology, reduced scale) ==")
+    bda = build_system(nx=20)
+    print(f"nature max dBZ after spinup: {bda.nature_dbz().max():.1f}")
+
+    print(f"\ncycling {n_cycles} x 30 s ...")
+    for _ in range(n_cycles):
+        bda.cycle()
+
+    # persistence starts from the latest observation (paper Sec. 6.1)
+    obs_now = bda.last_obs[0]
+    persistence = PersistenceForecast(
+        np.where(obs_now.valid, obs_now.values, -30.0), obs_now.valid
+    )
+
+    print("issuing the product forecast ...")
+    fp = bda.forecast(
+        length_seconds=lead_step * (n_leads - 1),
+        n_members=3,
+        output_interval=lead_step,
+    )
+
+    ts_bda, ts_per = score_forecast(bda, fp, persistence, args.threshold)
+
+    print(f"\nthreat score at {args.threshold:.0f} dBZ (cf. Fig. 7):")
+    print(f"{'lead [min]':>10} {'BDA':>8} {'persistence':>12}")
+    for lead, tb, tp in zip(fp.lead_seconds, ts_bda, ts_per):
+        print(f"{lead/60:>10.1f} {tb:>8.3f} {tp:>12.3f}")
+
+    # Fig.-6-style comparison panel at the final lead, 2-km height
+    k2 = bda.model.grid.level_index(2000.0)
+    truth_dbz = bda.nature_dbz()
+    panel = render_comparison(
+        fp.member_dbz[0, -1][k2],
+        truth_dbz[k2],
+        valid_obs=bda.obsope.coverage[k2],
+    )
+    out = "heavy_rain_osse_fig6.png"
+    write_png(out, panel)
+    print(f"\nwrote Fig.-6-style comparison panel: {out}")
+
+    if np.nanmean(ts_bda[1:]) > np.nanmean(ts_per[1:]) or ts_bda[-1] > ts_per[-1]:
+        print("result: BDA beats persistence at positive leads (the Fig. 7 shape)")
+    else:
+        print("result: inconclusive at this reduced scale; rerun without --fast")
+
+
+if __name__ == "__main__":
+    main()

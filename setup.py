@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no `wheel`, so PEP-660
+editable installs fail; this shim lets `pip install -e . --no-build-isolation
+--no-use-pep517` (and plain `pip install -e .` on newer setuptools) work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro: reproduction of "Big Data Assimilation: Real-time 30-second-refresh
+Heavy Rain Forecast Using Fugaku during Tokyo Olympics and Paralympics"
+(Miyoshi et al., SC '23).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the BDA system (30-s cycling, products);
+* :mod:`repro.model` — the SCALE-RM-analog weather model;
+* :mod:`repro.letkf` — the 1000-member-class LETKF;
+* :mod:`repro.eigen` — LAPACK vs KeDV-style batched eigensolvers;
+* :mod:`repro.radar` — the MP-PAWR instrument simulator;
+* :mod:`repro.jitdt` — Just-In-Time Data Transfer over SINET;
+* :mod:`repro.comm` — virtual MPI, node topology, SCALE<->LETKF I/O;
+* :mod:`repro.workflow` — the real-time workflow & month-long campaign;
+* :mod:`repro.verify` — threat scores, persistence, rain-area curves;
+* :mod:`repro.viz` — production graphics (PNG, map views, 3-D views).
+"""
+
+__version__ = "1.0.0"
+
+from . import config, constants
+
+__all__ = ["config", "constants", "__version__"]

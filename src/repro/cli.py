@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's artifacts without writing code:
+
+* ``table1`` / ``table2`` / ``table3`` — print the paper tables from the
+  live configuration objects;
+* ``fig5`` — run the month-long operations simulation and print the
+  summary + histogram (optionally render the Fig.-5a panel PNG);
+* ``calibrate`` — measure this host's kernels and report the
+  paper-scale extrapolation;
+* ``quickcycle`` — a tiny OSSE cycling demo (the quickstart in one
+  command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> int:
+    from .report import table1
+
+    _, text = table1()
+    print(text)
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .config import LETKFConfig
+    from .report import table2_text
+
+    print(table2_text(LETKFConfig()))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .config import ScaleConfig
+    from .report import table3_text
+
+    print(table3_text(ScaleConfig()))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    import numpy as np
+
+    from .report import histogram_text
+    from .workflow import OperationsSimulator
+
+    sim = OperationsSimulator(seed=args.seed)
+    campaign = sim.run_campaign()
+    total = sum(r.n_forecasts for r in campaign.values())
+    tts = np.concatenate([r.tts_series for r in campaign.values()])
+    tts = tts[np.isfinite(tts)]
+    print(f"forecasts: {total} (paper: 75,248)")
+    print(f"under 3 minutes: {np.mean(tts <= 180):.1%} (paper: ~97%)")
+    edges = np.arange(0.0, 375.0, 15.0)
+    counts, _ = np.histogram(np.clip(tts, 0, 359.99), bins=edges)
+    print(histogram_text(edges, counts, width=40))
+    if args.png:
+        from .viz.png import write_png
+        from .viz.timeseries import render_tts_panel
+
+        r = campaign["Olympics"]
+        img = render_tts_panel(r.tts_series, r.rain_area_1mm, r.rain_area_20mm)
+        write_png(args.png, img)
+        print(f"wrote {args.png}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .workflow.calibration import calibrate
+
+    print(calibrate().report())
+    return 0
+
+
+def _cmd_quickcycle(args) -> int:
+    from .config import LETKFConfig, RadarConfig, ScaleConfig
+    from .core import BDASystem
+    from .model.initial import convective_sounding
+
+    scfg = ScaleConfig().reduced(nx=16, nz=12, members=args.members)
+    lcfg = LETKFConfig(
+        ensemble_size=args.members,
+        analysis_zmin=0.0,
+        analysis_zmax=20000.0,
+        localization_h=12000.0,
+        localization_v=4000.0,
+        gross_error_refl_dbz=100.0,
+        gross_error_doppler_ms=100.0,
+    )
+    bda = BDASystem(
+        scfg, lcfg, RadarConfig().reduced(),
+        sounding=convective_sounding(cape_factor=1.1), seed=args.seed,
+    )
+    bda.trigger_convection(n=2, amplitude=5.0)
+    print("spinning up nature run ...")
+    bda.spinup_nature(1800.0)
+    for _ in range(args.cycles):
+        res = bda.cycle()
+        print(f"cycle {res.cycle}: {res.diagnostics.summary()}")
+    print(f"analysis theta RMSE vs truth: {bda.analysis_rmse('theta_p'):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="BDA (SC'23) reproduction command-line tools",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (operational systems survey)")
+    sub.add_parser("table2", help="print Table 2 (LETKF settings)")
+    sub.add_parser("table3", help="print Table 3 (SCALE settings)")
+
+    f5 = sub.add_parser("fig5", help="run the Fig.-5 operations simulation")
+    f5.add_argument("--seed", type=int, default=2021)
+    f5.add_argument("--png", type=str, default=None, help="write the Fig.-5a panel PNG")
+
+    sub.add_parser("calibrate", help="measure kernels, extrapolate to paper scale")
+
+    qc = sub.add_parser("quickcycle", help="tiny OSSE cycling demo")
+    qc.add_argument("--members", type=int, default=6)
+    qc.add_argument("--cycles", type=int, default=4)
+    qc.add_argument("--seed", type=int, default=7)
+    return p
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig5": _cmd_fig5,
+    "calibrate": _cmd_calibrate,
+    "quickcycle": _cmd_quickcycle,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Virtual MPI and the SCALE <-> LETKF data transfer.
+
+The paper's SCALE-LETKF runs as *one* executable on 8888 Fugaku nodes and
+replaced file-based coupling between the model and the filter with
+"parallel I/O using the MPI data transfer with RAM copy and node-to-node
+network communications without using files" (Sec. 5). To reproduce that
+design decision measurably on one machine, this package provides:
+
+* :mod:`repro.comm.vmpi` — an in-process "virtual MPI": ranks with
+  mpi4py-style buffer semantics (Send/Recv/Bcast/Scatter/Gather/
+  Alltoall on NumPy arrays), byte accounting and a link-time cost model;
+* :mod:`repro.comm.topology` — the Fugaku node allocation of Sec. 6.2
+  (8888 inner = 8008 part<1> + 880 part<2>, 2002 outer) mapped onto
+  virtual ranks;
+* :mod:`repro.comm.datatransfer` — the ensemble-state transpose between
+  SCALE layout (member-distributed) and LETKF layout (gridpoint-
+  distributed), implemented both ways: through files (the baseline the
+  paper replaced) and through RAM-copy messages (the innovation);
+* :mod:`repro.comm.iosim` — a disk-volume model reproducing the effect
+  of the exclusive volume allocation (stable vs contended throughput).
+"""
+
+from .vmpi import VirtualComm, CommStats, LinkModel, Request
+from .topology import FugakuAllocation, NodeRole
+from .datatransfer import FileTransport, ParallelTransport, ensemble_transpose
+from .iosim import DiskVolume
+from .halo import DomainDecomposition, gather_field, scatter_field
+from .tofu import TofuNetwork, TofuCoordinates
+from .parallel_letkf import DistributedLETKF, DistributedReport
+
+__all__ = [
+    "VirtualComm",
+    "CommStats",
+    "LinkModel",
+    "Request",
+    "FugakuAllocation",
+    "NodeRole",
+    "FileTransport",
+    "ParallelTransport",
+    "ensemble_transpose",
+    "DiskVolume",
+    "DomainDecomposition",
+    "scatter_field",
+    "gather_field",
+    "TofuNetwork",
+    "TofuCoordinates",
+    "DistributedLETKF",
+    "DistributedReport",
+]

@@ -1,0 +1,288 @@
+"""The distributed LETKF: part <1-1> as it actually runs on the nodes.
+
+In the production SCALE-LETKF, each of the 8008 part-<1> nodes holds a
+few ensemble members' full fields after the 30-s forecasts (<1-2>); the
+LETKF needs all members of each grid point. The single-executable
+design transposes the ensemble through MPI RAM copies, runs each node's
+grid-point batch, and transposes back (Sec. 5).
+
+This module reproduces that execution shape on the virtual MPI:
+
+1. the analysis variables are flattened to (m, npoints) and transposed
+   member-major -> gridpoint-shard via :class:`ParallelTransport` (or
+   :class:`FileTransport` for the pre-innovation baseline);
+2. each virtual rank runs the batched LETKF transform on its shard;
+3. shards are gathered back and unpacked.
+
+The result is bit-compatible with the serial
+:class:`~repro.letkf.solver.LETKFSolver` (asserted in the tests), and
+the returned report carries the measured + simulated communication
+costs, so the I/O ablation can be run end-to-end through a real
+analysis rather than a bare transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import LETKFConfig
+from ..grid import Grid
+from ..letkf.core import letkf_transform
+from ..letkf.qc import GriddedObservations
+from ..letkf.solver import LETKFSolver
+from .datatransfer import FileTransport, ParallelTransport, TransferReport
+
+__all__ = ["DistributedLETKF", "DistributedReport"]
+
+
+@dataclass
+class DistributedReport:
+    """Communication + compute accounting for one distributed analysis."""
+
+    n_ranks: int
+    forward: TransferReport
+    backward: TransferReport
+    points_per_rank: list[int]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.forward.bytes_moved + self.backward.bytes_moved
+
+    @property
+    def simulated_comm_seconds(self) -> float:
+        return self.forward.simulated_seconds + self.backward.simulated_seconds
+
+
+class DistributedLETKF:
+    """LETKF analysis executed over virtual ranks with explicit transposes."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        config: LETKFConfig,
+        *,
+        n_ranks: int = 8,
+        transport: str = "parallel",
+        workdir: str | None = None,
+    ):
+        self.grid = grid
+        self.config = config
+        self.n_ranks = n_ranks
+        if transport == "parallel":
+            self.transport = ParallelTransport()
+        elif transport == "file":
+            self.transport = FileTransport(workdir=workdir)
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        # the serial solver supplies the shared machinery (stencil, QC,
+        # gather); ranks reuse its private helpers on their own shards
+        self._serial = LETKFSolver(grid, config)
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        ensemble: dict[str, np.ndarray],
+        observations: list[GriddedObservations],
+        hxb: dict[str, np.ndarray],
+    ) -> tuple[dict[str, np.ndarray], DistributedReport]:
+        """Distributed analysis; same contract as LETKFSolver.analyze.
+
+        The gridpoint dimension distributed over ranks is the analysis
+        *column* (j, i): every rank gets whole columns, which keeps the
+        vertical localization stencil local to the rank exactly as the
+        production decomposition does.
+        """
+        g = self.grid
+        cfg = self.config
+        var_names = list(ensemble.keys())
+        m = ensemble[var_names[0]].shape[0]
+        nv = len(var_names)
+
+        # ---- serial preparation shared by all ranks: QC'd obs ----------
+        # (observation fields are broadcast-small compared to the
+        # ensemble; the production system replicates them too)
+        solver = self._serial
+
+        # ---- forward transpose: member-major -> column shards ----------
+        ens_stack = np.stack([ensemble[v] for v in var_names], axis=1)
+        flat = np.ascontiguousarray(
+            ens_stack.reshape(m, nv * g.nz, g.ny * g.nx)
+            .transpose(0, 2, 1)
+            .reshape(m, g.ny * g.nx * nv * g.nz)
+        )
+        # each atomic "point" in the transpose is one column's full
+        # state — the granularity keeps whole columns on one rank
+        col_size_ = nv * g.nz
+        shards, fwd_report = self.transport.transpose(
+            flat, self.n_ranks, granularity=col_size_
+        )
+        # column counts per rank from the same aligned split
+        from .datatransfer import _split_bounds
+
+        bounds = _split_bounds(
+            g.ny * g.nx * col_size_, self.n_ranks, col_size_
+        ) // col_size_
+
+        # ---- per-rank analyses -------------------------------------------
+        out_shards: list[np.ndarray] = []
+        points_per_rank: list[int] = []
+        col_size = nv * g.nz
+        for r in range(self.n_ranks):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            n_cols = hi - lo
+            points_per_rank.append(n_cols)
+            shard = shards[r].reshape(m, n_cols, col_size)
+            if n_cols == 0:
+                out_shards.append(shard.reshape(m, -1))
+                continue
+            # rebuild this rank's (m, nv, nz, ny=1, nx=n_cols) view and
+            # run the serial machinery on the full grid but only write
+            # back this rank's columns — the localization stencil needs
+            # neighboring columns' OBSERVATIONS (replicated), never
+            # neighboring columns' STATE, so this is exact.
+            ana_cols = self._analyze_columns(
+                shard, lo, hi, var_names, observations, hxb
+            )
+            out_shards.append(np.ascontiguousarray(ana_cols.reshape(m, -1)))
+
+        # ---- backward transpose: shards -> member-major ------------------
+        # (transpose the concatenated shards back; same transport)
+        merged = np.concatenate([s.reshape(m, -1) for s in out_shards], axis=1)
+        back_shards, bwd_report = self.transport.transpose(
+            merged, self.n_ranks, granularity=col_size_
+        )
+        merged_back = np.concatenate(back_shards, axis=1)
+
+        ana_stack = (
+            merged_back.reshape(m, g.ny * g.nx, nv * g.nz)
+            .transpose(0, 2, 1)
+            .reshape(m, nv, g.nz, g.ny, g.nx)
+        )
+        out: dict[str, np.ndarray] = {}
+        for vi, v in enumerate(var_names):
+            arr = ana_stack[:, vi]
+            if v.startswith("q"):
+                arr = np.maximum(arr, 0.0)
+            out[v] = np.ascontiguousarray(arr)
+
+        report = DistributedReport(
+            n_ranks=self.n_ranks,
+            forward=fwd_report,
+            backward=bwd_report,
+            points_per_rank=points_per_rank,
+        )
+        return out, report
+
+    # ------------------------------------------------------------------
+
+    def _analyze_columns(
+        self,
+        shard: np.ndarray,
+        col_lo: int,
+        col_hi: int,
+        var_names: list[str],
+        observations: list[GriddedObservations],
+        hxb: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Run the batched transform for one rank's columns.
+
+        ``shard`` is (m, n_cols, nv*nz). Observation gathering reuses the
+        serial solver's padded-stencil machinery over the full mesh and
+        then selects this rank's columns, mirroring the replicated-obs
+        layout of the production code.
+        """
+        g = self.grid
+        cfg = self.config
+        solver = self._serial
+        m, n_cols, col_size = shard.shape
+        nv = len(var_names)
+
+        # serial solver does QC once per call; to stay bit-compatible we
+        # run its full analyze on the full ensemble ONLY for obs-space
+        # prep... instead, gather local obs directly via its helpers:
+        from ..letkf.qc import gross_error_check
+
+        checked = []
+        for obs in observations:
+            hmean = hxb[obs.hxb_key].mean(axis=0)
+            thr = (
+                cfg.gross_error_refl_dbz
+                if obs.kind == "reflectivity"
+                else cfg.gross_error_doppler_ms
+            )
+            checked.append(gross_error_check(obs, hmean, thr))
+
+        offs = solver.stencil.offsets
+        pk = int(np.max(np.abs(offs[:, 0])))
+        pj = int(np.max(np.abs(offs[:, 1])))
+        pi = int(np.max(np.abs(offs[:, 2])))
+        pad3 = ((pk, pk), (pj, pj), (pi, pi))
+        dtype = solver.dtype
+
+        cols = np.arange(col_lo, col_hi)
+        cj = cols // g.nx
+        ci = cols % g.nx
+
+        ana_levels = np.nonzero(solver.level_mask)[0]
+        out = shard.astype(dtype).copy()
+        state = out.reshape(m, n_cols, nv, g.nz)
+
+        if len(ana_levels) == 0:
+            return out
+
+        # build local-obs arrays for (analysis levels x this rank's cols)
+        dYb_parts, d_parts, rinv_parts = [], [], []
+        for obs in checked:
+            py = np.pad(obs.values.astype(dtype), pad3)
+            pv = np.pad(obs.valid, pad3, constant_values=False)
+            ph = np.pad(hxb[obs.hxb_key].astype(dtype), ((0, 0),) + pad3)
+            no = len(offs)
+            G = len(ana_levels) * n_cols
+            y_loc = np.empty((no, len(ana_levels), n_cols), dtype=dtype)
+            v_loc = np.empty((no, len(ana_levels), n_cols), dtype=bool)
+            h_loc = np.empty((m, no, len(ana_levels), n_cols), dtype=dtype)
+            for o, (dk, dj, di) in enumerate(offs):
+                ks = ana_levels + pk + dk
+                js = cj + pj + dj
+                is_ = ci + pi + di
+                y_loc[o] = py[ks][:, js, is_]
+                v_loc[o] = pv[ks][:, js, is_]
+                h_loc[:, o] = ph[:, ks][:, :, js, is_]
+            y_flat = y_loc.reshape(no, G).T
+            v_flat = v_loc.reshape(no, G).T
+            h_flat = h_loc.reshape(m, no, G).transpose(2, 1, 0)
+            h_mean = h_flat.mean(axis=2)
+            dYb_parts.append(h_flat - h_mean[:, :, None])
+            d_parts.append(y_flat - h_mean)
+            w = solver.stencil.weights.astype(dtype) / dtype.type(obs.error_std) ** 2
+            rw = np.broadcast_to(w, (G, no)).copy()
+            rw[~v_flat] = 0.0
+            rinv_parts.append(rw)
+
+        dYb = np.concatenate(dYb_parts, axis=1)
+        d = np.concatenate(d_parts, axis=1)
+        rinv = np.concatenate(rinv_parts, axis=1)
+
+        W = letkf_transform(
+            dYb, d, rinv, backend=cfg.eigensolver, rtpp_factor=cfg.rtpp_factor
+        )
+
+        # apply to this rank's state at the analysis levels
+        sel = state[:, :, :, ana_levels]  # (m, n_cols, nv, n_lev)
+        pert = sel - sel.mean(axis=0, keepdims=True)
+        mean = sel.mean(axis=0)
+        # reorder to (G, nv, m) with G = n_lev*n_cols matching W's order
+        # W was built with G ordered (level, col)
+        pert_g = pert.transpose(3, 1, 2, 0).reshape(
+            len(ana_levels) * n_cols, nv, m
+        )
+        xa_pert = np.einsum("gvm,gmn->gvn", pert_g, W)
+        # mean: (n_cols, nv, n_lev) -> (lev, col, nv) to match G=(lev,col)
+        mean_g = mean.transpose(2, 0, 1).reshape(len(ana_levels) * n_cols, nv)
+        xa = mean_g[:, :, None] + xa_pert  # (G, nv, m)
+        xa_back = xa.reshape(len(ana_levels), n_cols, nv, m).transpose(3, 1, 2, 0)
+        state[:, :, :, ana_levels] = xa_back
+        return out

@@ -1,0 +1,36 @@
+"""The BDA system: the paper's primary contribution.
+
+Wires the substrates together into the workflow of Fig. 2:
+
+* :mod:`repro.core.ensemble` — the ensemble container: initial-condition
+  perturbations, the mean, and the paper's "ensemble mean and 10
+  analyses randomly chosen" member selection for part <2>;
+* :mod:`repro.core.cycling` — part <1>: the 30-second DA cycle
+  (ensemble 30-s forecasts <1-2> + LETKF analysis <1-1>);
+* :mod:`repro.core.nesting` — the outer/inner domain coupling of
+  Fig. 3b (3-hourly outer ensemble driving inner lateral boundaries);
+* :mod:`repro.core.bda` — :class:`BDASystem`, the assembled real-time
+  system including OSSE nature-run support;
+* :mod:`repro.core.timeline` — time-to-solution accounting (Fig. 4);
+* :mod:`repro.core.products` — the final map-view/3-D products and
+  their files (whose timestamps define T_fcst).
+"""
+
+from .ensemble import Ensemble
+from .cycling import DACycler, CycleResult
+from .nesting import NestedDomains
+from .bda import BDASystem, ForecastProduct
+from .timeline import TimeToSolution, StageStamp
+from .products import ProductWriter
+
+__all__ = [
+    "Ensemble",
+    "DACycler",
+    "CycleResult",
+    "NestedDomains",
+    "BDASystem",
+    "ForecastProduct",
+    "TimeToSolution",
+    "StageStamp",
+    "ProductWriter",
+]

@@ -1,0 +1,244 @@
+"""The assembled BDA system.
+
+:class:`BDASystem` wires the nature run (OSSE truth), the MP-PAWR
+simulator, the 30-second DA cycler and the part-<2> product forecasts
+into the workflow of Fig. 2, at whatever scale the configs request.
+
+The OSSE construction (see DESIGN.md): a *nature run* — the same model
+started from triggered convection — plays the real atmosphere; the
+instrument simulator observes it every 30 s; the BDA ensemble, started
+differently, must lock onto the truth through assimilation alone, and
+its 30-minute forecasts are verified against the nature run's simulated
+observations exactly as the paper verifies against MP-PAWR (Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import LETKFConfig, RadarConfig, ScaleConfig
+from ..letkf.obsope import RadarObsOperator
+from ..letkf.qc import GriddedObservations
+from ..model.initial import random_thermals, warm_bubble
+from ..model.model import ScaleRM
+from ..model.reference import Sounding
+from ..model.state import ModelState
+from ..radar.pawr import PAWRSimulator, VolumeScan
+from ..radar.regrid import volume_to_grid
+from ..radar.reflectivity import dbz_from_state
+from .cycling import CycleResult, DACycler
+from .ensemble import Ensemble
+
+__all__ = ["BDASystem", "ForecastProduct"]
+
+
+@dataclass
+class ForecastProduct:
+    """One part-<2> forecast: reflectivity snapshots at output leads."""
+
+    init_time: float
+    lead_seconds: np.ndarray
+    #: ensemble-member dBZ fields, (n_members, n_leads, nz, ny, nx)
+    member_dbz: np.ndarray
+
+    @property
+    def mean_dbz(self) -> np.ndarray:
+        """(n_leads, nz, ny, nx) ensemble-mean reflectivity."""
+        return self.member_dbz.mean(axis=0)
+
+    def dbz_at(self, lead_s: float, *, member: int | None = None) -> np.ndarray:
+        i = int(np.argmin(np.abs(self.lead_seconds - lead_s)))
+        if member is None:
+            return self.mean_dbz[i]
+        return self.member_dbz[member, i]
+
+
+class BDASystem:
+    """The real-time 30-second-refresh NWP system (OSSE-hosted)."""
+
+    def __init__(
+        self,
+        scale_config: ScaleConfig,
+        letkf_config: LETKFConfig,
+        radar_config: RadarConfig,
+        *,
+        sounding: Sounding | None = None,
+        seed: int = 11,
+        use_raw_volumes: bool = False,
+    ):
+        self.scale_config = scale_config
+        self.letkf_config = letkf_config
+        self.radar_config = radar_config
+        self.rng = np.random.default_rng(seed)
+        #: route observations through the full polar scan + regrid chain
+        #: (slower) instead of sampling directly on the analysis mesh
+        self.use_raw_volumes = use_raw_volumes
+
+        self.model = ScaleRM(scale_config, sounding)
+        self.nature_model = ScaleRM(scale_config, sounding)
+        self.nature = self.nature_model.initial_state()
+
+        self.ensemble = Ensemble.from_model(
+            self.model, scale_config.ensemble_size_analysis, self.rng
+        )
+        #: per-cycle additive spread injection (stands in for the
+        #: continuous boundary-perturbation spread source of Fig. 3b);
+        #: tuple of (theta_K, wind_ms, qv_frac) noise amplitudes
+        self.additive_inflation: tuple[float, float, float] = (0.15, 0.15, 0.01)
+        self.obsope = RadarObsOperator(self.model.grid, radar_config)
+        self.pawr = PAWRSimulator(radar_config, self.model.grid, seed=seed + 1)
+        self.cycler = DACycler(
+            self.model, self.ensemble, letkf_config, self.obsope
+        )
+        self.cycle_count = 0
+        self.last_scan: VolumeScan | None = None
+        self.last_obs: list[GriddedObservations] | None = None
+
+    # ------------------------------------------------------------------
+
+    def trigger_convection(self, n: int = 3, amplitude: float = 3.0) -> None:
+        """Seed convection in the nature run (the July-29-event stand-in).
+
+        Every ensemble member receives its *own* random thermals too:
+        members that carry their own (wrongly-placed) convection give the
+        LETKF nonzero reflectivity perturbations to work with — the
+        ensemble-spread role that hours of perturbed-boundary cycling
+        plays in the production system.
+        """
+        random_thermals(self.nature, self.rng, n=n, amplitude=amplitude)
+        for st in self.ensemble.members:
+            random_thermals(st, self.rng, n=n, amplitude=amplitude)
+
+    def spinup_nature(self, seconds: float) -> None:
+        """Develop the nature run's (and the members') convection.
+
+        Nature and members integrate the same duration so the background
+        carries rain in wrong places rather than no rain at all.
+        """
+        self.nature = self.nature_model.integrate(self.nature, seconds)
+        self.ensemble.members = [
+            self.model.integrate(st, seconds) for st in self.ensemble.members
+        ]
+
+    def _inject_additive_spread(self) -> None:
+        """Small smooth additive perturbations every cycle (spread floor)."""
+        from scipy.ndimage import gaussian_filter
+
+        a_th, a_w, a_qv = self.additive_inflation
+        if a_th <= 0 and a_w <= 0 and a_qv <= 0:
+            return
+        g = self.model.grid
+        dens0 = self.model.reference.dens_c[:, None, None]
+        theta0 = self.model.reference.theta_c[:, None, None]
+        for st in self.ensemble.members:
+            noise = lambda s: gaussian_filter(  # noqa: E731
+                self.rng.normal(0.0, 1.0, size=g.shape), sigma=(1, 2, 2)
+            ).astype(g.dtype) * s
+            dtheta = noise(a_th)
+            st.fields["dens_p"] += (-dens0 * dtheta / theta0).astype(g.dtype)
+            dens = st.dens
+            st.fields["momx"] += dens * noise(a_w)
+            st.fields["momy"] += dens * noise(a_w)
+            st.fields["qv"] *= np.maximum(1.0 + noise(a_qv), 0.5)
+
+    # ------------------------------------------------------------------
+
+    def observe_nature(self) -> list[GriddedObservations]:
+        """One 30-s MP-PAWR volume of the current nature state, gridded."""
+        t_obs = self.nature.time
+        if self.use_raw_volumes:
+            scan = self.pawr.scan(self.nature, t_obs)
+            self.last_scan = scan
+            refl, dopp = volume_to_grid(scan, self.model.grid, self.letkf_config)
+        else:
+            # fast path: sample H(truth) on the analysis mesh directly
+            # with the same noise and coverage (statistically identical
+            # to scan+superob for our purposes; the full polar chain is
+            # exercised by the radar tests and fig6 benchmark)
+            g = self.model.grid
+            h = self.obsope.hxb_member(self.nature)
+            cov = self.obsope.coverage
+            noise_r = self.rng.normal(
+                0, self.radar_config.noise_refl_dbz, size=g.shape
+            ).astype(g.dtype)
+            noise_d = self.rng.normal(
+                0, self.radar_config.noise_doppler_ms, size=g.shape
+            ).astype(g.dtype)
+            refl = GriddedObservations(
+                kind="reflectivity",
+                values=h["reflectivity"] + noise_r,
+                valid=cov.copy(),
+                error_std=self.letkf_config.obs_error_refl_dbz,
+            )
+            dopp = GriddedObservations(
+                kind="doppler",
+                values=h["doppler"] + noise_d,
+                valid=cov.copy(),
+                error_std=self.letkf_config.obs_error_doppler_ms,
+            )
+        self.last_obs = [refl, dopp]
+        return self.last_obs
+
+    # ------------------------------------------------------------------
+
+    def cycle(self) -> CycleResult:
+        """One 30-second BDA cycle: advance truth, observe, assimilate."""
+        self.nature = self.nature_model.integrate(self.nature, 30.0)
+        obs = self.observe_nature()
+        self._inject_additive_spread()
+        result = self.cycler.run_cycle(obs)
+        self.cycle_count += 1
+        return result
+
+    def run_cycles(self, n: int) -> list[CycleResult]:
+        return [self.cycle() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+
+    def forecast(
+        self,
+        length_seconds: float = 1800.0,
+        n_members: int | None = None,
+        output_interval: float = 300.0,
+    ) -> ForecastProduct:
+        """Part <2>: the 30-minute ensemble forecast from the analysis.
+
+        Initialized by "the ensemble mean analysis and (n-1) analyses
+        randomly chosen" (Sec. 5); the fresh ScaleRM instance carries the
+        same config/boundary as the cycling model.
+        """
+        if n_members is None:
+            n_members = self.scale_config.ensemble_size_forecast
+        inits = self.ensemble.select_forecast_members(n_members, self.rng)
+        leads = np.arange(0.0, length_seconds + 1e-6, output_interval)
+
+        member_dbz = []
+        for st in inits:
+            snaps = []
+            cur = st
+            t0 = cur.time
+            for li, lead in enumerate(leads):
+                target = t0 + lead
+                if cur.time < target:
+                    cur = self.model.integrate(cur, target - cur.time)
+                snaps.append(dbz_from_state(cur))
+            member_dbz.append(np.stack(snaps))
+        return ForecastProduct(
+            init_time=inits[0].time,
+            lead_seconds=leads,
+            member_dbz=np.stack(member_dbz),
+        )
+
+    # ------------------------------------------------------------------
+
+    def nature_dbz(self) -> np.ndarray:
+        """Current truth reflectivity (verification target)."""
+        return dbz_from_state(self.nature)
+
+    def analysis_rmse(self, var: str = "theta_p") -> float:
+        """Ensemble-mean error against the nature run for one variable."""
+        truth = self.nature.to_analysis()[var]
+        arrays = self.ensemble.analysis_arrays()[var]
+        return float(np.sqrt(np.mean((arrays.mean(axis=0) - truth) ** 2)))

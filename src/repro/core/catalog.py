@@ -1,0 +1,108 @@
+"""Product catalog — the publication backend of Fig. 1.
+
+The real system publishes every cycle's products to the RIKEN webpage
+(map views) and to MTI's smartphone application (3-D views, Fig. 1b).
+The catalog is that publication layer: per-cycle product entries with
+the metadata a frontend needs (valid time, lead, max intensity, file
+paths), a JSON index it can poll, retention control, and per-level
+"tile" export for the app's 3-D renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CatalogEntry", "ProductCatalog"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One published forecast product."""
+
+    cycle: int
+    t_obs: float
+    t_published: float
+    valid_time: float
+    max_dbz: float
+    max_rain_mmh: float
+    files: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def time_to_solution(self) -> float:
+        return self.t_published - self.t_obs
+
+
+class ProductCatalog:
+    """Append-only product index with retention."""
+
+    def __init__(self, directory: str | Path, *, retention: int = 240):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.retention = retention
+        self.entries: list[CatalogEntry] = []
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / "catalog.json"
+
+    def publish(self, entry: CatalogEntry) -> None:
+        """Add an entry, enforce retention, rewrite the index atomically."""
+        if self.entries and entry.cycle <= self.entries[-1].cycle:
+            raise ValueError("cycles must be published in increasing order")
+        self.entries.append(entry)
+        if len(self.entries) > self.retention:
+            self.entries = self.entries[-self.retention :]
+        tmp = self.index_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as f:
+            json.dump([asdict(e) for e in self.entries], f, indent=1)
+        tmp.replace(self.index_path)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ProductCatalog":
+        cat = cls(directory)
+        if cat.index_path.exists():
+            with open(cat.index_path) as f:
+                rows = json.load(f)
+            cat.entries = [CatalogEntry(**row) for row in rows]
+        return cat
+
+    def latest(self) -> CatalogEntry | None:
+        return self.entries[-1] if self.entries else None
+
+    def between(self, t0: float, t1: float) -> list[CatalogEntry]:
+        return [e for e in self.entries if t0 <= e.t_obs < t1]
+
+    # -- the smartphone-app 3-D tiles (Fig. 1b) ---------------------------
+
+    def export_level_tiles(
+        self, dbz: np.ndarray, z_heights: np.ndarray, cycle: int, *, every: int = 2
+    ) -> dict[str, str]:
+        """Write per-level reflectivity PNG tiles + a manifest.
+
+        The MTI app renders stacked semi-transparent level slices; we
+        export every ``every``-th model level plus a manifest recording
+        the heights, which is everything a 3-D frontend needs.
+        """
+        from ..viz.mapview import render_map_view
+        from ..viz.png import write_png
+
+        tiles_dir = self.directory / f"tiles_{cycle:06d}"
+        tiles_dir.mkdir(exist_ok=True)
+        manifest: dict[str, object] = {"cycle": cycle, "levels": []}
+        paths: dict[str, str] = {}
+        for k in range(0, dbz.shape[0], every):
+            img = render_map_view(dbz[k], kind="reflectivity", upscale=2)
+            p = tiles_dir / f"level_{k:03d}.png"
+            write_png(str(p), img)
+            manifest["levels"].append({"k": k, "height_m": float(z_heights[k]),
+                                       "file": p.name})
+            paths[f"level_{k:03d}"] = str(p)
+        mpath = tiles_dir / "manifest.json"
+        with open(mpath, "w") as f:
+            json.dump(manifest, f, indent=1)
+        paths["manifest"] = str(mpath)
+        return paths

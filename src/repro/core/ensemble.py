@@ -1,0 +1,123 @@
+"""Ensemble management.
+
+Holds the member model states of part <1>, generates initial-condition
+spread, and implements the paper's part-<2> member selection: "11-member
+ensemble forecasts ... initialized by the ensemble mean analysis and 10
+analyses randomly chosen from the 1000-member ensemble analyses".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.model import ScaleRM
+from ..model.state import ModelState, PROGNOSTIC_VARS, WATER_SPECIES
+
+__all__ = ["Ensemble"]
+
+
+class Ensemble:
+    """A collection of model states sharing one grid/reference."""
+
+    def __init__(self, members: list[ModelState]):
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = members
+        self.grid = members[0].grid
+        self.reference = members[0].reference
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls,
+        model: ScaleRM,
+        size: int,
+        rng: np.random.Generator,
+        *,
+        spread_theta: float = 0.5,
+        spread_wind: float = 0.5,
+        spread_qv_frac: float = 0.05,
+        smooth_cells: int = 3,
+    ) -> "Ensemble":
+        """Spin up an ensemble with smooth random IC perturbations.
+
+        Perturbs theta (isobarically, via density), winds and moisture
+        with horizontally-smoothed Gaussian noise — the spread source
+        standing in for the paper's additive outer-domain perturbations.
+        """
+        from scipy.ndimage import gaussian_filter
+
+        base = model.initial_state()
+        g = model.grid
+        dens0 = model.reference.dens_c[:, None, None]
+        theta0 = model.reference.theta_c[:, None, None]
+
+        members = []
+        for _ in range(size):
+            st = base.copy()
+            noise = lambda s: gaussian_filter(  # noqa: E731
+                rng.normal(0.0, 1.0, size=g.shape), sigma=(1, smooth_cells, smooth_cells)
+            ).astype(g.dtype) * s
+            dtheta = noise(spread_theta)
+            st.fields["dens_p"] += (-dens0 * dtheta / theta0).astype(g.dtype)
+            dens = st.dens
+            st.fields["momx"] += dens * noise(spread_wind)
+            st.fields["momy"] += dens * noise(spread_wind)
+            st.fields["qv"] *= np.maximum(1.0 + noise(spread_qv_frac), 0.5)
+            members.append(st)
+        return cls(members)
+
+    # ------------------------------------------------------------------
+
+    def analysis_arrays(self) -> dict[str, np.ndarray]:
+        """Stack members' LETKF analysis variables: var -> (m, nz, ny, nx)."""
+        per_member = [st.to_analysis() for st in self.members]
+        return {
+            v: np.stack([pm[v] for pm in per_member], axis=0)
+            for v in ModelState.ANALYSIS_VARS
+        }
+
+    def load_analysis_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Write analysis variables back into every member state."""
+        for i, st in enumerate(self.members):
+            st.from_analysis({v: arrays[v][i] for v in ModelState.ANALYSIS_VARS})
+
+    # ------------------------------------------------------------------
+
+    def mean_state(self) -> ModelState:
+        """The ensemble-mean state (prognostic-variable average)."""
+        out = self.members[0].copy()
+        for name in PROGNOSTIC_VARS:
+            acc = np.zeros_like(out.fields[name], dtype=np.float64)
+            for st in self.members:
+                acc += st.fields[name]
+            out.fields[name][...] = (acc / len(self.members)).astype(self.grid.dtype)
+        for q in WATER_SPECIES:
+            np.clip(out.fields[q], 0.0, None, out=out.fields[q])
+        return out
+
+    def select_forecast_members(
+        self, n_forecast: int, rng: np.random.Generator
+    ) -> list[ModelState]:
+        """Part-<2> initial conditions: the mean + (n-1) random members."""
+        if n_forecast < 1:
+            raise ValueError("need at least one forecast member")
+        picks: list[ModelState] = [self.mean_state()]
+        if n_forecast > 1:
+            k = min(n_forecast - 1, len(self.members))
+            idx = rng.choice(len(self.members), size=k, replace=False)
+            picks.extend(self.members[int(i)].copy() for i in idx)
+        return picks
+
+    def spread(self, var: str = "theta_p") -> float:
+        """RMS ensemble spread of one analysis variable (domain mean)."""
+        arrs = np.stack([st.to_analysis()[var] for st in self.members], axis=0)
+        mean = arrs.mean(axis=0)
+        return float(np.sqrt(np.mean((arrs - mean) ** 2)))

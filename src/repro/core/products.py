@@ -1,0 +1,87 @@
+"""Final forecast products (Fig. 1).
+
+The production system publishes (a) a map view of rain intensity on the
+RIKEN webpage and (b) 3-D views in MTI's smartphone application. The
+product writer renders both from a forecast state and writes them to
+disk — the product file's mtime is exactly the T_fcst of the paper's
+time-to-solution measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..model.microphysics import surface_rain_rate
+from ..model.state import ModelState
+from ..radar.reflectivity import dbz_from_state
+from ..viz.birdseye import render_birdseye
+from ..viz.mapview import render_map_view
+from ..viz.png import write_png
+
+__all__ = ["ProductWriter"]
+
+
+@dataclass
+class ProductWriter:
+    """Renders and writes the per-cycle product files."""
+
+    directory: str | Path
+    #: height [m] of the map-view cross-section (paper: 2 km for Fig. 6)
+    map_height: float = 2000.0
+
+    def __post_init__(self):
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def write(self, state: ModelState, cycle: int, *, with_3d: bool = True) -> dict[str, str]:
+        """Write map-view (+ optional 3-D view + metadata) products.
+
+        Returns the written paths; the map-view file is the one whose
+        mtime stamps T_fcst.
+        """
+        g = state.grid
+        k2km = g.level_index(self.map_height)
+        dbz = dbz_from_state(state)
+        rain = surface_rain_rate(state)
+
+        paths: dict[str, str] = {}
+
+        map_img = render_map_view(dbz[k2km], kind="reflectivity")
+        p_map = self.directory / f"mapview_{cycle:06d}.png"
+        write_png(str(p_map), map_img)
+        paths["mapview"] = str(p_map)
+
+        rain_img = render_map_view(rain, kind="rainrate")
+        p_rain = self.directory / f"rainrate_{cycle:06d}.png"
+        write_png(str(p_rain), rain_img)
+        paths["rainrate"] = str(p_rain)
+
+        if with_3d:
+            bird = render_birdseye(
+                dbz.astype(np.float64), z_heights=g.z_c, dx=g.dx
+            )
+            p_3d = self.directory / f"birdseye_{cycle:06d}.png"
+            write_png(str(p_3d), bird)
+            paths["birdseye"] = str(p_3d)
+
+        meta = {
+            "cycle": cycle,
+            "valid_time_s": state.time,
+            "max_dbz": float(np.max(dbz)),
+            "max_rain_mmh": float(np.max(rain)),
+            "map_height_m": self.map_height,
+        }
+        p_meta = self.directory / f"product_{cycle:06d}.json"
+        with open(p_meta, "w") as f:
+            json.dump(meta, f, indent=1)
+        paths["metadata"] = str(p_meta)
+        return paths
+
+    def product_mtime(self, cycle: int) -> float:
+        """mtime of the cycle's map-view product — the T_fcst observable."""
+        return os.path.getmtime(self.directory / f"mapview_{cycle:06d}.png")

@@ -1,0 +1,77 @@
+"""Fail-safe monitoring and auto-restart of JIT-DT.
+
+Sec. 5: "For a fail-safe workflow in case of abnormal delays or
+troubles, data transfer activities are monitored, and JIT-DT is
+restarted automatically when necessary."
+
+The monitor watches transfer completion times against a deadline; a
+missed deadline or an explicit stall marks the transfer failed, restarts
+the (simulated) JIT-DT process with a penalty, and retries. Consecutive-
+failure streaks beyond a threshold escalate to an *outage* — the gray
+shaded "forecasts not produced in due course" periods of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FailSafeMonitor", "TransferAttempt"]
+
+
+@dataclass(frozen=True)
+class TransferAttempt:
+    """Record of one monitored transfer attempt."""
+
+    t_start: float
+    seconds: float
+    stalled: bool
+    restarted: bool
+    attempt: int
+
+
+@dataclass
+class FailSafeMonitor:
+    """Deadline-based transfer supervision."""
+
+    #: a transfer slower than this is treated as hung and restarted
+    deadline_s: float = 15.0
+    #: seconds to restart JIT-DT
+    restart_penalty_s: float = 20.0
+    #: give up after this many attempts within one cycle (cycle skipped)
+    max_attempts: int = 2
+    history: list[TransferAttempt] = field(default_factory=list)
+    restarts: int = 0
+    skipped_cycles: int = 0
+
+    def supervise(self, t_start: float, attempt_times: list[tuple[float, bool]]) -> float | None:
+        """Resolve one cycle's transfer given pre-drawn attempt outcomes.
+
+        ``attempt_times`` is a list of (seconds, stalled) draws from the
+        link model, one per potential attempt. Returns the total elapsed
+        transfer time for the cycle, or None if the cycle was skipped
+        (all attempts failed) — the caller turns that into a Fig.-5 gap.
+        """
+        elapsed = 0.0
+        for attempt, (seconds, stalled) in enumerate(attempt_times[: self.max_attempts]):
+            failed = stalled or seconds > self.deadline_s
+            self.history.append(
+                TransferAttempt(
+                    t_start=t_start,
+                    seconds=seconds,
+                    stalled=stalled,
+                    restarted=failed,
+                    attempt=attempt,
+                )
+            )
+            if not failed:
+                return elapsed + seconds
+            # hung transfer: we lose the deadline, restart JIT-DT, retry
+            self.restarts += 1
+            elapsed += min(seconds, self.deadline_s) + self.restart_penalty_s
+        self.skipped_cycles += 1
+        return None
+
+    @property
+    def restart_rate(self) -> float:
+        n = len(self.history)
+        return self.restarts / n if n else 0.0

@@ -1,0 +1,82 @@
+"""JIT-DT wire protocol: chunking and integrity.
+
+Large volume files are cut into fixed-size chunks, each framed with a
+small header (sequence number, payload length, CRC32). The receiver
+verifies every checksum and reassembles in order; a corrupted or missing
+chunk triggers the fail-safe path.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["ChunkHeader", "chunk_payload", "reassemble", "ProtocolError"]
+
+_HEADER = struct.Struct("<IIII")  # seq, total, length, crc32
+
+
+class ProtocolError(RuntimeError):
+    """Raised on checksum mismatch, truncation, or sequence errors."""
+
+
+@dataclass(frozen=True)
+class ChunkHeader:
+    seq: int
+    total: int
+    length: int
+    crc32: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.seq, self.total, self.length, self.crc32)
+
+    @classmethod
+    def unpack(cls, buf: bytes) -> "ChunkHeader":
+        return cls(*_HEADER.unpack(buf[: _HEADER.size]))
+
+    @staticmethod
+    def size() -> int:
+        return _HEADER.size
+
+
+def chunk_payload(payload: bytes, chunk_bytes: int) -> Iterator[bytes]:
+    """Frame ``payload`` into header-prefixed chunks of ``chunk_bytes``."""
+    if chunk_bytes < 1:
+        raise ValueError("chunk size must be positive")
+    total = (len(payload) + chunk_bytes - 1) // chunk_bytes
+    total = max(total, 1)
+    for seq in range(total):
+        part = payload[seq * chunk_bytes : (seq + 1) * chunk_bytes]
+        hdr = ChunkHeader(seq=seq, total=total, length=len(part), crc32=zlib.crc32(part))
+        yield hdr.pack() + part
+
+
+def reassemble(chunks: list[bytes]) -> bytes:
+    """Verify and reassemble framed chunks back into the payload."""
+    if not chunks:
+        raise ProtocolError("no chunks received")
+    parts: dict[int, bytes] = {}
+    total = None
+    for raw in chunks:
+        if len(raw) < ChunkHeader.size():
+            raise ProtocolError("truncated chunk header")
+        hdr = ChunkHeader.unpack(raw)
+        body = raw[ChunkHeader.size() : ChunkHeader.size() + hdr.length]
+        if len(body) != hdr.length:
+            raise ProtocolError(f"chunk {hdr.seq}: truncated body")
+        if zlib.crc32(body) != hdr.crc32:
+            raise ProtocolError(f"chunk {hdr.seq}: checksum mismatch")
+        if total is None:
+            total = hdr.total
+        elif hdr.total != total:
+            raise ProtocolError("inconsistent chunk totals")
+        if hdr.seq in parts:
+            raise ProtocolError(f"duplicate chunk {hdr.seq}")
+        parts[hdr.seq] = body
+    assert total is not None
+    missing = set(range(total)) - set(parts)
+    if missing:
+        raise ProtocolError(f"missing chunks: {sorted(missing)[:5]}...")
+    return b"".join(parts[i] for i in range(total))

@@ -1,0 +1,63 @@
+"""New-file detection.
+
+"JIT-DT monitors the new data file creation and transfers it immediately
+and directly to the SCALE-LETKF processes running on Fugaku" (Sec. 5).
+:class:`FileWatcher` works against a real directory (polling, used by
+tests and the quickstart) and also accepts injected events (used by the
+discrete-event workflow simulation where no real files exist).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["WatchEvent", "FileWatcher"]
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One detected volume file."""
+
+    path: str
+    size: int
+    mtime: float
+
+
+class FileWatcher:
+    """Detects files that appeared (and stopped growing) since last poll."""
+
+    def __init__(self, directory: str | Path, pattern: str = "*.pawr"):
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self._seen: dict[str, int] = {}
+        self._pending: dict[str, int] = {}
+
+    def poll(self) -> list[WatchEvent]:
+        """Return newly completed files (stable size across two polls).
+
+        The two-poll stability rule mirrors real JIT-DT's guard against
+        transferring a file the radar is still writing.
+        """
+        events: list[WatchEvent] = []
+        current: dict[str, int] = {}
+        for p in sorted(self.directory.glob(self.pattern)):
+            st = p.stat()
+            current[str(p)] = st.st_size
+        for path, size in current.items():
+            if path in self._seen:
+                continue
+            if self._pending.get(path) == size:
+                # size stable across polls: file creation finished
+                st = os.stat(path)
+                events.append(WatchEvent(path=path, size=size, mtime=st.st_mtime))
+                self._seen[path] = size
+                del self._pending[path]
+            else:
+                self._pending[path] = size
+        # forget files that vanished
+        gone = [p for p in self._seen if p not in current]
+        for p in gone:
+            del self._seen[p]
+        return events

@@ -1,0 +1,111 @@
+"""The batched LETKF transform (Hunt, Kostelich & Szunyogh 2007).
+
+For every analysis grid point g with local observations, the LETKF
+computes in ensemble space (m members):
+
+.. math::
+
+    \\tilde P_a &= [(m-1) I + Y_b^T R^{-1} Y_b]^{-1} \\\\
+    \\bar w     &= \\tilde P_a Y_b^T R^{-1} (y^o - \\bar{H x_b}) \\\\
+    W           &= [(m-1) \\tilde P_a]^{1/2}
+
+and maps the background perturbations through
+:math:`x_a^{(n)} = \\bar x_b + X_b (\\bar w + W_{:,n})`. The symmetric
+square root and the inverse share one eigendecomposition of the
+:math:`m \\times m` matrix — the decomposition the paper accelerates
+with KeDV; this module batches it over *all* grid points at once
+(the "256 x 256 x 60 calls of an eigenvalue solver" of Sec. 5).
+
+R-localization (Hunt et al. 2007, Sec. 4.3) enters through per-
+observation weights multiplying :math:`R^{-1}`; padded or invalid
+observations simply carry zero weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eigen import eigh_dispatch
+from .inflation import rtpp_weights
+
+__all__ = ["letkf_transform"]
+
+
+def letkf_transform(
+    dYb: np.ndarray,
+    d: np.ndarray,
+    rinv: np.ndarray,
+    *,
+    backend: str = "kedv",
+    rtpp_factor: float = 0.0,
+    return_pa_trace: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Batched ensemble-space analysis weights.
+
+    Parameters
+    ----------
+    dYb:
+        Background observation-space perturbations, shape (G, No, m)
+        (member axis last, already mean-removed).
+    d:
+        Innovations y^o - mean(H x_b), shape (G, No).
+    rinv:
+        Localized inverse observation-error variances
+        (GC weight / sigma_o^2), shape (G, No); zero entries disable an
+        observation entirely (padding, QC rejections, out-of-range).
+    backend:
+        Eigensolver backend, "lapack" or "kedv".
+    rtpp_factor:
+        Relaxation-to-prior-perturbation factor (Table 2: 0.95) folded
+        directly into the returned weights.
+
+    Returns
+    -------
+    W_total:
+        Shape (G, m, m); the analysis ensemble at point g is
+        ``xb_mean + Xb_pert @ W_total[g]`` (each column one member).
+        Points with no effective observations get exact-identity weights
+        (analysis == background).
+    """
+    G, No, m = dYb.shape
+    if d.shape != (G, No) or rinv.shape != (G, No):
+        raise ValueError("shape mismatch between dYb, d, rinv")
+    dtype = dYb.dtype
+
+    # C = Yb^T R^-1 : (G, m, No)
+    C = np.swapaxes(dYb, 1, 2) * rinv[:, None, :]
+    # A = (m-1) I + C Yb : (G, m, m)
+    A = C @ dYb
+    idx = np.arange(m)
+    A[:, idx, idx] += dtype.type(m - 1)
+
+    w, V = eigh_dispatch(A, backend=backend)
+    # A is SPD by construction; guard tiny/negative eigenvalues from
+    # single-precision roundoff
+    floor = np.finfo(dtype).eps * np.maximum(w[:, -1:], 1.0) * m
+    w = np.maximum(w, floor)
+
+    inv_w = 1.0 / w
+    # wbar = V diag(1/w) V^T (C d)
+    Cd = np.einsum("gmn,gn->gm", C, d)
+    VtCd = np.einsum("gkm,gk->gm", V, Cd)  # V^T Cd
+    wbar = np.einsum("gkm,gm->gk", V, inv_w * VtCd)
+
+    # W = sqrt(m-1) V diag(w^{-1/2}) V^T
+    sqrt_fac = np.sqrt(dtype.type(m - 1)) * np.sqrt(inv_w)
+    W = np.einsum("gkm,gm,glm->gkl", V, sqrt_fac, V)
+
+    if rtpp_factor > 0.0:
+        W = rtpp_weights(W, dtype.type(rtpp_factor))
+
+    W_total = W + wbar[:, :, None]
+
+    # points with zero total observation weight: exact identity
+    no_obs = ~np.any(rinv > 0.0, axis=1)
+    if np.any(no_obs):
+        W_total[no_obs] = np.eye(m, dtype=dtype)
+
+    if return_pa_trace:
+        pa_trace = np.sum(inv_w, axis=1) * (1.0 / (m - 1))
+        return W_total, pa_trace
+    return W_total

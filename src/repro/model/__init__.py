@@ -1,0 +1,33 @@
+"""SCALE-RM-analog limited-area weather model.
+
+A from-scratch, quasi-compressible, moist, nonhydrostatic model with the
+same structural choices as the paper's SCALE-RM configuration (Table 3):
+
+* HEVI time integration (explicit in the horizontal, implicit in the
+  vertical acoustic terms) — :mod:`repro.model.dynamics`;
+* single-moment 6-category cloud microphysics (Tomita 2008 analog) —
+  :mod:`repro.model.microphysics`;
+* gray two-stream radiation (MstrnX analog) — :mod:`repro.model.radiation`;
+* Beljaars-type surface fluxes — :mod:`repro.model.surface`;
+* MYNN level-2.5 boundary layer — :mod:`repro.model.pbl`;
+* Smagorinsky turbulence — :mod:`repro.model.turbulence`.
+
+The public entry point is :class:`repro.model.model.ScaleRM`.
+"""
+
+from .reference import ReferenceState, Sounding
+from .state import ModelState, PROGNOSTIC_VARS, HYDROMETEORS
+from .model import ScaleRM
+from .initial import warm_bubble, random_thermals, convective_sounding
+
+__all__ = [
+    "ReferenceState",
+    "Sounding",
+    "ModelState",
+    "ScaleRM",
+    "PROGNOSTIC_VARS",
+    "HYDROMETEORS",
+    "warm_bubble",
+    "random_thermals",
+    "convective_sounding",
+]

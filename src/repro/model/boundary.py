@@ -1,0 +1,86 @@
+"""Lateral boundary conditions and domain nesting support.
+
+Fig. 3b of the paper: the inner 500-m domain receives lateral boundary
+data from 1000-member outer-domain (1.5 km) SCALE forecasts, which are
+themselves driven by 3-hour-refresh JMA mesoscale forecasts. This module
+implements the receiving side — Davies-type relaxation of the prognostic
+fields toward externally supplied boundary fields over a few-cell-wide
+lateral zone — plus helpers to build boundary fields from a coarser
+(outer-domain) state or from the reference profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..grid import Grid
+from .reference import ReferenceState
+from .state import ModelState, PROGNOSTIC_VARS
+
+__all__ = ["LateralBoundary", "boundary_from_reference", "boundary_from_outer"]
+
+
+def boundary_from_reference(grid: Grid, reference: ReferenceState) -> dict[str, np.ndarray]:
+    """Boundary fields equal to the quiescent reference profile."""
+    st = ModelState.zeros(grid, reference)
+    return {k: v.copy() for k, v in st.fields.items()}
+
+
+def boundary_from_outer(inner: ModelState, outer: ModelState) -> dict[str, np.ndarray]:
+    """Interpolate an outer-domain state onto the inner grid as boundary data.
+
+    Nearest-column sampling in the horizontal (the outer mesh is coarser;
+    the relaxation zone is only a few cells wide so higher-order
+    interpolation would be invisible) and identical vertical levels.
+    """
+    gi, go = inner.grid, outer.grid
+    # map inner column centers into outer index space (domains share extent)
+    ix = np.clip((gi.x_c / go.dx).astype(int), 0, go.nx - 1)
+    iy = np.clip((gi.y_c / go.dy).astype(int), 0, go.ny - 1)
+    out: dict[str, np.ndarray] = {}
+    for name in PROGNOSTIC_VARS:
+        src = outer.fields[name]
+        out[name] = np.ascontiguousarray(src[:, iy][:, :, ix]).astype(gi.dtype)
+    return out
+
+
+@dataclass
+class LateralBoundary:
+    """Davies relaxation toward prescribed boundary fields."""
+
+    grid: Grid
+    #: relaxation-zone width in cells
+    width: int = 4
+    #: e-folding time at the outermost cell [s]
+    tau: float = 30.0
+    fields: dict[str, np.ndarray] | None = None
+    _weights: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        g = self.grid
+        w = np.zeros((g.ny, g.nx), dtype=np.float64)
+        for n in range(self.width):
+            # cosine-ramped relaxation strength, strongest at the edge
+            strength = np.cos(0.5 * np.pi * n / self.width) ** 2
+            w[n, :] = np.maximum(w[n, :], strength)
+            w[-1 - n, :] = np.maximum(w[-1 - n, :], strength)
+            w[:, n] = np.maximum(w[:, n], strength)
+            w[:, -1 - n] = np.maximum(w[:, -1 - n], strength)
+        self._weights = w / self.tau  # relaxation rate field [1/s]
+
+    def set_fields(self, fields: dict[str, np.ndarray]) -> None:
+        """Install new boundary target fields (from the outer domain)."""
+        self.fields = fields
+
+    def apply(self, state: ModelState, dt: float) -> None:
+        """Relax the lateral zone toward the boundary fields, in place."""
+        if self.fields is None:
+            return
+        rate = np.minimum(self._weights * dt, 1.0)
+        for name, target in self.fields.items():
+            fld = state.fields[name]
+            if fld.shape == target.shape:
+                r = rate[None, :, :] if fld.ndim == 3 else rate
+                fld += (r * (target - fld)).astype(fld.dtype)

@@ -1,0 +1,127 @@
+"""Convective diagnostics of a model state.
+
+The quantities forecasters (and the RIKEN/MTI products) derive from the
+BDA output: CAPE/CIN of the environment, precipitable water, echo-top
+height, vertically integrated liquid (VIL), and column-max reflectivity
+— plus helpers the OSSE analysis notebooks use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import CPDRY, GRAV, KAPPA, PRE00, RDRY, saturation_mixing_ratio
+from .state import ModelState
+
+__all__ = [
+    "cape_cin",
+    "precipitable_water",
+    "echo_top_height",
+    "vertically_integrated_liquid",
+    "column_max_dbz",
+    "updraft_helicity_proxy",
+]
+
+
+def cape_cin(state: ModelState, *, j: int | None = None, i: int | None = None):
+    """Surface-based CAPE and CIN [J/kg] of one column (or domain mean).
+
+    Pseudo-adiabatic parcel ascent with the Tetens saturation curve:
+    the parcel starts at the lowest level, lifts dry-adiabatically to
+    saturation, then moist-adiabatically; buoyancy is integrated where
+    positive (CAPE) and negative below the LFC (CIN).
+    """
+    g = state.grid
+    temp = state.temperature().astype(np.float64)
+    pres = state.pressure()
+    qv = state.fields["qv"].astype(np.float64)
+
+    if j is None or i is None:
+        temp = temp.mean(axis=(1, 2))
+        pres = pres.mean(axis=(1, 2))
+        qv = qv.mean(axis=(1, 2))
+    else:
+        temp = temp[:, j, i]
+        pres = pres[:, j, i]
+        qv = qv[:, j, i]
+
+    nz = g.nz
+    tp = float(temp[0])
+    qp = float(qv[0])
+    cape = 0.0
+    cin = 0.0
+    found_lfc = False
+    from ..constants import LHV0, RVAP
+
+    for k in range(1, nz):
+        dp = float(pres[k - 1] - pres[k])
+        # lift: dry adiabatic unless saturated, then pseudo-adiabatic
+        exner_ratio = (float(pres[k]) / float(pres[k - 1])) ** KAPPA
+        tp = tp * exner_ratio
+        # saturation adjustment with the Clausius-Clapeyron correction,
+        # iterated (a raw dq*L/cp step wildly overshoots for large dq)
+        for _ in range(3):
+            qsat = float(saturation_mixing_ratio(pres[k], tp))
+            if qp <= qsat:
+                break
+            gamma = LHV0**2 * qsat / (CPDRY * RVAP * tp**2)
+            dq = (qp - qsat) / (1.0 + gamma)
+            tp += LHV0 * dq / CPDRY
+            qp -= dq
+        tv_parcel = tp * (1 + 0.608 * qp)
+        tv_env = float(temp[k]) * (1 + 0.608 * float(qv[k]))
+        buoy = RDRY * (tv_parcel - tv_env) / float(pres[k]) * dp
+        if buoy > 0:
+            cape += buoy
+            found_lfc = True
+        elif not found_lfc:
+            cin += buoy
+    return cape, cin
+
+
+def precipitable_water(state: ModelState) -> np.ndarray:
+    """Column water vapor [mm], shape (ny, nx)."""
+    dens = state.dens.astype(np.float64)
+    qv = state.fields["qv"].astype(np.float64)
+    dz = state.grid.dz[:, None, None]
+    return np.sum(dens * qv * dz, axis=0)  # kg/m^2 == mm
+
+
+def echo_top_height(dbz: np.ndarray, z_c: np.ndarray, threshold: float = 18.0) -> np.ndarray:
+    """Height [m] of the highest level exceeding the dBZ threshold; 0 if none."""
+    nz = dbz.shape[0]
+    exceeds = dbz >= threshold
+    # highest exceeding level index per column
+    idx = nz - 1 - np.argmax(exceeds[::-1], axis=0)
+    any_hit = exceeds.any(axis=0)
+    heights = z_c[idx]
+    return np.where(any_hit, heights, 0.0)
+
+
+def vertically_integrated_liquid(state: ModelState) -> np.ndarray:
+    """VIL [kg/m^2]: column-integrated rain + graupel + snow content."""
+    dens = state.dens.astype(np.float64)
+    q = sum(state.fields[s].astype(np.float64) for s in ("qr", "qs", "qg"))
+    dz = state.grid.dz[:, None, None]
+    return np.sum(dens * q * dz, axis=0)
+
+
+def column_max_dbz(dbz: np.ndarray) -> np.ndarray:
+    """Composite (column-maximum) reflectivity, the classic radar product."""
+    return dbz.max(axis=0)
+
+
+def updraft_helicity_proxy(state: ModelState, *, zmin: float = 2000.0, zmax: float = 5000.0) -> np.ndarray:
+    """A 2-5-km updraft-rotation proxy: integral of w * vertical vorticity.
+
+    Severe-storm diagnostic (mesocyclone detection) derivable from the
+    BDA analyses; reduced-order here (centered-difference vorticity).
+    """
+    g = state.grid
+    u, v, w = state.velocities()
+    zeta = g.ddx_c(v.astype(np.float64)) - g.ddy_c(u.astype(np.float64))
+    sel = (g.z_c >= zmin) & (g.z_c <= zmax)
+    if not np.any(sel):
+        return np.zeros((g.ny, g.nx))
+    dz = g.dz[sel, None, None]
+    return np.sum(w.astype(np.float64)[sel] * zeta[sel] * dz, axis=0)

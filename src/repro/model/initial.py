@@ -1,0 +1,100 @@
+"""Idealized initial conditions for OSSE experiments.
+
+The heavy-rain cases of Figs. 6-8 are replaced (per DESIGN.md) by
+observing-system simulation experiments: a *nature run* started from a
+convectively unstable sounding with warm-bubble triggers stands in for
+the July 29/30, 2021 Kanto convection, and its simulated MP-PAWR
+observations are what the BDA system assimilates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Grid
+from .reference import ReferenceState, Sounding
+from .state import ModelState
+
+__all__ = ["convective_sounding", "warm_bubble", "random_thermals"]
+
+
+def convective_sounding(*, cape_factor: float = 1.0) -> Sounding:
+    """A moist, conditionally unstable summer Kanto-like sounding.
+
+    ``cape_factor`` scales the boundary-layer moisture (and hence CAPE);
+    1.0 gives a profile that supports vigorous convection once triggered.
+    """
+    return Sounding(
+        theta_sfc=302.0,
+        dtheta_dz_bl=0.5e-3,
+        dtheta_dz_ft=3.2e-3,
+        z_bl=1200.0,
+        z_trop=12500.0,
+        rh_sfc=min(0.97, 0.88 * cape_factor),
+        rh_decay=4500.0,
+        u_sfc=3.0,
+        u_shear=1.2e-3,
+    )
+
+
+def warm_bubble(
+    state: ModelState,
+    *,
+    x0: float,
+    y0: float,
+    z0: float = 1000.0,
+    radius_h: float = 8000.0,
+    radius_v: float = 1200.0,
+    amplitude: float = 2.0,
+    moisture_boost: float = 0.15,
+) -> None:
+    """Add a thermal perturbation (the classic convection trigger), in place.
+
+    Adds a cosine-squared potential-temperature anomaly of ``amplitude``
+    [K] at *constant pressure*: since the pressure depends only on
+    rho*theta, an isobaric thermal leaves rho*theta unchanged and reduces
+    the density by rho0 * theta'/theta0 — the buoyancy then enters the
+    HEVI core directly through the -g*rho' term without an initial
+    acoustic pulse. The bubble region is also moistened toward saturation
+    by ``moisture_boost`` (fractional increase of qv).
+    """
+    g = state.grid
+    Z, Y, X = g.meshgrid()
+    r = np.sqrt(
+        ((X - x0) / radius_h) ** 2
+        + ((Y - y0) / radius_h) ** 2
+        + ((Z - z0) / radius_v) ** 2
+    )
+    shape = np.where(r < 1.0, np.cos(0.5 * np.pi * r) ** 2, 0.0)
+    ref = state.reference
+    dens0 = ref.dens_c[:, None, None]
+    theta0 = ref.theta_c[:, None, None]
+    dtheta = amplitude * shape
+    # isobaric: (rho theta)' = 0  =>  rho' = -rho0 * theta'/ (theta0 + theta')
+    state.fields["dens_p"] += (-dens0 * dtheta / (theta0 + dtheta)).astype(g.dtype)
+    state.fields["qv"] += (moisture_boost * state.fields["qv"] * shape).astype(g.dtype)
+
+
+def random_thermals(
+    state: ModelState,
+    rng: np.random.Generator,
+    *,
+    n: int = 3,
+    amplitude: float = 1.5,
+    margin: float = 0.25,
+) -> list[tuple[float, float]]:
+    """Seed ``n`` warm bubbles at random interior locations; returns centers.
+
+    ``margin`` keeps triggers away from the relaxation zone (fraction of
+    the domain extent).
+    """
+    g = state.grid
+    lx, ly = g.domain.extent_x, g.domain.extent_y
+    centers = []
+    for _ in range(n):
+        x0 = float(rng.uniform(margin * lx, (1 - margin) * lx))
+        y0 = float(rng.uniform(margin * ly, (1 - margin) * ly))
+        amp = amplitude * float(rng.uniform(0.7, 1.3))
+        warm_bubble(state, x0=x0, y0=y0, amplitude=amp)
+        centers.append((x0, y0))
+    return centers

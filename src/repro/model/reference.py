@@ -1,0 +1,164 @@
+"""Atmospheric soundings and the hydrostatic reference state.
+
+The HEVI dynamical core linearizes the vertical acoustic terms about a
+horizontally-uniform, hydrostatically-balanced reference state built from
+a sounding. The JMA mesoscale boundary data of the real system is
+replaced (per DESIGN.md) by analytic convective soundings with tunable
+instability and moisture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    CPDRY,
+    CVDRY,
+    GRAV,
+    KAPPA,
+    PRE00,
+    RDRY,
+    saturation_mixing_ratio,
+)
+from ..grid import Grid
+
+__all__ = ["Sounding", "ReferenceState"]
+
+
+@dataclass(frozen=True)
+class Sounding:
+    """A horizontally-uniform atmospheric profile.
+
+    Parameters are given as analytic functions of height evaluated on the
+    model grid. ``theta_sfc``/``dtheta_dz_*`` define a piecewise-linear
+    potential-temperature profile typical of convectively unstable summer
+    conditions over Kanto; ``rh_sfc``/``rh_decay`` a moisture profile.
+    """
+
+    theta_sfc: float = 300.0
+    #: boundary-layer lapse (weakly stable below ``z_bl``)
+    dtheta_dz_bl: float = 1.0e-3
+    #: free-troposphere lapse
+    dtheta_dz_ft: float = 3.5e-3
+    #: stratosphere lapse above the tropopause
+    dtheta_dz_st: float = 2.0e-2
+    z_bl: float = 1500.0
+    z_trop: float = 12000.0
+    rh_sfc: float = 0.85
+    rh_decay: float = 4000.0
+    #: background wind [m/s] (uniform shear profile u = u0 + shear * z)
+    u_sfc: float = 2.0
+    u_shear: float = 1.0e-3
+    v_sfc: float = 0.0
+    v_shear: float = 0.0
+
+    def theta(self, z: np.ndarray) -> np.ndarray:
+        """Potential temperature [K] at heights z [m]."""
+        z = np.asarray(z, dtype=np.float64)
+        th = np.full_like(z, self.theta_sfc)
+        th += self.dtheta_dz_bl * np.minimum(z, self.z_bl)
+        th += self.dtheta_dz_ft * np.clip(z - self.z_bl, 0.0, self.z_trop - self.z_bl)
+        th += self.dtheta_dz_st * np.maximum(z - self.z_trop, 0.0)
+        return th
+
+    def relative_humidity(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        return self.rh_sfc * np.exp(-z / self.rh_decay)
+
+    def wind(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        z = np.asarray(z, dtype=np.float64)
+        return self.u_sfc + self.u_shear * z, self.v_sfc + self.v_shear * z
+
+    def perturbed(self, rng: np.random.Generator, amplitude: float = 1.0) -> "Sounding":
+        """A randomly perturbed copy, used for ensemble boundary spread.
+
+        Mirrors the paper's "additive ensemble perturbations" driving the
+        1000-member outer-domain forecasts (Fig. 3b caption).
+        """
+        from dataclasses import replace
+
+        return replace(
+            self,
+            theta_sfc=self.theta_sfc + amplitude * rng.normal(0.0, 0.5),
+            rh_sfc=float(np.clip(self.rh_sfc + amplitude * rng.normal(0.0, 0.03), 0.3, 1.0)),
+            u_sfc=self.u_sfc + amplitude * rng.normal(0.0, 0.5),
+            v_sfc=self.v_sfc + amplitude * rng.normal(0.0, 0.5),
+        )
+
+
+class ReferenceState:
+    """Hydrostatically-balanced reference profiles on a :class:`Grid`.
+
+    All profiles are 1-D in z (the reference is horizontally uniform),
+    stored in float64 for hydrostatic accuracy and cast on demand; the
+    HEVI implicit coefficients derived from them are therefore identical
+    for every column, which is what lets the vertical tridiagonal solve
+    be factorized once and swept over all columns (see
+    :mod:`repro.model.dynamics`).
+    """
+
+    def __init__(self, grid: Grid, sounding: Sounding | None = None):
+        self.grid = grid
+        self.sounding = sounding or Sounding()
+        self._build()
+
+    def _build(self) -> None:
+        g = self.grid
+        snd = self.sounding
+        z_c, z_f = g.z_c, g.z_f
+
+        theta_c = snd.theta(z_c)
+        theta_f = snd.theta(z_f)
+
+        # Hydrostatic integration of the Exner function:
+        #   d(pi)/dz = -g / (cp * theta)
+        pi_f = np.empty(g.nz + 1, dtype=np.float64)
+        pi_f[0] = 1.0  # surface pressure = PRE00
+        for k in range(g.nz):
+            th_mid = 0.5 * (theta_f[k] + theta_f[k + 1])
+            pi_f[k + 1] = pi_f[k] - GRAV * (z_f[k + 1] - z_f[k]) / (CPDRY * th_mid)
+        # cell-center Exner via second-order interpolation
+        pi_c = 0.5 * (pi_f[1:] + pi_f[:-1])
+
+        pres_c = PRE00 * pi_c ** (1.0 / KAPPA)
+        pres_f = PRE00 * pi_f ** (1.0 / KAPPA)
+        temp_c = theta_c * pi_c
+        dens_c = pres_c / (RDRY * temp_c)
+        dens_f = pres_f / (RDRY * theta_f * pi_f)
+
+        rh = snd.relative_humidity(z_c)
+        qv_c = rh * saturation_mixing_ratio(pres_c, temp_c)
+
+        u_c, v_c = snd.wind(z_c)
+
+        self.theta_c = theta_c
+        self.theta_f = theta_f
+        self.pi_c = pi_c
+        self.pi_f = pi_f
+        self.pres_c = pres_c
+        self.pres_f = pres_f
+        self.temp_c = temp_c
+        self.dens_c = dens_c
+        self.dens_f = dens_f
+        self.qv_c = qv_c
+        self.u_c = u_c
+        self.v_c = v_c
+        # rho*theta reference
+        self.rhot_c = dens_c * theta_c
+        # Linearized d(p)/d(rho*theta) about the reference:
+        #   p = PRE00 * (Rd * rho*theta / PRE00) ** gamma
+        #   dp/d(rho theta) = gamma * p / (rho theta)
+        gamma = CPDRY / CVDRY
+        self.dpdrt_c = gamma * pres_c / self.rhot_c
+        self.dpdrt_f = gamma * pres_f / (dens_f * theta_f)
+        #: reference sound speed squared [m^2/s^2]
+        self.cs2_c = gamma * pres_c / dens_c
+
+    def check_hydrostatic(self) -> float:
+        """Max relative residual of dp/dz + g*rho = 0 (diagnostic for tests)."""
+        g = self.grid
+        dpdz = np.diff(self.pres_f) / g.dz
+        resid = dpdz + GRAV * self.dens_c
+        return float(np.max(np.abs(resid) / (GRAV * self.dens_c)))

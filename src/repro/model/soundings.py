@@ -1,0 +1,190 @@
+"""A library of named atmospheric environments + sounding file I/O.
+
+The OSSE experiments need more than one environment: the July-29 case
+stands on a moist unstable Kanto profile, but sensitivity studies (and
+the Argentina expansion of Sec. 8) want variety. Profiles here are
+:class:`~repro.model.reference.Sounding` parameter sets chosen to span
+the regimes, plus a plain-text tabular format (height, theta, RH, u, v)
+that round-trips through a fitted Sounding — the hook for feeding real
+observed soundings into the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from .initial import convective_sounding
+from .reference import Sounding
+
+__all__ = ["named_sounding", "SOUNDING_NAMES", "write_sounding_file", "read_sounding_file", "fit_sounding"]
+
+
+def _kanto_summer() -> Sounding:
+    return convective_sounding(cape_factor=1.0)
+
+
+def _kanto_heavy_rain() -> Sounding:
+    """The July-29-event stand-in: high CAPE, moist through a deep layer."""
+    return convective_sounding(cape_factor=1.1)
+
+
+def _stable_winter() -> Sounding:
+    """Cold, dry, strongly stable — convection-free null case."""
+    return Sounding(
+        theta_sfc=278.0,
+        dtheta_dz_bl=5.0e-3,
+        dtheta_dz_ft=5.5e-3,
+        z_bl=500.0,
+        rh_sfc=0.5,
+        rh_decay=2500.0,
+        u_sfc=8.0,
+        u_shear=2.0e-3,
+    )
+
+
+def _squall_line_shear() -> Sounding:
+    """Unstable with strong low-level shear (organized convection)."""
+    return Sounding(
+        theta_sfc=301.0,
+        dtheta_dz_bl=0.5e-3,
+        dtheta_dz_ft=3.0e-3,
+        z_bl=1000.0,
+        rh_sfc=0.92,
+        rh_decay=3800.0,
+        u_sfc=2.0,
+        u_shear=3.0e-3,
+        v_sfc=1.0,
+        v_shear=0.5e-3,
+    )
+
+
+def _subtropical_maritime() -> Sounding:
+    """Warm, very moist, weakly sheared (the Argentina-lowlands analog)."""
+    return Sounding(
+        theta_sfc=303.0,
+        dtheta_dz_bl=0.8e-3,
+        dtheta_dz_ft=3.4e-3,
+        z_bl=800.0,
+        rh_sfc=0.95,
+        rh_decay=5000.0,
+        u_sfc=1.0,
+        u_shear=0.5e-3,
+    )
+
+
+_REGISTRY = {
+    "kanto-summer": _kanto_summer,
+    "kanto-heavy-rain": _kanto_heavy_rain,
+    "stable-winter": _stable_winter,
+    "squall-line": _squall_line_shear,
+    "subtropical-maritime": _subtropical_maritime,
+}
+
+SOUNDING_NAMES = tuple(sorted(_REGISTRY))
+
+
+def named_sounding(name: str) -> Sounding:
+    """Look up a profile by name (see SOUNDING_NAMES)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown sounding {name!r}; available: {', '.join(SOUNDING_NAMES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# tabular file format
+# ---------------------------------------------------------------------------
+
+_HEADER = "# z[m]  theta[K]  rh[0-1]  u[m/s]  v[m/s]"
+
+
+def write_sounding_file(snd: Sounding, path: str | Path, *, z_top: float = 16400.0, n: int = 60) -> None:
+    """Sample a Sounding onto levels and write the tabular format."""
+    z = np.linspace(0.0, z_top, n)
+    th = snd.theta(z)
+    rh = snd.relative_humidity(z)
+    u, v = snd.wind(z)
+    with open(path, "w") as f:
+        f.write(_HEADER + "\n")
+        for row in zip(z, th, rh, u, v):
+            f.write("  ".join(f"{x:.6g}" for x in row) + "\n")
+
+
+def read_sounding_file(path: str | Path) -> np.ndarray:
+    """Read the tabular format; returns an (n, 5) array."""
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(f"malformed sounding line: {line!r}")
+            rows.append([float(p) for p in parts])
+    if not rows:
+        raise ValueError("empty sounding file")
+    arr = np.asarray(rows)
+    if np.any(np.diff(arr[:, 0]) <= 0):
+        raise ValueError("heights must increase")
+    return arr
+
+
+def fit_sounding(table: np.ndarray) -> Sounding:
+    """Fit the analytic Sounding parameters to a tabular profile.
+
+    Least-squares on the piecewise-linear theta structure (surface value
+    + boundary-layer and free-troposphere lapse rates with fixed break
+    heights), exponential RH decay, and linear wind shear — enough to
+    run the model from an observed profile while keeping the analytic
+    reference-state machinery.
+    """
+    z = table[:, 0]
+    th = table[:, 1]
+    rh = np.clip(table[:, 2], 1e-3, 1.0)
+    u = table[:, 3]
+    v = table[:, 4]
+
+    base = Sounding()
+    z_bl, z_trop = base.z_bl, base.z_trop
+
+    # theta: linear model in [1, min(z,zbl), clip(z-zbl,0,ztrop-zbl)]
+    A = np.stack(
+        [
+            np.ones_like(z),
+            np.minimum(z, z_bl),
+            np.clip(z - z_bl, 0.0, z_trop - z_bl),
+            np.maximum(z - z_trop, 0.0),
+        ],
+        axis=1,
+    )
+    coef, *_ = np.linalg.lstsq(A, th, rcond=None)
+    theta_sfc, g_bl, g_ft, g_st = coef
+
+    # RH: log-linear fit rh = rh_sfc * exp(-z/decay)
+    w = rh > 0.02
+    p = np.polyfit(z[w], np.log(rh[w]), 1)
+    rh_decay = float(np.clip(-1.0 / p[0] if p[0] < 0 else 8000.0, 500.0, 20000.0))
+    rh_sfc = float(np.clip(np.exp(p[1]), 0.05, 1.0))
+
+    pu = np.polyfit(z, u, 1)
+    pv = np.polyfit(z, v, 1)
+
+    return replace(
+        base,
+        theta_sfc=float(theta_sfc),
+        dtheta_dz_bl=float(max(g_bl, 0.0)),
+        dtheta_dz_ft=float(max(g_ft, 1e-4)),
+        dtheta_dz_st=float(max(g_st, 1e-3)),
+        rh_sfc=rh_sfc,
+        rh_decay=rh_decay,
+        u_sfc=float(pu[1]),
+        u_shear=float(pu[0]),
+        v_sfc=float(pv[1]),
+        v_shear=float(pv[0]),
+    )

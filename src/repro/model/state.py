@@ -1,0 +1,162 @@
+"""Prognostic model state.
+
+The prognostic set mirrors SCALE-RM: density perturbation, three momentum
+components, rho*theta perturbation, and the water species of the
+single-moment 6-category microphysics (vapor + cloud, rain, ice, snow,
+graupel). All fields live on the Arakawa-C grid of :mod:`repro.grid` in
+the model's configured precision (single by default, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import CPDRY, CVDRY, KAPPA, PRE00, RDRY, as_dtype
+from ..grid import Grid
+from .reference import ReferenceState
+
+__all__ = ["ModelState", "PROGNOSTIC_VARS", "HYDROMETEORS", "WATER_SPECIES"]
+
+#: hydrometeor mixing ratios of the 6-category scheme (vapor excluded)
+HYDROMETEORS = ("qc", "qr", "qi", "qs", "qg")
+#: all water species
+WATER_SPECIES = ("qv",) + HYDROMETEORS
+#: full prognostic variable list, in pack/unpack order
+PROGNOSTIC_VARS = ("dens_p", "momx", "momy", "momz", "rhot_p") + WATER_SPECIES
+
+
+@dataclass
+class ModelState:
+    """Container of prognostic arrays.
+
+    ``dens_p`` and ``rhot_p`` are perturbations from the hydrostatic
+    reference; ``momx``/``momy`` are rho*u / rho*v at x-/y-faces (same
+    array shape as centers, periodic staggering); ``momz`` is rho*w at
+    z-faces with shape ``(nz+1, ny, nx)``; water species are mixing
+    ratios [kg/kg] at centers.
+    """
+
+    grid: Grid
+    reference: ReferenceState
+    fields: dict[str, np.ndarray] = field(default_factory=dict)
+    time: float = 0.0
+
+    @classmethod
+    def zeros(cls, grid: Grid, reference: ReferenceState) -> "ModelState":
+        f: dict[str, np.ndarray] = {}
+        for name in PROGNOSTIC_VARS:
+            f[name] = grid.zeros(face="z" if name == "momz" else None)
+        st = cls(grid=grid, reference=reference, fields=f)
+        # initialize vapor and winds from the reference profile
+        st.fields["qv"][:] = reference.qv_c[:, None, None].astype(grid.dtype)
+        dens = reference.dens_c[:, None, None]
+        st.fields["momx"][:] = (dens * reference.u_c[:, None, None]).astype(grid.dtype)
+        st.fields["momy"][:] = (dens * reference.v_c[:, None, None]).astype(grid.dtype)
+        return st
+
+    # -- convenience accessors ------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.fields[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        self.fields[name][...] = value
+
+    def copy(self) -> "ModelState":
+        return ModelState(
+            grid=self.grid,
+            reference=self.reference,
+            fields={k: v.copy() for k, v in self.fields.items()},
+            time=self.time,
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+
+    @property
+    def dens(self) -> np.ndarray:
+        """Total density [kg/m^3] at centers."""
+        return self.reference.dens_c[:, None, None].astype(self.grid.dtype) + self.fields["dens_p"]
+
+    @property
+    def rhot(self) -> np.ndarray:
+        """Total rho*theta at centers."""
+        return self.reference.rhot_c[:, None, None].astype(self.grid.dtype) + self.fields["rhot_p"]
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Potential temperature [K]."""
+        return self.rhot / np.maximum(self.dens, 1e-10)
+
+    def velocities(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(u, v, w) at cell centers (w averaged from faces)."""
+        dens = np.maximum(self.dens, 1e-10)
+        u = self.fields["momx"] / dens
+        v = self.fields["momy"] / dens
+        momz = self.fields["momz"]
+        w = 0.5 * (momz[1:] + momz[:-1]) / dens
+        return u, v, w
+
+    def pressure(self) -> np.ndarray:
+        """Full nonlinear pressure [Pa] from the equation of state."""
+        rhot = np.maximum(self.rhot.astype(np.float64), 1e-6)
+        gamma = CPDRY / CVDRY
+        return PRE00 * (RDRY * rhot / PRE00) ** gamma
+
+    def temperature(self) -> np.ndarray:
+        """Temperature [K]."""
+        pres = self.pressure()
+        exner = (pres / PRE00) ** KAPPA
+        return (self.theta.astype(np.float64) * exner).astype(self.grid.dtype)
+
+    def total_water_path(self) -> float:
+        """Column-integrated total water [kg/m^2], domain mean (conservation checks)."""
+        dens = self.dens.astype(np.float64)
+        qtot = sum(self.fields[q].astype(np.float64) for q in WATER_SPECIES)
+        dz = self.grid.dz[:, None, None]
+        return float(np.mean(np.sum(dens * qtot * dz, axis=0)))
+
+    def dry_mass(self) -> float:
+        """Domain-total density anomaly integral (mass conservation checks)."""
+        dz = self.grid.dz[:, None, None]
+        return float(np.sum(self.fields["dens_p"].astype(np.float64) * dz))
+
+    # -- pack/unpack for the LETKF ----------------------------------------------
+    #
+    # The LETKF updates a control vector per grid column; we expose the
+    # state as a dict of center-collocated analysis variables. Momentum is
+    # converted to velocities (the conventional LETKF control variables)
+    # and momz is averaged to centers.
+
+    ANALYSIS_VARS = ("u", "v", "w", "theta_p", "qv", "qc", "qr", "qi", "qs", "qg")
+
+    def to_analysis(self) -> dict[str, np.ndarray]:
+        """Extract LETKF analysis variables (all center-collocated)."""
+        u, v, w = self.velocities()
+        theta_p = self.theta - self.reference.theta_c[:, None, None].astype(self.grid.dtype)
+        out = {"u": u, "v": v, "w": w, "theta_p": theta_p}
+        for q in WATER_SPECIES:
+            out[q] = self.fields[q].copy()
+        return out
+
+    def from_analysis(self, ana: dict[str, np.ndarray]) -> None:
+        """Write analysis variables back into the prognostic state.
+
+        Density perturbation is kept (the LETKF does not analyze it, as
+        in the real system where pressure/density adjust hydrostatically
+        within a few acoustic time steps).
+        """
+        dens = np.maximum(self.dens, 1e-10)
+        self.fields["momx"][...] = dens * ana["u"]
+        self.fields["momy"][...] = dens * ana["v"]
+        momz = self.fields["momz"]
+        w_c = ana["w"]
+        momz[1:-1] = 0.5 * (dens[1:] * w_c[1:] + dens[:-1] * w_c[:-1])
+        momz[0] = 0.0
+        momz[-1] = 0.0
+        theta = ana["theta_p"] + self.reference.theta_c[:, None, None].astype(self.grid.dtype)
+        ref_rhot = self.reference.rhot_c[:, None, None].astype(self.grid.dtype)
+        self.fields["rhot_p"][...] = dens * theta - ref_rhot
+        for q in WATER_SPECIES:
+            np.clip(ana[q], 0.0, None, out=self.fields[q])

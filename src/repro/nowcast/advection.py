@@ -1,0 +1,86 @@
+"""Semi-Lagrangian advection nowcast.
+
+The operational-nowcast baseline: freeze the latest observed
+reflectivity pattern's *evolution* but move it with the estimated echo
+motion. Each forecast pixel traces back along the motion field and
+samples the initial observation (bilinear), the standard Lagrangian
+extrapolation of operational nowcasting systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .motion import MotionField
+
+__all__ = ["semi_lagrangian_advect", "AdvectionNowcast"]
+
+
+def _bilinear(field: np.ndarray, y: np.ndarray, x: np.ndarray, fill: float) -> np.ndarray:
+    """Bilinear sampling at fractional indices (y, x); out-of-domain -> fill."""
+    ny, nx = field.shape
+    inside = (y >= 0) & (y <= ny - 1) & (x >= 0) & (x <= nx - 1)
+    yc = np.clip(y, 0, ny - 1 - 1e-9)
+    xc = np.clip(x, 0, nx - 1 - 1e-9)
+    j0 = np.floor(yc).astype(np.intp)
+    i0 = np.floor(xc).astype(np.intp)
+    wy = yc - j0
+    wx = xc - i0
+    j1 = np.minimum(j0 + 1, ny - 1)
+    i1 = np.minimum(i0 + 1, nx - 1)
+    out = (
+        field[j0, i0] * (1 - wy) * (1 - wx)
+        + field[j0, i1] * (1 - wy) * wx
+        + field[j1, i0] * wy * (1 - wx)
+        + field[j1, i1] * wy * wx
+    )
+    return np.where(inside, out, fill)
+
+
+def semi_lagrangian_advect(
+    field: np.ndarray,
+    motion: MotionField,
+    lead_seconds: float,
+    *,
+    fill: float = -30.0,
+    substeps: int = 4,
+) -> np.ndarray:
+    """Advect ``field`` forward by ``lead_seconds`` along ``motion``.
+
+    Backward trajectories are integrated in ``substeps`` stages so curved
+    motion fields stay accurate.
+    """
+    if lead_seconds < 0:
+        raise ValueError("lead time must be non-negative")
+    ny, nx = field.shape
+    jj, ii = np.mgrid[0:ny, 0:nx].astype(np.float64)
+    y, x = jj.copy(), ii.copy()
+    dt = lead_seconds / max(substeps, 1)
+    for _ in range(substeps):
+        u = _bilinear(motion.u, y, x, 0.0)
+        v = _bilinear(motion.v, y, x, 0.0)
+        x -= u * dt / motion.dx
+        y -= v * dt / motion.dx
+    return _bilinear(field, y, x, fill)
+
+
+class AdvectionNowcast:
+    """A complete nowcast: motion from the last two scans, then advect.
+
+    Mirrors the operational product the companion paper (ref [34])
+    compares BDA against.
+    """
+
+    def __init__(self, prev_obs: np.ndarray, curr_obs: np.ndarray, *, dx: float, dt: float):
+        from .motion import estimate_motion
+
+        self.initial = np.array(curr_obs, copy=True)
+        self.motion = estimate_motion(prev_obs, curr_obs, dx=dx, dt=dt)
+
+    def at_lead(self, lead_seconds: float) -> np.ndarray:
+        if lead_seconds == 0.0:
+            return self.initial
+        return semi_lagrangian_advect(self.initial, self.motion, lead_seconds)
+
+    def __call__(self, lead_seconds: float) -> np.ndarray:
+        return self.at_lead(lead_seconds)

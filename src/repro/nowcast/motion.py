@@ -1,0 +1,126 @@
+"""Echo-motion estimation (TREC-style block cross-correlation).
+
+Given two consecutive 2-D reflectivity fields separated by ``dt``, the
+domain is tiled into blocks; each block of the earlier field is
+correlated against shifted candidates in the later field, and the
+best-correlating shift gives the local echo motion. A smoothness pass
+(median + Gaussian) suppresses spurious vectors, as operational TREC
+implementations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter, median_filter
+
+__all__ = ["MotionField", "estimate_motion"]
+
+
+@dataclass(frozen=True)
+class MotionField:
+    """Echo motion [m/s] on the field's grid."""
+
+    u: np.ndarray  # (ny, nx), eastward
+    v: np.ndarray  # (ny, nx), northward
+    dx: float
+    dt: float
+
+    @property
+    def speed(self) -> np.ndarray:
+        return np.hypot(self.u, self.v)
+
+
+def _block_shift(
+    prev_full: np.ndarray,
+    curr_full: np.ndarray,
+    j0: int,
+    i0: int,
+    block: int,
+    max_shift: int,
+) -> tuple[int, int, float]:
+    """Best (dj, di, score) placing prev's block onto the later field.
+
+    The candidate windows come from the *full* later field (standard
+    TREC search), never wrapped within the block.
+    """
+    ny, nx = prev_full.shape
+    p = prev_full[j0 : j0 + block, i0 : i0 + block]
+    p = p - p.mean()
+    p_norm = np.sqrt(np.sum(p * p))
+    if p_norm < 1e-6:
+        return 0, 0, 0.0
+    best = (-np.inf, 0, 0)
+    for dj in range(-max_shift, max_shift + 1):
+        jj = j0 + dj
+        if jj < 0 or jj + block > ny:
+            continue
+        for di in range(-max_shift, max_shift + 1):
+            ii = i0 + di
+            if ii < 0 or ii + block > nx:
+                continue
+            c = curr_full[jj : jj + block, ii : ii + block]
+            cm = c - c.mean()
+            denom = p_norm * np.sqrt(np.sum(cm * cm))
+            if denom < 1e-6:
+                continue
+            score = float(np.sum(p * cm) / denom)
+            if score > best[0]:
+                best = (score, dj, di)
+    return best[1], best[2], max(best[0], 0.0)
+
+
+def estimate_motion(
+    prev: np.ndarray,
+    curr: np.ndarray,
+    *,
+    dx: float,
+    dt: float,
+    block: int = 8,
+    max_shift: int = 3,
+    min_echo: float = 5.0,
+) -> MotionField:
+    """TREC-style motion between two reflectivity fields.
+
+    Blocks with no echo above ``min_echo`` get zero motion and are
+    filled by the smoothing pass from their neighbors.
+    """
+    if prev.shape != curr.shape:
+        raise ValueError("field shapes differ")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    ny, nx = prev.shape
+    u = np.zeros((ny, nx))
+    v = np.zeros((ny, nx))
+    weight = np.zeros((ny, nx))
+
+    for j0 in range(0, ny - block + 1, block // 2):
+        for i0 in range(0, nx - block + 1, block // 2):
+            pb = prev[j0 : j0 + block, i0 : i0 + block]
+            if pb.max() < min_echo:
+                continue
+            dj, di, score = _block_shift(prev, curr, j0, i0, block, max_shift)
+            if score < 0.3:
+                continue  # unreliable match (echo-edge/wraparound block)
+            # vote weight: match quality x echo intensity, so blocks that
+            # barely clip the echo don't dilute the core's motion
+            w = score * float(np.maximum(pb.max() - min_echo, 0.1))
+            sl = (slice(j0, j0 + block), slice(i0, i0 + block))
+            u[sl] += w * di * dx / dt
+            v[sl] += w * dj * dx / dt
+            weight[sl] += w
+
+    has = weight > 0
+    u[has] /= weight[has]
+    v[has] /= weight[has]
+    # de-spike, then spread into echo-free areas with *normalized*
+    # convolution so the echo region keeps its magnitude instead of
+    # being diluted by the surrounding zeros
+    u = median_filter(u, size=3)
+    v = median_filter(v, size=3)
+    wmask = has.astype(np.float64)
+    norm = np.maximum(gaussian_filter(wmask, sigma=3.0), 1e-6)
+    u = gaussian_filter(u * wmask, sigma=3.0) / norm
+    v = gaussian_filter(v * wmask, sigma=3.0) / norm
+    return MotionField(u=u, v=v, dx=dx, dt=dt)

@@ -1,0 +1,45 @@
+"""MP-PAWR: multi-parameter phased array weather radar simulator.
+
+The real MP-PAWR at Saitama University (refs [24, 25]) completes a
+gap-less 3-D volume scan every 30 seconds out to 60 km and feeds the BDA
+system ~100 MB of raw data per scan. This package simulates the whole
+instrument chain against model states:
+
+* :mod:`repro.radar.reflectivity` / :mod:`repro.radar.doppler` — the
+  forward operators (model hydrometeors/winds -> dBZ and radial
+  velocity), shared with the LETKF observation operator;
+* :mod:`repro.radar.scan` — the phased-array scan geometry (elevations x
+  azimuths x range gates);
+* :mod:`repro.radar.blockage` — beam blockage and range masking (the
+  hatched no-data areas of Fig. 6b);
+* :mod:`repro.radar.pawr` — the instrument: samples a model ("nature")
+  state on the scan geometry with noise, producing one volume per 30 s;
+* :mod:`repro.radar.fileformat` — the raw binary volume file (~100 MB at
+  full scale) that JIT-DT watches for and transfers;
+* :mod:`repro.radar.regrid` — polar-to-Cartesian superobbing onto the
+  500-m analysis mesh (Table 2's "regridded observation resolution").
+"""
+
+from .reflectivity import reflectivity_dbz, reflectivity_factor
+from .doppler import radial_velocity, fall_speed_weighted
+from .scan import ScanGeometry
+from .blockage import blockage_mask, range_mask, observation_mask
+from .pawr import PAWRSimulator, VolumeScan
+from .fileformat import encode_volume, decode_volume
+from .regrid import volume_to_grid
+
+__all__ = [
+    "reflectivity_dbz",
+    "reflectivity_factor",
+    "radial_velocity",
+    "fall_speed_weighted",
+    "ScanGeometry",
+    "blockage_mask",
+    "range_mask",
+    "observation_mask",
+    "PAWRSimulator",
+    "VolumeScan",
+    "encode_volume",
+    "decode_volume",
+    "volume_to_grid",
+]

@@ -1,0 +1,68 @@
+"""Beam blockage and range masking.
+
+Fig. 6b of the paper hatches the areas with no data "due to out of the
+60-km range, radar beam blockage, or other reasons". This module
+reproduces those masks, both in scan space (per ray) and on the analysis
+grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RadarConfig
+from ..grid import Grid
+from .scan import ScanGeometry
+
+__all__ = ["range_mask", "blockage_mask", "observation_mask", "grid_observation_mask"]
+
+
+def range_mask(geometry: ScanGeometry) -> np.ndarray:
+    """True where the sample lies within the instrument's maximum range."""
+    r = geometry.ranges
+    mask = r <= geometry.radar.max_range
+    return np.broadcast_to(mask[None, None, :], geometry.shape).copy()
+
+
+def blockage_mask(geometry: ScanGeometry, seed: int = 7) -> np.ndarray:
+    """True where the ray is NOT blocked.
+
+    A deterministic pseudo-random set of low-elevation azimuth sectors is
+    blocked (buildings/terrain around the Saitama site), covering
+    ``radar.blockage_fraction`` of the lowest elevations.
+    """
+    radar = geometry.radar
+    rng = np.random.default_rng(seed)
+    n_az = radar.n_azimuths
+    n_el = radar.n_elevations
+    blocked_az = rng.random(n_az) < radar.blockage_fraction * 4.0
+    # blockage only affects the lowest quarter of the elevation sweep
+    n_low = max(1, n_el // 4)
+    mask = np.ones(geometry.shape, dtype=bool)
+    mask[:n_low, blocked_az, :] = False
+    return mask
+
+
+def observation_mask(geometry: ScanGeometry, seed: int = 7) -> np.ndarray:
+    """Combined validity mask in scan space."""
+    return range_mask(geometry) & blockage_mask(geometry, seed)
+
+
+def grid_observation_mask(grid: Grid, radar: RadarConfig) -> np.ndarray:
+    """Validity mask on the analysis mesh (nz, ny, nx).
+
+    Cells beyond the 60-km range or below/above the scanned cone carry no
+    observation — these are exactly Fig. 6b's hatched areas when plotted
+    at the 2-km level.
+    """
+    Z, Y, X = grid.meshgrid()
+    dx = X - radar.site_x
+    dy = Y - radar.site_y
+    dz = Z - radar.site_z
+    ground = np.hypot(dx, dy)
+    r = np.sqrt(ground**2 + dz**2)
+    in_range = r <= radar.max_range
+    # samples exist only inside the scanned elevation cone (0..60 deg)
+    elev = np.arctan2(dz, np.maximum(ground, 1.0))
+    in_cone = (elev >= 0.0) & (elev <= np.deg2rad(60.0))
+    return in_range & in_cone

@@ -1,0 +1,108 @@
+"""Dual-polarization (multi-parameter) radar variables.
+
+The "MP" in MP-PAWR stands for *multi-parameter* (Takahashi et al. 2019,
+ref [24]): unlike the first-generation PAWR, the instrument is dual-
+polarized and observes differential reflectivity (ZDR), specific
+differential phase (KDP) and the co-polar correlation coefficient
+(rho_hv) in addition to Z and Doppler velocity (Kikuchi et al. 2020,
+ref [25] describes the initial precipitation-core observations).
+
+The BDA2021 system assimilated Z and Vr (Table 1); the dual-pol
+moments were used for QC and for rain-rate products. This module
+provides the standard single-moment forward operators for them:
+
+* ZDR from the rain/ice mix (rain is oblate -> positive ZDR; dry ice
+  quasi-spherical -> near zero; hail/graupel tumbling -> near zero);
+* KDP from rain content (approximately linear in rain water content at
+  X band);
+* rho_hv degraded by hydrometeor mixtures (melting layer signature);
+* the KDP-based rain rate R(KDP), the heavy-rain product dual-pol
+  radars are prized for (unbiased by attenuation and calibration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "differential_reflectivity",
+    "specific_differential_phase",
+    "copolar_correlation",
+    "rain_rate_from_kdp",
+    "dualpol_from_state",
+]
+
+#: X-band KDP coefficient [deg/km per kg/m^3 of rain water content]
+#: (~1.7 deg/km per g/m^3, the standard X-band magnitude)
+KDP_COEFF = 1700.0
+#: R(KDP) power law for X band: R = a * KDP^b  [mm/h, deg/km]
+RKDP_A = 15.4
+RKDP_B = 0.79
+
+
+def differential_reflectivity(
+    dens: np.ndarray, qr: np.ndarray, qi: np.ndarray, qs: np.ndarray, qg: np.ndarray
+) -> np.ndarray:
+    """ZDR [dB]: positive for oblate rain, ~0 for tumbling ice.
+
+    Single-moment parameterization: rain ZDR grows with rain content
+    (larger drops are more oblate), capped near 4 dB; ice-phase species
+    pull the composite toward zero in mixtures.
+    """
+    dens = np.asarray(dens, dtype=np.float64)
+    rain = np.maximum(dens * np.asarray(qr, dtype=np.float64), 0.0)
+    ice = np.maximum(
+        dens * (np.asarray(qi, np.float64) + np.asarray(qs, np.float64) + np.asarray(qg, np.float64)),
+        0.0,
+    )
+    zdr_rain = 4.0 * (1.0 - np.exp(-(rain / 1.5e-3) ** 0.7))
+    frac_rain = rain / np.maximum(rain + ice, 1e-12)
+    return zdr_rain * frac_rain
+
+
+def specific_differential_phase(dens: np.ndarray, qr: np.ndarray) -> np.ndarray:
+    """KDP [deg/km], approximately linear in rain water content at X band."""
+    rain = np.maximum(np.asarray(dens, np.float64) * np.asarray(qr, np.float64), 0.0)
+    return KDP_COEFF * rain
+
+
+def copolar_correlation(
+    dens: np.ndarray, qr: np.ndarray, qi: np.ndarray, qs: np.ndarray, qg: np.ndarray
+) -> np.ndarray:
+    """rho_hv (0..1): near 1 in pure rain/ice, depressed in mixtures.
+
+    The melting-layer (bright-band) depression dual-pol QC keys on.
+    """
+    dens = np.asarray(dens, np.float64)
+    rain = np.maximum(dens * np.asarray(qr, np.float64), 0.0)
+    ice = np.maximum(
+        dens * (np.asarray(qi, np.float64) + np.asarray(qs, np.float64) + np.asarray(qg, np.float64)),
+        0.0,
+    )
+    total = rain + ice
+    frac_rain = np.where(total > 1e-12, rain / np.maximum(total, 1e-12), 1.0)
+    # mixture depression: deepest at 50/50
+    mix = 4.0 * frac_rain * (1.0 - frac_rain)
+    depth = 0.08 * np.minimum(total / 1.0e-3, 1.0)
+    return 1.0 - depth * mix
+
+
+def rain_rate_from_kdp(kdp: np.ndarray) -> np.ndarray:
+    """R(KDP) [mm/h] — the attenuation-immune dual-pol rain estimator."""
+    return RKDP_A * np.maximum(np.asarray(kdp, np.float64), 0.0) ** RKDP_B
+
+
+def dualpol_from_state(state) -> dict[str, np.ndarray]:
+    """All multi-parameter moments for a model state (nz, ny, nx each)."""
+    f = state.fields
+    dens = state.dens
+    zdr = differential_reflectivity(dens, f["qr"], f["qi"], f["qs"], f["qg"])
+    kdp = specific_differential_phase(dens, f["qr"])
+    rho = copolar_correlation(dens, f["qr"], f["qi"], f["qs"], f["qg"])
+    dt = state.grid.dtype
+    return {
+        "zdr": zdr.astype(dt),
+        "kdp": kdp.astype(dt),
+        "rho_hv": rho.astype(dt),
+        "rain_kdp": rain_rate_from_kdp(kdp).astype(dt),
+    }

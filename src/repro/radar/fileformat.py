@@ -1,0 +1,97 @@
+"""Raw MP-PAWR volume file format.
+
+Every 30 seconds the MP-PAWR writes a ~100 MB raw volume file at Saitama
+University; its creation is what JIT-DT watches for, and its embedded
+*scan-completion timestamp* is the T_obs from which the paper measures
+time-to-solution (Sec. 6.1: "The raw MP-PAWR data includes the time stamp
+when the MP-PAWR scanning is completed, and we used this time stamp").
+
+The format here is a simple self-describing binary container:
+
+=========  ======================================================
+bytes      content
+=========  ======================================================
+0-7        magic ``MPPAWR1\\0``
+8-15       scan-completion timestamp T_obs (float64 seconds)
+16-23      file-creation timestamp (float64 seconds)
+24-35      (n_elev, n_azim, n_gates) as three uint32
+36-39      flags (bit 0: has doppler)
+40-...     reflectivity dBZ as float16, then validity bitmask,
+           then (optionally) Doppler velocity as float16
+=========  ======================================================
+
+float16 keeps file sizes production-like (the full-scale geometry
+yields ~100 MB per volume) while the assimilation path re-quantizes
+to float32 anyway after superobbing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["encode_volume", "decode_volume", "volume_nbytes", "MAGIC"]
+
+MAGIC = b"MPPAWR1\x00"
+_HEADER = struct.Struct("<8s d d III I")
+
+
+def encode_volume(
+    dbz: np.ndarray,
+    valid: np.ndarray,
+    doppler: np.ndarray | None,
+    t_obs: float,
+    t_created: float,
+) -> bytes:
+    """Serialize one volume scan to the raw wire format."""
+    if dbz.ndim != 3:
+        raise ValueError("dbz must be (n_elev, n_azim, n_gates)")
+    if valid.shape != dbz.shape:
+        raise ValueError("valid mask shape mismatch")
+    flags = 1 if doppler is not None else 0
+    header = _HEADER.pack(
+        MAGIC, float(t_obs), float(t_created), *dbz.shape, flags
+    )
+    parts = [header, dbz.astype(np.float16).tobytes()]
+    parts.append(np.packbits(valid.ravel()).tobytes())
+    if doppler is not None:
+        if doppler.shape != dbz.shape:
+            raise ValueError("doppler shape mismatch")
+        parts.append(doppler.astype(np.float16).tobytes())
+    return b"".join(parts)
+
+
+def decode_volume(buf: bytes) -> dict:
+    """Parse the wire format back into arrays + timestamps."""
+    magic, t_obs, t_created, ne, na, ng, flags = _HEADER.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise ValueError("not an MP-PAWR volume file")
+    shape = (ne, na, ng)
+    n = ne * na * ng
+    off = _HEADER.size
+    dbz = np.frombuffer(buf, dtype=np.float16, count=n, offset=off).reshape(shape)
+    off += 2 * n
+    nbits = (n + 7) // 8
+    bits = np.frombuffer(buf, dtype=np.uint8, count=nbits, offset=off)
+    valid = np.unpackbits(bits, count=n).astype(bool).reshape(shape)
+    off += nbits
+    doppler = None
+    if flags & 1:
+        doppler = np.frombuffer(buf, dtype=np.float16, count=n, offset=off).reshape(shape)
+    return {
+        "t_obs": t_obs,
+        "t_created": t_created,
+        "dbz": dbz.astype(np.float32),
+        "valid": valid,
+        "doppler": None if doppler is None else doppler.astype(np.float32),
+    }
+
+
+def volume_nbytes(shape: tuple[int, int, int], with_doppler: bool = True) -> int:
+    """Size in bytes of an encoded volume with the given scan shape."""
+    n = int(np.prod(shape))
+    size = _HEADER.size + 2 * n + (n + 7) // 8
+    if with_doppler:
+        size += 2 * n
+    return size

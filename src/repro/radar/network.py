@@ -1,0 +1,101 @@
+"""Multi-radar networks (the Expo 2025 extension, refs [42] and Sec. 8).
+
+Sec. 8: "We have new MP-PAWRs installed in Osaka and Kobe, and the dual
+coverage is available. Our recent simulation study ... suggested that
+multiple PAWR coverage be beneficial for disastrous heavy rain
+prediction." This module lets the BDA system assimilate several
+phased-array radars at once: per-site instruments observe the same
+nature run and their gridded observations are merged, with overlapping
+coverage averaged (inverse-variance) and the union of coverage replacing
+the single-site mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..config import LETKFConfig, RadarConfig
+from ..grid import Grid
+from ..letkf.qc import GriddedObservations
+from .blockage import grid_observation_mask
+
+__all__ = ["RadarNetwork", "dual_kanto_network"]
+
+
+def dual_kanto_network(base: RadarConfig) -> tuple[RadarConfig, RadarConfig]:
+    """A two-site layout: the original site plus a second offset radar.
+
+    The offsets mimic the Saitama + second-site geometry: two 60-km
+    circles whose union covers far more of the 128-km domain.
+    """
+    site_a = replace(base, name=base.name + "-A", site_x=44_000.0, site_y=44_000.0)
+    site_b = replace(base, name=base.name + "-B", site_x=84_000.0, site_y=84_000.0)
+    return site_a, site_b
+
+
+@dataclass
+class RadarNetwork:
+    """Several radar sites observing one domain."""
+
+    radars: tuple[RadarConfig, ...]
+    grid: Grid
+
+    def __post_init__(self):
+        if not self.radars:
+            raise ValueError("network needs at least one radar")
+        self._masks = [grid_observation_mask(self.grid, r) for r in self.radars]
+
+    @property
+    def coverage(self) -> np.ndarray:
+        """Union of the per-site coverage masks."""
+        out = self._masks[0].copy()
+        for m in self._masks[1:]:
+            out |= m
+        return out
+
+    @property
+    def overlap(self) -> np.ndarray:
+        """Cells seen by two or more radars (doubled information)."""
+        count = sum(m.astype(np.int32) for m in self._masks)
+        return count >= 2
+
+    def coverage_fraction(self) -> float:
+        return float(np.mean(self.coverage))
+
+    def merge_observations(
+        self, per_site: list[GriddedObservations]
+    ) -> GriddedObservations:
+        """Inverse-variance merge of one observation type across sites.
+
+        Where n sites observe a cell, the merged error shrinks by
+        sqrt(n) — the information gain the ref-[42] OSSE study
+        demonstrates for dual coverage.
+        """
+        if len(per_site) != len(self.radars):
+            raise ValueError("need one observation set per radar")
+        kinds = {o.kind for o in per_site}
+        if len(kinds) != 1:
+            raise ValueError("cannot merge different observation kinds")
+        base_err = per_site[0].error_std
+
+        weight = np.zeros(self.grid.shape)
+        accum = np.zeros(self.grid.shape)
+        for obs, mask in zip(per_site, self._masks):
+            w = (obs.valid & mask) / obs.error_std**2
+            weight += w
+            accum += w * obs.values
+        valid = weight > 0
+        values = np.zeros(self.grid.shape, dtype=np.float32)
+        values[valid] = (accum[valid] / weight[valid]).astype(np.float32)
+
+        # effective error of the best-observed cell (reported error);
+        # per-cell weighting is already folded into the merged values
+        n_max = max(1, int(np.max(sum(m.astype(int) for m in self._masks))))
+        return GriddedObservations(
+            kind=per_site[0].kind,
+            values=values,
+            valid=valid,
+            error_std=base_err / np.sqrt(n_max) if n_max > 1 else base_err,
+        )

@@ -1,0 +1,109 @@
+"""Radar data quality: clutter, speckle, and their filters.
+
+Real PAWR volumes are not clean: ground clutter contaminates the lowest
+elevations near the site, and receiver noise produces isolated speckle
+gates. The BDA pipeline QCs these before superobbing (on top of the
+LETKF-side gross-error check of Table 2). This module provides both the
+*contamination* (so the instrument simulator can produce realistic dirty
+volumes) and the *filters* the ingest applies:
+
+* ground clutter: strong, zero-Doppler, high-texture returns at low
+  elevation near the radar — removed by the classic zero-velocity +
+  texture test;
+* speckle: isolated single-gate echoes — removed by a neighbor-count
+  filter along each ray.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pawr import VolumeScan
+
+__all__ = ["inject_clutter", "clutter_filter", "despeckle", "quality_control"]
+
+
+def inject_clutter(
+    scan: VolumeScan,
+    *,
+    rng: np.random.Generator,
+    max_range_gates: int = 20,
+    n_elevations: int = 2,
+    fraction: float = 0.15,
+    dbz_mean: float = 45.0,
+) -> VolumeScan:
+    """Add ground-clutter gates to a scan (returns the same object).
+
+    Clutter: random near-radar, low-elevation gates with strong
+    reflectivity and near-zero Doppler — the signature the filter keys on.
+    """
+    ne, na, ng = scan.dbz.shape
+    n_el = min(n_elevations, ne)
+    n_rg = min(max_range_gates, ng)
+    mask = rng.random((n_el, na, n_rg)) < fraction
+    dbz = scan.dbz.copy()
+    vr = scan.doppler.copy()
+    sel = np.zeros_like(scan.valid)
+    sel[:n_el, :, :n_rg] = mask
+    dbz[sel] = dbz_mean + rng.normal(0, 5.0, int(sel.sum())).astype(np.float32)
+    vr[sel] = rng.normal(0, 0.15, int(sel.sum())).astype(np.float32)
+    scan.dbz[...] = dbz
+    scan.doppler[...] = vr
+    scan.valid[...] = scan.valid | sel
+    return scan
+
+
+def clutter_filter(
+    dbz: np.ndarray,
+    doppler: np.ndarray,
+    valid: np.ndarray,
+    *,
+    vr_threshold: float = 0.5,
+    dbz_threshold: float = 20.0,
+    texture_threshold: float = 12.0,
+) -> np.ndarray:
+    """Flag probable ground clutter; returns the cleaned validity mask.
+
+    A gate is clutter when it is strong, its radial velocity is
+    near zero, AND its along-ray reflectivity texture (RMS gate-to-gate
+    difference) is high — rain is smooth along rays, clutter is spiky.
+    """
+    strong = dbz >= dbz_threshold
+    still = np.abs(doppler) <= vr_threshold
+    # along-ray texture: mean |d(dbz)/dgate| over a 3-gate window
+    diff = np.abs(np.diff(dbz, axis=-1))
+    tex = np.zeros_like(dbz)
+    tex[..., 1:-1] = 0.5 * (diff[..., :-1] + diff[..., 1:])
+    tex[..., 0] = diff[..., 0]
+    tex[..., -1] = diff[..., -1]
+    spiky = tex >= texture_threshold
+    clutter = strong & still & spiky
+    return valid & ~clutter
+
+
+def despeckle(dbz: np.ndarray, valid: np.ndarray, *, min_neighbors: int = 1, echo_dbz: float = 5.0) -> np.ndarray:
+    """Remove isolated echo gates (speckle) along rays.
+
+    An echo gate with fewer than ``min_neighbors`` echo gates among its
+    two along-ray neighbors is flagged invalid.
+    """
+    echo = (dbz >= echo_dbz) & valid
+    n = np.zeros(dbz.shape, dtype=np.int16)
+    n[..., 1:] += echo[..., :-1]
+    n[..., :-1] += echo[..., 1:]
+    speckle = echo & (n < min_neighbors)
+    return valid & ~speckle
+
+
+def quality_control(scan: VolumeScan) -> tuple[np.ndarray, dict[str, int]]:
+    """Full ingest QC: clutter filter + despeckle.
+
+    Returns the cleaned validity mask and per-filter rejection counts.
+    """
+    v0 = scan.valid
+    v1 = clutter_filter(scan.dbz, scan.doppler, v0)
+    v2 = despeckle(scan.dbz, v1)
+    return v2, {
+        "clutter": int(np.count_nonzero(v0 & ~v1)),
+        "speckle": int(np.count_nonzero(v1 & ~v2)),
+    }

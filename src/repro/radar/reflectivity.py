@@ -1,0 +1,66 @@
+"""Radar reflectivity forward operator.
+
+Maps model hydrometeor fields to the equivalent radar reflectivity factor
+Z [mm^6 m^-3] and to dBZ, using the standard single-moment power-law
+relations (Tong & Xue 2005; the same family SCALE-LETKF's radar operator
+uses for reflectivity assimilation):
+
+* rain:    Z_r = 3.63e9 * (rho * qr)^1.75
+* snow:    Z_s = 9.80e8 * (rho * qs)^1.75   (dry snow)
+* graupel: Z_g = 4.33e10 * (rho * qg)^1.75 * 0.1 (reduced dielectric)
+
+The paper assimilates reflectivity *directly* (Table 1 bottom row:
+"Reflectivity, Doppler velocity"), unlike the operational systems that
+convert radar data to RH or latent heating — this operator is therefore
+the core of the BDA observation pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import DBZ_NO_RAIN, Z_MIN_LINEAR
+
+__all__ = ["reflectivity_factor", "reflectivity_dbz", "dbz_from_state"]
+
+#: (coefficient, exponent) of Z = a * (rho q)^b per species
+Z_PARAMS = {
+    "qr": (3.63e9, 1.75),
+    "qs": (9.80e8, 1.75),
+    "qg": (4.33e9, 1.75),
+}
+
+
+def reflectivity_factor(
+    dens: np.ndarray,
+    qr: np.ndarray,
+    qs: np.ndarray | None = None,
+    qg: np.ndarray | None = None,
+) -> np.ndarray:
+    """Linear reflectivity factor Z [mm^6 m^-3] from hydrometeor contents."""
+    dens = np.asarray(dens, dtype=np.float64)
+    z = Z_PARAMS["qr"][0] * np.maximum(dens * np.asarray(qr, dtype=np.float64), 0.0) ** Z_PARAMS["qr"][1]
+    if qs is not None:
+        z = z + Z_PARAMS["qs"][0] * np.maximum(dens * np.asarray(qs, dtype=np.float64), 0.0) ** Z_PARAMS["qs"][1]
+    if qg is not None:
+        z = z + Z_PARAMS["qg"][0] * np.maximum(dens * np.asarray(qg, dtype=np.float64), 0.0) ** Z_PARAMS["qg"][1]
+    return z
+
+
+def reflectivity_dbz(z_linear: np.ndarray) -> np.ndarray:
+    """Convert linear Z to dBZ with the conventional no-rain floor."""
+    z = np.maximum(np.asarray(z_linear, dtype=np.float64), Z_MIN_LINEAR)
+    dbz = 10.0 * np.log10(z)
+    return np.maximum(dbz, DBZ_NO_RAIN)
+
+
+def dbz_from_state(state) -> np.ndarray:
+    """dBZ field (nz, ny, nx) of a :class:`repro.model.ModelState`.
+
+    Clear-air cells receive the no-rain floor value — those observations
+    are assimilated too (suppressing spurious convection), as in the real
+    BDA system.
+    """
+    dens = state.dens
+    z = reflectivity_factor(dens, state.fields["qr"], state.fields["qs"], state.fields["qg"])
+    return reflectivity_dbz(z).astype(state.grid.dtype)

@@ -1,0 +1,77 @@
+"""Phased-array scan geometry.
+
+A phased array scans electronically in elevation while rotating in
+azimuth: one full volume (all elevations x azimuths x gates) completes in
+30 seconds without gaps — the property that makes 30-second-refresh
+assimilation possible at all (Sec. 3: a conventional dish needs 5 minutes
+for 15 elevations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..config import RadarConfig
+
+__all__ = ["ScanGeometry"]
+
+
+@dataclass(frozen=True)
+class ScanGeometry:
+    """Sample coordinates of one MP-PAWR volume scan."""
+
+    radar: RadarConfig
+    #: maximum elevation angle [deg] (MP-PAWR scans up to ~90 but the
+    #: useful weather coverage tops out near 60)
+    max_elevation_deg: float = 60.0
+
+    @cached_property
+    def elevations(self) -> np.ndarray:
+        """Elevation angles [rad], dense at low angles like the MP-PAWR."""
+        n = self.radar.n_elevations
+        # quadratic spacing: finer near the horizon where weather lives
+        frac = (np.arange(n) + 0.5) / n
+        return np.deg2rad(self.max_elevation_deg * frac**1.5)
+
+    @cached_property
+    def azimuths(self) -> np.ndarray:
+        """Azimuth angles [rad] (full 360-degree coverage)."""
+        n = self.radar.n_azimuths
+        return 2.0 * np.pi * (np.arange(n) + 0.5) / n
+
+    @cached_property
+    def ranges(self) -> np.ndarray:
+        """Gate center ranges [m]."""
+        n = self.radar.n_gates
+        return (np.arange(n) + 0.5) * self.radar.gate_spacing
+
+    def sample_points(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(x, y, z) of every sample, shape (n_elev, n_azim, n_gates).
+
+        Standard 4/3-earth beam-height model for propagation curvature.
+        """
+        el = self.elevations[:, None, None]
+        az = self.azimuths[None, :, None]
+        r = self.ranges[None, None, :]
+        ke_re = 4.0 / 3.0 * 6_371_000.0
+        ground = r * np.cos(el)
+        z = self.radar.site_z + r * np.sin(el) + ground**2 / (2.0 * ke_re)
+        x = self.radar.site_x + ground * np.sin(az)
+        y = self.radar.site_y + ground * np.cos(az)
+        return (
+            np.broadcast_to(x, self.shape).copy(),
+            np.broadcast_to(y, self.shape).copy(),
+            np.broadcast_to(z, self.shape).copy(),
+        )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.radar.n_elevations, self.radar.n_azimuths, self.radar.n_gates)
+
+    @property
+    def n_samples(self) -> int:
+        e, a, g = self.shape
+        return e * a * g

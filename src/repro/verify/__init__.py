@@ -1,0 +1,35 @@
+"""Forecast verification.
+
+Implements the skill measures of Sec. 6.1/Fig. 7 — categorical scores
+against a reflectivity threshold (the paper uses the threat score at
+30 dBZ) — the persistence baseline ("the initial rain patterns are taken
+from the MP-PAWR observation and do not evolve"), and the JMA rain-area
+diagnostic drawn as the cyan/blue curves of Fig. 5.
+"""
+
+from .scores import (
+    ContingencyTable,
+    contingency,
+    threat_score,
+    bias_score,
+    probability_of_detection,
+    false_alarm_ratio,
+    equitable_threat_score,
+    rmse,
+)
+from .persistence import PersistenceForecast
+from .rainarea import rain_area_km2, RainAreaClimatology
+
+__all__ = [
+    "ContingencyTable",
+    "contingency",
+    "threat_score",
+    "bias_score",
+    "probability_of_detection",
+    "false_alarm_ratio",
+    "equitable_threat_score",
+    "rmse",
+    "PersistenceForecast",
+    "rain_area_km2",
+    "RainAreaClimatology",
+]

@@ -1,0 +1,79 @@
+"""Fractions Skill Score (Roberts & Lean 2008).
+
+The standard neighborhood verification score for convective-scale NWP:
+pointwise scores (like the threat score of Fig. 7) double-penalize
+slightly-displaced features, so high-resolution verification also
+reports FSS — the agreement of event *fractions* within neighborhoods
+of growing size. Used by the extended verification of the OSSE
+benchmarks alongside the paper's threat score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fractions", "fss", "fss_profile", "useful_scale"]
+
+
+def fractions(binary: np.ndarray, window: int) -> np.ndarray:
+    """Neighborhood event fraction via a box filter (uniform window).
+
+    ``binary`` is a 2-D boolean/0-1 field; ``window`` the box half-width
+    in cells (full box = 2*window+1).
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    f = np.asarray(binary, dtype=np.float64)
+    if window == 0:
+        return f
+    # box mean with edge truncation (the window shrinks at the borders,
+    # normalized by the true in-domain count)
+    from scipy.ndimage import uniform_filter
+
+    size = 2 * window + 1
+    summed = uniform_filter(f, size=size, mode="constant", cval=0.0)
+    counts = uniform_filter(np.ones_like(f), size=size, mode="constant", cval=0.0)
+    return summed / counts
+
+
+def fss(forecast: np.ndarray, observed: np.ndarray, threshold: float, window: int) -> float:
+    """FSS in [0, 1]; 1 = perfect, 0 = total mismatch; NaN if no events."""
+    if forecast.shape != observed.shape:
+        raise ValueError("shape mismatch")
+    pf = fractions(forecast >= threshold, window)
+    po = fractions(observed >= threshold, window)
+    mse = float(np.mean((pf - po) ** 2))
+    ref = float(np.mean(pf**2) + np.mean(po**2))
+    if ref == 0.0:
+        return float("nan")
+    return 1.0 - mse / ref
+
+
+def fss_profile(
+    forecast: np.ndarray,
+    observed: np.ndarray,
+    threshold: float,
+    windows=(0, 1, 2, 4, 8),
+) -> dict[int, float]:
+    """FSS at several neighborhood sizes (FSS grows with window)."""
+    return {w: fss(forecast, observed, threshold, w) for w in windows}
+
+
+def useful_scale(
+    forecast: np.ndarray,
+    observed: np.ndarray,
+    threshold: float,
+    max_window: int = 16,
+) -> int | None:
+    """Smallest window with FSS >= 0.5 + f0/2 (the 'useful' criterion).
+
+    f0 is the observed event base rate; returns None when no window up
+    to ``max_window`` qualifies.
+    """
+    f0 = float(np.mean(observed >= threshold))
+    target = 0.5 + f0 / 2.0
+    for w in range(max_window + 1):
+        s = fss(forecast, observed, threshold, w)
+        if np.isfinite(s) and s >= target:
+            return w
+    return None

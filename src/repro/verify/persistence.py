@@ -1,0 +1,35 @@
+"""The persistence baseline.
+
+Sec. 6.1: "the persistence forecast is used as a baseline, following a
+common practice in the meteorological domain science. In the persistence
+forecast, the initial rain patterns are taken from the MP-PAWR
+observation and do not evolve."
+
+This gives persistence its two signature properties in Fig. 7: a perfect
+threat score at lead time 0 (it *is* the observation there) and decay as
+the real field evolves away from the frozen pattern — the BDA forecast
+must beat it at every positive lead to demonstrate value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PersistenceForecast"]
+
+
+class PersistenceForecast:
+    """A frozen-field forecast initialized from an observed field."""
+
+    def __init__(self, initial_observation: np.ndarray, valid_mask: np.ndarray | None = None):
+        self._field = np.array(initial_observation, copy=True)
+        self.valid_mask = None if valid_mask is None else np.array(valid_mask, copy=True)
+
+    def at_lead(self, lead_seconds: float) -> np.ndarray:
+        """The forecast at any lead time: the initial pattern, unchanged."""
+        if lead_seconds < 0:
+            raise ValueError("lead time must be non-negative")
+        return self._field
+
+    def __call__(self, lead_seconds: float) -> np.ndarray:
+        return self.at_lead(lead_seconds)

@@ -1,0 +1,123 @@
+"""Categorical forecast skill scores.
+
+Fig. 7 plots the *threat score* (a.k.a. critical success index) for
+radar reflectivity at the 30 dBZ threshold: TS = hits / (hits + misses +
+false alarms); 1 is perfect, 0 is no skill. The other standard scores
+are provided for the extended verification benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ContingencyTable",
+    "contingency",
+    "threat_score",
+    "equitable_threat_score",
+    "bias_score",
+    "probability_of_detection",
+    "false_alarm_ratio",
+    "rmse",
+]
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """2x2 contingency counts for one threshold exceedance event."""
+
+    hits: int
+    misses: int
+    false_alarms: int
+    correct_negatives: int
+
+    @property
+    def n(self) -> int:
+        return self.hits + self.misses + self.false_alarms + self.correct_negatives
+
+    def __add__(self, other: "ContingencyTable") -> "ContingencyTable":
+        return ContingencyTable(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.false_alarms + other.false_alarms,
+            self.correct_negatives + other.correct_negatives,
+        )
+
+
+def contingency(
+    forecast: np.ndarray,
+    observed: np.ndarray,
+    threshold: float,
+    mask: np.ndarray | None = None,
+) -> ContingencyTable:
+    """Contingency table of threshold exceedance, optionally masked.
+
+    ``mask`` restricts scoring to valid-observation cells (Fig. 6b's
+    hatched no-data areas must not count as correct negatives).
+    """
+    if forecast.shape != observed.shape:
+        raise ValueError("forecast/observation shape mismatch")
+    fc = forecast >= threshold
+    ob = observed >= threshold
+    if mask is not None:
+        fc = fc[mask]
+        ob = ob[mask]
+    hits = int(np.count_nonzero(fc & ob))
+    misses = int(np.count_nonzero(~fc & ob))
+    fas = int(np.count_nonzero(fc & ~ob))
+    cns = int(np.count_nonzero(~fc & ~ob))
+    return ContingencyTable(hits, misses, fas, cns)
+
+
+def threat_score(table: ContingencyTable) -> float:
+    """Threat score (CSI). Returns NaN when the event never occurs."""
+    denom = table.hits + table.misses + table.false_alarms
+    if denom == 0:
+        return float("nan")
+    return table.hits / denom
+
+
+def equitable_threat_score(table: ContingencyTable) -> float:
+    """ETS: threat score corrected for random hits."""
+    n = table.n
+    if n == 0:
+        return float("nan")
+    hits_random = (table.hits + table.misses) * (table.hits + table.false_alarms) / n
+    denom = table.hits + table.misses + table.false_alarms - hits_random
+    if denom == 0:
+        return float("nan")
+    return (table.hits - hits_random) / denom
+
+
+def bias_score(table: ContingencyTable) -> float:
+    """Frequency bias: forecast event count / observed event count."""
+    obs = table.hits + table.misses
+    if obs == 0:
+        return float("nan")
+    return (table.hits + table.false_alarms) / obs
+
+
+def probability_of_detection(table: ContingencyTable) -> float:
+    obs = table.hits + table.misses
+    if obs == 0:
+        return float("nan")
+    return table.hits / obs
+
+
+def false_alarm_ratio(table: ContingencyTable) -> float:
+    fc = table.hits + table.false_alarms
+    if fc == 0:
+        return float("nan")
+    return table.false_alarms / fc
+
+
+def rmse(forecast: np.ndarray, observed: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Root-mean-square error over (optionally masked) cells."""
+    diff = np.asarray(forecast, dtype=np.float64) - np.asarray(observed, dtype=np.float64)
+    if mask is not None:
+        diff = diff[mask]
+    if diff.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.mean(diff**2)))

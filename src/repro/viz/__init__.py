@@ -1,0 +1,28 @@
+"""Final production graphics (Fig. 1, Fig. 6, Fig. 8).
+
+The real system publishes a map view of rain intensity to the RIKEN
+webpage and 3-D views to MTI's smartphone application (Fig. 1). This
+package renders the same products from model states without any plotting
+dependency: a from-scratch PNG encoder over stdlib zlib, the standard
+radar reflectivity colormap, the 2-km-height map view with the no-data
+hatching of Fig. 6b, and the vertically-stretched 3-D bird's-eye
+isosurface view of Fig. 8.
+"""
+
+from .png import write_png, encode_png
+from .colormap import reflectivity_colormap, rainrate_colormap, apply_colormap
+from .mapview import render_map_view, render_comparison
+from .birdseye import render_birdseye
+from .ascii import ascii_field
+
+__all__ = [
+    "write_png",
+    "encode_png",
+    "reflectivity_colormap",
+    "rainrate_colormap",
+    "apply_colormap",
+    "render_map_view",
+    "render_comparison",
+    "render_birdseye",
+    "ascii_field",
+]

@@ -1,0 +1,36 @@
+"""Terminal rendering of 2-D fields.
+
+Quick-look output for the examples and for debugging cycling runs — the
+reproduction-environment equivalent of glancing at the RIKEN webpage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_field"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_field(
+    field2d: np.ndarray,
+    *,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    width: int = 64,
+) -> str:
+    """Render a (ny, nx) field as an ASCII intensity map (north up)."""
+    f = np.asarray(field2d, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("expected a 2-D field")
+    lo = np.nanmin(f) if vmin is None else vmin
+    hi = np.nanmax(f) if vmax is None else vmax
+    if hi <= lo:
+        hi = lo + 1.0
+    ny, nx = f.shape
+    step = max(1, nx // width)
+    sub = f[::step, ::step][::-1]  # north up
+    norm = np.clip((sub - lo) / (hi - lo), 0.0, 1.0)
+    idx = (norm * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in idx)

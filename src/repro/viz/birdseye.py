@@ -1,0 +1,93 @@
+"""3-D bird's-eye view (Fig. 8 / Fig. 1b).
+
+Fig. 8 renders "simulated radar reflectivity every 10 dBZ for 10-50 dBZ"
+with the vertical scale stretched by three. This module produces the
+same kind of image with a simple painter's-algorithm volume renderer:
+the reflectivity volume is swept back-to-front along the viewing
+diagonal, and each 10-dBZ shell deposits its color with
+threshold-dependent opacity — no external 3-D library required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormap import reflectivity_colormap
+
+__all__ = ["render_birdseye"]
+
+#: Fig. 8 shells: every 10 dBZ for 10-50 dBZ
+DEFAULT_SHELLS = (10.0, 20.0, 30.0, 40.0, 50.0)
+
+
+def render_birdseye(
+    dbz: np.ndarray,
+    *,
+    z_heights: np.ndarray,
+    dx: float,
+    vertical_stretch: float = 3.0,
+    shells: tuple[float, ...] = DEFAULT_SHELLS,
+    azimuth_deg: float = 35.0,
+    elevation_deg: float = 30.0,
+    upscale: int = 3,
+) -> np.ndarray:
+    """Render a (nz, ny, nx) reflectivity volume to an RGB image.
+
+    An oblique parallel projection: each voxel above the lowest shell is
+    projected onto the image plane back-to-front; nearer and stronger
+    echoes overwrite/blend over farther ones. The vertical coordinate is
+    stretched by ``vertical_stretch`` exactly as in Fig. 8.
+    """
+    nz, ny, nx = dbz.shape
+    az = np.deg2rad(azimuth_deg)
+    el = np.deg2rad(elevation_deg)
+
+    # voxel centers in stretched physical units (normalized by dx)
+    zz = (z_heights[:, None, None] / dx) * vertical_stretch
+    yy = np.broadcast_to(np.arange(ny, dtype=np.float64)[None, :, None], dbz.shape)
+    xx = np.broadcast_to(np.arange(nx, dtype=np.float64)[None, None, :], dbz.shape)
+    zz = np.broadcast_to(zz, dbz.shape)
+
+    # projection axes
+    u = xx * np.cos(az) - yy * np.sin(az)
+    v = (xx * np.sin(az) + yy * np.cos(az)) * np.sin(el) - zz * np.cos(el)
+    depth = (xx * np.sin(az) + yy * np.cos(az)) * np.cos(el) + zz * np.sin(el)
+
+    mask = dbz >= shells[0]
+    if not np.any(mask):
+        side = upscale * max(nx, ny)
+        return np.full((side, side, 3), 255, dtype=np.uint8)
+
+    us = u[mask]
+    vs = v[mask]
+    ds = depth[mask]
+    vals = dbz[mask]
+
+    # image raster
+    pad = 2.0
+    u0, u1 = us.min() - pad, us.max() + pad
+    v0, v1 = vs.min() - pad, vs.max() + pad
+    W = int((u1 - u0) * upscale) + 1
+    H = int((v1 - v0) * upscale) + 1
+    img = np.full((H, W, 3), 255, dtype=np.uint8)
+
+    # quantize to shells and paint back-to-front
+    shell_idx = np.digitize(vals, shells) - 1
+    shell_vals = np.asarray(shells)[np.clip(shell_idx, 0, len(shells) - 1)]
+    colors = reflectivity_colormap(shell_vals)
+    alpha = 0.35 + 0.13 * shell_idx  # stronger shells more opaque
+    order = np.argsort(ds)
+
+    px = ((us - u0) * upscale).astype(np.intp)
+    py = ((vs - v0) * upscale).astype(np.intp)
+    py = H - 1 - py  # image rows grow downward
+
+    for off_y in range(upscale):
+        for off_x in range(upscale):
+            ix = np.clip(px[order] + off_x, 0, W - 1)
+            iy = np.clip(py[order] - off_y, 0, H - 1)
+            a = alpha[order][:, None]
+            img[iy, ix] = (
+                (1.0 - a) * img[iy, ix] + a * colors[order]
+            ).astype(np.uint8)
+    return img

@@ -1,0 +1,64 @@
+"""Color tables for the rain products.
+
+The reflectivity table follows the conventional weather-radar ramp the
+paper's figures use (blue -> green -> yellow -> orange -> red for
+10-50+ dBZ, with >40 dBZ in the orange/red "heavy rain" shades the text
+calls out for Fig. 6a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reflectivity_colormap", "rainrate_colormap", "apply_colormap"]
+
+#: (threshold, (r, g, b)) control points for dBZ
+_DBZ_STOPS = [
+    (-30.0, (245, 245, 245)),
+    (0.0, (225, 235, 245)),
+    (10.0, (120, 180, 240)),
+    (20.0, (60, 140, 60)),
+    (30.0, (250, 220, 60)),
+    (40.0, (250, 140, 40)),
+    (50.0, (220, 40, 40)),
+    (60.0, (150, 0, 120)),
+]
+
+#: control points for rain rate [mm/h] (Fig. 1a style)
+_RAIN_STOPS = [
+    (0.0, (255, 255, 255)),
+    (1.0, (170, 210, 255)),
+    (5.0, (70, 130, 230)),
+    (10.0, (40, 160, 70)),
+    (20.0, (250, 220, 60)),
+    (50.0, (250, 120, 30)),
+    (100.0, (200, 30, 30)),
+]
+
+
+def _interp_table(stops, values: np.ndarray) -> np.ndarray:
+    xs = np.array([s[0] for s in stops], dtype=np.float64)
+    cols = np.array([s[1] for s in stops], dtype=np.float64)
+    v = np.clip(np.asarray(values, dtype=np.float64), xs[0], xs[-1])
+    out = np.empty(v.shape + (3,), dtype=np.uint8)
+    for c in range(3):
+        out[..., c] = np.interp(v, xs, cols[:, c]).astype(np.uint8)
+    return out
+
+
+def reflectivity_colormap(dbz: np.ndarray) -> np.ndarray:
+    """Map dBZ values to RGB uint8 (shape + (3,))."""
+    return _interp_table(_DBZ_STOPS, dbz)
+
+
+def rainrate_colormap(mmh: np.ndarray) -> np.ndarray:
+    """Map rain rates [mm/h] to RGB uint8."""
+    return _interp_table(_RAIN_STOPS, mmh)
+
+
+def apply_colormap(values: np.ndarray, kind: str = "reflectivity") -> np.ndarray:
+    if kind == "reflectivity":
+        return reflectivity_colormap(values)
+    if kind == "rainrate":
+        return rainrate_colormap(values)
+    raise ValueError(f"unknown colormap kind {kind!r}")

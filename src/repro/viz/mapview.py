@@ -1,0 +1,74 @@
+"""Map-view products (Fig. 1a / Fig. 6).
+
+Renders a horizontal cross-section (the paper uses the 2-km height for
+Fig. 6) of reflectivity or surface rain rate as an upscaled PNG image,
+with the no-data areas hatched exactly as Fig. 6b ("out of the 60-km
+range, radar beam blockage, or other reasons").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormap import apply_colormap
+
+__all__ = ["render_map_view", "render_comparison", "hatch_invalid"]
+
+
+def _upscale(img: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbor upscale of an (H, W, 3) image."""
+    return np.repeat(np.repeat(img, factor, axis=0), factor, axis=1)
+
+
+def hatch_invalid(img: np.ndarray, invalid: np.ndarray, spacing: int = 6) -> np.ndarray:
+    """Overlay diagonal hatching where ``invalid`` is True (Fig. 6b style)."""
+    h, w = img.shape[:2]
+    yy, xx = np.mgrid[0:h, 0:w]
+    hatch = ((yy + xx) % spacing) == 0
+    out = img.copy()
+    sel = invalid & hatch
+    out[sel] = (90, 90, 90)
+    return out
+
+
+def render_map_view(
+    field2d: np.ndarray,
+    *,
+    kind: str = "reflectivity",
+    valid: np.ndarray | None = None,
+    upscale: int = 4,
+) -> np.ndarray:
+    """RGB image of one horizontal field; origin at the domain's south-west.
+
+    ``field2d`` is (ny, nx); rows are flipped so north is up in the
+    image, matching the paper's map views.
+    """
+    img = apply_colormap(field2d, kind)
+    img = img[::-1]  # north up
+    inval = None
+    if valid is not None:
+        inval = ~valid[::-1]
+    img = _upscale(img, upscale)
+    if inval is not None:
+        inval = np.repeat(np.repeat(inval, upscale, axis=0), upscale, axis=1)
+        img = hatch_invalid(img, inval)
+    return img
+
+
+def render_comparison(
+    forecast2d: np.ndarray,
+    observed2d: np.ndarray,
+    *,
+    valid_obs: np.ndarray | None = None,
+    kind: str = "reflectivity",
+    upscale: int = 4,
+    gap: int = 8,
+) -> np.ndarray:
+    """Side-by-side (a) forecast / (b) observation panel — Fig. 6 layout."""
+    left = render_map_view(forecast2d, kind=kind, upscale=upscale)
+    right = render_map_view(observed2d, kind=kind, valid=valid_obs, upscale=upscale)
+    h = max(left.shape[0], right.shape[0])
+    panel = np.full((h, left.shape[1] + gap + right.shape[1], 3), 255, dtype=np.uint8)
+    panel[: left.shape[0], : left.shape[1]] = left
+    panel[: right.shape[0], left.shape[1] + gap :] = right
+    return panel

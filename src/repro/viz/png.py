@@ -1,0 +1,61 @@
+"""Minimal PNG encoder (stdlib only).
+
+8-bit RGB(A), zlib-compressed, single IDAT. No dependencies beyond the
+standard library — matplotlib is not available in the reproduction
+environment, and the products (Figs. 1/6/8) are plain raster images.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["encode_png", "write_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload))
+    )
+
+
+def encode_png(image: np.ndarray) -> bytes:
+    """Encode an (H, W, 3|4) uint8 array (or (H, W) grayscale) as PNG bytes."""
+    img = np.asarray(image)
+    if img.dtype != np.uint8:
+        raise TypeError("image must be uint8")
+    if img.ndim == 2:
+        img = np.repeat(img[:, :, None], 3, axis=2)
+    if img.ndim != 3 or img.shape[2] not in (3, 4):
+        raise ValueError("image must be (H, W), (H, W, 3) or (H, W, 4)")
+    h, w, ch = img.shape
+    color_type = 2 if ch == 3 else 6
+
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, color_type, 0, 0, 0)
+    # filter byte 0 (None) prepended to every scanline
+    raw = np.empty((h, 1 + w * ch), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = img.reshape(h, w * ch)
+    idat = zlib.compress(raw.tobytes(), level=6)
+
+    return b"".join(
+        [
+            _SIGNATURE,
+            _chunk(b"IHDR", ihdr),
+            _chunk(b"IDAT", idat),
+            _chunk(b"IEND", b""),
+        ]
+    )
+
+
+def write_png(path: str, image: np.ndarray) -> None:
+    """Encode and write an image to ``path``."""
+    with open(path, "wb") as f:
+        f.write(encode_png(image))

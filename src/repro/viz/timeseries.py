@@ -1,0 +1,87 @@
+"""Fig. 5a/b-style time-series panels, rendered without matplotlib.
+
+Draws the per-cycle time-to-solution series (dots), the outage windows
+(gray shading), and the rain-area curves (cyan/blue, right axis) into a
+raster image with simple primitives on the stdlib PNG path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_tts_panel"]
+
+_BG = (255, 255, 255)
+_GRAY = (205, 205, 205)
+_TTS = (20, 20, 20)
+_RAIN1 = (90, 200, 220)  # cyan: >= 1 mm/h area
+_RAIN20 = (40, 80, 200)  # blue: >= 20 mm/h area
+_DEADLINE = (220, 60, 60)
+_AXIS = (120, 120, 120)
+
+
+def _polyline(img: np.ndarray, xs: np.ndarray, ys: np.ndarray, color) -> None:
+    """Draw a connected line by dense interpolation (no AA, fine for data)."""
+    h, w, _ = img.shape
+    for x0, y0, x1, y1 in zip(xs[:-1], ys[:-1], xs[1:], ys[1:]):
+        if not (np.isfinite(y0) and np.isfinite(y1)):
+            continue
+        n = max(int(abs(x1 - x0)), int(abs(y1 - y0)), 1)
+        t = np.linspace(0.0, 1.0, n + 1)
+        px = np.clip((x0 + (x1 - x0) * t).astype(int), 0, w - 1)
+        py = np.clip((y0 + (y1 - y0) * t).astype(int), 0, h - 1)
+        img[py, px] = color
+
+
+def render_tts_panel(
+    tts_seconds: np.ndarray,
+    rain_area_1mm: np.ndarray,
+    rain_area_20mm: np.ndarray,
+    *,
+    deadline_s: float = 180.0,
+    width: int = 900,
+    height: int = 260,
+    tts_max_s: float = 420.0,
+    rain_max_km2: float = 16384.0,
+) -> np.ndarray:
+    """RGB uint8 panel; NaNs in ``tts_seconds`` become gray outage bands."""
+    n = len(tts_seconds)
+    if len(rain_area_1mm) != n or len(rain_area_20mm) != n:
+        raise ValueError("series lengths differ")
+    img = np.full((height, width, 3), _BG, dtype=np.uint8)
+    pad = 8
+    plot_w = width - 2 * pad
+    plot_h = height - 2 * pad
+
+    # map cycle index -> x pixel (may be many cycles per pixel)
+    xs_all = pad + (np.arange(n) * (plot_w - 1) / max(n - 1, 1)).astype(int)
+
+    # outage shading: columns where TTS is NaN
+    nan_mask = ~np.isfinite(tts_seconds)
+    for px in np.unique(xs_all[nan_mask]):
+        img[pad : height - pad, px] = _GRAY
+
+    def y_of_tts(v):
+        return height - pad - 1 - np.clip(v / tts_max_s, 0, 1) * (plot_h - 1)
+
+    def y_of_rain(v):
+        return height - pad - 1 - np.clip(v / rain_max_km2, 0, 1) * (plot_h - 1)
+
+    # rain curves (right-axis series in the paper)
+    _polyline(img, xs_all.astype(float), y_of_rain(np.asarray(rain_area_1mm, float)), _RAIN1)
+    _polyline(img, xs_all.astype(float), y_of_rain(np.asarray(rain_area_20mm, float)), _RAIN20)
+
+    # deadline line
+    ydl = int(y_of_tts(deadline_s))
+    img[ydl, pad : width - pad : 3] = _DEADLINE
+
+    # TTS dots
+    ok = np.isfinite(tts_seconds)
+    py = y_of_tts(np.asarray(tts_seconds, float)[ok]).astype(int)
+    px = xs_all[ok]
+    img[np.clip(py, 0, height - 1), np.clip(px, 0, width - 1)] = _TTS
+
+    # axes
+    img[height - pad - 1, pad : width - pad] = _AXIS
+    img[pad : height - pad, pad] = _AXIS
+    return img

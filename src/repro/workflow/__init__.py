@@ -1,0 +1,37 @@
+"""The real-time 30-second-refresh workflow.
+
+* :mod:`repro.workflow.events` — a minimal discrete-event simulation
+  kernel (heap-scheduled events, resources);
+* :mod:`repro.workflow.realtime` — the Fig. 2 pipeline: radar scan ->
+  file creation -> JIT-DT -> LETKF <1-1> -> 30-s ensemble forecast
+  <1-2> -> 30-minute forecast <2> -> product, with resource contention
+  between consecutive cycles and the rotating part-<2> slots;
+* :mod:`repro.workflow.scheduler` — stage cost models (calibrated from
+  paper-reported means + rain-area sensitivity);
+* :mod:`repro.workflow.outages` — outage windows (the gray shades of
+  Fig. 5) and the enlarged-allocation episode;
+* :mod:`repro.workflow.operations` — the month-long Olympic/Paralympic
+  campaign simulation regenerating Fig. 5.
+"""
+
+from .events import EventQueue, Resource
+from .scheduler import StageCostModel, CycleCosts
+from .realtime import RealtimeWorkflow, CycleRecord
+from .outages import OutageModel, OutageWindow
+from .operations import OperationsSimulator, CampaignPeriod, CampaignResult, OLYMPICS, PARALYMPICS
+
+__all__ = [
+    "EventQueue",
+    "Resource",
+    "StageCostModel",
+    "CycleCosts",
+    "RealtimeWorkflow",
+    "CycleRecord",
+    "OutageModel",
+    "OutageWindow",
+    "OperationsSimulator",
+    "CampaignPeriod",
+    "CampaignResult",
+    "OLYMPICS",
+    "PARALYMPICS",
+]

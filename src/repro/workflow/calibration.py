@@ -1,0 +1,131 @@
+"""Calibrating the workflow cost model from measured kernels.
+
+DESIGN.md commits the Fig.-5 simulation to stage-cost models
+"calibrated against (i) our own measured kernel timings, scaled by the
+problem-size ratio, and (ii) the paper's reported stage means". This
+module implements (i): it times this package's actual LETKF transform
+and model dynamics kernels at a reduced scale, extrapolates to the
+production problem size with the kernels' known complexity scalings,
+and reports the implied single-process times next to the paper's
+8888-node wall-clock — making the parallelism gap explicit rather than
+implicit.
+
+Complexity model:
+
+* LETKF: per analysis grid point one k x k eigensolve (O(k^3)) plus
+  O(No * k^2) products → cost ∝ n_grid * (k^3 + No * k^2);
+* SCALE step: cost ∝ n_cells per step; a 30-s window needs 30/dt steps
+  and dt scales with dx, so window cost ∝ n_cells * (30 / dt).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import LETKFConfig, ScaleConfig
+
+__all__ = ["KernelCalibration", "calibrate"]
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Measured kernel throughputs and production-scale extrapolations."""
+
+    #: measured seconds per (gridpoint * member^3-equivalent work unit)
+    letkf_seconds_per_unit: float
+    #: measured seconds per (cell * step)
+    model_seconds_per_cell_step: float
+    #: extrapolated single-process seconds for the paper-scale stages
+    letkf_paper_seconds_single: float
+    forecast30s_paper_seconds_single: float
+    #: implied parallel speedup needed to hit the paper's stage budgets
+    required_speedup_letkf: float
+    required_speedup_forecast: float
+
+    def report(self) -> str:
+        return "\n".join(
+            [
+                "kernel calibration (measured on this host):",
+                f"  LETKF unit cost          : {self.letkf_seconds_per_unit:.3e} s/unit",
+                f"  model cell-step cost     : {self.model_seconds_per_cell_step:.3e} s",
+                "extrapolated to paper scale (single process):",
+                f"  LETKF (1000 x 256x256x60): {self.letkf_paper_seconds_single:.3g} s"
+                "   (paper: ~15 s on 8008 nodes)",
+                f"  1000 x 30-s forecasts    : {self.forecast30s_paper_seconds_single:.3g} s",
+                "implied required parallel speedups:",
+                f"  LETKF   : {self.required_speedup_letkf:.3g}x",
+                f"  forecast: {self.required_speedup_forecast:.3g}x",
+            ]
+        )
+
+
+def _time_letkf(G: int, m: int, no: int, seed: int = 0) -> float:
+    """Seconds for one batched transform of G points."""
+    from ..letkf.core import letkf_transform
+
+    rng = np.random.default_rng(seed)
+    dYb = rng.normal(size=(G, no, m)).astype(np.float32)
+    dYb -= dYb.mean(axis=2, keepdims=True)
+    d = rng.normal(size=(G, no)).astype(np.float32)
+    rinv = rng.uniform(0.1, 1.0, size=(G, no)).astype(np.float32)
+    best = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        letkf_transform(dYb, d, rinv, backend="lapack")
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_model(nx: int, nz: int, nsteps: int = 5) -> float:
+    """Seconds per dynamics step at the given mesh."""
+    from ..model import ScaleRM, convective_sounding, warm_bubble
+
+    cfg = ScaleConfig().reduced(nx=nx, nz=nz)
+    model = ScaleRM(cfg, convective_sounding(), with_physics=False)
+    st = model.initial_state()
+    warm_bubble(st, x0=64000, y0=64000, amplitude=2.0)
+    st = model.step(st)  # warm the caches
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        st = model.step(st)
+    return (time.perf_counter() - t0) / nsteps
+
+
+def calibrate(
+    *,
+    G: int = 2000,
+    m: int = 20,
+    no: int = 40,
+    nx: int = 24,
+    nz: int = 16,
+) -> KernelCalibration:
+    """Measure both kernels and extrapolate to the paper's scale."""
+    t_letkf = _time_letkf(G, m, no)
+    units = G * (m**3 + no * m**2)
+    per_unit = t_letkf / units
+
+    t_step = _time_model(nx, nz)
+    cells = nx * nx * nz
+    per_cell_step = t_step / cells
+
+    paper = ScaleConfig()
+    lcfg = LETKFConfig()
+    n_grid = paper.domain.ncells
+    k = lcfg.ensemble_size
+    no_paper = lcfg.max_obs_per_grid
+    letkf_paper = per_unit * n_grid * (k**3 + no_paper * k**2)
+
+    steps = 30.0 / paper.dt
+    fcst_paper = per_cell_step * paper.domain.ncells * steps * paper.ensemble_size_analysis
+
+    return KernelCalibration(
+        letkf_seconds_per_unit=per_unit,
+        model_seconds_per_cell_step=per_cell_step,
+        letkf_paper_seconds_single=letkf_paper,
+        forecast30s_paper_seconds_single=fcst_paper,
+        required_speedup_letkf=letkf_paper / 15.0,
+        required_speedup_forecast=fcst_paper / 15.0,
+    )

@@ -1,0 +1,83 @@
+"""A minimal discrete-event simulation kernel.
+
+Just enough machinery for the BDA workflow: a time-ordered event heap
+and serially-reusable resources (the part-<1> node block, the rotating
+part-<2> slots, the JIT-DT channel). Deliberately synchronous — event
+callbacks run to completion and may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventQueue", "Resource"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Heap-ordered event loop with deterministic FIFO tie-breaking."""
+
+    def __init__(self):
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        heapq.heappush(self._heap, _Event(time, next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        self.schedule(self.now + delay, callback)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order, optionally stopping at ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            ev = heapq.heappop(self._heap)
+            self.now = ev.time
+            self.events_processed += 1
+            ev.callback()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Resource:
+    """A serially-reusable resource tracked by its next-free time.
+
+    ``acquire(t, duration)`` returns the actual start time (max of the
+    request time and the resource's availability) and marks the resource
+    busy through start + duration — exactly the queueing the part-<1>
+    nodes impose on consecutive 30-s cycles.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+        self.acquisitions = 0
+
+    def acquire(self, t_request: float, duration: float) -> float:
+        start = max(t_request, self.free_at)
+        self.free_at = start + duration
+        self.busy_seconds += duration
+        self.acquisitions += 1
+        return start
+
+    def utilization(self, t_total: float) -> float:
+        return self.busy_seconds / t_total if t_total > 0 else 0.0

@@ -1,0 +1,143 @@
+"""Operational monitoring.
+
+Sec. 5: "data transfer activities are monitored, and JIT-DT is
+restarted automatically when necessary"; the 1-month deployment also
+implies service-level tracking of the 3-minute deadline. This module
+provides that layer over the cycle-record stream:
+
+* rolling deadline-compliance and stage-latency statistics,
+* threshold alerts (late products, streaks of failures),
+* automatic outage-window detection from gaps in the record stream —
+  which is how the Fig.-5 gray shading would be derived from real logs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .realtime import CycleRecord
+
+__all__ = ["Alert", "WorkflowMonitor", "detect_outages"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One operational alert."""
+
+    t: float
+    kind: str  # "late-product" | "failure-streak" | "tts-degradation"
+    message: str
+
+
+class WorkflowMonitor:
+    """Streaming monitor over cycle records."""
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float = 180.0,
+        window: int = 120,
+        streak_threshold: int = 3,
+        degradation_fraction: float = 0.8,
+    ):
+        self.deadline_s = deadline_s
+        self.window = window
+        self.streak_threshold = streak_threshold
+        self.degradation_fraction = degradation_fraction
+        self._recent: deque[CycleRecord] = deque(maxlen=window)
+        self._failure_streak = 0
+        self.alerts: list[Alert] = []
+        self.n_seen = 0
+
+    def observe(self, rec: CycleRecord) -> list[Alert]:
+        """Ingest one record; returns alerts it triggered."""
+        new: list[Alert] = []
+        self.n_seen += 1
+        self._recent.append(rec)
+
+        if not rec.ok:
+            self._failure_streak += 1
+            if self._failure_streak == self.streak_threshold:
+                new.append(
+                    Alert(
+                        t=rec.t_obs,
+                        kind="failure-streak",
+                        message=f"{self._failure_streak} consecutive cycles without product "
+                        f"({rec.skipped_reason})",
+                    )
+                )
+        else:
+            self._failure_streak = 0
+            if rec.time_to_solution > self.deadline_s:
+                new.append(
+                    Alert(
+                        t=rec.t_obs,
+                        kind="late-product",
+                        message=f"time-to-solution {rec.time_to_solution:.0f}s "
+                        f"exceeds {self.deadline_s:.0f}s",
+                    )
+                )
+
+        frac = self.deadline_fraction()
+        if len(self._recent) == self.window and frac < self.degradation_fraction:
+            # fire once per degradation episode
+            if not self.alerts or self.alerts[-1].kind != "tts-degradation":
+                new.append(
+                    Alert(
+                        t=rec.t_obs,
+                        kind="tts-degradation",
+                        message=f"rolling deadline compliance {frac:.0%} "
+                        f"below {self.degradation_fraction:.0%}",
+                    )
+                )
+        self.alerts.extend(new)
+        return new
+
+    # -- rolling statistics --------------------------------------------------
+
+    def deadline_fraction(self) -> float:
+        done = [r for r in self._recent if r.ok]
+        if not done:
+            return 0.0
+        return float(np.mean([r.time_to_solution <= self.deadline_s for r in done]))
+
+    def median_tts(self) -> float:
+        done = [r.time_to_solution for r in self._recent if r.ok]
+        return float(np.median(done)) if done else float("nan")
+
+    def availability(self) -> float:
+        if not self._recent:
+            return 0.0
+        return float(np.mean([r.ok for r in self._recent]))
+
+    def summary(self) -> str:
+        return (
+            f"cycles {self.n_seen}, availability {self.availability():.1%}, "
+            f"median TTS {self.median_tts():.0f}s, "
+            f"deadline {self.deadline_fraction():.1%}, alerts {len(self.alerts)}"
+        )
+
+
+def detect_outages(records: list[CycleRecord], *, min_cycles: int = 4) -> list[tuple[float, float]]:
+    """Recover the Fig.-5 gray-shading windows from a record stream.
+
+    Returns [start, end) times of runs of >= min_cycles failed cycles.
+    """
+    windows: list[tuple[float, float]] = []
+    start = None
+    count = 0
+    for r in records:
+        if not r.ok:
+            if start is None:
+                start = r.t_obs
+            count += 1
+        else:
+            if start is not None and count >= min_cycles:
+                windows.append((start, r.t_obs))
+            start, count = None, 0
+    if start is not None and count >= min_cycles:
+        windows.append((start, records[-1].t_obs + 30.0))
+    return windows

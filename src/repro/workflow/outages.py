@@ -1,0 +1,86 @@
+"""Outage injection — the gray shades of Fig. 5.
+
+The paper: "The system performed stably in general and produced total
+75,248 forecasts, net 26 days 3 hours and 4 minutes during the 1-month
+period" — i.e. roughly a fifth of the wall-clock month fell into
+no-production windows (radar maintenance, transfer troubles, system
+work, the July 27 node-reconfiguration episode). The outage model draws
+a small number of long windows plus more frequent short glitches,
+calibrated so net availability lands near the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OutageWindow", "OutageModel"]
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """[start, end) in seconds since campaign start."""
+
+    start: float
+    end: float
+    reason: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass
+class OutageModel:
+    """Stochastic outage windows over one campaign."""
+
+    #: long maintenance/trouble windows per day (hours-scale)
+    long_rate_per_day: float = 0.25
+    long_mean_h: float = 8.0
+    #: short glitches per day (minutes-scale)
+    short_rate_per_day: float = 2.0
+    short_mean_min: float = 18.0
+    seed: int = 2021
+
+    def windows(self, n_days: float) -> list[OutageWindow]:
+        rng = np.random.default_rng(self.seed)
+        total_s = n_days * 86400.0
+        out: list[OutageWindow] = []
+        for rate, mean_s, reason in (
+            (self.long_rate_per_day, self.long_mean_h * 3600.0, "maintenance"),
+            (self.short_rate_per_day, self.short_mean_min * 60.0, "glitch"),
+        ):
+            n = rng.poisson(rate * n_days)
+            starts = rng.uniform(0.0, total_s, size=n)
+            durs = rng.exponential(mean_s, size=n)
+            out.extend(
+                OutageWindow(float(s), float(min(s + d, total_s)), reason)
+                for s, d in zip(starts, durs)
+            )
+        out.sort(key=lambda w: w.start)
+        return _merge(out)
+
+    def mask(self, n_days: float, dt_s: float = 30.0) -> np.ndarray:
+        """Boolean per-cycle outage mask of length n_days*86400/dt."""
+        n = int(round(n_days * 86400.0 / dt_s))
+        t = np.arange(n) * dt_s
+        mask = np.zeros(n, dtype=bool)
+        for w in self.windows(n_days):
+            mask |= (t >= w.start) & (t < w.end)
+        return mask
+
+
+def _merge(windows: list[OutageWindow]) -> list[OutageWindow]:
+    """Merge overlapping windows, keeping the first reason."""
+    merged: list[OutageWindow] = []
+    for w in windows:
+        if merged and w.start <= merged[-1].end:
+            last = merged[-1]
+            merged[-1] = OutageWindow(last.start, max(last.end, w.end), last.reason)
+        else:
+            merged.append(w)
+    return merged

@@ -1,0 +1,61 @@
+"""Campaign-log persistence: record / replay of cycle records.
+
+The real deployment produced a month of operational logs from which
+Fig. 5 was drawn. This module serializes a campaign's cycle records to
+JSON-lines and reads them back, so analyses (histograms, monitoring
+replays, outage detection) can run on stored campaigns without re-
+simulating — and so a real log with the same schema could be dropped in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .realtime import CycleRecord
+
+__all__ = ["write_log", "read_log", "replay_into_monitor"]
+
+_FIELDS = (
+    "cycle",
+    "t_obs",
+    "ok",
+    "t_file",
+    "t_transferred",
+    "t_analysis",
+    "t_product",
+    "rain_area_km2",
+    "skipped_reason",
+)
+
+
+def write_log(records: Iterable[CycleRecord], path: str | Path) -> int:
+    """Write records as JSON-lines; returns the count written."""
+    n = 0
+    with open(path, "w") as f:
+        for r in records:
+            row = {k: getattr(r, k) for k in _FIELDS}
+            f.write(json.dumps(row) + "\n")
+            n += 1
+    return n
+
+
+def read_log(path: str | Path) -> Iterator[CycleRecord]:
+    """Stream records back from a JSON-lines log."""
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            unknown = set(row) - set(_FIELDS)
+            if unknown:
+                raise ValueError(f"unknown log fields: {sorted(unknown)}")
+            yield CycleRecord(**row)
+
+
+def replay_into_monitor(path: str | Path, monitor) -> None:
+    """Feed a stored campaign through a WorkflowMonitor."""
+    for rec in read_log(path):
+        monitor.observe(rec)

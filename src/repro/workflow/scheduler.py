@@ -1,0 +1,87 @@
+"""Stage cost models for the 30-second cycle.
+
+The means come straight from Sec. 7 ("JIT-DT sends ~100MB data in ~3
+seconds, <1> SCALE-LETKF takes ~15 seconds, <2> SCALE 30-minute forecast
+takes ~2 minutes") plus the rain-area sensitivity the paper states
+qualitatively ("the more the rain area, the more the computation since
+we need to process more information content"). File-creation time at the
+radar is hardware-determined and included in time-to-solution
+(Sec. 6.1/Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import WorkflowConfig
+
+__all__ = ["CycleCosts", "StageCostModel"]
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Drawn stage durations for one cycle [s]."""
+
+    file_creation: float
+    transfer: float
+    transfer_stalled: bool
+    letkf: float
+    forecast_30s: float
+    forecast_30min: float
+    product_write: float
+
+    @property
+    def part1_busy(self) -> float:
+        """Time the part-<1> nodes are occupied this cycle (<1-1> + <1-2>)."""
+        return self.letkf + self.forecast_30s
+
+
+class StageCostModel:
+    """Stochastic per-cycle stage costs, conditioned on rain area."""
+
+    def __init__(self, config: WorkflowConfig, seed: int = 42):
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+
+    def draw(self, rain_area_km2: float = 0.0) -> CycleCosts:
+        """Sample one cycle's costs.
+
+        ``rain_area_km2`` is the >= 1 mm/h rain area in the domain; the
+        LETKF (more observations with information content) and the
+        forecasts (more active microphysics columns) both slow down with
+        it, at the configured seconds-per-100-km^2 rate.
+        """
+        c = self.config
+        rng = self.rng
+        rain_extra = c.rain_area_cost_s_per_100km2 * rain_area_km2 / 100.0
+
+        file_creation = max(
+            1.0, rng.normal(c.file_creation_mean_s, c.file_creation_jitter_s)
+        )
+        goodput = c.jitdt.effective_goodput_gbps * 1e9 / 8.0
+        transfer = c.jitdt.latency_s + c.jitdt.file_bytes / goodput + rng.exponential(
+            c.jitdt.jitter_s
+        )
+        stalled = bool(rng.random() < c.jitdt.stall_probability)
+
+        letkf = max(2.0, rng.normal(c.letkf_mean_s, 1.0) + rain_extra)
+        fcst30s = max(1.0, rng.normal(c.member_forecast_30s_mean_s, 0.5) + 0.3 * rain_extra)
+        fcst30m = max(
+            30.0, rng.normal(c.forecast_30min_mean_s, 6.0) + 1.2 * rain_extra
+        )
+        # straggler cycles (OS noise, filesystem hiccups): the paper's
+        # histogram (Fig. 5c) has a few-percent tail beyond 3 minutes
+        if rng.random() < c.straggler_probability:
+            fcst30m += rng.exponential(c.straggler_mean_s)
+        product = max(0.2, rng.normal(1.0, 0.2))
+        return CycleCosts(
+            file_creation=file_creation,
+            transfer=transfer,
+            transfer_stalled=stalled,
+            letkf=letkf,
+            forecast_30s=fcst30s,
+            forecast_30min=fcst30m,
+            product_write=product,
+        )

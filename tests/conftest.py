@@ -1,0 +1,73 @@
+"""Shared fixtures: small-scale configs and pre-built expensive objects.
+
+Everything here runs at reduced scale (see DESIGN.md "scaling policy"):
+the scientific knobs stay at paper values, the mesh/ensemble are small
+enough for second-scale tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LETKFConfig, RadarConfig, ScaleConfig
+from repro.grid import Grid
+from repro.model import ScaleRM, convective_sounding, warm_bubble
+from repro.model.reference import ReferenceState, Sounding
+
+
+@pytest.fixture(scope="session")
+def small_scale_config() -> ScaleConfig:
+    return ScaleConfig().reduced(nx=16, nz=12, members=8)
+
+
+@pytest.fixture(scope="session")
+def small_grid(small_scale_config) -> Grid:
+    return Grid(small_scale_config.domain)
+
+
+@pytest.fixture(scope="session")
+def reference(small_grid) -> ReferenceState:
+    return ReferenceState(small_grid, convective_sounding())
+
+
+@pytest.fixture(scope="session")
+def small_letkf_config() -> LETKFConfig:
+    # paper knobs, reduced ensemble; analysis range widened to cover the
+    # 12-level test grid
+    return LETKFConfig(
+        ensemble_size=8, analysis_zmin=0.0, analysis_zmax=20000.0, eigensolver="lapack"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_radar_config() -> RadarConfig:
+    return RadarConfig().reduced(n_elevations=10, n_azimuths=48, n_gates=90)
+
+
+@pytest.fixture()
+def model(small_scale_config) -> ScaleRM:
+    return ScaleRM(small_scale_config, convective_sounding())
+
+
+@pytest.fixture()
+def bubble_state(model):
+    st = model.initial_state()
+    warm_bubble(st, x0=64000.0, y0=64000.0, amplitude=3.0)
+    return st
+
+
+@pytest.fixture(scope="session")
+def developed_nature(small_scale_config):
+    """A nature-run state with active convection (session-cached)."""
+    m = ScaleRM(small_scale_config, convective_sounding(cape_factor=1.1))
+    st = m.initial_state()
+    warm_bubble(st, x0=40000, y0=40000, amplitude=5.0, moisture_boost=0.3)
+    warm_bubble(st, x0=85000, y0=90000, amplitude=4.0, moisture_boost=0.3)
+    st = m.integrate(st, 2100.0)
+    return st
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

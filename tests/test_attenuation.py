@@ -1,0 +1,122 @@
+"""X-band attenuation and KDP-based correction."""
+
+import numpy as np
+import pytest
+
+from repro.radar.attenuation import (
+    ALPHA_X,
+    attenuate_scan,
+    correct_attenuation_kdp,
+    specific_attenuation,
+)
+from repro.radar.dualpol import KDP_COEFF
+
+
+class TestSpecificAttenuation:
+    def test_zero_without_rain(self):
+        assert specific_attenuation(np.zeros(4)).sum() == 0.0
+
+    def test_linear_in_rain(self):
+        k1 = specific_attenuation(np.array([1e-3]))
+        k2 = specific_attenuation(np.array([2e-3]))
+        assert k2[0] == pytest.approx(2 * k1[0])
+
+    def test_plausible_magnitude(self):
+        # 1 g/m^3 rain at X band: ~0.5 dB/km one way
+        k = specific_attenuation(np.array([1e-3]))
+        assert 0.1 < k[0] < 2.0
+
+
+class TestAttenuateScan:
+    def test_no_rain_no_attenuation(self):
+        dbz = np.full((3, 10), 30.0)
+        out = attenuate_scan(dbz, np.zeros_like(dbz), 500.0)
+        assert np.allclose(out, dbz)
+
+    def test_gates_behind_rain_attenuated(self):
+        dbz = np.full((1, 20), 40.0)
+        rain = np.zeros((1, 20))
+        rain[0, 5:10] = 3e-3  # a heavy cell at gates 5-9
+        out = attenuate_scan(dbz, rain, 1000.0)
+        # gates before the cell untouched, gates behind attenuated
+        assert np.allclose(out[0, :6], 40.0)
+        assert np.all(out[0, 10:] < 40.0 - 1.0)
+
+    def test_attenuation_accumulates_monotonically(self):
+        dbz = np.full((1, 30), 40.0)
+        rain = np.full((1, 30), 2e-3)
+        out = attenuate_scan(dbz, rain, 1000.0)
+        assert np.all(np.diff(out[0]) <= 1e-12)
+
+    def test_floor_respected(self):
+        dbz = np.full((1, 100), 10.0)
+        rain = np.full((1, 100), 1e-2)  # extreme rain
+        out = attenuate_scan(dbz, rain, 1000.0, floor_dbz=-30.0)
+        assert out.min() >= -30.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            attenuate_scan(np.zeros((2, 4)), np.zeros((2, 5)), 100.0)
+
+
+class TestKDPCorrection:
+    def test_perfect_kdp_inverts_attenuation(self):
+        dbz = np.full((2, 25), 35.0)
+        rain = np.zeros((2, 25))
+        rain[:, 5:12] = 4e-3
+        att = attenuate_scan(dbz, rain, 1000.0)
+        kdp = KDP_COEFF * rain
+        rec = correct_attenuation_kdp(att, kdp, 1000.0)
+        assert np.allclose(rec, dbz, atol=1e-9)
+
+    def test_noisy_kdp_still_helps(self):
+        rng = np.random.default_rng(0)
+        dbz = np.full((1, 40), 38.0)
+        rain = np.zeros((1, 40))
+        rain[0, 8:20] = 3e-3
+        att = attenuate_scan(dbz, rain, 1000.0)
+        kdp = KDP_COEFF * rain + rng.normal(0, 0.05, rain.shape)
+        rec = correct_attenuation_kdp(att, kdp, 1000.0)
+        err_before = np.abs(att - dbz).mean()
+        err_after = np.abs(rec - dbz).mean()
+        assert err_after < 0.3 * err_before
+
+
+class TestInstrumentIntegration:
+    def test_attenuated_scan_weaker_behind_storm(
+        self, small_grid, small_radar_config, developed_nature
+    ):
+        from repro.radar.pawr import PAWRSimulator
+
+        clean = PAWRSimulator(small_radar_config, small_grid, seed=5).scan(
+            developed_nature, 0.0
+        )
+        attenuated = PAWRSimulator(
+            small_radar_config, small_grid, seed=5, attenuation=True, kdp_correction=False
+        ).scan(developed_nature, 0.0)
+        # attenuation only removes signal
+        sel = clean.valid & attenuated.valid
+        assert np.all(attenuated.dbz[sel] <= clean.dbz[sel] + 1e-3)
+        assert attenuated.dbz[sel].mean() < clean.dbz[sel].mean()
+
+    def test_kdp_correction_recovers_signal(
+        self, small_grid, small_radar_config, developed_nature
+    ):
+        from repro.radar.pawr import PAWRSimulator
+
+        clean = PAWRSimulator(small_radar_config, small_grid, seed=5).scan(
+            developed_nature, 0.0
+        )
+        raw = PAWRSimulator(
+            small_radar_config, small_grid, seed=5, attenuation=True, kdp_correction=False
+        ).scan(developed_nature, 0.0)
+        corrected = PAWRSimulator(
+            small_radar_config, small_grid, seed=5, attenuation=True, kdp_correction=True
+        ).scan(developed_nature, 0.0)
+        # judge the correction where attenuation actually bit (> 1 dB);
+        # elsewhere both signals differ only by KDP estimation noise
+        affected = clean.valid & (clean.dbz - raw.dbz > 1.0)
+        assert np.count_nonzero(affected) > 0
+        err_raw = np.abs(raw.dbz[affected].astype(float) - clean.dbz[affected]).mean()
+        err_cor = np.abs(corrected.dbz[affected].astype(float) - clean.dbz[affected]).mean()
+        assert err_cor < err_raw

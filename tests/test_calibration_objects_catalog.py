@@ -1,0 +1,164 @@
+"""Kernel calibration, SAL object verification, product catalog."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import CatalogEntry, ProductCatalog
+from repro.verify.objects import find_objects, sal
+from repro.workflow.calibration import calibrate
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def calib(self):
+        return calibrate(G=400, m=10, no=20, nx=16, nz=10)
+
+    def test_kernel_costs_positive(self, calib):
+        assert calib.letkf_seconds_per_unit > 0
+        assert calib.model_seconds_per_cell_step > 0
+
+    def test_paper_scale_needs_massive_parallelism(self, calib):
+        # the whole point of Fugaku: single-process Python would need
+        # orders of magnitude more than the 15-s budget
+        assert calib.letkf_paper_seconds_single > 15.0
+        assert calib.required_speedup_letkf > 10.0
+        assert calib.required_speedup_forecast > 10.0
+
+    def test_report_text(self, calib):
+        r = calib.report()
+        assert "paper scale" in r
+        assert "speedup" in r
+
+
+def blob(ny, nx, cy, cx, r=2.5, amp=10.0):
+    jj, ii = np.mgrid[0:ny, 0:nx]
+    return amp * np.exp(-((jj - cy) ** 2 + (ii - cx) ** 2) / (2 * r**2))
+
+
+class TestFindObjects:
+    def test_counts_separated_cells(self):
+        f = blob(32, 32, 8, 8) + blob(32, 32, 24, 24)
+        objs = find_objects(f, threshold=3.0)
+        assert len(objs) == 2
+
+    def test_no_objects_below_threshold(self):
+        assert find_objects(np.zeros((8, 8)), 1.0) == []
+
+    def test_center_of_mass(self):
+        f = blob(32, 32, 10, 20)
+        (obj,) = find_objects(f, 3.0)
+        assert obj.center_y == pytest.approx(10.0, abs=0.5)
+        assert obj.center_x == pytest.approx(20.0, abs=0.5)
+
+    def test_mass_and_peak(self):
+        f = blob(16, 16, 8, 8, amp=10.0)
+        (obj,) = find_objects(f, 3.0)
+        assert obj.peak == pytest.approx(10.0, rel=0.01)
+        assert obj.mass > obj.peak
+
+
+class TestSAL:
+    def test_perfect_forecast_zero(self):
+        ob = blob(32, 32, 16, 16)
+        s = sal(ob, ob, threshold=3.0)
+        assert s["S"] == pytest.approx(0.0, abs=1e-9)
+        assert s["A"] == pytest.approx(0.0, abs=1e-9)
+        assert s["L"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_amplitude_bias_detected(self):
+        ob = blob(32, 32, 16, 16)
+        s = sal(2.0 * ob, ob, threshold=3.0)
+        assert s["A"] > 0.3
+
+    def test_displacement_in_L_only(self):
+        ob = blob(32, 32, 16, 10)
+        fc = blob(32, 32, 16, 22)
+        s = sal(fc, ob, threshold=3.0)
+        assert s["L"] > 0.1
+        assert abs(s["A"]) < 0.05  # same total rain
+
+    def test_structure_peakedness(self):
+        # broad flat forecast vs peaked observation -> S > 0
+        ob = blob(32, 32, 16, 16, r=2.0, amp=20.0)
+        fc = blob(32, 32, 16, 16, r=6.0, amp=4.0)
+        s = sal(fc, ob, threshold=1.0)
+        assert s["S"] > 0.3
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        fc = np.maximum(rng.normal(0, 3, (24, 24)), 0)
+        ob = np.maximum(rng.normal(0, 3, (24, 24)), 0)
+        s = sal(fc, ob, threshold=2.0)
+        assert -2.0 <= s["A"] <= 2.0
+        if np.isfinite(s["S"]):
+            assert -2.0 <= s["S"] <= 2.0
+        assert s["L"] >= 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sal(np.zeros((4, 4)), np.zeros((5, 5)), threshold=1.0)
+
+
+class TestCatalog:
+    def make_entry(self, cycle, t0=0.0):
+        return CatalogEntry(
+            cycle=cycle,
+            t_obs=t0 + cycle * 30.0,
+            t_published=t0 + cycle * 30.0 + 145.0,
+            valid_time=t0 + cycle * 30.0 + 1800.0,
+            max_dbz=42.0,
+            max_rain_mmh=35.0,
+            files={"mapview": f"mapview_{cycle:06d}.png"},
+        )
+
+    def test_publish_and_index(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        for c in range(5):
+            cat.publish(self.make_entry(c))
+        data = json.loads(cat.index_path.read_text())
+        assert len(data) == 5
+        assert cat.latest().cycle == 4
+
+    def test_monotonic_cycles_enforced(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        cat.publish(self.make_entry(3))
+        with pytest.raises(ValueError):
+            cat.publish(self.make_entry(3))
+
+    def test_retention(self, tmp_path):
+        cat = ProductCatalog(tmp_path, retention=3)
+        for c in range(10):
+            cat.publish(self.make_entry(c))
+        assert len(cat.entries) == 3
+        assert cat.entries[0].cycle == 7
+
+    def test_load_roundtrip(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        for c in range(4):
+            cat.publish(self.make_entry(c))
+        cat2 = ProductCatalog.load(tmp_path)
+        assert [e.cycle for e in cat2.entries] == [0, 1, 2, 3]
+        assert cat2.latest().time_to_solution == pytest.approx(145.0)
+
+    def test_between(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        for c in range(10):
+            cat.publish(self.make_entry(c))
+        sel = cat.between(60.0, 150.0)
+        assert [e.cycle for e in sel] == [2, 3, 4]
+
+    def test_level_tiles(self, tmp_path, developed_nature):
+        from repro.radar.reflectivity import dbz_from_state
+
+        cat = ProductCatalog(tmp_path)
+        dbz = dbz_from_state(developed_nature)
+        paths = cat.export_level_tiles(
+            dbz, developed_nature.grid.z_c, cycle=1, every=4
+        )
+        manifest = json.loads(open(paths["manifest"]).read())
+        assert len(manifest["levels"]) == int(np.ceil(dbz.shape[0] / 4))
+        for lv in manifest["levels"]:
+            assert (tmp_path / f"tiles_000001/{lv['file']}").exists()
+            assert lv["height_m"] >= 0

@@ -1,0 +1,69 @@
+"""CLI commands and the Fig.-5 time-series panel renderer."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.viz.timeseries import render_tts_panel
+
+
+class TestTimeseriesPanel:
+    def make_series(self, n=500, seed=0):
+        rng = np.random.default_rng(seed)
+        tts = rng.normal(145, 8, n)
+        tts[100:140] = np.nan  # outage
+        a1 = rng.uniform(0, 8000, n)
+        a20 = a1 * 0.1
+        return tts, a1, a20
+
+    def test_panel_shape(self):
+        tts, a1, a20 = self.make_series()
+        img = render_tts_panel(tts, a1, a20, width=600, height=200)
+        assert img.shape == (200, 600, 3)
+        assert img.dtype == np.uint8
+
+    def test_outage_band_rendered_gray(self):
+        tts, a1, a20 = self.make_series()
+        img = render_tts_panel(tts, a1, a20)
+        # gray pixels exist (the outage shading)
+        assert np.any(np.all(img == 205, axis=-1))
+
+    def test_tts_dots_rendered(self):
+        tts, a1, a20 = self.make_series()
+        img = render_tts_panel(tts, a1, a20)
+        assert np.any(np.all(img == 20, axis=-1))
+
+    def test_rain_curves_rendered(self):
+        tts, a1, a20 = self.make_series()
+        img = render_tts_panel(tts, a1, a20)
+        assert np.any(np.all(img == (90, 200, 220), axis=-1))
+        assert np.any(np.all(img == (40, 80, 200), axis=-1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_tts_panel(np.zeros(5), np.zeros(4), np.zeros(5))
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        p = build_parser()
+        for cmd in ("table1", "table2", "table3", "fig5", "calibrate", "quickcycle"):
+            args = p.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BDA2021" in out
+
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        assert "factor=0.95" in capsys.readouterr().out
+
+    def test_table3_output(self, capsys):
+        assert main(["table3"]) == 0
+        assert "HEVI" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig42"])

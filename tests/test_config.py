@@ -1,0 +1,177 @@
+import numpy as np
+import pytest
+
+from repro.config import (
+    BDA2021_SYSTEM,
+    OPERATIONAL_SYSTEMS,
+    DomainConfig,
+    JITDTConfig,
+    LETKFConfig,
+    NodeAllocation,
+    RadarConfig,
+    ScaleConfig,
+    WorkflowConfig,
+    paper_inner_domain,
+    reduced_inner_domain,
+)
+
+
+class TestDomainConfig:
+    def test_paper_inner_domain_matches_table3(self):
+        d = paper_inner_domain()
+        assert (d.nx, d.ny, d.nz) == (256, 256, 60)
+        assert d.dx == 500.0
+        assert d.extent_x == pytest.approx(128_000.0)
+        assert d.ztop == pytest.approx(16_400.0)
+
+    def test_reduced_domain_preserves_extent(self):
+        d = reduced_inner_domain(nx=32)
+        assert d.extent_x == pytest.approx(128_000.0)
+        assert d.extent_y == pytest.approx(128_000.0)
+
+    def test_scaled_coarsens(self):
+        d = paper_inner_domain().scaled(8.0)
+        assert d.nx == 32
+        assert d.extent_x == pytest.approx(128_000.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            DomainConfig(name="bad", nx=1, ny=4, nz=4, dx=500, dy=500, ztop=1000)
+        with pytest.raises(ValueError):
+            DomainConfig(name="bad", nx=4, ny=4, nz=4, dx=-1, dy=500, ztop=1000)
+
+
+class TestScaleConfig:
+    def test_table3_defaults(self):
+        c = ScaleConfig()
+        assert c.ensemble_size_analysis == 1000
+        assert c.ensemble_size_forecast == 11
+        assert c.dt == pytest.approx(0.4)
+        assert c.integration_type == "HEVI"
+        assert c.dtype == "float32"
+
+    def test_table3_physics_schemes_complete(self):
+        schemes = ScaleConfig().physics_schemes()
+        assert set(schemes) == {
+            "cloud_microphysics",
+            "radiation",
+            "surface_flux",
+            "boundary_layer",
+            "turbulence",
+        }
+
+    def test_reduced_scales_dt_with_mesh(self):
+        c = ScaleConfig().reduced(nx=32)
+        # dt grows with dx to keep the horizontal CFL of the 500 m / 0.4 s pair
+        assert c.dt == pytest.approx(0.4 * c.domain.dx / 500.0)
+
+    def test_reduced_keeps_forecast_members_capped(self):
+        c = ScaleConfig().reduced(members=5)
+        assert c.ensemble_size_forecast <= 5
+
+
+class TestLETKFConfig:
+    def test_table2_defaults(self):
+        c = LETKFConfig()
+        assert c.ensemble_size == 1000
+        assert c.analysis_zmin == 500.0 and c.analysis_zmax == 11000.0
+        assert c.obs_resolution == 500.0
+        assert c.obs_error_refl_dbz == 5.0
+        assert c.obs_error_doppler_ms == 3.0
+        assert c.max_obs_per_grid == 1000
+        assert c.gross_error_refl_dbz == 10.0
+        assert c.gross_error_doppler_ms == 15.0
+        assert c.localization_h == 2000.0 and c.localization_v == 2000.0
+        assert c.rtpp_factor == 0.95
+
+    def test_rejects_tiny_ensemble(self):
+        with pytest.raises(ValueError):
+            LETKFConfig(ensemble_size=1)
+
+    def test_rejects_bad_rtpp(self):
+        with pytest.raises(ValueError):
+            LETKFConfig(rtpp_factor=1.5)
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(ValueError):
+            LETKFConfig(eigensolver="cuda")
+
+
+class TestNodeAllocation:
+    def test_paper_numbers(self):
+        n = NodeAllocation()
+        assert n.total_nodes == 11_580
+        assert n.inner_nodes == 8_888
+        assert n.part1_nodes == 8_008
+        assert n.part2_nodes == 880
+        assert n.outer_nodes == 2_002
+
+    def test_seven_percent_of_fugaku(self):
+        # the paper says ~7% of the full system
+        assert NodeAllocation().fugaku_fraction == pytest.approx(0.07, abs=0.01)
+
+    def test_part_split_must_be_exact(self):
+        with pytest.raises(ValueError):
+            NodeAllocation(part1_nodes=8000, part2_nodes=880)
+
+    def test_allocation_cannot_exceed_total(self):
+        with pytest.raises(ValueError):
+            NodeAllocation(total_nodes=9000)
+
+
+class TestTable1Registry:
+    def test_six_operational_systems(self):
+        assert len(OPERATIONAL_SYSTEMS) == 6
+        names = {s.name for s in OPERATIONAL_SYSTEMS}
+        assert {"LFM", "HRRR v4", "UKV", "AROME France", "ICON-D2"} <= names
+
+    def test_bda_row(self):
+        assert BDA2021_SYSTEM.grid_spacing_m == 500.0
+        assert BDA2021_SYSTEM.init_interval_s == 30.0
+        assert BDA2021_SYSTEM.da_members == 1000
+        assert BDA2021_SYSTEM.ensemble_members == 11
+
+    def test_da_member_parsing(self):
+        icon = next(s for s in OPERATIONAL_SYSTEMS if s.name == "ICON-D2")
+        assert icon.da_members == 40
+        ukv = next(s for s in OPERATIONAL_SYSTEMS if s.name == "UKV")
+        assert ukv.da_members == 1  # pure 4DVar
+
+    def test_two_orders_of_magnitude_claim(self):
+        # the headline Table-1 claim: BDA problem-size rate is >= 100x
+        # every operational system's
+        bda = BDA2021_SYSTEM.problem_size_rate()
+        for s in OPERATIONAL_SYSTEMS:
+            assert bda / s.problem_size_rate() >= 100.0
+
+    def test_refresh_120x_faster(self):
+        # 30 s vs 1 h = 120x (Sec. 3)
+        assert 3600.0 / BDA2021_SYSTEM.init_interval_s == 120.0
+
+
+class TestWorkflowConfig:
+    def test_stage_means_fit_deadline(self):
+        c = WorkflowConfig()
+        budget = (
+            c.file_creation_mean_s
+            + c.transfer_mean_s
+            + c.letkf_mean_s
+            + c.forecast_30min_mean_s
+        )
+        assert budget < c.deadline_s
+
+    def test_jitdt_goodput_matches_paper(self):
+        # ~100 MB in ~3 s
+        j = JITDTConfig()
+        t = j.file_bytes * 8 / (j.effective_goodput_gbps * 1e9)
+        assert 2.0 < t < 4.5
+
+    def test_radar_scan_interval(self):
+        assert RadarConfig().scan_interval == 30.0
+
+    def test_radar_full_scale_volume_near_100mb(self):
+        from repro.radar.fileformat import volume_nbytes
+
+        r = RadarConfig()
+        size = volume_nbytes((r.n_elevations, r.n_azimuths, r.n_gates))
+        assert 60e6 < size < 140e6

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro import constants as c
+
+
+class TestPrecisionPolicy:
+    def test_default_dtype_is_single(self):
+        # the paper converts SCALE and LETKF to single precision
+        assert c.DEFAULT_DTYPE == np.float32
+
+    def test_as_dtype_accepts_floats(self):
+        assert c.as_dtype("float32") == np.float32
+        assert c.as_dtype(np.float64) == np.float64
+
+    def test_as_dtype_rejects_integers(self):
+        with pytest.raises(TypeError):
+            c.as_dtype(np.int32)
+
+    def test_as_dtype_rejects_complex(self):
+        with pytest.raises(TypeError):
+            c.as_dtype(np.complex64)
+
+
+class TestThermodynamics:
+    def test_cp_cv_consistency(self):
+        assert c.CPDRY - c.CVDRY == pytest.approx(c.RDRY)
+
+    def test_kappa(self):
+        assert c.KAPPA == pytest.approx(c.RDRY / c.CPDRY)
+
+    def test_latent_heats_additive(self):
+        # sublimation = vaporization + fusion
+        assert c.LHS0 == pytest.approx(c.LHV0 + c.LHF0)
+
+    def test_epsilon(self):
+        assert 0.6 < c.EPSVAP < 0.63
+
+
+class TestSaturation:
+    def test_triple_point_value(self):
+        es = c.saturation_vapor_pressure(c.TEM00)
+        assert es == pytest.approx(c.PSAT0, rel=1e-6)
+
+    def test_monotone_in_temperature(self):
+        t = np.linspace(230.0, 310.0, 50)
+        es = c.saturation_vapor_pressure(t)
+        assert np.all(np.diff(es) > 0)
+
+    def test_ice_below_water_below_freezing(self):
+        t = np.linspace(230.0, 270.0, 20)
+        es_w = c.saturation_vapor_pressure(t)
+        es_i = c.saturation_vapor_pressure(t, over_ice=True)
+        assert np.all(es_i < es_w)
+
+    def test_mixing_ratio_positive_and_reasonable(self):
+        # near-surface summer conditions: qsat ~ 20-30 g/kg
+        q = c.saturation_mixing_ratio(1.0e5, 300.0)
+        assert 0.015 < q < 0.035
+
+    def test_mixing_ratio_decreases_with_pressure(self):
+        p = np.array([1.0e5, 8.0e4, 6.0e4])
+        q = c.saturation_mixing_ratio(p, 280.0)
+        assert np.all(np.diff(q) > 0)  # lower pressure -> larger mixing ratio
+
+    def test_mixing_ratio_guard_at_low_pressure(self):
+        # the es <= p/2 clip keeps q finite even at absurd conditions
+        q = c.saturation_mixing_ratio(500.0, 320.0)
+        assert np.isfinite(q)
+        assert q > 0

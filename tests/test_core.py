@@ -1,0 +1,193 @@
+"""Ensemble, nesting, timeline, products."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.core import Ensemble, NestedDomains, ProductWriter, TimeToSolution
+from repro.model import ScaleRM, convective_sounding
+
+
+@pytest.fixture()
+def ensemble(model, rng):
+    return Ensemble.from_model(model, 6, rng)
+
+
+class TestEnsemble:
+    def test_members_distinct(self, ensemble):
+        a = ensemble.members[0].fields["qv"]
+        b = ensemble.members[1].fields["qv"]
+        assert not np.allclose(a, b)
+
+    def test_spread_positive(self, ensemble):
+        assert ensemble.spread("theta_p") > 0
+        assert ensemble.spread("u") > 0
+
+    def test_mean_state_is_average(self, ensemble):
+        mean = ensemble.mean_state()
+        manual = np.mean([m.fields["momx"] for m in ensemble.members], axis=0)
+        assert np.allclose(mean.fields["momx"], manual, atol=1e-4)
+
+    def test_analysis_array_roundtrip(self, ensemble):
+        arrays = ensemble.analysis_arrays()
+        assert arrays["u"].shape[0] == 6
+        before = [m.fields["qv"].copy() for m in ensemble.members]
+        ensemble.load_analysis_arrays(arrays)
+        for m, b in zip(ensemble.members, before):
+            assert np.allclose(m.fields["qv"], b, atol=1e-5)
+
+    def test_forecast_member_selection(self, ensemble, rng):
+        picks = ensemble.select_forecast_members(4, rng)
+        # the paper: mean + randomly chosen members
+        assert len(picks) == 4
+        mean = ensemble.mean_state()
+        assert np.allclose(picks[0].fields["momx"], mean.fields["momx"], atol=1e-4)
+
+    def test_forecast_selection_bounds(self, ensemble, rng):
+        with pytest.raises(ValueError):
+            ensemble.select_forecast_members(0, rng)
+        picks = ensemble.select_forecast_members(100, rng)
+        assert len(picks) <= len(ensemble) + 1
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            Ensemble([])
+
+
+class TestNesting:
+    def test_refresh_schedule(self, model, ensemble):
+        outer_cfg = ScaleConfig().reduced(nx=8, nz=12)
+        nest = NestedDomains(model, outer_cfg, convective_sounding(), refresh_seconds=3 * 3600.0)
+        assert nest.needs_refresh(0.0)
+        assert nest.tick(0.0, ensemble)
+        assert not nest.tick(600.0, ensemble)
+        assert nest.tick(3 * 3600.0 + 1, ensemble)
+        assert nest.refresh_count == 2
+
+    def test_boundary_installed(self, model, ensemble):
+        outer_cfg = ScaleConfig().reduced(nx=8, nz=12)
+        nest = NestedDomains(model, outer_cfg, convective_sounding())
+        nest.tick(0.0, ensemble)
+        assert model.boundary.fields is not None
+        assert model.boundary.fields["qv"].shape == model.grid.shape
+
+    def test_apply_before_refresh_raises(self, model, ensemble):
+        outer_cfg = ScaleConfig().reduced(nx=8, nz=12)
+        nest = NestedDomains(model, outer_cfg, convective_sounding())
+        with pytest.raises(RuntimeError):
+            nest.apply_to_inner(ensemble)
+
+    def test_outer_domain_coarser(self, model, ensemble):
+        outer_cfg = ScaleConfig().reduced(nx=8, nz=12)
+        nest = NestedDomains(model, outer_cfg, convective_sounding())
+        nest.refresh(0.0)
+        assert nest.outer_model.grid.dx > model.grid.dx
+
+
+class TestBoundaryRelaxation:
+    def test_relaxation_pulls_toward_target(self, model):
+        from repro.model.boundary import LateralBoundary, boundary_from_reference
+
+        st = model.initial_state()
+        fields = boundary_from_reference(model.grid, model.reference)
+        fields["qv"] = fields["qv"] + 0.001
+        lb = LateralBoundary(model.grid, width=3, tau=30.0)
+        lb.set_fields(fields)
+        qv_edge_before = float(st.fields["qv"][0, 0, 0])
+        lb.apply(st, dt=30.0)
+        qv_edge_after = float(st.fields["qv"][0, 0, 0])
+        assert qv_edge_after > qv_edge_before
+
+    def test_interior_untouched(self, model):
+        from repro.model.boundary import LateralBoundary, boundary_from_reference
+
+        st = model.initial_state()
+        fields = boundary_from_reference(model.grid, model.reference)
+        fields["qv"] = fields["qv"] + 0.001
+        lb = LateralBoundary(model.grid, width=3, tau=30.0)
+        lb.set_fields(fields)
+        mid = model.grid.nx // 2
+        qv_mid = float(st.fields["qv"][0, mid, mid])
+        lb.apply(st, dt=30.0)
+        assert float(st.fields["qv"][0, mid, mid]) == pytest.approx(qv_mid)
+
+    def test_no_fields_is_noop(self, model):
+        from repro.model.boundary import LateralBoundary
+
+        st = model.initial_state()
+        before = st.fields["qv"].copy()
+        LateralBoundary(model.grid).apply(st, dt=30.0)
+        assert np.array_equal(st.fields["qv"], before)
+
+
+class TestTimeToSolution:
+    def test_breakdown_and_total(self):
+        tts = TimeToSolution(t_obs=100.0)
+        tts.stamp("file_creation", 108.0)
+        tts.stamp("jitdt_transfer", 111.0)
+        tts.stamp("letkf", 126.0)
+        tts.stamp("forecast_30min", 246.0)
+        b = tts.breakdown()
+        assert b["file_creation"] == pytest.approx(8.0)
+        assert b["jitdt_transfer"] == pytest.approx(3.0)
+        assert b["letkf"] == pytest.approx(15.0)
+        assert b["forecast_30min"] == pytest.approx(120.0)
+        assert tts.total == pytest.approx(146.0)
+        assert tts.meets_deadline(180.0)
+
+    def test_monotone_stamps_enforced(self):
+        tts = TimeToSolution(t_obs=0.0)
+        tts.stamp("file_creation", 10.0)
+        with pytest.raises(ValueError):
+            tts.stamp("jitdt_transfer", 5.0)
+
+    def test_unknown_stage_rejected(self):
+        tts = TimeToSolution(t_obs=0.0)
+        with pytest.raises(ValueError):
+            tts.stamp("coffee", 1.0)
+
+    def test_paper_measurement_mechanism(self):
+        # Sec. 2: (product file time stamp) - (radar data time stamp)
+        tts = TimeToSolution.from_file_timestamps(1000.0, 1150.0)
+        assert tts.total == pytest.approx(150.0)
+
+    def test_report_format(self):
+        tts = TimeToSolution(t_obs=0.0)
+        tts.stamp("file_creation", 8.0)
+        assert "time-to-solution" in tts.report()
+
+    def test_empty_stamps(self):
+        with pytest.raises(ValueError):
+            TimeToSolution(t_obs=0.0).t_fcst
+
+
+class TestProducts:
+    def test_write_all_products(self, developed_nature, tmp_path):
+        pw = ProductWriter(tmp_path)
+        paths = pw.write(developed_nature, cycle=3)
+        assert set(paths) == {"mapview", "rainrate", "birdseye", "metadata"}
+        for p in paths.values():
+            assert os.path.exists(p)
+
+    def test_metadata_contents(self, developed_nature, tmp_path):
+        pw = ProductWriter(tmp_path)
+        paths = pw.write(developed_nature, cycle=1, with_3d=False)
+        meta = json.loads(open(paths["metadata"]).read())
+        assert meta["cycle"] == 1
+        assert meta["max_dbz"] > 0  # the developed storm shows up
+
+    def test_product_mtime_is_t_fcst(self, developed_nature, tmp_path):
+        pw = ProductWriter(tmp_path)
+        pw.write(developed_nature, cycle=2, with_3d=False)
+        mtime = pw.product_mtime(2)
+        tts = TimeToSolution.from_file_timestamps(mtime - 150.0, mtime)
+        assert tts.total == pytest.approx(150.0)
+
+    def test_png_files_valid(self, developed_nature, tmp_path):
+        pw = ProductWriter(tmp_path)
+        paths = pw.write(developed_nature, cycle=0, with_3d=False)
+        with open(paths["mapview"], "rb") as f:
+            assert f.read(8) == b"\x89PNG\r\n\x1a\n"

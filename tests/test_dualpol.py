@@ -1,0 +1,105 @@
+"""Multi-parameter (dual-pol) radar moments."""
+
+import numpy as np
+import pytest
+
+from repro.radar.dualpol import (
+    copolar_correlation,
+    differential_reflectivity,
+    dualpol_from_state,
+    rain_rate_from_kdp,
+    specific_differential_phase,
+)
+
+
+class TestZDR:
+    def test_zero_without_hydrometeors(self):
+        z = differential_reflectivity(np.ones(3), np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3))
+        assert np.allclose(z, 0.0)
+
+    def test_positive_for_rain(self):
+        z = differential_reflectivity(
+            np.ones(1), np.array([1e-3]), np.zeros(1), np.zeros(1), np.zeros(1)
+        )
+        assert 0.5 < z[0] < 4.0
+
+    def test_grows_with_rain_content(self):
+        qr = np.array([1e-4, 5e-4, 2e-3])
+        z = differential_reflectivity(np.ones(3), qr, np.zeros(3), np.zeros(3), np.zeros(3))
+        assert np.all(np.diff(z) > 0)
+
+    def test_capped_near_4db(self):
+        z = differential_reflectivity(
+            np.ones(1), np.array([0.1]), np.zeros(1), np.zeros(1), np.zeros(1)
+        )
+        assert z[0] <= 4.0
+
+    def test_ice_pulls_toward_zero(self):
+        rain_only = differential_reflectivity(
+            np.ones(1), np.array([1e-3]), np.zeros(1), np.zeros(1), np.zeros(1)
+        )
+        mixed = differential_reflectivity(
+            np.ones(1), np.array([1e-3]), np.array([1e-3]), np.array([1e-3]), np.zeros(1)
+        )
+        assert mixed[0] < rain_only[0]
+
+
+class TestKDP:
+    def test_linear_in_rain(self):
+        k1 = specific_differential_phase(np.ones(1), np.array([1e-3]))
+        k2 = specific_differential_phase(np.ones(1), np.array([2e-3]))
+        assert k2[0] == pytest.approx(2 * k1[0])
+
+    def test_zero_without_rain(self):
+        assert specific_differential_phase(np.ones(2), np.zeros(2)).sum() == 0.0
+
+    def test_plausible_magnitude(self):
+        # 1 g/m^3 of rain at X band: KDP of order a few deg/km
+        k = specific_differential_phase(np.ones(1), np.array([1e-3]))
+        assert 0.5 < k[0] < 50.0
+
+
+class TestRhoHV:
+    def test_unity_in_pure_rain(self):
+        r = copolar_correlation(np.ones(1), np.array([2e-3]), np.zeros(1), np.zeros(1), np.zeros(1))
+        assert r[0] == pytest.approx(1.0)
+
+    def test_depressed_in_mixture(self):
+        pure = copolar_correlation(np.ones(1), np.array([1e-3]), np.zeros(1), np.zeros(1), np.zeros(1))
+        mix = copolar_correlation(
+            np.ones(1), np.array([1e-3]), np.zeros(1), np.array([1e-3]), np.zeros(1)
+        )
+        assert mix[0] < pure[0]
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        q = rng.uniform(0, 5e-3, (4, 5))
+        r = copolar_correlation(np.ones((4, 5)), q, q * 0.3, q * 0.2, q * 0.1)
+        assert np.all(r > 0.5) and np.all(r <= 1.0)
+
+
+class TestRainRate:
+    def test_monotone(self):
+        kdp = np.array([0.5, 1.0, 4.0])
+        rr = rain_rate_from_kdp(kdp)
+        assert np.all(np.diff(rr) > 0)
+
+    def test_plausible_values(self):
+        # KDP of 1 deg/km -> ~15 mm/h at X band
+        assert 8.0 < rain_rate_from_kdp(np.array([1.0]))[0] < 25.0
+
+    def test_negative_kdp_clipped(self):
+        assert rain_rate_from_kdp(np.array([-1.0]))[0] == 0.0
+
+
+class TestStateIntegration:
+    def test_all_moments_from_state(self, developed_nature):
+        mp = dualpol_from_state(developed_nature)
+        assert set(mp) == {"zdr", "kdp", "rho_hv", "rain_kdp"}
+        g = developed_nature.grid
+        for v in mp.values():
+            assert v.shape == g.shape
+            assert v.dtype == g.dtype
+        # the developed storm produces dual-pol signatures
+        assert mp["kdp"].max() > 0
+        assert mp["zdr"].max() > 0

@@ -1,0 +1,54 @@
+"""The example scripts must run (the fast ones, end to end)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-W", "ignore", str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_olympics_operations(self):
+        out = run_example("olympics_operations.py")
+        assert "under 3 min" in out
+        assert "75,248" in out  # the paper reference is printed
+
+    def test_realtime_pipeline(self):
+        out = run_example("realtime_pipeline.py")
+        assert "time-to-solution" in out
+        assert "meets the < 3 min deadline: True" in out
+
+    def test_multiparameter_radar(self):
+        out = run_example("multiparameter_radar.py")
+        assert "dual-pol moments" in out
+        assert "dual-site coverage" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "pattern correlation" in out
+        assert "part <2>" in out
+
+    @pytest.mark.slow
+    def test_heavy_rain_osse_fast(self, tmp_path):
+        out = run_example("heavy_rain_osse.py", "--fast", timeout=400.0)
+        assert "threat score" in out
+
+    @pytest.mark.slow
+    def test_da_diagnostics(self):
+        out = run_example("da_diagnostics.py", timeout=400.0)
+        assert "Desroziers" in out
+        assert "SAL" in out

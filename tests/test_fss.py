@@ -1,0 +1,99 @@
+"""Fractions Skill Score."""
+
+import numpy as np
+import pytest
+
+from repro.verify.fss import fractions, fss, fss_profile, useful_scale
+
+
+def blob(ny, nx, cy, cx, r=2.5, amp=40.0):
+    jj, ii = np.mgrid[0:ny, 0:nx]
+    return amp * np.exp(-((jj - cy) ** 2 + (ii - cx) ** 2) / (2 * r**2))
+
+
+class TestFractions:
+    def test_window_zero_identity(self):
+        f = np.random.default_rng(0).random((8, 8)) > 0.5
+        assert np.array_equal(fractions(f, 0), f.astype(float))
+
+    def test_uniform_field(self):
+        f = np.ones((6, 6))
+        assert np.allclose(fractions(f, 2), 1.0)
+
+    def test_single_event_spreads(self):
+        f = np.zeros((9, 9))
+        f[4, 4] = 1.0
+        fr = fractions(f, 1)
+        assert fr[4, 4] == pytest.approx(1 / 9)
+        assert fr[0, 0] == 0.0
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        f = (rng.random((10, 12)) > 0.6).astype(float)
+        w = 2
+        fr = fractions(f, w)
+        # brute force with edge truncation
+        for j, i in [(0, 0), (5, 6), (9, 11)]:
+            j0, j1 = max(0, j - w), min(10, j + w + 1)
+            i0, i1 = max(0, i - w), min(12, i + w + 1)
+            assert fr[j, i] == pytest.approx(f[j0:j1, i0:i1].mean())
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            fractions(np.zeros((3, 3)), -1)
+
+
+class TestFSS:
+    def test_perfect_forecast(self):
+        ob = blob(16, 16, 8, 8)
+        assert fss(ob, ob, 20.0, 2) == pytest.approx(1.0)
+
+    def test_no_events_nan(self):
+        z = np.zeros((8, 8))
+        assert np.isnan(fss(z, z, 10.0, 2))
+
+    def test_complete_miss_zero(self):
+        fc = np.zeros((16, 16))
+        fc[2, 2] = 50.0
+        ob = np.zeros((16, 16))
+        ob[13, 13] = 50.0
+        assert fss(fc, ob, 20.0, 0) == pytest.approx(0.0)
+
+    def test_displaced_feature_recovers_with_window(self):
+        # the defining FSS property: a displaced forecast scores ~0
+        # pointwise but recovers once the window spans the displacement
+        fc = blob(24, 24, 12, 10)
+        ob = blob(24, 24, 12, 14)
+        prof = fss_profile(fc, ob, 20.0, windows=(0, 2, 6))
+        assert prof[0] < 0.3
+        assert prof[6] > prof[2] > prof[0]
+        assert prof[6] > 0.7
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(2)
+        fc = rng.random((20, 20)) * 40
+        ob = rng.random((20, 20)) * 40
+        prof = fss_profile(fc, ob, 25.0, windows=(0, 1, 2, 4, 8))
+        vals = [v for v in prof.values() if np.isfinite(v)]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fss(np.zeros((4, 4)), np.zeros((5, 5)), 1.0, 1)
+
+
+class TestUsefulScale:
+    def test_perfect_forecast_scale_zero(self):
+        ob = blob(16, 16, 8, 8)
+        assert useful_scale(ob, ob, 20.0) == 0
+
+    def test_displaced_needs_larger_scale(self):
+        fc = blob(24, 24, 12, 9)
+        ob = blob(24, 24, 12, 15)
+        s = useful_scale(fc, ob, 20.0)
+        assert s is not None and s >= 2
+
+    def test_hopeless_returns_none(self):
+        fc = np.zeros((16, 16))
+        ob = blob(16, 16, 8, 8)
+        assert useful_scale(fc, ob, 20.0, max_window=4) is None

@@ -1,0 +1,171 @@
+"""JIT-DT: protocol, transfer engine, watcher, fail-safe."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import JITDTConfig
+from repro.jitdt import (
+    FailSafeMonitor,
+    FileWatcher,
+    SINETLink,
+    TransferEngine,
+    chunk_payload,
+    reassemble,
+)
+from repro.jitdt.protocol import ChunkHeader, ProtocolError
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        payload = os.urandom(100_000)
+        chunks = list(chunk_payload(payload, 1024))
+        assert reassemble(chunks) == payload
+
+    def test_chunk_count(self):
+        chunks = list(chunk_payload(b"x" * 10_000, 1000))
+        assert len(chunks) == 10
+
+    def test_empty_payload_single_chunk(self):
+        chunks = list(chunk_payload(b"", 1024))
+        assert len(chunks) == 1
+        assert reassemble(chunks) == b""
+
+    def test_out_of_order_reassembly(self):
+        payload = os.urandom(10_000)
+        chunks = list(chunk_payload(payload, 1000))
+        assert reassemble(chunks[::-1]) == payload
+
+    def test_corruption_detected(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        bad = bytearray(chunks[2])
+        bad[-1] ^= 0xFF
+        chunks[2] = bytes(bad)
+        with pytest.raises(ProtocolError, match="checksum"):
+            reassemble(chunks)
+
+    def test_missing_chunk_detected(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        with pytest.raises(ProtocolError, match="missing"):
+            reassemble(chunks[:-1])
+
+    def test_duplicate_chunk_detected(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        with pytest.raises(ProtocolError, match="duplicate"):
+            reassemble(chunks + [chunks[0]])
+
+    def test_truncated_body_detected(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        with pytest.raises(ProtocolError):
+            reassemble([chunks[0][: ChunkHeader.size() + 10]])
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_payload(b"abc", 0))
+
+
+class TestSINETLink:
+    def test_100mb_in_about_3s(self):
+        link = SINETLink(seed=0)
+        times = [link.transfer_time(100 * 1024 * 1024)[0] for _ in range(200)]
+        not_stalled = [t for t in times if t < 15]
+        assert 2.0 < np.mean(not_stalled) < 5.0  # paper: ~3 s
+
+    def test_line_rate_far_below_goodput_time(self):
+        # 400 Gbps line: the wire itself would take ~2 ms for 100 MB
+        link = SINETLink()
+        assert link.line_rate_time(100 * 1024 * 1024) < 0.1
+
+    def test_stalls_rare(self):
+        cfg = JITDTConfig(stall_probability=0.0)
+        link = SINETLink(config=cfg, seed=1)
+        assert not any(link.transfer_time(1000)[1] for _ in range(100))
+
+
+class TestTransferEngine:
+    def test_payload_intact(self):
+        eng = TransferEngine(SINETLink(seed=3))
+        payload = os.urandom(300_000)
+        res = eng.send(payload)
+        assert res.payload == payload
+        assert res.nbytes == len(payload)
+        assert res.n_chunks >= 1
+
+    def test_goodput_accounting(self):
+        eng = TransferEngine(SINETLink(seed=4))
+        res = eng.send(b"z" * (10 * 1024 * 1024))
+        assert 0.001 < res.goodput_gbps < 400.0
+
+    def test_mean_seconds(self):
+        eng = TransferEngine(SINETLink(seed=5))
+        for _ in range(5):
+            eng.send(b"q" * 100_000)
+        assert eng.mean_seconds() > 0
+
+
+class TestFileWatcher:
+    def test_detects_completed_file(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr")
+        p = tmp_path / "scan_0001.pawr"
+        p.write_bytes(b"data")
+        assert w.poll() == []  # first sighting: pending
+        events = w.poll()  # size stable: completed
+        assert len(events) == 1
+        assert events[0].size == 4
+
+    def test_growing_file_not_reported(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr")
+        p = tmp_path / "scan_0002.pawr"
+        p.write_bytes(b"aa")
+        w.poll()
+        p.write_bytes(b"aaaa")  # still growing
+        assert w.poll() == []
+        assert len(w.poll()) == 1  # now stable
+
+    def test_file_reported_once(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr")
+        (tmp_path / "a.pawr").write_bytes(b"x")
+        w.poll()
+        assert len(w.poll()) == 1
+        assert w.poll() == []
+
+    def test_pattern_filter(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr")
+        (tmp_path / "notes.txt").write_bytes(b"x")
+        w.poll()
+        assert w.poll() == []
+
+
+class TestFailSafe:
+    def test_fast_transfer_passes(self):
+        mon = FailSafeMonitor(deadline_s=15.0)
+        t = mon.supervise(0.0, [(3.0, False)])
+        assert t == pytest.approx(3.0)
+        assert mon.restarts == 0
+
+    def test_stall_triggers_restart_then_retry(self):
+        mon = FailSafeMonitor(deadline_s=15.0, restart_penalty_s=20.0)
+        t = mon.supervise(0.0, [(3.0, True), (2.5, False)])
+        # first attempt lost 3 s + 20 s restart, retry took 2.5 s
+        assert t == pytest.approx(3.0 + 20.0 + 2.5)
+        assert mon.restarts == 1
+
+    def test_slow_transfer_treated_as_hung(self):
+        mon = FailSafeMonitor(deadline_s=15.0, restart_penalty_s=20.0)
+        t = mon.supervise(0.0, [(60.0, False), (2.0, False)])
+        # capped at deadline before restart
+        assert t == pytest.approx(15.0 + 20.0 + 2.0)
+
+    def test_all_attempts_fail_skips_cycle(self):
+        mon = FailSafeMonitor(deadline_s=15.0, max_attempts=2)
+        t = mon.supervise(0.0, [(99.0, True), (99.0, True)])
+        assert t is None
+        assert mon.skipped_cycles == 1
+
+    def test_restart_rate(self):
+        mon = FailSafeMonitor(deadline_s=15.0)
+        mon.supervise(0.0, [(3.0, False)])
+        mon.supervise(30.0, [(99.0, True), (2.0, False)])
+        assert 0 < mon.restart_rate < 1

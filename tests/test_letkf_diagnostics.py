@@ -1,0 +1,100 @@
+"""Desroziers statistics, rank histograms, spread-skill."""
+
+import numpy as np
+import pytest
+
+from repro.letkf.diagnostics import (
+    desroziers,
+    rank_histogram,
+    spread_skill_ratio,
+)
+
+
+class TestDesroziers:
+    def make_system(self, sigma_o=2.0, sigma_b=3.0, n=200_000, seed=0):
+        """A linear-Gaussian system where the estimates are exact."""
+        rng = np.random.default_rng(seed)
+        truth = rng.normal(0, 10.0, n)
+        xb = truth + rng.normal(0, sigma_b, n)
+        yo = truth + rng.normal(0, sigma_o, n)
+        # optimal scalar analysis
+        k = sigma_b**2 / (sigma_b**2 + sigma_o**2)
+        xa = xb + k * (yo - xb)
+        return yo - xb, yo - xa
+
+    def test_recovers_obs_error(self):
+        omb, oma = self.make_system(sigma_o=2.0, sigma_b=3.0)
+        st = desroziers(omb, oma)
+        assert st.sigma_o_estimated == pytest.approx(2.0, rel=0.05)
+
+    def test_recovers_background_error(self):
+        omb, oma = self.make_system(sigma_o=2.0, sigma_b=3.0)
+        st = desroziers(omb, oma)
+        assert st.sigma_b_estimated == pytest.approx(3.0, rel=0.05)
+
+    def test_consistency_check(self):
+        omb, oma = self.make_system(sigma_o=5.0, sigma_b=4.0)
+        st = desroziers(omb, oma)
+        assert st.consistent_with(5.0)
+        assert not st.consistent_with(50.0)
+
+    def test_table2_errors_in_a_consistent_system(self):
+        # a system built with the paper's 5-dBZ reflectivity error must
+        # be diagnosed as consistent with 5 dBZ
+        omb, oma = self.make_system(sigma_o=5.0, sigma_b=6.0, seed=3)
+        assert desroziers(omb, oma).consistent_with(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            desroziers(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            desroziers(np.array([]), np.array([]))
+
+
+class TestRankHistogram:
+    def test_reliable_ensemble_flat(self):
+        rng = np.random.default_rng(0)
+        m, n = 9, 50_000
+        ens = rng.normal(size=(m, n))
+        truth = rng.normal(size=n)  # drawn from the same distribution
+        counts = rank_histogram(ens, truth)
+        assert counts.shape == (m + 1,)
+        expected = n / (m + 1)
+        assert np.all(np.abs(counts - expected) < 0.1 * expected)
+
+    def test_underdispersed_u_shape(self):
+        rng = np.random.default_rng(1)
+        ens = rng.normal(0, 0.3, size=(9, 20_000))  # too narrow
+        truth = rng.normal(0, 1.0, 20_000)
+        counts = rank_histogram(ens, truth)
+        # extremes dominate the middle
+        assert counts[0] > 2 * counts[5]
+        assert counts[-1] > 2 * counts[5]
+
+    def test_biased_ensemble_skewed(self):
+        rng = np.random.default_rng(2)
+        ens = rng.normal(2.0, 1.0, size=(9, 20_000))  # warm bias
+        truth = rng.normal(0.0, 1.0, 20_000)
+        counts = rank_histogram(ens, truth)
+        assert counts[0] > counts[-1] * 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rank_histogram(np.zeros((5, 4)), np.zeros(3))
+
+
+class TestSpreadSkill:
+    def test_reliable_ratio_near_one(self):
+        # a reliable ensemble: truth and members are exchangeable draws
+        # around a common (unknown) center
+        rng = np.random.default_rng(3)
+        center = rng.normal(size=30_000)
+        truth = center + rng.normal(size=30_000)
+        ens = center[None] + rng.normal(size=(20, 30_000))
+        assert spread_skill_ratio(ens, truth) == pytest.approx(1.0, abs=0.1)
+
+    def test_overconfident_below_one(self):
+        rng = np.random.default_rng(4)
+        truth = rng.normal(size=10_000)
+        ens = truth[None] + rng.normal(0, 0.2, size=(20, 10_000)) + 1.0  # biased
+        assert spread_skill_ratio(ens, truth) < 0.5

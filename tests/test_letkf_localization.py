@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.config import reduced_inner_domain
+from repro.grid import Grid
+from repro.letkf.localization import (
+    GC_SUPPORT_FACTOR,
+    build_stencil,
+    cutoff_radius,
+    gaspari_cohn,
+)
+
+
+class TestGaspariCohn:
+    def test_one_at_zero(self):
+        assert gaspari_cohn(0.0) == pytest.approx(1.0)
+
+    def test_zero_beyond_support(self):
+        r = np.array([2.0, 2.5, 10.0])
+        assert np.allclose(gaspari_cohn(r), 0.0)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0, 2, 200)
+        w = gaspari_cohn(r)
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_bounded_01(self):
+        r = np.linspace(0, 3, 300)
+        w = gaspari_cohn(r)
+        assert np.all(w >= 0) and np.all(w <= 1)
+
+    def test_continuous_at_one(self):
+        assert gaspari_cohn(1.0 - 1e-9) == pytest.approx(gaspari_cohn(1.0 + 1e-9), abs=1e-6)
+
+    def test_symmetric(self):
+        assert gaspari_cohn(-0.7) == pytest.approx(gaspari_cohn(0.7))
+
+    def test_half_weight_near_two_thirds_support(self, ):
+        # GC drops through 0.5 around r ~ 0.66 (Gaussian-like core)
+        assert gaspari_cohn(0.5) > 0.5 > gaspari_cohn(0.8)
+
+
+class TestCutoff:
+    def test_cutoff_formula(self):
+        assert cutoff_radius(2000.0) == pytest.approx(2 * GC_SUPPORT_FACTOR * 2000.0)
+
+    def test_paper_localization_cutoff(self):
+        # 2 km scale -> ~7.3 km support radius
+        assert cutoff_radius(2000.0) == pytest.approx(7303.0, rel=0.01)
+
+
+class TestStencil:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return Grid(reduced_inner_domain(nx=32, nz=20))
+
+    def test_contains_origin_with_weight_one(self, grid):
+        st = build_stencil(grid, 8000.0, 4000.0)
+        assert tuple(st.offsets[0]) == (0, 0, 0)
+        assert st.weights[0] == pytest.approx(1.0)
+
+    def test_sorted_descending(self, grid):
+        st = build_stencil(grid, 8000.0, 4000.0)
+        assert np.all(np.diff(st.weights) <= 1e-12)
+
+    def test_max_points_truncation_keeps_nearest(self, grid):
+        full = build_stencil(grid, 8000.0, 4000.0)
+        trunc = build_stencil(grid, 8000.0, 4000.0, max_points=5)
+        assert trunc.n == 5
+        assert np.allclose(trunc.weights, full.weights[:5])
+
+    def test_symmetric_offsets(self, grid):
+        st = build_stencil(grid, 8000.0, 4000.0)
+        offs = {tuple(o) for o in st.offsets}
+        for o in offs:
+            assert (-o[0], -o[1], -o[2]) in offs
+
+    def test_larger_scale_more_points(self, grid):
+        small = build_stencil(grid, 4000.0, 2000.0)
+        large = build_stencil(grid, 12000.0, 6000.0)
+        assert large.n > small.n
+
+    def test_paper_scale_on_paper_mesh(self):
+        # 2 km localization on the 500 m mesh: the stencil must stay well
+        # under the Table-2 cap of 1000 obs per grid point per type
+        from repro.config import paper_inner_domain
+
+        g = Grid(paper_inner_domain())
+        st = build_stencil(g, 2000.0, 2000.0, max_points=500)
+        assert 50 < st.n <= 500
+
+    def test_weights_match_distance_formula(self, grid):
+        st = build_stencil(grid, 8000.0, 4000.0)
+        dz = float(np.min(np.diff(grid.z_c)))
+        for o, w in list(zip(st.offsets, st.weights))[:20]:
+            dh = np.hypot(o[1] * grid.dy, o[2] * grid.dx)
+            dv = abs(o[0]) * dz
+            expect = gaspari_cohn(dh / (GC_SUPPORT_FACTOR * 8000.0)) * gaspari_cohn(
+                dv / (GC_SUPPORT_FACTOR * 4000.0)
+            )
+            assert w == pytest.approx(expect, rel=1e-9)

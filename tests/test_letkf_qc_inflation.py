@@ -1,0 +1,167 @@
+import numpy as np
+import pytest
+
+from repro.config import reduced_inner_domain
+from repro.grid import Grid
+from repro.letkf.inflation import multiplicative, rtpp, rtpp_weights
+from repro.letkf.qc import GriddedObservations, gross_error_check, superob_to_grid
+
+
+class TestRTPP:
+    def test_alpha_one_returns_prior(self):
+        rng = np.random.default_rng(0)
+        xb = rng.normal(size=(4, 10))
+        xa = rng.normal(size=(4, 10))
+        assert np.allclose(rtpp(xb, xa, 1.0), xb)
+
+    def test_alpha_zero_returns_analysis(self):
+        rng = np.random.default_rng(1)
+        xb = rng.normal(size=(4, 10))
+        xa = rng.normal(size=(4, 10))
+        assert np.allclose(rtpp(xb, xa, 0.0), xa)
+
+    def test_paper_factor_blend(self):
+        xb = np.ones((1, 2))
+        xa = np.zeros((1, 2))
+        assert np.allclose(rtpp(xb, xa, 0.95), 0.95)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            rtpp(np.zeros(2), np.zeros(2), -0.1)
+
+    def test_weights_form_matches_explicit_form(self):
+        # applying RTPP to W must equal applying it to perturbations
+        rng = np.random.default_rng(2)
+        m = 8
+        W = rng.normal(size=(3, m, m))
+        Xb = rng.normal(size=(3, 5, m))
+        Xb -= Xb.mean(axis=2, keepdims=True)
+        alpha = 0.95
+        Wr = rtpp_weights(W, alpha)
+        xa_direct = np.einsum("gvm,gmn->gvn", Xb, Wr)
+        xa_plain = np.einsum("gvm,gmn->gvn", Xb, W)
+        xa_expect = alpha * Xb + (1 - alpha) * xa_plain
+        assert np.allclose(xa_direct, xa_expect, atol=1e-12)
+
+    def test_multiplicative(self):
+        pert = np.ones((2, 3))
+        assert np.allclose(multiplicative(pert, 1.1), 1.1)
+        with pytest.raises(ValueError):
+            multiplicative(pert, 0.0)
+
+
+class TestGriddedObservations:
+    def make(self, shape=(4, 6, 6)):
+        return GriddedObservations(
+            kind="reflectivity",
+            values=np.full(shape, 20.0, dtype=np.float32),
+            valid=np.ones(shape, bool),
+            error_std=5.0,
+        )
+
+    def test_n_valid(self):
+        obs = self.make()
+        assert obs.n_valid == 4 * 6 * 6
+        obs.valid[0] = False
+        assert obs.n_valid == 3 * 6 * 6
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GriddedObservations("reflectivity", np.zeros((2, 2, 2)), np.ones((3, 2, 2), bool), 5.0)
+
+    def test_nonpositive_error_rejected(self):
+        with pytest.raises(ValueError):
+            GriddedObservations("doppler", np.zeros((2, 2, 2)), np.ones((2, 2, 2), bool), 0.0)
+
+    def test_copy_independent(self):
+        obs = self.make()
+        c = obs.copy()
+        c.valid[...] = False
+        assert obs.n_valid > 0
+
+
+class TestGrossErrorCheck:
+    def test_rejects_large_departures(self):
+        obs = GriddedObservations(
+            "reflectivity",
+            np.full((2, 3, 3), 40.0, dtype=np.float32),
+            np.ones((2, 3, 3), bool),
+            5.0,
+        )
+        hxb_mean = np.full((2, 3, 3), 10.0)  # departure 30 > 10 dBZ
+        out = gross_error_check(obs, hxb_mean, threshold=10.0)
+        assert out.n_valid == 0
+        assert out.n_rejected_gross == 18
+
+    def test_keeps_small_departures(self):
+        obs = GriddedObservations(
+            "reflectivity",
+            np.full((2, 3, 3), 12.0, dtype=np.float32),
+            np.ones((2, 3, 3), bool),
+            5.0,
+        )
+        out = gross_error_check(obs, np.full((2, 3, 3), 10.0), threshold=10.0)
+        assert out.n_valid == 18
+        assert out.n_rejected_gross == 0
+
+    def test_paper_thresholds_partition(self):
+        # departures straddling the 10 dBZ threshold
+        vals = np.zeros((1, 1, 4), dtype=np.float32)
+        vals[0, 0] = [5.0, 9.9, 10.1, 25.0]
+        obs = GriddedObservations("reflectivity", vals, np.ones((1, 1, 4), bool), 5.0)
+        out = gross_error_check(obs, np.zeros((1, 1, 4)), threshold=10.0)
+        assert list(out.valid[0, 0]) == [True, True, False, False]
+
+    def test_invalid_stay_invalid(self):
+        obs = GriddedObservations(
+            "doppler", np.zeros((1, 2, 2), np.float32), np.zeros((1, 2, 2), bool), 3.0
+        )
+        out = gross_error_check(obs, np.zeros((1, 2, 2)), threshold=15.0)
+        assert out.n_valid == 0
+        assert out.n_rejected_gross == 0  # nothing valid to reject
+
+    def test_shape_mismatch(self):
+        obs = GriddedObservations(
+            "doppler", np.zeros((1, 2, 2), np.float32), np.ones((1, 2, 2), bool), 3.0
+        )
+        with pytest.raises(ValueError):
+            gross_error_check(obs, np.zeros((2, 2, 2)), 15.0)
+
+
+class TestSuperob:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return Grid(reduced_inner_domain(nx=8, nz=4))
+
+    def test_averages_samples_in_cell(self, grid):
+        x = np.array([1000.0, 1001.0, 1002.0])
+        y = np.array([1000.0, 1000.0, 1000.0])
+        z = np.array([100.0, 100.0, 100.0])
+        v = np.array([10.0, 20.0, 30.0])
+        obs = superob_to_grid(grid, x, y, z, v, kind="reflectivity", error_std=5.0)
+        assert obs.n_valid == 1
+        assert obs.values[obs.valid][0] == pytest.approx(20.0)
+
+    def test_empty_cells_invalid(self, grid):
+        obs = superob_to_grid(
+            grid,
+            np.array([500.0]),
+            np.array([500.0]),
+            np.array([100.0]),
+            np.array([1.0]),
+            kind="reflectivity",
+            error_std=5.0,
+        )
+        assert obs.n_valid == 1
+        assert obs.valid.sum() == 1
+
+    def test_min_samples_threshold(self, grid):
+        x = np.array([500.0, 40000.0, 40001.0])
+        y = np.array([500.0, 40000.0, 40000.0])
+        z = np.array([100.0, 100.0, 100.0])
+        v = np.array([1.0, 2.0, 3.0])
+        obs = superob_to_grid(
+            grid, x, y, z, v, kind="reflectivity", error_std=5.0, min_samples=2
+        )
+        # only the doubly-sampled cell survives
+        assert obs.n_valid == 1

@@ -1,0 +1,172 @@
+"""The gridded LETKF driver on synthetic fields."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import gaussian_filter
+
+from repro.config import LETKFConfig, reduced_inner_domain
+from repro.grid import Grid
+from repro.letkf import LETKFSolver
+from repro.letkf.qc import GriddedObservations
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(reduced_inner_domain(nx=12, nz=8))
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return LETKFConfig(
+        ensemble_size=12,
+        localization_h=9000.0,
+        localization_v=3000.0,
+        analysis_zmin=0.0,
+        analysis_zmax=20000.0,
+        eigensolver="lapack",
+    )
+
+
+def make_case(grid, m=12, seed=0, bias=2.0, obs_err=1.0):
+    rng = np.random.default_rng(seed)
+
+    def smooth(a):
+        return gaussian_filter(a, sigma=(1, 2, 2)).astype(np.float32)
+
+    truth = smooth(rng.normal(size=grid.shape)) * 8 + 20
+    ens = np.stack([truth + smooth(rng.normal(size=grid.shape)) * 6 + bias for _ in range(m)])
+    obs = GriddedObservations(
+        kind="reflectivity",
+        values=truth + rng.normal(size=grid.shape).astype(np.float32) * obs_err,
+        valid=np.ones(grid.shape, bool),
+        error_std=obs_err,
+    )
+    return truth, ens, obs
+
+
+class TestAnalysisQuality:
+    def test_error_reduction(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        solver = LETKFSolver(grid, cfg)
+        ana, diag = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        prior = np.sqrt(np.mean((ens.mean(0) - truth) ** 2))
+        post = np.sqrt(np.mean((ana["x"].mean(0) - truth) ** 2))
+        assert post < 0.5 * prior
+
+    def test_backends_agree(self, grid, cfg):
+        from dataclasses import replace
+
+        truth, ens, obs = make_case(grid)
+        a1, _ = LETKFSolver(grid, cfg).analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        a2, _ = LETKFSolver(grid, replace(cfg, eigensolver="kedv")).analyze(
+            {"x": ens}, [obs], {"reflectivity": ens.copy()}
+        )
+        assert np.allclose(a1["x"], a2["x"], atol=2e-2)
+
+    def test_rtpp_keeps_more_spread(self, grid, cfg):
+        from dataclasses import replace
+
+        truth, ens, obs = make_case(grid)
+        _, d_with = LETKFSolver(grid, cfg).analyze(
+            {"x": ens}, [obs], {"reflectivity": ens.copy()}
+        )
+        _, d_without = LETKFSolver(grid, replace(cfg, rtpp_factor=0.0)).analyze(
+            {"x": ens}, [obs], {"reflectivity": ens.copy()}
+        )
+        assert d_with.spread_after > d_without.spread_after
+
+    def test_no_valid_obs_is_identity(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        obs.valid[...] = False
+        solver = LETKFSolver(grid, cfg)
+        ana, diag = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        assert np.allclose(ana["x"], ens, atol=1e-5)
+        assert diag.n_points_updated == 0
+
+    def test_analysis_height_range_respected(self, grid):
+        # restrict analysis to levels 2-5; other levels must be untouched
+        cfg = LETKFConfig(
+            ensemble_size=12,
+            localization_h=9000.0,
+            localization_v=3000.0,
+            analysis_zmin=float(grid.z_c[2]),
+            analysis_zmax=float(grid.z_c[5]),
+            eigensolver="lapack",
+        )
+        truth, ens, obs = make_case(grid)
+        solver = LETKFSolver(grid, cfg)
+        ana, _ = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        assert np.allclose(ana["x"][:, 0], ens[:, 0])
+        assert np.allclose(ana["x"][:, -1], ens[:, -1])
+        assert not np.allclose(ana["x"][:, 3], ens[:, 3])
+
+    def test_paper_height_range_maps_to_levels(self, grid):
+        cfg = LETKFConfig(ensemble_size=12)
+        solver = LETKFSolver(grid, cfg)
+        zc = grid.z_c
+        expect = (zc >= 500.0) & (zc <= 11000.0)
+        assert np.array_equal(solver.level_mask, expect)
+
+    def test_gross_error_rejection_counted(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        # corrupt a block of observations far beyond the 10 dBZ threshold
+        obs.values[2, :4, :4] += 500.0
+        solver = LETKFSolver(grid, cfg)
+        _, diag = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        assert diag.n_rejected_gross >= 16
+
+    def test_multivariate_update_through_correlations(self, grid, cfg):
+        # a second variable correlated with the observed one must move too
+        rng = np.random.default_rng(5)
+        truth, ens, obs = make_case(grid)
+        ens2 = ens * 0.5 + 1.0  # perfectly correlated companion variable
+        solver = LETKFSolver(grid, cfg)
+        ana, _ = solver.analyze(
+            {"x": ens, "y": ens2}, [obs], {"reflectivity": ens.copy()}
+        )
+        assert not np.allclose(ana["y"], ens2, atol=1e-4)
+        # and the update direction is consistent with the correlation
+        inc_x = ana["x"].mean(0) - ens.mean(0)
+        inc_y = ana["y"].mean(0) - ens2.mean(0)
+        mask = np.abs(inc_x) > 0.5
+        if np.any(mask):
+            ratio = inc_y[mask] / inc_x[mask]
+            assert np.median(ratio) == pytest.approx(0.5, abs=0.1)
+
+    def test_negative_moisture_clipped(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        qv = np.abs(ens) * 1e-4
+        solver = LETKFSolver(grid, cfg)
+        ana, _ = solver.analyze(
+            {"x": ens, "qv": qv}, [obs], {"reflectivity": ens.copy()}
+        )
+        assert np.all(ana["qv"] >= 0.0)
+
+    def test_diagnostics_fields(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        solver = LETKFSolver(grid, cfg)
+        _, diag = solver.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()})
+        assert diag.n_obs_total > 0
+        assert diag.n_obs_used <= diag.n_obs_total
+        assert "reflectivity" in diag.innovation_rms
+        assert "obs used" in diag.summary()
+
+    def test_two_obs_types(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        obs2 = GriddedObservations(
+            kind="doppler",
+            values=(truth * 0.1).astype(np.float32),
+            valid=np.ones(grid.shape, bool),
+            error_std=3.0,
+        )
+        hxb = {"reflectivity": ens.copy(), "doppler": ens * 0.1}
+        solver = LETKFSolver(grid, cfg)
+        ana, diag = solver.analyze({"x": ens}, [obs, obs2], hxb)
+        assert diag.n_obs_total == 2 * obs.values.size
+
+    def test_level_chunking_invariant(self, grid, cfg):
+        truth, ens, obs = make_case(grid)
+        s = LETKFSolver(grid, cfg)
+        a1, _ = s.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()}, level_chunk=2)
+        a2, _ = s.analyze({"x": ens}, [obs], {"reflectivity": ens.copy()}, level_chunk=8)
+        assert np.allclose(a1["x"], a2["x"], atol=1e-4)

@@ -1,0 +1,102 @@
+"""Convective diagnostics (CAPE, PW, echo tops, VIL ...)."""
+
+import numpy as np
+import pytest
+
+from repro.model.diagnostics import (
+    cape_cin,
+    column_max_dbz,
+    echo_top_height,
+    precipitable_water,
+    updraft_helicity_proxy,
+    vertically_integrated_liquid,
+)
+
+
+class TestCAPE:
+    def test_convective_sounding_has_cape(self, model):
+        # the OSSE environment is conditionally unstable by construction
+        st = model.initial_state()
+        cape, cin = cape_cin(st)
+        assert cape > 50.0
+        assert cin <= 0.0
+
+    def test_dry_stable_sounding_no_cape(self):
+        from repro.config import ScaleConfig
+        from repro.model import ScaleRM
+        from repro.model.reference import Sounding
+
+        stable = Sounding(rh_sfc=0.15, dtheta_dz_bl=6e-3, dtheta_dz_ft=6e-3)
+        m = ScaleRM(ScaleConfig().reduced(nx=8, nz=16), stable, with_physics=False)
+        cape, _ = cape_cin(m.initial_state())
+        assert cape < 50.0
+
+    def test_moistening_increases_cape(self, model):
+        st = model.initial_state()
+        cape0, _ = cape_cin(st)
+        st.fields["qv"][0:2] *= 1.2
+        cape1, _ = cape_cin(st)
+        assert cape1 > cape0
+
+    def test_single_column(self, model):
+        st = model.initial_state()
+        cape, cin = cape_cin(st, j=4, i=4)
+        assert np.isfinite(cape) and np.isfinite(cin)
+
+
+class TestColumnDiagnostics:
+    def test_precipitable_water_plausible(self, model):
+        pw = precipitable_water(model.initial_state())
+        assert pw.shape == (model.grid.ny, model.grid.nx)
+        # humid summer sounding: 20-70 mm
+        assert 10.0 < pw.mean() < 80.0
+
+    def test_echo_top_height(self):
+        z_c = np.linspace(250, 15750, 16)
+        dbz = np.full((16, 4, 4), -30.0)
+        dbz[:8, 1, 1] = 30.0  # echo up to level 7
+        tops = echo_top_height(dbz, z_c, threshold=18.0)
+        assert tops[1, 1] == pytest.approx(z_c[7])
+        assert tops[0, 0] == 0.0
+
+    def test_vil_zero_without_precip(self, model):
+        vil = vertically_integrated_liquid(model.initial_state())
+        assert np.allclose(vil, 0.0)
+
+    def test_vil_positive_with_rain(self, model):
+        st = model.initial_state()
+        st.fields["qr"][2:5] = 1e-3
+        vil = vertically_integrated_liquid(st)
+        assert np.all(vil > 0)
+
+    def test_column_max(self):
+        dbz = np.zeros((4, 2, 2))
+        dbz[2, 1, 0] = 55.0
+        assert column_max_dbz(dbz)[1, 0] == 55.0
+
+    def test_updraft_helicity_zero_at_rest(self, model):
+        uh = updraft_helicity_proxy(model.initial_state())
+        assert np.allclose(uh, 0.0, atol=1e-6)
+
+    def test_updraft_helicity_detects_rotation(self, model):
+        st = model.initial_state()
+        g = model.grid
+        # a rotating updraft: solid-body vortex + updraft at mid-levels
+        Z, Y, X = g.meshgrid()
+        x0 = y0 = 64000.0
+        dens = st.dens
+        st.fields["momx"] += (dens * (-(Y - y0) * 1e-4)).astype(g.dtype)
+        st.fields["momy"] += (dens * ((X - x0) * 1e-4)).astype(g.dtype)
+        st.fields["momz"][3:8] = 2.0
+        uh = updraft_helicity_proxy(st)
+        j, i = g.column_index(x0, y0)
+        assert uh[j, i] > 0.0
+
+    def test_storm_diagnostics_on_nature(self, developed_nature):
+        from repro.radar.reflectivity import dbz_from_state
+
+        dbz = dbz_from_state(developed_nature)
+        tops = echo_top_height(dbz.astype(np.float64), developed_nature.grid.z_c)
+        vil = vertically_integrated_liquid(developed_nature)
+        assert tops.max() > 2000.0  # the storm has depth
+        assert vil.max() > 0.05

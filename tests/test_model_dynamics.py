@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.model import ScaleRM, convective_sounding, warm_bubble
+from repro.model.dynamics import TridiagonalFactors
+
+
+class TestTridiagonalFactors:
+    def test_solves_known_system(self):
+        n = 12
+        rng = np.random.default_rng(0)
+        sub = rng.uniform(-0.3, -0.1, n)
+        sup = rng.uniform(-0.3, -0.1, n)
+        diag = np.full(n, 2.0)
+        sub[0] = sup[-1] = 0.0
+        A = np.diag(diag) + np.diag(sub[1:], -1) + np.diag(sup[:-1], 1)
+        x_true = rng.normal(size=(n, 4, 5))
+        rhs = np.einsum("ij,jkl->ikl", A, x_true)
+        tf = TridiagonalFactors(sub, diag, sup)
+        x = tf.solve(rhs)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+    def test_rejects_singular(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            TridiagonalFactors(np.zeros(3), np.zeros(3), np.zeros(3))
+
+    def test_rejects_band_mismatch(self):
+        with pytest.raises(ValueError):
+            TridiagonalFactors(np.zeros(3), np.zeros(4), np.zeros(4))
+
+
+class TestQuiescentStability:
+    def test_rest_state_stays_at_rest(self, model):
+        st = model.initial_state()
+        for _ in range(10):
+            st = model.dynamics.step(st, model.config.dt)
+        assert np.allclose(st.fields["momz"], 0.0, atol=1e-6)
+        assert np.allclose(st.fields["dens_p"], 0.0, atol=1e-6)
+
+    def test_rigid_lid_and_ground(self, bubble_state, model):
+        st = bubble_state
+        for _ in range(10):
+            st = model.dynamics.step(st, model.config.dt)
+        assert np.allclose(st.fields["momz"][0], 0.0)
+        assert np.allclose(st.fields["momz"][-1], 0.0)
+
+
+class TestWarmBubble:
+    def test_bubble_rises(self, model, bubble_state):
+        st = bubble_state
+        j, i = model.grid.column_index(64000.0, 64000.0)
+        for _ in range(30):
+            st = model.dynamics.step(st, model.config.dt)
+        w_col = st.fields["momz"][:, j, i]
+        assert w_col.max() > 0.05  # upward motion at the bubble
+
+    def test_bubble_init_is_isobaric(self, model, bubble_state):
+        p0 = model.initial_state().pressure()
+        p1 = bubble_state.pressure()
+        assert np.allclose(p0, p1, rtol=1e-6)
+
+    def test_bubble_is_buoyant_not_heavy(self, model, bubble_state):
+        # warm bubble: negative density anomaly
+        assert bubble_state.fields["dens_p"].min() < 0
+        assert bubble_state.fields["dens_p"].max() <= 1e-8
+
+    def test_no_blowup_long_run(self, model, bubble_state):
+        st = bubble_state
+        for _ in range(100):
+            st = model.dynamics.step(st, model.config.dt)
+        assert np.all(np.isfinite(st.fields["momz"]))
+        assert np.abs(st.fields["momz"]).max() < 50.0
+
+    def test_energy_growth_bounded_quiet_run(self, model):
+        # tiny perturbation must not grow explosively (acoustic stability)
+        st = model.initial_state()
+        rng = np.random.default_rng(3)
+        st.fields["dens_p"] += 1e-5 * rng.normal(size=model.grid.shape).astype(
+            model.grid.dtype
+        )
+        e0 = float(np.sum(st.fields["dens_p"].astype(np.float64) ** 2))
+        for _ in range(50):
+            st = model.dynamics.step(st, model.config.dt)
+        e1 = float(np.sum(st.fields["dens_p"].astype(np.float64) ** 2))
+        assert e1 < 50.0 * e0
+
+
+class TestCFL:
+    def test_cfl_diagnostic_scales_with_dt(self, model):
+        st = model.initial_state()
+        c1 = model.dynamics.max_horizontal_cfl(st, 1.0)
+        c2 = model.dynamics.max_horizontal_cfl(st, 2.0)
+        assert c2 == pytest.approx(2.0 * c1)
+
+    def test_configured_dt_is_stable_regime(self, model):
+        st = model.initial_state()
+        assert model.dynamics.max_horizontal_cfl(st, model.config.dt) < 1.6
+
+    def test_paper_dt_on_paper_mesh(self):
+        # the 0.4 s / 500 m pair must sit inside the HEVI stability range
+        cfg = ScaleConfig()
+        cs = 350.0
+        cfl = cfg.dt * 2 * cs / cfg.domain.dx
+        assert cfl < 1.6
+
+
+class TestDivergenceDamping:
+    def test_damping_reduces_divergence_noise(self):
+        from dataclasses import replace
+
+        base = ScaleConfig().reduced(nx=16, nz=10)
+        snd = convective_sounding()
+        rng = np.random.default_rng(5)
+
+        def run(damp):
+            cfg = replace(base, divergence_damping=damp)
+            m = ScaleRM(cfg, snd, with_physics=False)
+            st = m.initial_state()
+            noise = rng.normal(size=m.grid.shape).astype(m.grid.dtype)
+            st.fields["momx"] += 0.5 * noise
+            for _ in range(20):
+                st = m.dynamics.step(st, cfg.dt)
+            momz = st.fields["momz"]
+            from repro.model.advection import mass_divergence
+
+            dwdz = (momz[1:] - momz[:-1]) / m.grid.dz[:, None, None]
+            div = mass_divergence(m.grid, st.fields["momx"], st.fields["momy"]) + dwdz
+            return float(np.sqrt(np.mean(div.astype(np.float64) ** 2)))
+
+        rng = np.random.default_rng(5)
+        noisy = run(0.0)
+        rng = np.random.default_rng(5)
+        damped = run(0.1)
+        assert damped < noisy

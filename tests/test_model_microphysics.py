@@ -1,0 +1,178 @@
+import numpy as np
+import pytest
+
+from repro.constants import TEM00
+from repro.model.microphysics import FALL_SPEED_PARAMS, MicrophysicsSM6, surface_rain_rate
+
+
+@pytest.fixture()
+def mp(model):
+    return MicrophysicsSM6(model.grid, model.reference)
+
+
+def saturated_state(model, *, qc=0.0, qr=0.0, qi=0.0, supersat=1.3):
+    """A state with supersaturated low levels and optional condensate."""
+    from repro.constants import saturation_mixing_ratio
+
+    st = model.initial_state()
+    pres = st.pressure()
+    temp = st.temperature()
+    qsat = saturation_mixing_ratio(pres, temp)
+    st.fields["qv"][...] = (supersat * qsat).astype(model.grid.dtype)
+    st.fields["qc"][...] = qc
+    st.fields["qr"][...] = qr
+    st.fields["qi"][...] = qi
+    return st
+
+
+class TestSaturationAdjustment:
+    def test_condensation_in_supersaturation(self, model, mp):
+        st = saturated_state(model)
+        d = mp.tendencies(st, dt=10.0)
+        assert np.any(d["qc"] > 0)
+        assert np.any(d["qv"] < 0)
+
+    def test_latent_heating_positive_where_condensing(self, model, mp):
+        st = saturated_state(model)
+        d = mp.tendencies(st, dt=10.0)
+        heating = d["rhot_p"]
+        cond = d["qc"] > 1e-10
+        assert np.all(heating[cond] > 0)
+
+    def test_no_condensation_when_subsaturated(self, model, mp):
+        st = saturated_state(model, supersat=0.5)
+        d = mp.tendencies(st, dt=10.0)
+        assert np.all(d["qc"] <= 1e-12)
+
+    def test_cloud_evaporation_limited_by_available_cloud(self, model, mp):
+        st = saturated_state(model, qc=1e-5, supersat=0.3)
+        dt = 10.0
+        d = mp.tendencies(st, dt)
+        # evaporation cannot remove more cloud than exists
+        assert np.all(st.fields["qc"] + dt * d["qc"] >= -1e-12)
+
+
+class TestWarmRain:
+    def test_autoconversion_above_threshold(self, model, mp):
+        st = saturated_state(model, qc=2.0e-3)
+        d = mp.tendencies(st, dt=10.0)
+        assert np.any(d["qr"] > 0)
+
+    def test_no_autoconversion_below_threshold(self, model, mp):
+        st = saturated_state(model, qc=0.5e-3, supersat=1.0)
+        d = mp.tendencies(st, dt=10.0)
+        low = st.temperature() > TEM00  # warm region only (no riming path)
+        assert np.all(d["qr"][low] <= 1e-10)
+
+    def test_accretion_grows_with_rain(self, model, mp):
+        st_small = saturated_state(model, qc=2e-3, qr=1e-4)
+        st_big = saturated_state(model, qc=2e-3, qr=1e-3)
+        d_small = mp.tendencies(st_small, dt=10.0)
+        d_big = mp.tendencies(st_big, dt=10.0)
+        # compare in the warm levels only (aloft, rain freezing to
+        # graupel removes qr proportionally to qr itself)
+        warm = st_small.temperature() > TEM00 + 2.0
+        assert np.mean(d_big["qr"][warm]) > np.mean(d_small["qr"][warm])
+
+    def test_rain_evaporates_in_dry_air(self, model, mp):
+        st = saturated_state(model, qr=1e-3, supersat=0.2)
+        d = mp.tendencies(st, dt=10.0)
+        assert np.any(d["qr"] < 0)
+        assert np.any(d["qv"] > 0)
+
+
+class TestColdRain:
+    def test_ice_forms_only_below_freezing(self, model, mp):
+        st = saturated_state(model, supersat=1.5)
+        d = mp.tendencies(st, dt=10.0)
+        temp = st.temperature()
+        warm = temp > TEM00 + 1.0
+        assert np.all(d["qi"][warm] <= 1e-12)
+
+    def test_melting_above_freezing(self, model, mp):
+        st = saturated_state(model, supersat=1.0)
+        st.fields["qs"][...] = 1e-3
+        d = mp.tendencies(st, dt=10.0)
+        warm = st.temperature() > TEM00 + 2.0
+        if np.any(warm):
+            assert np.all(d["qs"][warm] < 0)
+            assert np.all(d["qr"][warm] > 0)
+
+    def test_homogeneous_freezing_of_rain(self, model, mp):
+        st = saturated_state(model, qr=1e-3, supersat=0.9)
+        temp = st.temperature()
+        very_cold = temp < mp.t_frz
+        if np.any(very_cold):
+            d = mp.tendencies(st, dt=10.0)
+            assert np.all(d["qg"][very_cold] >= 0)
+            assert np.all(d["qr"][very_cold] <= 0)
+
+
+class TestWaterConservation:
+    def test_process_rates_conserve_total_water(self, model, mp):
+        st = saturated_state(model, qc=2e-3, qr=5e-4, qi=2e-4)
+        st.fields["qs"][...] = 1e-4
+        st.fields["qg"][...] = 1e-4
+        d = mp.tendencies(st, dt=10.0)
+        total = sum(d[q] for q in ("qv", "qc", "qr", "qi", "qs", "qg"))
+        # all microphysical conversions are internal: total water unchanged
+        assert np.allclose(total, 0.0, atol=1e-12)
+
+    def test_positivity_after_one_step(self, model, mp):
+        st = saturated_state(model, qc=1e-4, qr=1e-5)
+        dt = 10.0
+        d = mp.tendencies(st, dt)
+        for q in ("qv", "qc", "qr", "qi", "qs", "qg"):
+            new = st.fields[q] + dt * d[q]
+            assert np.all(new >= -1e-10), q
+
+
+class TestSedimentation:
+    def test_fall_speed_monotone_in_content(self, model):
+        dens = np.full((4,), 1.0)
+        qr_small = np.full((4,), 1e-5)
+        qr_big = np.full((4,), 1e-3)
+        from repro.model.microphysics import _fall_speed
+
+        v_small = _fall_speed("qr", dens, qr_small, 1.2)
+        v_big = _fall_speed("qr", dens, qr_big, 1.2)
+        assert np.all(v_big > v_small)
+
+    def test_fall_speeds_capped(self, model):
+        from repro.model.microphysics import _fall_speed
+
+        v = _fall_speed("qr", np.array([1.0]), np.array([1.0]), 1.2)
+        assert v[0] <= 12.0
+
+    def test_rain_reaches_surface(self, model, mp):
+        st = model.initial_state()
+        st.fields["qr"][...] = 1e-3
+        rr = mp.sedimentation(st, dt=30.0)
+        assert rr.shape == (model.grid.ny, model.grid.nx)
+        assert np.all(rr > 0)
+
+    def test_sedimentation_removes_water_only_through_surface(self, model, mp):
+        st = model.initial_state()
+        st.fields["qr"][...] = 1e-3
+        before = st.total_water_path()
+        dt = 30.0
+        rr = mp.sedimentation(st, dt)  # mm/h
+        after = st.total_water_path()
+        # column water lost == surface flux (mm/h -> kg/m2 over dt)
+        lost = before - after
+        flux = float(np.mean(rr)) / 3600.0 * dt
+        assert lost == pytest.approx(flux, rel=0.05)
+
+    def test_no_rain_no_op(self, model, mp):
+        st = model.initial_state()
+        rr = mp.sedimentation(st, dt=30.0)
+        assert np.allclose(rr, 0.0)
+
+    def test_surface_rain_rate_diagnostic(self, model):
+        st = model.initial_state()
+        st.fields["qr"][0] = 2e-3
+        rr = surface_rain_rate(st)
+        assert np.all(rr > 0)
+
+    def test_species_have_fall_params(self):
+        assert set(FALL_SPEED_PARAMS) == {"qr", "qs", "qg"}

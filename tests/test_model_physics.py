@@ -1,0 +1,220 @@
+"""Radiation, surface fluxes, PBL, Smagorinsky, and the physics driver."""
+
+import numpy as np
+import pytest
+
+from repro.model.pbl import MYNN25, _tridiag_solve_var
+from repro.model.physics import PhysicsSuite
+from repro.model.radiation import GrayRadiation
+from repro.model.surface import BeljaarsSurface
+from repro.model.turbulence import Smagorinsky
+
+
+class TestGrayRadiation:
+    def test_clear_sky_tropospheric_cooling(self, model):
+        rad = GrayRadiation(model.grid, model.reference)
+        st = model.initial_state()
+        heat = rad.heating_rate(st, cos_zenith=0.0)  # night
+        # longwave-only: net cooling through most of the column
+        mean_rate = heat.mean(axis=(1, 2)) * 86400.0  # K/day
+        assert np.mean(mean_rate) < 0
+        assert np.all(np.abs(mean_rate) < 20.0)  # physically bounded
+
+    def test_solar_heating_reduces_cooling(self, model):
+        rad = GrayRadiation(model.grid, model.reference)
+        st = model.initial_state()
+        night = rad.heating_rate(st, cos_zenith=0.0)
+        day = rad.heating_rate(st, cos_zenith=1.0)
+        assert day.mean() > night.mean()
+
+    def test_cloud_enhances_local_cooling_at_top(self, model):
+        rad = GrayRadiation(model.grid, model.reference)
+        st = model.initial_state()
+        clear = rad.heating_rate(st, cos_zenith=0.0)
+        st.fields["qc"][5, 8, 8] = 2e-3  # opaque cloud layer
+        cloudy = rad.heating_rate(st, cos_zenith=0.0)
+        # cloud top (just above the layer) cools harder than clear sky
+        assert cloudy[5, 8, 8] != pytest.approx(clear[5, 8, 8])
+
+    def test_output_shape_and_dtype(self, model):
+        rad = GrayRadiation(model.grid, model.reference)
+        heat = rad.heating_rate(model.initial_state())
+        assert heat.shape == model.grid.shape
+        assert heat.dtype == model.grid.dtype
+
+
+class TestBeljaarsSurface:
+    def test_flux_keys(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference)
+        fl = sfc.fluxes(model.initial_state())
+        assert set(fl) == {"tau_x", "tau_y", "shf", "lhf", "ustar"}
+
+    def test_momentum_flux_opposes_wind(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference)
+        st = model.initial_state()
+        u1 = st.velocities()[0][0]
+        fl = sfc.fluxes(st)
+        assert np.all(fl["tau_x"] * u1 <= 1e-12)
+
+    def test_warm_skin_gives_upward_heat_flux(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference, skin_excess=2.0)
+        fl = sfc.fluxes(model.initial_state())
+        assert np.all(fl["shf"] > 0)
+
+    def test_latent_flux_nonnegative(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference)
+        fl = sfc.fluxes(model.initial_state())
+        assert np.all(fl["lhf"] >= 0)
+
+    def test_ustar_grows_with_wind(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference)
+        st = model.initial_state()
+        u0 = sfc.fluxes(st)["ustar"].mean()
+        st.fields["momx"] *= 3.0
+        u1 = sfc.fluxes(st)["ustar"].mean()
+        assert u1 > u0
+
+    def test_apply_moistens_and_warms_surface_layer(self, model):
+        sfc = BeljaarsSurface(model.grid, model.reference, skin_excess=2.0)
+        st = model.initial_state()
+        qv0 = st.fields["qv"][0].copy()
+        th0 = st.fields["rhot_p"][0].copy()
+        sfc.apply(st, dt=60.0)
+        assert np.all(st.fields["qv"][0] >= qv0)
+        assert np.mean(st.fields["rhot_p"][0]) > np.mean(th0)
+
+
+class TestTridiagVar:
+    def test_identity_system(self):
+        n, ny, nx = 6, 3, 4
+        diag = np.ones((n, ny, nx))
+        zero = np.zeros((n, ny, nx))
+        rhs = np.random.default_rng(0).normal(size=(n, ny, nx))
+        x = _tridiag_solve_var(zero, diag, zero, rhs)
+        assert np.allclose(x, rhs)
+
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(1)
+        n = 8
+        sub = -rng.uniform(0.1, 0.3, (n, 1, 1)) * np.ones((n, 2, 2))
+        sup = -rng.uniform(0.1, 0.3, (n, 1, 1)) * np.ones((n, 2, 2))
+        diag = 1.0 - sub - sup
+        sub[0] = 0
+        sup[-1] = 0
+        rhs = rng.normal(size=(n, 2, 2))
+        x = _tridiag_solve_var(sub, diag, sup, rhs)
+        A = np.diag(diag[:, 0, 0]) + np.diag(sub[1:, 0, 0], -1) + np.diag(sup[:-1, 0, 0], 1)
+        x_ref = np.linalg.solve(A, rhs[:, 0, 0])
+        assert np.allclose(x[:, 0, 0], x_ref, atol=1e-10)
+
+
+class TestMYNN25:
+    def test_diffusivities_positive_and_bounded(self, model):
+        pbl = MYNN25(model.grid, model.reference)
+        km, kh = pbl.diffusivities(model.initial_state())
+        assert np.all(km >= 0) and np.all(kh >= 0)
+        assert km.max() < 1000.0
+
+    def test_tke_grows_under_strong_shear(self, model):
+        # shear strong enough that Ri < 0.25 (shear production beats the
+        # stable-stratification buoyancy destruction)
+        pbl = MYNN25(model.grid, model.reference)
+        st = model.initial_state()
+        dens = st.dens
+        shear = (0.05 * model.grid.z_c[:, None, None]).astype(model.grid.dtype)
+        st.fields["momx"] += dens * shear
+        e0 = pbl.tke.mean()
+        pbl.diffusivities(st)
+        pbl.advance_tke(st, dt=30.0)
+        assert pbl.tke.mean() > e0
+
+    def test_tke_floor(self, model):
+        pbl = MYNN25(model.grid, model.reference)
+        st = model.initial_state()
+        for _ in range(5):
+            pbl.diffusivities(st)
+            pbl.advance_tke(st, dt=60.0)
+        assert np.all(pbl.tke >= pbl.tke_min)
+
+    def test_apply_conserves_column_mean_theta(self, model):
+        # pure vertical diffusion redistributes but does not create heat
+        pbl = MYNN25(model.grid, model.reference)
+        st = model.initial_state()
+        rng = np.random.default_rng(2)
+        st.fields["rhot_p"] += rng.normal(0, 0.5, model.grid.shape).astype(model.grid.dtype)
+        before = np.sum(st.fields["rhot_p"].astype(np.float64) * model.grid.dz[:, None, None])
+        pbl.apply(st, dt=30.0)
+        after = np.sum(st.fields["rhot_p"].astype(np.float64) * model.grid.dz[:, None, None])
+        assert after == pytest.approx(before, rel=0.05, abs=5.0)
+
+    def test_apply_smooths_wind_profile(self, model):
+        pbl = MYNN25(model.grid, model.reference)
+        st = model.initial_state()
+        dens = st.dens
+        zig = (np.resize([5.0, -5.0], model.grid.nz)[:, None, None]).astype(model.grid.dtype)
+        st.fields["momx"] += dens * zig
+        rough_before = np.mean(np.abs(np.diff(st.velocities()[0], axis=0)))
+        pbl.apply(st, dt=120.0)
+        rough_after = np.mean(np.abs(np.diff(st.velocities()[0], axis=0)))
+        assert rough_after < rough_before
+
+
+class TestSmagorinsky:
+    def test_zero_strain_zero_viscosity(self, model):
+        smag = Smagorinsky(model.grid, model.reference)
+        nu = smag.viscosity(model.initial_state())
+        assert np.allclose(nu, 0.0, atol=1e-6)
+
+    def test_viscosity_grows_with_strain(self, model):
+        smag = Smagorinsky(model.grid, model.reference)
+        st = model.initial_state()
+        rng = np.random.default_rng(0)
+        st.fields["momx"] += rng.normal(0, 2.0, model.grid.shape).astype(model.grid.dtype)
+        nu = smag.viscosity(st)
+        assert nu.max() > 0
+
+    def test_apply_damps_horizontal_noise(self, model):
+        smag = Smagorinsky(model.grid, model.reference, cs=0.3)
+        st = model.initial_state()
+        rng = np.random.default_rng(1)
+        noise = rng.normal(0, 2.0, model.grid.shape).astype(model.grid.dtype)
+        st.fields["momx"] += noise
+        var0 = np.var(st.fields["momx"].astype(np.float64))
+        for _ in range(5):
+            smag.apply(st, dt=30.0)
+        assert np.var(st.fields["momx"].astype(np.float64)) < var0
+
+    def test_water_stays_nonnegative(self, model):
+        smag = Smagorinsky(model.grid, model.reference)
+        st = model.initial_state()
+        st.fields["qr"][3, 8, 8] = 1e-3
+        smag.apply(st, dt=60.0)
+        assert np.all(st.fields["qr"] >= 0)
+
+
+class TestPhysicsSuite:
+    def test_all_table3_schemes_called(self, model):
+        suite = PhysicsSuite(model.grid, model.reference, model.config)
+        st = model.initial_state()
+        suite.apply(st, dt=10.0)
+        assert all(n >= 1 for n in suite.calls.values()), suite.calls
+
+    def test_rain_rate_published(self, model):
+        suite = PhysicsSuite(model.grid, model.reference, model.config)
+        st = model.initial_state()
+        suite.apply(st, dt=10.0)
+        assert suite.last_rain_rate is not None
+        assert suite.last_rain_rate.shape == (model.grid.ny, model.grid.nx)
+
+    def test_radiation_skippable(self, model):
+        suite = PhysicsSuite(model.grid, model.reference, model.config)
+        suite.apply(model.initial_state(), dt=10.0, with_radiation=False)
+        assert suite.calls["radiation"] == 0
+
+    def test_state_finite_after_physics(self, model):
+        suite = PhysicsSuite(model.grid, model.reference, model.config)
+        st = model.initial_state()
+        for _ in range(3):
+            suite.apply(st, dt=10.0)
+        for name, arr in st.fields.items():
+            assert np.all(np.isfinite(arr)), name

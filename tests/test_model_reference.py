@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.config import reduced_inner_domain
+from repro.grid import Grid
+from repro.model.reference import ReferenceState, Sounding
+
+
+class TestSounding:
+    def test_theta_increases_with_height(self):
+        snd = Sounding()
+        z = np.linspace(0, 16000, 100)
+        th = snd.theta(z)
+        assert np.all(np.diff(th) >= 0)
+
+    def test_stratosphere_stabler_than_troposphere(self):
+        snd = Sounding()
+        grad_trop = (snd.theta(8000.0) - snd.theta(7000.0)) / 1000.0
+        grad_strat = (snd.theta(14000.0) - snd.theta(13000.0)) / 1000.0
+        assert grad_strat > grad_trop
+
+    def test_rh_decays_upward(self):
+        snd = Sounding()
+        assert snd.relative_humidity(0.0) > snd.relative_humidity(5000.0)
+
+    def test_wind_shear(self):
+        snd = Sounding(u_sfc=2.0, u_shear=1e-3)
+        u, v = snd.wind(np.array([0.0, 10000.0]))
+        assert u[1] - u[0] == pytest.approx(10.0)
+
+    def test_perturbed_changes_profile_but_stays_physical(self):
+        snd = Sounding()
+        rng = np.random.default_rng(0)
+        p = snd.perturbed(rng)
+        assert p.theta_sfc != snd.theta_sfc
+        assert 0.3 <= p.rh_sfc <= 1.0
+
+
+class TestReferenceState:
+    @pytest.fixture(scope="class")
+    def ref(self):
+        return ReferenceState(Grid(reduced_inner_domain(nx=8, nz=40)))
+
+    def test_hydrostatic_balance(self, ref):
+        # dp/dz = -rho g to a fraction of a percent
+        assert ref.check_hydrostatic() < 5e-3
+
+    def test_surface_pressure(self, ref):
+        assert ref.pres_f[0] == pytest.approx(1.0e5, rel=1e-10)
+
+    def test_density_decreases_upward(self, ref):
+        assert np.all(np.diff(ref.dens_c) < 0)
+
+    def test_pressure_decreases_upward(self, ref):
+        assert np.all(np.diff(ref.pres_c) < 0)
+
+    def test_sound_speed_realistic(self, ref):
+        cs = np.sqrt(ref.cs2_c)
+        assert np.all(cs > 250.0)
+        assert np.all(cs < 400.0)
+
+    def test_dpdrt_positive(self, ref):
+        assert np.all(ref.dpdrt_c > 0)
+        assert np.all(ref.dpdrt_f > 0)
+
+    def test_moisture_profile_bounded(self, ref):
+        assert np.all(ref.qv_c >= 0)
+        assert np.all(ref.qv_c < 0.04)
+
+    def test_profiles_are_float64(self, ref):
+        # hydrostatic accuracy requires double in the reference build
+        assert ref.dens_c.dtype == np.float64

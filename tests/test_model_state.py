@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.model.state import HYDROMETEORS, PROGNOSTIC_VARS, WATER_SPECIES, ModelState
+
+
+class TestStateLayout:
+    def test_prognostic_set(self):
+        assert "dens_p" in PROGNOSTIC_VARS
+        assert "rhot_p" in PROGNOSTIC_VARS
+        # 6-category water: vapor + 5 hydrometeors (Table 3 microphysics)
+        assert WATER_SPECIES == ("qv", "qc", "qr", "qi", "qs", "qg")
+        assert len(HYDROMETEORS) == 5
+
+    def test_zeros_shapes(self, model):
+        st = model.initial_state()
+        g = model.grid
+        assert st.fields["dens_p"].shape == g.shape
+        assert st.fields["momz"].shape == g.shape_w
+        assert st.fields["qv"].dtype == g.dtype
+
+    def test_initial_winds_from_reference(self, model):
+        st = model.initial_state()
+        u, v, w = st.velocities()
+        # reference sounding has nonzero u
+        assert np.all(np.abs(u[0] - model.reference.u_c[0]) < 0.1)
+        assert np.allclose(w, 0.0)
+
+    def test_copy_is_deep(self, model):
+        st = model.initial_state()
+        st2 = st.copy()
+        st2.fields["qv"] += 1.0
+        assert not np.allclose(st.fields["qv"], st2.fields["qv"])
+
+
+class TestDiagnostics:
+    def test_pressure_matches_reference_at_rest(self, model):
+        st = model.initial_state()
+        p = st.pressure()
+        ref_p = model.reference.pres_c[:, None, None]
+        assert np.allclose(p, ref_p, rtol=2e-3)
+
+    def test_temperature_reasonable(self, model):
+        st = model.initial_state()
+        t = st.temperature()
+        assert t.max() < 320.0
+        assert t.min() > 180.0
+
+    def test_theta_equals_reference_at_rest(self, model):
+        st = model.initial_state()
+        th = st.theta
+        assert np.allclose(th, model.reference.theta_c[:, None, None], rtol=1e-5)
+
+    def test_total_water_path_positive(self, model):
+        st = model.initial_state()
+        assert st.total_water_path() > 0
+
+    def test_dry_mass_zero_at_rest(self, model):
+        st = model.initial_state()
+        assert st.dry_mass() == pytest.approx(0.0)
+
+
+class TestAnalysisRoundTrip:
+    def test_to_from_analysis_identity(self, model):
+        st = model.initial_state()
+        rng = np.random.default_rng(1)
+        st.fields["qv"] *= 1.0 + 0.1 * rng.random(model.grid.shape).astype(np.float32)
+        ana = st.to_analysis()
+        assert set(ana) == set(ModelState.ANALYSIS_VARS)
+        st2 = st.copy()
+        st2.from_analysis(ana)
+        for v in ("momx", "momy", "rhot_p", "qv"):
+            assert np.allclose(st.fields[v], st2.fields[v], atol=1e-4), v
+
+    def test_from_analysis_clips_negative_water(self, model):
+        st = model.initial_state()
+        ana = st.to_analysis()
+        ana["qr"] = ana["qr"] - 1.0  # drive negative
+        st.from_analysis(ana)
+        assert np.all(st.fields["qr"] >= 0.0)
+
+    def test_from_analysis_updates_wind(self, model):
+        st = model.initial_state()
+        ana = st.to_analysis()
+        ana["u"] = ana["u"] + 5.0
+        st.from_analysis(ana)
+        u, _, _ = st.velocities()
+        assert np.allclose(u, ana["u"], atol=1e-3)
+
+    def test_momz_boundaries_zero_after_analysis(self, model):
+        st = model.initial_state()
+        ana = st.to_analysis()
+        ana["w"] = ana["w"] + 2.0
+        st.from_analysis(ana)
+        assert np.allclose(st.fields["momz"][0], 0.0)
+        assert np.allclose(st.fields["momz"][-1], 0.0)

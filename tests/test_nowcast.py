@@ -1,0 +1,99 @@
+"""Motion estimation and advection nowcasting."""
+
+import numpy as np
+import pytest
+
+from repro.nowcast import AdvectionNowcast, estimate_motion, semi_lagrangian_advect
+from repro.nowcast.motion import MotionField
+
+
+def blob(ny, nx, cy, cx, radius=3.0, amp=40.0):
+    jj, ii = np.mgrid[0:ny, 0:nx]
+    r2 = (jj - cy) ** 2 + (ii - cx) ** 2
+    return amp * np.exp(-r2 / (2 * radius**2)) - 30.0
+
+
+class TestMotionEstimation:
+    def test_recovers_known_translation(self):
+        prev = blob(32, 32, 14, 12)
+        curr = blob(32, 32, 14, 15)  # moved +3 cells in x
+        m = estimate_motion(prev, curr, dx=1000.0, dt=300.0, max_shift=4)
+        # motion where the echo is: ~3000 m / 300 s = 10 m/s eastward
+        core = m.u[10:19, 10:20]
+        assert np.median(core) == pytest.approx(10.0, abs=4.0)
+        assert abs(np.median(m.v[10:19, 10:20])) < 4.0
+
+    def test_no_echo_no_motion(self):
+        f = np.full((32, 32), -30.0)
+        m = estimate_motion(f, f, dx=1000.0, dt=300.0)
+        assert np.allclose(m.u, 0.0)
+        assert np.allclose(m.v, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_motion(np.zeros((4, 4)), np.zeros((5, 5)), dx=1.0, dt=1.0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            estimate_motion(np.zeros((8, 8)), np.zeros((8, 8)), dx=1.0, dt=0.0)
+
+    def test_speed_property(self):
+        m = MotionField(u=np.full((2, 2), 3.0), v=np.full((2, 2), 4.0), dx=1.0, dt=1.0)
+        assert np.allclose(m.speed, 5.0)
+
+
+class TestSemiLagrangian:
+    def test_zero_lead_identity(self):
+        f = blob(24, 24, 12, 12)
+        m = MotionField(u=np.full((24, 24), 10.0), v=np.zeros((24, 24)), dx=1000.0, dt=1.0)
+        out = semi_lagrangian_advect(f, m, 0.0)
+        assert np.allclose(out, f, atol=1e-10)
+
+    def test_translates_peak(self):
+        f = blob(32, 32, 16, 10)
+        m = MotionField(u=np.full((32, 32), 10.0), v=np.zeros((32, 32)), dx=1000.0, dt=1.0)
+        out = semi_lagrangian_advect(f, m, 400.0)  # 4 cells east
+        j, i = np.unravel_index(np.argmax(out), out.shape)
+        assert i == pytest.approx(14, abs=1)
+        assert j == pytest.approx(16, abs=1)
+
+    def test_fill_outside_domain(self):
+        f = blob(16, 16, 8, 8)
+        m = MotionField(u=np.full((16, 16), 100.0), v=np.zeros((16, 16)), dx=100.0, dt=1.0)
+        out = semi_lagrangian_advect(f, m, 100.0, fill=-30.0)  # 100-cell shift
+        assert np.allclose(out, -30.0)
+
+    def test_negative_lead_rejected(self):
+        f = np.zeros((4, 4))
+        m = MotionField(u=np.zeros((4, 4)), v=np.zeros((4, 4)), dx=1.0, dt=1.0)
+        with pytest.raises(ValueError):
+            semi_lagrangian_advect(f, m, -1.0)
+
+    def test_amplitude_preserved_in_interior(self):
+        f = blob(32, 32, 16, 16)
+        m = MotionField(u=np.full((32, 32), 5.0), v=np.zeros((32, 32)), dx=1000.0, dt=1.0)
+        out = semi_lagrangian_advect(f, m, 200.0)
+        assert out.max() == pytest.approx(f.max(), rel=0.05)
+
+
+class TestAdvectionNowcast:
+    def test_beats_persistence_for_moving_echo(self):
+        # an echo translating at constant speed: the nowcast must track
+        # it, persistence must not
+        from repro.verify import PersistenceForecast, contingency, threat_score
+
+        speed_cells = 2  # per frame
+        frames = [blob(32, 32, 16, 6 + k * speed_cells) for k in range(6)]
+        nc = AdvectionNowcast(frames[0], frames[1], dx=1000.0, dt=300.0)
+        pers = PersistenceForecast(frames[1])
+
+        lead = 3 * 300.0  # 3 frames ahead -> frame index 4
+        truth = frames[4]
+        ts_nc = threat_score(contingency(nc.at_lead(lead), truth, 0.0))
+        ts_pe = threat_score(contingency(pers.at_lead(lead), truth, 0.0))
+        assert ts_nc > ts_pe
+
+    def test_lead_zero_is_latest_obs(self):
+        f0, f1 = blob(16, 16, 8, 6), blob(16, 16, 8, 8)
+        nc = AdvectionNowcast(f0, f1, dx=1000.0, dt=300.0)
+        assert np.array_equal(nc(0.0), f1)

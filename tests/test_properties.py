@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property is an invariant the paper's system relies on: orthogonal
+transforms in the eigensolver, conservation in the advection operator,
+idempotence/bounds in the verification scores, lossless protocol and
+file-format round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eigen import eigh_kedv
+from repro.jitdt.protocol import chunk_payload, reassemble
+from repro.letkf.core import letkf_transform
+from repro.letkf.localization import gaspari_cohn
+from repro.verify.scores import contingency, threat_score
+from repro.viz.png import encode_png
+
+settings.register_profile("repro", max_examples=40, deadline=None)
+settings.load_profile("repro")
+
+
+finite_f = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGaspariCohnProperties:
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_bounded(self, r):
+        w = gaspari_cohn(r)
+        assert 0.0 <= w <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.0, max_value=5.0))
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert gaspari_cohn(lo) >= gaspari_cohn(hi) - 1e-12
+
+    @given(st.floats(min_value=2.0, max_value=100.0))
+    def test_compact_support(self, r):
+        assert gaspari_cohn(r) == 0.0
+
+
+class TestEigenProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 4), st.integers(2, 8)).map(lambda t: (t[0], t[1], t[1])),
+            elements=finite_f,
+        )
+    )
+    def test_eigh_kedv_invariants(self, raw):
+        A = (raw + np.swapaxes(raw, 1, 2)) * 0.5
+        w, V = eigh_kedv(A)
+        k = A.shape[-1]
+        anorm = max(np.abs(A).sum(axis=2).max(), 1.0)
+        # ascending eigenvalues
+        assert np.all(np.diff(w, axis=1) >= -1e-9 * anorm)
+        # orthonormal vectors
+        gram = np.swapaxes(V, 1, 2) @ V
+        assert np.allclose(gram, np.eye(k), atol=1e-7 * max(anorm, 1.0))
+        # reconstruction
+        rec = V @ (w[:, :, None] * np.swapaxes(V, 1, 2))
+        assert np.allclose(rec, A, atol=1e-8 * anorm)
+
+
+class TestLETKFProperties:
+    @given(
+        st.integers(3, 10),  # members
+        st.integers(1, 8),  # obs
+        st.integers(1, 5),  # grid points
+        st.integers(0, 2**31 - 1),
+    )
+    def test_transform_shape_and_mean_preservation(self, m, no, G, seed):
+        rng = np.random.default_rng(seed)
+        dYb = rng.normal(size=(G, no, m))
+        dYb -= dYb.mean(axis=2, keepdims=True)
+        d = rng.normal(size=(G, no))
+        rinv = rng.uniform(0.0, 2.0, size=(G, no))
+        W = letkf_transform(dYb, d, rinv)
+        assert W.shape == (G, m, m)
+        assert np.all(np.isfinite(W))
+        # zero-mean perturbations map to zero-mean perturbations
+        pert = rng.normal(size=(G, 2, m))
+        pert -= pert.mean(axis=2, keepdims=True)
+        xa = np.einsum("gvm,gmn->gvn", pert, W)
+        xa_mean_removed = xa - xa.mean(axis=2, keepdims=True)
+        # spread cannot exceed prior spread (analysis contracts)
+        assert (
+            np.sum(xa_mean_removed**2) <= np.sum(pert**2) * (1 + 1e-6)
+        )
+
+    @given(st.integers(2, 8), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_zero_weight_obs_is_identity(self, m, no, seed):
+        rng = np.random.default_rng(seed)
+        dYb = rng.normal(size=(2, no, m))
+        d = rng.normal(size=(2, no))
+        W = letkf_transform(dYb, d, np.zeros((2, no)))
+        assert np.allclose(W, np.eye(m)[None], atol=1e-10)
+
+
+class TestScoreProperties:
+    @given(
+        hnp.arrays(np.float64, (6, 6), elements=st.floats(0, 60)),
+        hnp.arrays(np.float64, (6, 6), elements=st.floats(0, 60)),
+        st.floats(5.0, 55.0),
+    )
+    def test_threat_score_bounds(self, fc, ob, thr):
+        t = contingency(fc, ob, thr)
+        ts = threat_score(t)
+        assert np.isnan(ts) or 0.0 <= ts <= 1.0
+
+    @given(hnp.arrays(np.float64, (5, 5), elements=st.floats(0, 60)), st.floats(5.0, 55.0))
+    def test_perfect_forecast_perfect_score(self, ob, thr):
+        t = contingency(ob, ob, thr)
+        ts = threat_score(t)
+        assert np.isnan(ts) or ts == 1.0
+
+    @given(
+        hnp.arrays(np.float64, (5, 5), elements=st.floats(0, 60)),
+        hnp.arrays(np.float64, (5, 5), elements=st.floats(0, 60)),
+        st.floats(5.0, 55.0),
+    )
+    def test_contingency_partitions(self, fc, ob, thr):
+        t = contingency(fc, ob, thr)
+        assert t.hits + t.misses + t.false_alarms + t.correct_negatives == 25
+
+
+class TestProtocolProperties:
+    @given(st.binary(max_size=50_000), st.integers(1, 8192))
+    def test_roundtrip_any_payload(self, payload, chunk):
+        assert reassemble(list(chunk_payload(payload, chunk))) == payload
+
+    @given(st.binary(min_size=1, max_size=10_000), st.integers(1, 4096))
+    def test_shuffled_chunks_reassemble(self, payload, chunk):
+        chunks = list(chunk_payload(payload, chunk))
+        rng = np.random.default_rng(0)
+        rng.shuffle(chunks)
+        assert reassemble(chunks) == payload
+
+
+class TestPNGProperties:
+    @given(
+        hnp.arrays(
+            np.uint8,
+            st.tuples(st.integers(1, 12), st.integers(1, 12), st.just(3)),
+        )
+    )
+    def test_png_decodable(self, img):
+        import struct
+        import zlib
+
+        data = encode_png(img)
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        # find and decompress IDAT, verify pixels
+        off = 8
+        idat = None
+        while off < len(data):
+            (length,) = struct.unpack(">I", data[off : off + 4])
+            tag = data[off + 4 : off + 8]
+            if tag == b"IDAT":
+                idat = data[off + 8 : off + 8 + length]
+            off += 12 + length
+        raw = zlib.decompress(idat)
+        h, w, _ = img.shape
+        rows = np.frombuffer(raw, np.uint8).reshape(h, 1 + w * 3)
+        assert np.array_equal(rows[:, 1:].reshape(img.shape), img)
+
+
+class TestAdvectionProperties:
+    @given(st.integers(0, 2**31 - 1))
+    def test_horizontal_conservation(self, seed):
+        from repro.config import reduced_inner_domain
+        from repro.grid import Grid
+        from repro.model.advection import flux_divergence
+
+        grid = Grid(reduced_inner_domain(nx=8, nz=4), dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        rhou = rng.normal(size=grid.shape)
+        rhov = rng.normal(size=grid.shape)
+        rhow = np.zeros(grid.shape_w)
+        s = rng.normal(size=grid.shape)
+        tend = flux_divergence(grid, rhou, rhov, rhow, s)
+        total = abs(np.sum(tend))
+        scale = np.sum(np.abs(tend)) + 1e-30
+        assert total < 1e-9 * scale + 1e-12
+
+
+class TestMicrophysicsProperties:
+    @given(st.integers(0, 2**31 - 1), st.floats(0.5, 1.5))
+    @settings(max_examples=10)
+    def test_total_water_closed(self, seed, supersat):
+        from repro.config import ScaleConfig
+        from repro.model import ScaleRM, convective_sounding
+        from repro.model.microphysics import MicrophysicsSM6
+
+        model = ScaleRM(ScaleConfig().reduced(nx=8, nz=8), convective_sounding(), with_physics=False)
+        mp = MicrophysicsSM6(model.grid, model.reference)
+        rng = np.random.default_rng(seed)
+        st_ = model.initial_state()
+        st_.fields["qv"] *= supersat
+        for q in ("qc", "qr", "qi", "qs", "qg"):
+            st_.fields[q][...] = rng.uniform(0, 1e-3, model.grid.shape).astype(np.float32)
+        d = mp.tendencies(st_, dt=10.0)
+        total = sum(d[q] for q in ("qv", "qc", "qr", "qi", "qs", "qg"))
+        assert np.allclose(total, 0.0, atol=1e-10)

@@ -1,0 +1,137 @@
+"""Property-based tests over the communication and verification layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm.datatransfer import ParallelTransport, ensemble_transpose
+from repro.comm.halo import DomainDecomposition, gather_field, scatter_field
+from repro.comm.tofu import TofuNetwork
+from repro.radar.attenuation import attenuate_scan, correct_attenuation_kdp
+from repro.radar.dualpol import KDP_COEFF
+from repro.verify.fss import fss
+from repro.workflow.monitor import detect_outages
+from repro.workflow.realtime import CycleRecord
+
+settings.register_profile("repro-ext", max_examples=30, deadline=None)
+settings.load_profile("repro-ext")
+
+
+class TestTransposeProperties:
+    @given(
+        st.integers(1, 12),  # members
+        st.integers(1, 60),  # points
+        st.integers(1, 6),  # ranks
+        st.integers(0, 2**31 - 1),
+    )
+    def test_shards_partition_exactly(self, m, npoints, n_ranks, seed):
+        rng = np.random.default_rng(seed)
+        ens = rng.normal(size=(m, npoints)).astype(np.float32)
+        shards = ensemble_transpose(ens, n_ranks)
+        assert sum(s.shape[1] for s in shards) == npoints
+        assert np.array_equal(np.concatenate(shards, axis=1), ens)
+
+    @given(st.integers(1, 8), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_parallel_transport_lossless(self, m, n_ranks, seed):
+        rng = np.random.default_rng(seed)
+        ens = rng.normal(size=(m, 24)).astype(np.float32)
+        shards, report = ParallelTransport().transpose(ens, n_ranks)
+        assert np.array_equal(np.concatenate(shards, axis=1), ens)
+        assert report.simulated_seconds >= 0.0
+
+
+class TestHaloProperties:
+    @given(
+        st.sampled_from([(1, 1), (1, 2), (2, 2), (2, 4)]),
+        st.integers(1, 2),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_stencil_invariance(self, ranks, halo, seed):
+        py, px = ranks
+        ny, nx = 8 * py, 8 * px
+        d = DomainDecomposition(ny, nx, py, px, halo=halo)
+        rng = np.random.default_rng(seed)
+        f = rng.normal(size=(ny, nx))
+        tiles = scatter_field(d, f)
+        d.exchange_halos(tiles)
+
+        def lap(a):
+            return (
+                np.roll(a, -1, -1) + np.roll(a, 1, -1)
+                + np.roll(a, -1, -2) + np.roll(a, 1, -2) - 4 * a
+            )
+
+        out = gather_field(d, [lap(t) for t in tiles])
+        assert np.allclose(out, lap(f), atol=1e-12)
+
+
+class TestTofuProperties:
+    @given(st.integers(0, 2**31 - 1))
+    def test_roundtrip_and_metric(self, seed):
+        net = TofuNetwork(nx=4, ny=3, nz=2)
+        rng = np.random.default_rng(seed)
+        a, b, c = (int(x) for x in rng.integers(0, net.n_nodes, 3))
+        # id <-> coordinate roundtrip
+        assert net.node_id(net.coordinates(a)) == a
+        # metric axioms: symmetry, identity, triangle inequality
+        assert net.hops(a, a) == 0
+        assert net.hops(a, b) == net.hops(b, a)
+        assert net.hops(a, c) <= net.hops(a, b) + net.hops(b, c)
+
+
+class TestAttenuationProperties:
+    @given(
+        hnp.arrays(np.float64, (2, 16), elements=st.floats(0, 5e-3)),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_kdp_correction_inverts(self, rain, seed):
+        dbz = np.full((2, 16), 35.0)
+        att = attenuate_scan(dbz, rain, 500.0, floor_dbz=-1e9)
+        rec = correct_attenuation_kdp(att, KDP_COEFF * rain, 500.0)
+        assert np.allclose(rec, dbz, atol=1e-8)
+
+    @given(hnp.arrays(np.float64, (1, 12), elements=st.floats(0, 5e-3)))
+    def test_attenuation_never_amplifies(self, rain):
+        dbz = np.full((1, 12), 30.0)
+        att = attenuate_scan(dbz, rain, 500.0)
+        assert np.all(att <= 30.0 + 1e-12)
+
+
+class TestFSSProperties:
+    @given(
+        hnp.arrays(np.float64, (10, 10), elements=st.floats(0, 50)),
+        st.floats(5.0, 45.0),
+        st.integers(0, 4),
+    )
+    def test_bounds_and_perfection(self, field, thr, w):
+        s_perfect = fss(field, field, thr, w)
+        assert np.isnan(s_perfect) or s_perfect == 1.0
+
+    @given(
+        hnp.arrays(np.float64, (10, 10), elements=st.floats(0, 50)),
+        hnp.arrays(np.float64, (10, 10), elements=st.floats(0, 50)),
+        st.floats(5.0, 45.0),
+    )
+    def test_range(self, fc, ob, thr):
+        s = fss(fc, ob, thr, 2)
+        assert np.isnan(s) or 0.0 <= s <= 1.0
+
+
+class TestOutageDetectionProperties:
+    @given(
+        st.lists(st.booleans(), min_size=10, max_size=200),
+        st.integers(1, 6),
+    )
+    def test_windows_cover_only_failures(self, ok_flags, min_cycles):
+        recs = [
+            CycleRecord(cycle=i, t_obs=i * 30.0, ok=ok,
+                        t_product=i * 30.0 + 150.0 if ok else 0.0)
+            for i, ok in enumerate(ok_flags)
+        ]
+        windows = detect_outages(recs, min_cycles=min_cycles)
+        for start, end in windows:
+            assert end > start
+            covered = [r for r in recs if start <= r.t_obs < end]
+            assert covered and not any(r.ok for r in covered)
+            assert len(covered) >= min_cycles

@@ -1,0 +1,119 @@
+"""Multi-radar networks (the Expo-2025 dual-coverage extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RadarConfig
+from repro.letkf.qc import GriddedObservations
+from repro.radar.network import RadarNetwork, dual_kanto_network
+
+
+@pytest.fixture()
+def network(small_grid):
+    a, b = dual_kanto_network(RadarConfig().reduced())
+    return RadarNetwork(radars=(a, b), grid=small_grid)
+
+
+class TestCoverage:
+    def test_dual_beats_single(self, small_grid, network):
+        single = RadarNetwork(radars=(RadarConfig().reduced(),), grid=small_grid)
+        assert network.coverage_fraction() > single.coverage_fraction()
+
+    def test_union_includes_each_site(self, small_grid, network):
+        for m in network._masks:
+            assert np.all(network.coverage[m])
+
+    def test_overlap_subset_of_coverage(self, network):
+        assert np.all(network.coverage[network.overlap])
+
+    def test_overlap_nonempty_for_dual_kanto(self, network):
+        # the two 60-km circles intersect in the domain middle
+        assert np.count_nonzero(network.overlap) > 0
+
+    def test_empty_network_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            RadarNetwork(radars=(), grid=small_grid)
+
+
+class TestMerge:
+    def make_obs(self, grid, value, err=5.0):
+        return GriddedObservations(
+            kind="reflectivity",
+            values=np.full(grid.shape, value, np.float32),
+            valid=np.ones(grid.shape, bool),
+            error_std=err,
+        )
+
+    def test_merged_valid_is_union(self, small_grid, network):
+        obs = [self.make_obs(small_grid, 20.0), self.make_obs(small_grid, 20.0)]
+        merged = network.merge_observations(obs)
+        assert np.array_equal(merged.valid, network.coverage)
+
+    def test_overlap_averages_values(self, small_grid, network):
+        obs = [self.make_obs(small_grid, 10.0), self.make_obs(small_grid, 30.0)]
+        merged = network.merge_observations(obs)
+        ov = network.overlap
+        if np.any(ov):
+            assert np.allclose(merged.values[ov], 20.0, atol=1e-4)
+
+    def test_dual_coverage_shrinks_error(self, small_grid, network):
+        obs = [self.make_obs(small_grid, 20.0), self.make_obs(small_grid, 20.0)]
+        merged = network.merge_observations(obs)
+        assert merged.error_std == pytest.approx(5.0 / np.sqrt(2))
+
+    def test_kind_mismatch_rejected(self, small_grid, network):
+        o1 = self.make_obs(small_grid, 20.0)
+        o2 = GriddedObservations(
+            kind="doppler",
+            values=np.zeros(small_grid.shape, np.float32),
+            valid=np.ones(small_grid.shape, bool),
+            error_std=3.0,
+        )
+        with pytest.raises(ValueError):
+            network.merge_observations([o1, o2])
+
+    def test_count_mismatch_rejected(self, small_grid, network):
+        with pytest.raises(ValueError):
+            network.merge_observations([self.make_obs(small_grid, 20.0)])
+
+
+class TestAdaptiveInflation:
+    def test_underdispersed_raises_rho(self):
+        from repro.letkf.adaptive import AdaptiveInflation
+
+        infl = AdaptiveInflation(rho=1.0, gain=0.5)
+        # innovations much larger than spread+obs error -> inflate
+        innov = np.full(100, 5.0)
+        hpb = np.full(100, 1.0)
+        rho = infl.update(innov, hpb, obs_error_std=1.0)
+        assert rho > 1.0
+
+    def test_overdispersed_lowers_rho(self):
+        from repro.letkf.adaptive import AdaptiveInflation
+
+        infl = AdaptiveInflation(rho=1.5, gain=0.5)
+        innov = np.full(100, 0.5)
+        hpb = np.full(100, 4.0)
+        rho = infl.update(innov, hpb, obs_error_std=0.4)
+        assert rho < 1.5
+
+    def test_bounds_respected(self):
+        from repro.letkf.adaptive import AdaptiveInflation
+
+        infl = AdaptiveInflation(rho=1.0, gain=1.0, rho_max=2.0)
+        rho = infl.update(np.full(10, 100.0), np.full(10, 0.1), 1.0)
+        assert rho <= 2.0
+
+    def test_empty_innovations_noop(self):
+        from repro.letkf.adaptive import AdaptiveInflation
+
+        infl = AdaptiveInflation(rho=1.2)
+        assert infl.update(np.array([]), np.array([]), 1.0) == 1.2
+
+    def test_apply_scales_spread(self):
+        from repro.letkf.adaptive import AdaptiveInflation
+
+        infl = AdaptiveInflation(rho=4.0)
+        pert = np.ones((5, 3))
+        out = infl.apply(pert)
+        assert np.allclose(out, 2.0)

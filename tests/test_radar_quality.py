@@ -1,0 +1,125 @@
+"""Radar QC: clutter injection/filtering, despeckle, non-blocking vmpi."""
+
+import numpy as np
+import pytest
+
+from repro.comm.vmpi import VirtualComm
+from repro.radar.quality import (
+    clutter_filter,
+    despeckle,
+    inject_clutter,
+    quality_control,
+)
+
+
+@pytest.fixture()
+def clean_scan(small_grid, small_radar_config, developed_nature):
+    from repro.radar.pawr import PAWRSimulator
+
+    return PAWRSimulator(small_radar_config, small_grid, seed=9).scan(
+        developed_nature, 0.0
+    )
+
+
+class TestClutter:
+    def test_injection_adds_strong_still_gates(self, clean_scan, rng):
+        before = clean_scan.dbz.copy()
+        inject_clutter(clean_scan, rng=rng)
+        changed = clean_scan.dbz != before
+        assert np.any(changed)
+        # clutter signature: strong and near-zero Doppler
+        assert np.median(clean_scan.dbz[changed]) > 30.0
+        assert np.median(np.abs(clean_scan.doppler[changed])) < 0.5
+
+    def test_filter_removes_injected_clutter(self, clean_scan, rng):
+        before = clean_scan.dbz.copy()
+        inject_clutter(clean_scan, rng=rng)
+        injected = clean_scan.dbz != before
+        v_clean = clutter_filter(clean_scan.dbz, clean_scan.doppler, clean_scan.valid)
+        removed = clean_scan.valid & ~v_clean
+        # most injected gates caught
+        frac_caught = np.count_nonzero(removed & injected) / max(
+            np.count_nonzero(injected & clean_scan.valid), 1
+        )
+        assert frac_caught > 0.5
+
+    def test_filter_spares_weather(self, clean_scan):
+        # without clutter, the filter must remove almost nothing
+        v_clean = clutter_filter(clean_scan.dbz, clean_scan.doppler, clean_scan.valid)
+        removed = np.count_nonzero(clean_scan.valid & ~v_clean)
+        assert removed < 0.01 * clean_scan.valid.sum()
+
+
+class TestDespeckle:
+    def test_removes_isolated_gate(self):
+        dbz = np.full((1, 1, 20), -30.0, np.float32)
+        dbz[0, 0, 10] = 35.0  # lone speckle
+        valid = np.ones_like(dbz, bool)
+        v = despeckle(dbz, valid)
+        assert not v[0, 0, 10]
+
+    def test_keeps_contiguous_echo(self):
+        dbz = np.full((1, 1, 20), -30.0, np.float32)
+        dbz[0, 0, 8:14] = 35.0
+        valid = np.ones_like(dbz, bool)
+        v = despeckle(dbz, valid)
+        assert v[0, 0, 8:14].all()
+
+    def test_clear_air_untouched(self):
+        dbz = np.full((2, 3, 10), -30.0, np.float32)
+        valid = np.ones_like(dbz, bool)
+        assert despeckle(dbz, valid).all()
+
+
+class TestQualityControl:
+    def test_counts_reported(self, clean_scan, rng):
+        inject_clutter(clean_scan, rng=rng)
+        v, counts = quality_control(clean_scan)
+        assert set(counts) == {"clutter", "speckle"}
+        assert counts["clutter"] > 0
+        assert v.sum() < clean_scan.valid.sum()
+
+
+class TestNonblockingVMPI:
+    def test_isend_irecv_roundtrip(self):
+        comm = VirtualComm(2)
+        r0, r1 = comm.rank_handle(0), comm.rank_handle(1)
+        data = np.arange(8, dtype=np.float32)
+        req_s = r0.Isend(data, dest=1)
+        out = np.empty(8, dtype=np.float32)
+        req_r = r1.Irecv(out, source=0)
+        assert req_s.test()
+        assert not req_r.test()
+        req_r.wait()
+        assert req_r.test()
+        assert np.array_equal(out, data)
+
+    def test_irecv_before_send_resolves_at_wait(self):
+        comm = VirtualComm(2)
+        r0, r1 = comm.rank_handle(0), comm.rank_handle(1)
+        out = np.empty(3)
+        req = r1.Irecv(out, source=0)
+        r0.Send(np.array([1.0, 2.0, 3.0]), dest=1)
+        req.wait()
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_sendrecv_ring(self):
+        n = 4
+        comm = VirtualComm(n)
+        outs = [np.empty(1) for _ in range(n)]
+        # all sends post first (rank order), then receives resolve
+        for r in range(n):
+            comm.rank_handle(r).Send(np.array([float(r)]), dest=(r + 1) % n)
+        for r in range(n):
+            comm.rank_handle(r).Recv(outs[r], source=(r - 1) % n)
+        for r in range(n):
+            assert outs[r][0] == (r - 1) % n
+
+    def test_sendrecv_pairwise(self):
+        comm = VirtualComm(2)
+        r0, r1 = comm.rank_handle(0), comm.rank_handle(1)
+        a_out, b_out = np.empty(1), np.empty(1)
+        r0.Send(np.array([10.0]), dest=1)
+        r1.Sendrecv(np.array([20.0]), 0, b_out, 0)
+        r0.Recv(a_out, source=1)
+        assert a_out[0] == 20.0 and b_out[0] == 10.0

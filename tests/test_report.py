@@ -1,0 +1,48 @@
+import numpy as np
+
+from repro.config import LETKFConfig, ScaleConfig
+from repro.report import histogram_text, table1, table2_text, table3_text
+
+
+class TestTable1:
+    def test_bda_last_row_dominates(self):
+        rows, text = table1()
+        assert rows[-1].system.name == "BDA2021"
+        assert rows[-1].ratio_to_best_operational >= 100.0
+        assert "BDA2021" in text
+
+    def test_all_systems_present(self):
+        rows, text = table1()
+        assert len(rows) == 7
+        for name in ("LFM", "HRRR v4", "UKV", "ICON-D2"):
+            assert name in text
+
+
+class TestTable2Text:
+    def test_paper_values_rendered(self):
+        txt = table2_text(LETKFConfig())
+        assert "1000" in txt
+        assert "0.5 - 11 km" in txt
+        assert "Reflectivity: 5 dBZ" in txt
+        assert "factor=0.95" in txt
+        assert "horizontal: 2 km" in txt
+
+
+class TestTable3Text:
+    def test_paper_values_rendered(self):
+        txt = table3_text(ScaleConfig())
+        assert "128 km x 128 km" in txt
+        assert "500 m" in txt
+        assert "0.4 s" in txt
+        assert "HEVI" in txt
+        assert "tomita08-sm6" in txt
+        assert "mynn2.5" in txt
+
+
+class TestHistogramText:
+    def test_renders_bars(self):
+        edges = np.array([0.0, 60.0, 120.0, 180.0])
+        counts = np.array([1, 10, 5])
+        txt = histogram_text(edges, counts)
+        assert txt.count("\n") == 2
+        assert "#" in txt

@@ -1,0 +1,113 @@
+"""Sounding library and tabular file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.model.diagnostics import cape_cin
+from repro.model.soundings import (
+    SOUNDING_NAMES,
+    fit_sounding,
+    named_sounding,
+    read_sounding_file,
+    write_sounding_file,
+)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in SOUNDING_NAMES:
+            snd = named_sounding(name)
+            assert snd.theta(0.0) > 250.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="available"):
+            named_sounding("mars-dust-storm")
+
+    def test_winter_stabler_than_summer(self):
+        w = named_sounding("stable-winter")
+        s = named_sounding("kanto-summer")
+        # low-level theta gradient
+        gw = (w.theta(1000.0) - w.theta(0.0)) / 1000.0
+        gs = (s.theta(1000.0) - s.theta(0.0)) / 1000.0
+        assert gw > gs
+
+    def test_heavy_rain_moister(self):
+        assert (
+            named_sounding("kanto-heavy-rain").rh_sfc
+            > named_sounding("stable-winter").rh_sfc
+        )
+
+    def test_squall_line_has_shear(self):
+        sq = named_sounding("squall-line")
+        u0, _ = sq.wind(np.array([0.0]))
+        u6, _ = sq.wind(np.array([6000.0]))
+        assert u6[0] - u0[0] > 10.0
+
+    def test_cape_ordering(self):
+        """CAPE: heavy-rain environment > stable winter."""
+        from repro.config import ScaleConfig
+        from repro.model import ScaleRM
+
+        capes = {}
+        for name in ("kanto-heavy-rain", "stable-winter"):
+            m = ScaleRM(
+                ScaleConfig().reduced(nx=8, nz=20), named_sounding(name), with_physics=False
+            )
+            capes[name], _ = cape_cin(m.initial_state())
+        assert capes["kanto-heavy-rain"] > capes["stable-winter"] + 100.0
+
+
+class TestFileIO:
+    def test_roundtrip_table(self, tmp_path):
+        snd = named_sounding("kanto-summer")
+        p = tmp_path / "snd.txt"
+        write_sounding_file(snd, p)
+        table = read_sounding_file(p)
+        assert table.shape == (60, 5)
+        assert np.all(np.diff(table[:, 0]) > 0)
+        # theta in the file matches the analytic profile
+        assert np.allclose(table[:, 1], snd.theta(table[:, 0]), rtol=1e-5)
+
+    def test_malformed_rejected(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_sounding_file(p)
+
+    def test_empty_rejected(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="empty"):
+            read_sounding_file(p)
+
+    def test_nonmonotone_heights_rejected(self, tmp_path):
+        p = tmp_path / "z.txt"
+        p.write_text("0 300 0.8 0 0\n100 301 0.8 0 0\n50 302 0.8 0 0\n")
+        with pytest.raises(ValueError, match="increase"):
+            read_sounding_file(p)
+
+
+class TestFit:
+    def test_fit_recovers_analytic_profile(self, tmp_path):
+        snd = named_sounding("squall-line")
+        p = tmp_path / "s.txt"
+        write_sounding_file(snd, p)
+        fitted = fit_sounding(read_sounding_file(p))
+        z = np.linspace(0, 15000, 40)
+        assert np.allclose(fitted.theta(z), snd.theta(z), atol=1.0)
+        u_f, _ = fitted.wind(z)
+        u_o, _ = snd.wind(z)
+        assert np.allclose(u_f, u_o, atol=1.0)
+        assert fitted.rh_sfc == pytest.approx(snd.rh_sfc, abs=0.1)
+
+    def test_fitted_sounding_runs_the_model(self, tmp_path):
+        from repro.config import ScaleConfig
+        from repro.model import ScaleRM
+
+        snd = named_sounding("kanto-summer")
+        p = tmp_path / "s.txt"
+        write_sounding_file(snd, p)
+        fitted = fit_sounding(read_sounding_file(p))
+        m = ScaleRM(ScaleConfig().reduced(nx=8, nz=10), fitted, with_physics=False)
+        st = m.integrate(m.initial_state(), 60.0)
+        assert np.all(np.isfinite(st.fields["momz"]))

@@ -1,0 +1,141 @@
+"""Skill scores, persistence baseline, rain-area climatology."""
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    ContingencyTable,
+    PersistenceForecast,
+    RainAreaClimatology,
+    bias_score,
+    contingency,
+    equitable_threat_score,
+    false_alarm_ratio,
+    probability_of_detection,
+    rain_area_km2,
+    rmse,
+    threat_score,
+)
+
+
+class TestContingency:
+    def test_perfect_forecast(self):
+        obs = np.array([[0.0, 35.0], [45.0, 10.0]])
+        t = contingency(obs, obs, threshold=30.0)
+        assert t.hits == 2 and t.misses == 0 and t.false_alarms == 0
+        assert threat_score(t) == 1.0
+
+    def test_total_miss(self):
+        fc = np.zeros((4, 4))
+        ob = np.full((4, 4), 40.0)
+        t = contingency(fc, ob, threshold=30.0)
+        assert t.hits == 0 and t.misses == 16
+        assert threat_score(t) == 0.0
+
+    def test_counts_partition(self):
+        rng = np.random.default_rng(0)
+        fc = rng.uniform(0, 60, (10, 10))
+        ob = rng.uniform(0, 60, (10, 10))
+        t = contingency(fc, ob, 30.0)
+        assert t.n == 100
+
+    def test_mask_excludes_no_data(self):
+        fc = np.full((2, 2), 40.0)
+        ob = np.full((2, 2), 40.0)
+        mask = np.array([[True, False], [False, False]])
+        t = contingency(fc, ob, 30.0, mask=mask)
+        assert t.n == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency(np.zeros((2, 2)), np.zeros((3, 3)), 30.0)
+
+    def test_table_addition(self):
+        t1 = ContingencyTable(1, 2, 3, 4)
+        t2 = ContingencyTable(10, 20, 30, 40)
+        s = t1 + t2
+        assert (s.hits, s.misses, s.false_alarms, s.correct_negatives) == (11, 22, 33, 44)
+
+
+class TestScores:
+    def test_threat_score_nan_when_no_events(self):
+        t = ContingencyTable(0, 0, 0, 100)
+        assert np.isnan(threat_score(t))
+
+    def test_pod_far_bounds(self):
+        t = ContingencyTable(6, 2, 3, 89)
+        assert 0 <= probability_of_detection(t) <= 1
+        assert 0 <= false_alarm_ratio(t) <= 1
+
+    def test_bias_overforecast(self):
+        t = ContingencyTable(5, 0, 5, 90)
+        assert bias_score(t) == 2.0
+
+    def test_ets_below_ts(self):
+        t = ContingencyTable(30, 10, 10, 50)
+        assert equitable_threat_score(t) < threat_score(t)
+
+    def test_rmse_basic(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_rmse_empty_mask_nan(self):
+        assert np.isnan(rmse(np.zeros(3), np.zeros(3), mask=np.zeros(3, bool)))
+
+
+class TestPersistence:
+    def test_frozen_at_all_leads(self):
+        obs = np.random.default_rng(0).uniform(0, 50, (8, 8))
+        p = PersistenceForecast(obs)
+        assert np.array_equal(p.at_lead(0.0), obs)
+        assert np.array_equal(p.at_lead(1800.0), obs)
+
+    def test_perfect_score_at_lead_zero(self):
+        # the paper's Fig. 7: persistence is exactly the observation at t=0
+        obs = np.random.default_rng(1).uniform(0, 50, (8, 8))
+        p = PersistenceForecast(obs)
+        t = contingency(p(0.0), obs, 30.0)
+        assert threat_score(t) == 1.0 or np.isnan(threat_score(t))
+
+    def test_negative_lead_rejected(self):
+        p = PersistenceForecast(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.at_lead(-1.0)
+
+    def test_initial_copy_isolated(self):
+        obs = np.zeros((2, 2))
+        p = PersistenceForecast(obs)
+        obs[...] = 99.0
+        assert np.all(p(0.0) == 0.0)
+
+
+class TestRainArea:
+    def test_area_formula(self):
+        rr = np.array([[0.5, 2.0], [30.0, 0.0]])
+        assert rain_area_km2(rr, 1.0, cell_area_km2=0.25) == pytest.approx(0.5)
+        assert rain_area_km2(rr, 20.0, cell_area_km2=0.25) == pytest.approx(0.25)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            rain_area_km2(np.zeros((2, 2)), 0.0, 1.0)
+
+    def test_climatology_series_shapes(self):
+        t, a1, a20 = RainAreaClimatology(seed=0).series(2.0)
+        assert len(t) == len(a1) == len(a20) == 5760
+        assert np.all(a1 >= 0)
+        assert np.all(a20 <= a1 + 1e-9)
+        assert np.all(a1 <= 128.0 * 128.0)
+
+    def test_diurnal_peak_afternoon(self):
+        clim = RainAreaClimatology(seed=3, events_per_day=8.0)
+        t, a1, _ = clim.series(10.0)
+        hour = (t / 3600.0) % 24
+        afternoon = a1[(hour > 13) & (hour < 19)].mean()
+        night = a1[(hour > 1) & (hour < 7)].mean()
+        assert afternoon > night
+
+    def test_reproducible_by_seed(self):
+        _, a, _ = RainAreaClimatology(seed=5).series(1.0)
+        _, b, _ = RainAreaClimatology(seed=5).series(1.0)
+        assert np.array_equal(a, b)

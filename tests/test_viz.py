@@ -1,0 +1,174 @@
+"""PNG encoder, colormaps, map views, bird's-eye renderer, ASCII."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    apply_colormap,
+    ascii_field,
+    encode_png,
+    rainrate_colormap,
+    reflectivity_colormap,
+    render_birdseye,
+    render_comparison,
+    render_map_view,
+    write_png,
+)
+
+
+def parse_png(data: bytes):
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    chunks = {}
+    off = 8
+    while off < len(data):
+        (length,) = struct.unpack(">I", data[off : off + 4])
+        tag = data[off + 4 : off + 8]
+        payload = data[off + 8 : off + 8 + length]
+        crc = struct.unpack(">I", data[off + 8 + length : off + 12 + length])[0]
+        assert crc == zlib.crc32(tag + payload), tag
+        chunks[tag] = payload
+        off += 12 + length
+    return chunks
+
+
+class TestPNG:
+    def test_valid_structure(self):
+        img = np.zeros((5, 7, 3), np.uint8)
+        chunks = parse_png(encode_png(img))
+        assert set(chunks) == {b"IHDR", b"IDAT", b"IEND"}
+        w, h, depth, ctype = struct.unpack(">IIBB", chunks[b"IHDR"][:10])
+        assert (w, h, depth, ctype) == (7, 5, 8, 2)
+
+    def test_pixel_roundtrip(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 255, (4, 6, 3), dtype=np.uint8)
+        chunks = parse_png(encode_png(img))
+        raw = zlib.decompress(chunks[b"IDAT"])
+        rows = np.frombuffer(raw, np.uint8).reshape(4, 1 + 6 * 3)
+        assert np.all(rows[:, 0] == 0)  # filter None
+        assert np.array_equal(rows[:, 1:].reshape(4, 6, 3), img)
+
+    def test_grayscale_promoted(self):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        chunks = parse_png(encode_png(img))
+        _, _, _, ctype = struct.unpack(">IIBB", chunks[b"IHDR"][:10])
+        assert ctype == 2
+
+    def test_rgba(self):
+        img = np.zeros((2, 2, 4), np.uint8)
+        chunks = parse_png(encode_png(img))
+        assert struct.unpack(">IIBB", chunks[b"IHDR"][:10])[3] == 6
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            encode_png(np.zeros((2, 2, 3), np.float32))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((2, 2, 2), np.uint8))
+
+    def test_write_png(self, tmp_path):
+        p = tmp_path / "x.png"
+        write_png(str(p), np.zeros((3, 3, 3), np.uint8))
+        assert p.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+class TestColormaps:
+    def test_shapes(self):
+        dbz = np.linspace(-30, 60, 10)
+        rgb = reflectivity_colormap(dbz)
+        assert rgb.shape == (10, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_heavy_rain_is_warm_colored(self):
+        # >40 dBZ must land in orange/red (red channel dominant), as in
+        # Fig. 6a's orange shades
+        rgb = reflectivity_colormap(np.array([45.0]))
+        assert rgb[0, 0] > rgb[0, 2]
+        assert rgb[0, 0] > 200
+
+    def test_no_rain_is_light(self):
+        rgb = reflectivity_colormap(np.array([-30.0]))
+        assert np.all(rgb[0] > 200)
+
+    def test_rainrate_map(self):
+        rgb = rainrate_colormap(np.array([0.0, 50.0]))
+        assert np.all(rgb[0] == 255)
+        assert rgb[1, 0] > rgb[1, 2]
+
+    def test_apply_dispatch(self):
+        v = np.array([10.0])
+        assert apply_colormap(v, "reflectivity").shape == (1, 3)
+        assert apply_colormap(v, "rainrate").shape == (1, 3)
+        with pytest.raises(ValueError):
+            apply_colormap(v, "viridis")
+
+
+class TestMapView:
+    def test_shape_and_upscale(self):
+        f = np.zeros((8, 10))
+        img = render_map_view(f, upscale=3)
+        assert img.shape == (24, 30, 3)
+
+    def test_north_up(self):
+        f = np.zeros((8, 8))
+        f[0, :] = 60.0  # southmost row is heavy rain
+        img = render_map_view(f, upscale=1)
+        # heavy rain (deep red, low blue) should appear in the BOTTOM row
+        assert img[-1, 0, 2] < img[0, 0, 2]
+
+    def test_hatching_marks_invalid(self):
+        f = np.full((8, 8), 20.0)
+        valid = np.ones((8, 8), bool)
+        valid[:, :4] = False
+        img = render_map_view(f, valid=valid, upscale=4)
+        left = img[:, : 4 * 4]
+        right = img[:, 4 * 4 :]
+        # hatched gray pixels only on the invalid side
+        assert np.any(np.all(left == 90, axis=-1))
+        assert not np.any(np.all(right == 90, axis=-1))
+
+    def test_comparison_panel(self):
+        fc = np.zeros((6, 6))
+        ob = np.zeros((6, 6))
+        img = render_comparison(fc, ob, upscale=2, gap=4)
+        assert img.shape == (12, 12 + 4 + 12, 3)
+
+
+class TestBirdseye:
+    def test_empty_volume_blank(self):
+        img = render_birdseye(
+            np.full((4, 6, 6), -30.0), z_heights=np.linspace(0, 4000, 4), dx=500.0
+        )
+        assert np.all(img == 255)
+
+    def test_storm_renders_pixels(self):
+        dbz = np.full((6, 10, 10), -30.0)
+        dbz[:4, 4:7, 4:7] = 45.0  # a rain core
+        img = render_birdseye(dbz, z_heights=np.linspace(0, 6000, 6), dx=500.0)
+        assert np.any(img < 250)
+
+    def test_vertical_stretch_changes_height(self):
+        dbz = np.full((8, 6, 6), -30.0)
+        dbz[:, 2:4, 2:4] = 35.0
+        i1 = render_birdseye(dbz, z_heights=np.linspace(0, 8000, 8), dx=500.0, vertical_stretch=1.0)
+        i3 = render_birdseye(dbz, z_heights=np.linspace(0, 8000, 8), dx=500.0, vertical_stretch=3.0)
+        assert i3.shape[0] > i1.shape[0]
+
+
+class TestAscii:
+    def test_renders_lines(self):
+        f = np.linspace(0, 1, 64).reshape(8, 8)
+        s = ascii_field(f)
+        assert len(s.splitlines()) == 8
+
+    def test_constant_field(self):
+        s = ascii_field(np.zeros((4, 4)))
+        assert set(s) <= {" ", "\n"}
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ascii_field(np.zeros((2, 2, 2)))

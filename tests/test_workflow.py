@@ -1,0 +1,213 @@
+"""Discrete-event kernel, real-time pipeline, outages, operations."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkflowConfig
+from repro.workflow import (
+    CampaignPeriod,
+    EventQueue,
+    OperationsSimulator,
+    OutageModel,
+    RealtimeWorkflow,
+    Resource,
+    StageCostModel,
+    OLYMPICS,
+    PARALYMPICS,
+)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(9.0, lambda: order.append("c"))
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append(1))
+        q.schedule(1.0, lambda: order.append(2))
+        q.run()
+        assert order == [1, 2]
+
+    def test_cascading_events(self):
+        q = EventQueue()
+        hits = []
+
+        def fire():
+            hits.append(q.now)
+            if q.now < 3:
+                q.schedule_in(1.0, fire)
+
+        q.schedule(0.0, fire)
+        q.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        q = EventQueue()
+        hits = []
+        for t in (1.0, 2.0, 5.0):
+            q.schedule(t, lambda t=t: hits.append(t))
+        q.run(until=3.0)
+        assert hits == [1.0, 2.0]
+        assert q.now == 3.0
+        assert len(q) == 1
+
+    def test_cannot_schedule_past(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda: None)
+
+
+class TestResource:
+    def test_immediate_when_free(self):
+        r = Resource("x")
+        assert r.acquire(10.0, 5.0) == 10.0
+        assert r.free_at == 15.0
+
+    def test_queues_when_busy(self):
+        r = Resource("x")
+        r.acquire(0.0, 10.0)
+        assert r.acquire(3.0, 2.0) == 10.0
+
+    def test_utilization(self):
+        r = Resource("x")
+        r.acquire(0.0, 30.0)
+        assert r.utilization(60.0) == pytest.approx(0.5)
+
+
+class TestStageCostModel:
+    def test_rain_increases_cost(self):
+        cfg = WorkflowConfig()
+        m_dry = StageCostModel(cfg, seed=0)
+        m_wet = StageCostModel(cfg, seed=0)
+        dry = np.mean([m_dry.draw(0.0).letkf for _ in range(100)])
+        wet = np.mean([m_wet.draw(5000.0).letkf for _ in range(100)])
+        assert wet > dry + 5.0
+
+    def test_stage_means_near_paper(self):
+        cfg = WorkflowConfig()
+        m = StageCostModel(cfg, seed=1)
+        draws = [m.draw(0.0) for _ in range(500)]
+        assert np.mean([d.transfer for d in draws]) == pytest.approx(3.0, abs=1.0)
+        fcsts = [d.forecast_30min for d in draws]
+        assert np.percentile(fcsts, 50) == pytest.approx(120.0, abs=15.0)
+
+    def test_part1_busy_under_cycle_interval(self):
+        # stability requirement: <1-1> + <1-2> must fit in 30 s normally
+        cfg = WorkflowConfig()
+        m = StageCostModel(cfg, seed=2)
+        busy = [m.draw(0.0).part1_busy for _ in range(200)]
+        assert np.mean(busy) < cfg.cycle_interval_s
+
+
+class TestRealtimeWorkflow:
+    def test_single_cycle_breakdown(self):
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=0)
+        rec = wf.run_cycle(0)
+        assert rec.ok
+        b = rec.breakdown()
+        assert set(b) == {
+            "file_creation",
+            "jitdt_transfer",
+            "letkf_and_wait",
+            "forecast_30min_and_product",
+        }
+        assert all(v >= 0 for v in b.values())
+        assert rec.time_to_solution == pytest.approx(sum(b.values()))
+
+    def test_typical_tts_under_3min(self):
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=1)
+        for c in range(100):
+            wf.run_cycle(c)
+        assert wf.deadline_fraction() > 0.9
+
+    def test_outage_cycle_skipped(self):
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=2)
+        rec = wf.run_cycle(0, in_outage=True)
+        assert not rec.ok
+        assert rec.skipped_reason == "outage"
+
+    def test_part1_resource_serializes_cycles(self):
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=3)
+        recs = [wf.run_cycle(c) for c in range(20)]
+        ana_times = [r.t_analysis for r in recs if r.ok]
+        assert all(t2 > t1 for t1, t2 in zip(ana_times, ana_times[1:]))
+
+    def test_part2_slots_rotate(self):
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=4)
+        for c in range(10):
+            wf.run_cycle(c)
+        assert all(s.acquisitions == 2 for s in wf.part2_slots)
+
+
+class TestOutageModel:
+    def test_mask_length(self):
+        m = OutageModel(seed=0).mask(2.0, 30.0)
+        assert len(m) == 2 * 2880
+
+    def test_windows_merged_and_sorted(self):
+        ws = OutageModel(seed=1).windows(20.0)
+        for a, b in zip(ws, ws[1:]):
+            assert a.end <= b.start  # merged: no overlap
+
+    def test_availability_near_paper(self):
+        # paper: net 26d 3h of 32 days of campaign (~82%)
+        m = OutageModel(seed=2021).mask(32.0)
+        avail = 1.0 - m.mean()
+        assert 0.6 < avail < 0.95
+
+
+class TestOperations:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return OperationsSimulator(seed=2021).run_campaign()
+
+    def test_periods_match_paper_calendar(self):
+        assert OLYMPICS.n_days == 20.0
+        assert PARALYMPICS.n_days == 12.0
+        assert OLYMPICS.enlargement_day == 7.0  # July 27
+
+    def test_forecast_count_near_75k(self, campaign):
+        total = sum(r.n_forecasts for r in campaign.values())
+        # paper: 75,248 forecasts in ~32 days
+        assert 55_000 < total < 92_160
+
+    def test_97_percent_under_3min(self, campaign):
+        tts = np.concatenate([r.tts_series for r in campaign.values()])
+        tts = tts[np.isfinite(tts)]
+        frac = np.mean(tts <= 180.0)
+        assert 0.93 <= frac <= 0.995  # paper: ~97%
+
+    def test_histogram_mass_matches_forecasts(self, campaign):
+        r = campaign["Olympics"]
+        edges, counts = r.histogram()
+        assert counts.sum() == r.n_forecasts
+
+    def test_rain_area_curves_present(self, campaign):
+        r = campaign["Paralympics"]
+        assert len(r.rain_area_1mm) == len(r.records)
+        assert np.all(r.rain_area_20mm <= r.rain_area_1mm + 1e-9)
+
+    def test_tts_correlates_with_rain(self, campaign):
+        # Fig. 5: compute time grows with rain area
+        r = campaign["Olympics"]
+        ok = np.isfinite(r.tts_series)
+        corr = np.corrcoef(r.tts_series[ok], r.rain_area_1mm[ok])[0, 1]
+        assert corr > 0.2
+
+    def test_outage_gaps_present(self, campaign):
+        r = campaign["Olympics"]
+        assert 0.02 < r.outage_fraction() < 0.4
+
+    def test_net_production_time(self, campaign):
+        total_s = sum(r.net_production_seconds for r in campaign.values())
+        # paper: net 26 days 3 hours 4 minutes = ~2.26e6 s
+        assert 1.5e6 < total_s < 2.6e6
