@@ -6,12 +6,25 @@ previous analysis (lateral boundaries from the outer domain), then
 the ensemble. The cycler is agnostic to where observations come from —
 the OSSE harness feeds it simulated PAWR volumes, the quickstart feeds
 it synthetic fields directly.
+
+Degradation ladder (the paper's system stayed on-air for a month; the
+cycler mirrors that by never letting a bad input kill the cycle):
+
+1. ``analysis`` — the normal path: validated observations, full ensemble;
+2. ``reduced`` — members lost or non-finite: the LETKF runs on the
+   surviving subset, then lost members are refilled from survivors with
+   spread re-inflation;
+3. ``free-run`` — observations missing, wholly QC-rejected, or failing
+   input validation: forecast-only cycle, no analysis;
+4. ``rollback`` — the analysis (or the whole ensemble) went non-finite:
+   the poisoned update is discarded and the last good state carries on.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -20,6 +33,7 @@ from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
 from ..letkf.solver import AnalysisDiagnostics, LETKFSolver
 from ..model.model import ScaleRM
+from ..model.state import ModelState
 from .ensemble import Ensemble
 
 __all__ = ["CycleResult", "DACycler"]
@@ -35,10 +49,23 @@ class CycleResult:
     letkf_seconds: float
     diagnostics: AnalysisDiagnostics
     spread_theta: float
+    #: which rung of the degradation ladder this cycle ran on
+    mode: str = "analysis"
+    #: members that contributed to the analysis (0 on free-run/rollback)
+    n_members_used: int = 0
+    #: members refilled from survivors this cycle
+    n_members_recovered: int = 0
+    #: observation volumes rejected by input validation
+    n_volumes_rejected: int = 0
+    rejection_reasons: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.mode != "analysis"
 
 
 class DACycler:
-    """Runs parts <1-2> + <1-1> every 30 seconds."""
+    """Runs parts <1-2> + <1-1> every 30 seconds, degrading gracefully."""
 
     def __init__(
         self,
@@ -48,17 +75,100 @@ class DACycler:
         obs_operator: RadarObsOperator,
         *,
         cycle_seconds: float = 30.0,
+        seed: int = 0,
+        guard: bool = True,
+        recovery_spread_factor: float = 0.5,
     ):
         self.model = model
         self.ensemble = ensemble
         self.letkf = LETKFSolver(model.grid, letkf_config)
         self.obsope = obs_operator
         self.cycle_seconds = cycle_seconds
+        #: NaN/Inf guards + rollback enabled (off = fail fast, for tests)
+        self.guard = guard
+        #: refilled members get this fraction of the survivors' spread
+        #: re-injected as fresh perturbations
+        self.recovery_spread_factor = recovery_spread_factor
+        self._rng = np.random.default_rng(seed)
         self.results: list[CycleResult] = []
         self._cycle = 0
+        #: copies of the member states after the last clean analysis that
+        #: also *survived the following integration* — the rollback target
+        #: when poison slips through. A fresh analysis is only a
+        #: candidate (``_pending_good``) until the next cycle's forecast
+        #: step proves it integrates without blowing up; promoting it
+        #: immediately would let an unstable reduced-member analysis
+        #: poison the rollback target itself.
+        self._last_good: list[ModelState] | None = None
+        self._pending_good: list[ModelState] | None = None
 
-    def run_cycle(self, observations: list[GriddedObservations]) -> CycleResult:
-        """One full 30-s cycle with the given (already gridded) obs."""
+    # -- degraded-mode helpers -------------------------------------------
+
+    @staticmethod
+    def _is_finite_state(st: ModelState) -> bool:
+        return all(bool(np.all(np.isfinite(v))) for v in st.fields.values())
+
+    def _healthy_indices(self) -> list[int]:
+        return [
+            i for i, st in enumerate(self.ensemble.members)
+            if self._is_finite_state(st)
+        ]
+
+    def _subset_arrays(self, idx: list[int]) -> dict[str, np.ndarray]:
+        per_member = [self.ensemble.members[i].to_analysis() for i in idx]
+        return {
+            v: np.stack([pm[v] for pm in per_member], axis=0)
+            for v in ModelState.ANALYSIS_VARS
+        }
+
+    def _refill_lost(self, lost: list[int], healthy: list[int]) -> None:
+        """Replace lost members with survivor clones + re-inflated spread.
+
+        A clone contributes zero spread, so each refilled member also
+        receives fresh Gaussian perturbations scaled to a fraction of
+        the survivors' current spread — the recovery-side analog of the
+        spread maintenance the boundary perturbations provide normally.
+        """
+        arrays = self._subset_arrays(healthy)
+        sigma = {
+            v: max(float(a.std(axis=0).mean()), 1e-8) * self.recovery_spread_factor
+            for v, a in arrays.items()
+        }
+        for i in lost:
+            donor = healthy[int(self._rng.integers(len(healthy)))]
+            clone = self.ensemble.members[donor].copy()
+            ana = clone.to_analysis()
+            for v in ana:
+                noise = self._rng.normal(0.0, sigma[v], size=ana[v].shape)
+                ana[v] = ana[v] + noise.astype(ana[v].dtype)
+            clone.from_analysis(ana)
+            self.ensemble.members[i] = clone
+
+    def _snapshot_candidate(self) -> None:
+        self._pending_good = [st.copy() for st in self.ensemble.members]
+
+    def _promote_or_discard_candidate(self, all_finite: bool) -> None:
+        """Candidate survived a full integration -> it becomes the
+        rollback target; any member loss taints it instead."""
+        if self._pending_good is not None:
+            if all_finite:
+                self._last_good = self._pending_good
+            self._pending_good = None
+
+    def _rollback(self) -> None:
+        if self._last_good is None:
+            raise RuntimeError(
+                "ensemble is wholly non-finite and no good analysis exists "
+                "to roll back to"
+            )
+        self.ensemble.members = [st.copy() for st in self._last_good]
+
+    # --------------------------------------------------------------------
+
+    def run_cycle(
+        self, observations: list[GriddedObservations] | None = None
+    ) -> CycleResult:
+        """One full 30-s cycle; degrades instead of failing on bad input."""
         # --- part <1-2>: 30-second ensemble forecasts ------------------
         t0 = time.perf_counter()
         self.ensemble.members = [
@@ -66,18 +176,72 @@ class DACycler:
         ]
         t_fcst = time.perf_counter() - t0
 
-        # --- part <1-1>: LETKF analysis --------------------------------
         t0 = time.perf_counter()
-        hxb = self.obsope.hxb_ensemble(self.ensemble.members)
+        mode = "analysis"
+        n_recovered = 0
+
+        if self.guard:
+            healthy = self._healthy_indices()
+            lost = [i for i in range(len(self.ensemble)) if i not in set(healthy)]
+            self._promote_or_discard_candidate(not lost)
+            if len(healthy) < 2:
+                # catastrophic loss: the whole ensemble (or all but one
+                # member) went non-finite — restore the last good analysis
+                self._rollback()
+                mode = "rollback"
+                healthy = list(range(len(self.ensemble)))
+                lost = []
+        else:
+            # fail-fast path: no masking, no refill (for debugging)
+            healthy = list(range(len(self.ensemble)))
+            lost = []
+
+        # --- input validation (the guard in front of the LETKF) --------
+        obs_in = observations or []
+        if self.guard:
+            obs_ok, reasons = self.obsope.screen(obs_in)
+        else:
+            obs_ok, reasons = list(obs_in), []
+
         # restrict obs to the instrument's coverage (Fig. 6b mask)
         masked = []
-        for obs in observations:
+        for obs in obs_ok:
             ob = obs.copy()
             ob.valid &= self.obsope.coverage
             masked.append(ob)
-        arrays = self.ensemble.analysis_arrays()
-        analysis, diag = self.letkf.analyze(arrays, masked, hxb)
-        self.ensemble.load_analysis_arrays(analysis)
+        n_valid_total = sum(ob.n_valid for ob in masked)
+
+        do_analysis = mode != "rollback" and n_valid_total > 0 and len(healthy) >= 2
+        diag = AnalysisDiagnostics()
+
+        if do_analysis:
+            healthy_states = [self.ensemble.members[i] for i in healthy]
+            hxb = self.obsope.hxb_ensemble(healthy_states)
+            arrays = self._subset_arrays(healthy)
+            analysis, diag = self.letkf.analyze(arrays, masked, hxb)
+
+            finite = all(bool(np.all(np.isfinite(a))) for a in analysis.values())
+            if self.guard and not finite:
+                # NaN/Inf state guard: discard the poisoned update and
+                # keep the (finite) background — it descends from the
+                # last good analysis
+                mode = "rollback"
+            else:
+                for row, i in enumerate(healthy):
+                    self.ensemble.members[i].from_analysis(
+                        {v: analysis[v][row] for v in ModelState.ANALYSIS_VARS}
+                    )
+                if lost:
+                    mode = "reduced"
+        elif mode != "rollback":
+            mode = "free-run"
+
+        if lost:
+            self._refill_lost(lost, healthy)
+            n_recovered = len(lost)
+
+        if self.guard and mode in ("analysis", "reduced"):
+            self._snapshot_candidate()
         t_letkf = time.perf_counter() - t0
 
         self._cycle += 1
@@ -88,6 +252,90 @@ class DACycler:
             letkf_seconds=t_letkf,
             diagnostics=diag,
             spread_theta=self.ensemble.spread("theta_p"),
+            mode=mode,
+            n_members_used=len(healthy) if do_analysis else 0,
+            n_members_recovered=n_recovered,
+            n_volumes_rejected=len(obs_in) - len(obs_ok),
+            rejection_reasons=tuple(reasons),
         )
         self.results.append(res)
         return res
+
+    # -- checkpoint/restart ----------------------------------------------
+
+    def state_dict(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """(meta, arrays) capturing everything the cycle recurrence reads."""
+        arrays: dict[str, np.ndarray] = {}
+        for v in self.ensemble.members[0].fields:
+            arrays[f"member_{v}"] = np.stack(
+                [st.fields[v] for st in self.ensemble.members], axis=0
+            )
+        for tag, snap in (("lastgood", self._last_good), ("pending", self._pending_good)):
+            if snap is not None:
+                for v in snap[0].fields:
+                    arrays[f"{tag}_{v}"] = np.stack(
+                        [st.fields[v] for st in snap], axis=0
+                    )
+        # model-internal prognostic closure state (shared across members)
+        # also feeds the recurrence: without it a resumed run integrates
+        # with different eddy diffusivities and drifts off bit-identity
+        if self.model.physics is not None:
+            arrays["model_pbl_tke"] = self.model.physics.pbl.tke.copy()
+        meta = {
+            "kind": "da-cycler",
+            "model_nsteps": self.model.nsteps,
+            "cycle": self._cycle,
+            "member_times": [st.time for st in self.ensemble.members],
+            "lastgood_times": (
+                [st.time for st in self._last_good] if self._last_good else None
+            ),
+            "pending_times": (
+                [st.time for st in self._pending_good] if self._pending_good else None
+            ),
+            "rng_state": self._rng.bit_generator.state,
+            "obsope_last_t_valid": self.obsope._last_t_valid,
+        }
+        return meta, arrays
+
+    def load_state_dict(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        if meta.get("kind") != "da-cycler":
+            raise ValueError("not a DACycler checkpoint")
+        for i, st in enumerate(self.ensemble.members):
+            for v in st.fields:
+                st.fields[v][...] = arrays[f"member_{v}"][i]
+            st.time = float(meta["member_times"][i])
+        template = self.ensemble.members[0]
+
+        def _restore(tag: str, times) -> list[ModelState] | None:
+            if times is None:
+                return None
+            snap = []
+            for i, t in enumerate(times):
+                st = template.copy()
+                for v in st.fields:
+                    st.fields[v][...] = arrays[f"{tag}_{v}"][i]
+                st.time = float(t)
+                snap.append(st)
+            return snap
+
+        self._last_good = _restore("lastgood", meta["lastgood_times"])
+        self._pending_good = _restore("pending", meta.get("pending_times"))
+        if self.model.physics is not None and "model_pbl_tke" in arrays:
+            self.model.physics.pbl.tke[...] = arrays["model_pbl_tke"]
+        self.model.nsteps = int(meta.get("model_nsteps", self.model.nsteps))
+        self._cycle = int(meta["cycle"])
+        self._rng.bit_generator.state = meta["rng_state"]
+        self.obsope._last_t_valid = meta["obsope_last_t_valid"]
+
+    def save(self, path: str | Path) -> None:
+        """Atomic checkpoint; :meth:`load` resumes bit-identically."""
+        from ..resilience.checkpoint import save_checkpoint
+
+        meta, arrays = self.state_dict()
+        save_checkpoint(path, meta, arrays)
+
+    def load(self, path: str | Path) -> None:
+        from ..resilience.checkpoint import load_checkpoint
+
+        meta, arrays = load_checkpoint(path)
+        self.load_state_dict(meta, arrays)

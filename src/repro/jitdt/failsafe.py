@@ -4,16 +4,21 @@ Sec. 5: "For a fail-safe workflow in case of abnormal delays or
 troubles, data transfer activities are monitored, and JIT-DT is
 restarted automatically when necessary."
 
-The monitor watches transfer completion times against a deadline; a
-missed deadline or an explicit stall marks the transfer failed, restarts
-the (simulated) JIT-DT process with a penalty, and retries. Consecutive-
-failure streaks beyond a threshold escalate to an *outage* — the gray
-shaded "forecasts not produced in due course" periods of Fig. 5.
+The monitor watches transfer completion times against a per-attempt
+timeout from a :class:`~repro.resilience.policy.RetryPolicy`; a missed
+timeout or an explicit stall marks the attempt failed, restarts the
+(simulated) JIT-DT process with an exponentially backed-off penalty, and
+retries. When a :class:`~repro.resilience.policy.CircuitBreaker` is
+attached, streaks of fully-failed cycles open the circuit and following
+cycles are skipped outright — the gray "forecasts not produced in due
+course" periods of Fig. 5 — instead of burning restarts into a dead link.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..resilience.policy import CircuitBreaker, RetryPolicy
 
 __all__ = ["FailSafeMonitor", "TransferAttempt"]
 
@@ -31,29 +36,60 @@ class TransferAttempt:
 
 @dataclass
 class FailSafeMonitor:
-    """Deadline-based transfer supervision."""
+    """Policy-driven transfer supervision.
+
+    ``deadline_s``/``restart_penalty_s``/``max_attempts`` remain as
+    convenience knobs; they seed the default :class:`RetryPolicy` when
+    ``policy`` is not given explicitly.
+    """
 
     #: a transfer slower than this is treated as hung and restarted
     deadline_s: float = 15.0
-    #: seconds to restart JIT-DT
+    #: seconds to restart JIT-DT (first attempt; later ones back off)
     restart_penalty_s: float = 20.0
     #: give up after this many attempts within one cycle (cycle skipped)
     max_attempts: int = 2
+    policy: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
     history: list[TransferAttempt] = field(default_factory=list)
     restarts: int = 0
     skipped_cycles: int = 0
+    #: cycles this monitor supervised (restart_rate denominator)
+    cycles_supervised: int = 0
+    #: cycles denied outright by an open circuit
+    short_circuited_cycles: int = 0
+
+    def __post_init__(self):
+        if self.policy is None:
+            self.policy = RetryPolicy(
+                max_attempts=self.max_attempts,
+                timeout_s=self.deadline_s,
+                penalty_s=self.restart_penalty_s,
+            )
+        else:
+            self.max_attempts = self.policy.max_attempts
 
     def supervise(self, t_start: float, attempt_times: list[tuple[float, bool]]) -> float | None:
         """Resolve one cycle's transfer given pre-drawn attempt outcomes.
 
         ``attempt_times`` is a list of (seconds, stalled) draws from the
         link model, one per potential attempt. Returns the total elapsed
-        transfer time for the cycle, or None if the cycle was skipped
-        (all attempts failed) — the caller turns that into a Fig.-5 gap.
+        transfer time for the cycle, or None if the cycle was skipped —
+        either every attempt failed or the circuit is open — which the
+        caller turns into a Fig.-5 gap.
         """
+        self.cycles_supervised += 1
+        if self.breaker is not None and not self.breaker.allow():
+            self.skipped_cycles += 1
+            self.short_circuited_cycles += 1
+            return None
+
         elapsed = 0.0
-        for attempt, (seconds, stalled) in enumerate(attempt_times[: self.max_attempts]):
-            failed = stalled or seconds > self.deadline_s
+        for attempt, (seconds, stalled) in enumerate(
+            attempt_times[: self.policy.max_attempts]
+        ):
+            timeout = self.policy.timeout(attempt)
+            failed = stalled or seconds > timeout
             self.history.append(
                 TransferAttempt(
                     t_start=t_start,
@@ -64,14 +100,46 @@ class FailSafeMonitor:
                 )
             )
             if not failed:
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 return elapsed + seconds
-            # hung transfer: we lose the deadline, restart JIT-DT, retry
+            # hung transfer: we lose the timeout, restart JIT-DT, retry
+            # after the backed-off penalty
             self.restarts += 1
-            elapsed += min(seconds, self.deadline_s) + self.restart_penalty_s
+            elapsed += min(seconds, timeout) + self.policy.penalty(attempt)
         self.skipped_cycles += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
         return None
 
     @property
     def restart_rate(self) -> float:
-        n = len(self.history)
+        """Restarts per supervised cycle.
+
+        The denominator is cycles, not attempts: attempts grow with the
+        restarts themselves, so an attempt-based rate understates how
+        often the fail-safe fires per unit of wall-clock operation.
+        """
+        n = self.cycles_supervised
         return self.restarts / n if n else 0.0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "restarts": self.restarts,
+            "skipped_cycles": self.skipped_cycles,
+            "cycles_supervised": self.cycles_supervised,
+            "short_circuited_cycles": self.short_circuited_cycles,
+            "breaker": self.breaker.state_dict() if self.breaker else None,
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.restarts = int(d["restarts"])
+        self.skipped_cycles = int(d["skipped_cycles"])
+        self.cycles_supervised = int(d["cycles_supervised"])
+        self.short_circuited_cycles = int(d["short_circuited_cycles"])
+        if d.get("breaker") is not None:
+            if self.breaker is None:
+                self.breaker = CircuitBreaker()
+            self.breaker.load_state_dict(d["breaker"])

@@ -17,16 +17,43 @@ from ..grid import Grid
 from ..radar.blockage import grid_observation_mask
 from ..radar.doppler import doppler_from_state
 from ..radar.reflectivity import dbz_from_state
+from .qc import GriddedObservations, screen_observations
 
 __all__ = ["RadarObsOperator"]
 
 
-class RadarObsOperator:
+class _ScreeningMixin:
+    """Input-validation front door shared by the observation operators.
+
+    Tracks the last accepted scan time so non-monotonic volumes (radar
+    clock skew, stale retransmits) are rejected before they reach
+    :meth:`LETKFSolver.analyze`.
+    """
+
+    #: set by subclass __init__
+    grid: Grid
+    _last_t_valid: float | None = None
+
+    def screen(
+        self, observations: list[GriddedObservations]
+    ) -> tuple[list[GriddedObservations], list[str]]:
+        """Validate a cycle's volumes against this operator's mesh."""
+        accepted, reasons = screen_observations(
+            observations, self.grid.shape, t_prev=self._last_t_valid
+        )
+        times = [o.t_valid for o in accepted if np.isfinite(o.t_valid)]
+        if times:
+            self._last_t_valid = max(times)
+        return accepted, reasons
+
+
+class RadarObsOperator(_ScreeningMixin):
     """Maps ensembles of model states onto the gridded observation mesh."""
 
     def __init__(self, grid: Grid, radar: RadarConfig):
         self.grid = grid
         self.radar = radar
+        self._last_t_valid = None
         #: static coverage mask (range + scan cone), see Fig. 6b
         self.coverage = grid_observation_mask(grid, radar)
 
@@ -51,7 +78,7 @@ class RadarObsOperator:
         }
 
 
-class MultiRadarObsOperator:
+class MultiRadarObsOperator(_ScreeningMixin):
     """Observation operator for a multi-radar network (Sec. 8 extension).
 
     Reflectivity is site-independent (one shared H); Doppler velocity is
@@ -64,6 +91,7 @@ class MultiRadarObsOperator:
         if not radars:
             raise ValueError("need at least one radar")
         self.grid = grid
+        self._last_t_valid = None
         self.radars = radars
         self.site_ops = [RadarObsOperator(grid, r) for r in radars]
         cov = self.site_ops[0].coverage.copy()

@@ -18,7 +18,17 @@ import numpy as np
 
 from ..grid import Grid
 
-__all__ = ["GriddedObservations", "gross_error_check"]
+__all__ = [
+    "GriddedObservations",
+    "ObsValidationError",
+    "gross_error_check",
+    "validate_gridded",
+    "screen_observations",
+]
+
+
+class ObsValidationError(ValueError):
+    """An observation volume failed pre-assimilation validation."""
 
 
 @dataclass
@@ -41,6 +51,9 @@ class GriddedObservations:
     #: observation types (different look directions), so H(x_b) is keyed
     #: by ``hxb_key`` rather than ``kind``
     site: str = ""
+    #: scan-completion time [s] (NaN = unknown); monotonicity across
+    #: cycles is checked by :func:`validate_gridded`
+    t_valid: float = float("nan")
 
     def __post_init__(self):
         if self.values.shape != self.valid.shape:
@@ -65,6 +78,7 @@ class GriddedObservations:
             error_std=self.error_std,
             n_rejected_gross=self.n_rejected_gross,
             site=self.site,
+            t_valid=self.t_valid,
         )
 
 
@@ -86,6 +100,68 @@ def gross_error_check(
     out.valid &= ~bad
     out.n_rejected_gross = int(np.count_nonzero(bad))
     return out
+
+
+def validate_gridded(
+    obs: GriddedObservations,
+    grid_shape: tuple[int, ...] | None = None,
+    *,
+    t_prev: float | None = None,
+) -> list[str]:
+    """Pre-assimilation input validation of one gridded volume.
+
+    Returns the list of problems found (empty = usable). Checks the
+    failure modes a real radar feed exhibits: NaN/Inf reflectivity or
+    Doppler values on valid cells (a partially-written or bit-flipped
+    file), a volume regridded to the wrong mesh, an empty (fully
+    truncated) volume, and non-monotonic scan timestamps (clock skew on
+    the radar host, or a stale retransmitted file).
+    """
+    problems: list[str] = []
+    if grid_shape is not None and obs.values.shape != tuple(grid_shape):
+        problems.append(
+            f"{obs.hxb_key}: shape {obs.values.shape} != analysis mesh {tuple(grid_shape)}"
+        )
+        return problems  # further cell-wise checks are meaningless
+    if obs.n_valid == 0:
+        problems.append(f"{obs.hxb_key}: no valid cells (truncated/empty volume)")
+    elif not np.all(np.isfinite(obs.values[obs.valid])):
+        n_bad = int(np.count_nonzero(~np.isfinite(obs.values[obs.valid])))
+        problems.append(f"{obs.hxb_key}: {n_bad} non-finite values on valid cells")
+    if (
+        t_prev is not None
+        and np.isfinite(obs.t_valid)
+        and obs.t_valid <= t_prev
+    ):
+        problems.append(
+            f"{obs.hxb_key}: non-monotonic timestamp {obs.t_valid} <= {t_prev}"
+        )
+    return problems
+
+
+def screen_observations(
+    observations: list[GriddedObservations],
+    grid_shape: tuple[int, ...] | None = None,
+    *,
+    t_prev: float | None = None,
+) -> tuple[list[GriddedObservations], list[str]]:
+    """Split a cycle's volumes into (usable, rejection reasons).
+
+    The guard in front of :meth:`LETKFSolver.analyze`: volumes that
+    would poison the analysis (NaN/Inf, wrong mesh, stale clock) are
+    dropped here so the cycler can degrade gracefully — a cycle whose
+    volumes are all rejected becomes a forecast-only free run instead of
+    a crashed or poisoned analysis.
+    """
+    accepted: list[GriddedObservations] = []
+    reasons: list[str] = []
+    for obs in observations:
+        problems = validate_gridded(obs, grid_shape, t_prev=t_prev)
+        if problems:
+            reasons.extend(problems)
+        else:
+            accepted.append(obs)
+    return accepted, reasons
 
 
 def superob_to_grid(

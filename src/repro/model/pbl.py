@@ -141,6 +141,11 @@ class MYNN25:
         lap = np.zeros_like(tke)
         lap[1:-1] = (tke[2:] - 2 * tke[1:-1] + tke[:-2]) / dz2[1:-1]
         tke += dt * 2.0 * km * lap
+        # a non-finite state (e.g. a lost ensemble member passing through
+        # the shared model instance) must not poison the prognostic TKE
+        # permanently: reset contaminated cells to the floor so later
+        # integrations of healthy states start from sane closure state
+        tke = np.where(np.isfinite(tke), tke, self.tke_min)
         self.tke = np.maximum(tke, self.tke_min).astype(g.dtype)
 
     # ------------------------------------------------------------------

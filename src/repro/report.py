@@ -19,7 +19,14 @@ from .config import (
     ScaleConfig,
 )
 
-__all__ = ["table1", "Table1Row", "table2_text", "table3_text", "histogram_text"]
+__all__ = [
+    "table1",
+    "Table1Row",
+    "table2_text",
+    "table3_text",
+    "histogram_text",
+    "resilience_text",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,41 @@ def table3_text(cfg: ScaleConfig) -> str:
             *(f"  {k:<20} {v}" for k, v in cfg.physics_schemes().items()),
         ]
     )
+
+
+def resilience_text(report) -> str:
+    """Render a :class:`~repro.resilience.campaign.ResilienceReport`.
+
+    The fault-campaign counterpart of the Fig.-5 caption numbers: how
+    much of the campaign produced forecasts, how much of that production
+    was degraded, and how quickly the pipeline recovered from failure
+    episodes.
+    """
+    mttr = (
+        f"{report.mean_time_to_recover_s:8.1f} s"
+        if np.isfinite(report.mean_time_to_recover_s)
+        else "     n/a"
+    )
+    lines = [
+        f"{'cycles simulated':<28}{report.n_cycles}",
+        f"{'forecasts produced':<28}{report.n_produced}",
+        f"{'availability':<28}{report.availability:8.1%}",
+        f"{'degraded-cycle fraction':<28}{report.degraded_fraction:8.1%}",
+        f"{'deadline compliance':<28}{report.deadline_fraction:8.1%}",
+        f"{'mean time-to-recover':<28}{mttr}  ({report.n_recoveries} recoveries)",
+        f"{'max failure streak':<28}{report.max_failure_streak} cycles",
+        f"{'JIT-DT restarts':<28}{report.restarts}",
+        f"{'circuit-breaker skips':<28}{report.short_circuited_cycles}",
+        "fault strikes by kind:",
+    ]
+    if report.fault_counts:
+        lines.extend(
+            f"  {kind:<26}{n}"
+            for kind, n in sorted(report.fault_counts.items(), key=lambda kv: -kv[1])
+        )
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
 
 
 def histogram_text(edges: np.ndarray, counts: np.ndarray, *, width: int = 50) -> str:

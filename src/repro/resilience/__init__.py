@@ -1,0 +1,50 @@
+"""Fault injection and graceful degradation for the BDA pipeline.
+
+The paper's system ran unattended for a month and stayed on-air through
+transfer stalls, radar maintenance and the July 27 node-reconfiguration
+episode (Sec. 5, Fig. 5). This package makes that operational behaviour
+testable:
+
+* :mod:`repro.resilience.faults` — a deterministic, seed-driven fault
+  injector producing typed faults (transfer stalls/corruption, poisoned
+  radar volumes, lost ensemble members, node failures, stale boundaries,
+  clock skew) at configurable rates;
+* :mod:`repro.resilience.policy` — retry/timeout/exponential-backoff
+  policies and a circuit breaker, shared by the JIT-DT fail-safe;
+* :mod:`repro.resilience.checkpoint` — checkpoint/restart of cycler and
+  workflow state (ensemble arrays, RNG state, resource clocks) for
+  bit-identical mid-campaign resume;
+* :mod:`repro.resilience.campaign` — the seeded fault-injection
+  campaign harness with recovery metrics (availability, degraded-cycle
+  fraction, mean time-to-recover).
+"""
+
+from .faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultRates
+from .policy import CircuitBreaker, RetryPolicy
+from .checkpoint import load_checkpoint, save_checkpoint
+
+#: campaign pulls in the workflow layer (which itself imports the fault
+#: injector), so it is exposed lazily to keep the import graph acyclic
+_CAMPAIGN_EXPORTS = ("FaultCampaign", "ResilienceReport", "resilience_metrics")
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRates",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "load_checkpoint",
+    "save_checkpoint",
+    "FaultCampaign",
+    "ResilienceReport",
+    "resilience_metrics",
+]

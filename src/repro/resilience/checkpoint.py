@@ -1,0 +1,48 @@
+"""Checkpoint/restart of pipeline state.
+
+A killed campaign must resume *bit-identically*: the checkpoint captures
+every bit of mutable state the forward recurrence reads — ensemble
+member arrays, RNG bit-generator states, resource clocks, fail-safe
+counters, cycle records — and the writer is atomic (tmp + rename), so a
+kill during checkpointing leaves the previous checkpoint intact.
+
+The on-disk format is a single ``.npz``: arrays stored natively, and
+everything else (nested dicts, RNG states, records) as one JSON blob
+under the ``__meta__`` key. No external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path: str | Path, meta: dict, arrays: dict[str, np.ndarray] | None = None) -> None:
+    """Atomically write ``meta`` (JSON-serializable) plus named arrays."""
+    path = Path(path)
+    arrays = arrays or {}
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    # writing through a file object keeps numpy from appending ".npz"
+    with open(tmp, "wb") as f:
+        np.savez(f, **{_META_KEY: blob}, **arrays)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read back (meta, arrays) written by :func:`save_checkpoint`."""
+    with np.load(path) as z:
+        if _META_KEY not in z:
+            raise ValueError(f"{path} is not a repro checkpoint (no {_META_KEY})")
+        meta = json.loads(z[_META_KEY].tobytes().decode())
+        arrays = {k: z[k] for k in z.files if k != _META_KEY}
+    return meta, arrays

@@ -1,0 +1,171 @@
+"""Deterministic, seed-driven fault injection.
+
+Each fault is typed after a failure mode the deployment actually faced
+(Sec. 5): JIT-DT transfer stalls and corrupted pushes, truncated or
+NaN-poisoned radar volumes, lost/diverged ensemble members, part-<1>
+and part-<2> node failures, stale outer-domain boundaries, and clock
+skew between the radar host and Fugaku.
+
+Determinism contract: the faults of cycle ``c`` depend only on
+``(seed, c)`` — never on the injection history — so a campaign resumed
+from a checkpoint sees exactly the faults the uninterrupted run would
+have seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultRates", "FaultInjector"]
+
+
+#: every fault type the injector knows, in draw order (order matters for
+#: reproducibility: each kind consumes a fixed number of RNG draws)
+FAULT_KINDS = (
+    "transfer-stall",
+    "transfer-corrupt",
+    "volume-truncated",
+    "volume-nan",
+    "member-lost",
+    "member-diverged",
+    "part1-down",
+    "part2-down",
+    "stale-boundary",
+    "clock-skew",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``severity`` is kind-specific: seconds of repair/skew for node and
+    clock faults, the lost-member fraction for ensemble faults, the
+    poisoned-cell fraction for volume faults, and the retransmit seconds
+    for corruption.
+    """
+
+    cycle: int
+    kind: str
+    severity: float
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-cycle probability of each fault kind (field name = kind with
+    dashes mapped to underscores). Defaults are high enough that a
+    2,000-cycle campaign exercises every type, far above the real
+    system's rates — this is a stress harness, not a climatology."""
+
+    transfer_stall: float = 0.01
+    transfer_corrupt: float = 0.01
+    volume_truncated: float = 0.008
+    volume_nan: float = 0.008
+    member_lost: float = 0.006
+    member_diverged: float = 0.006
+    part1_down: float = 0.004
+    part2_down: float = 0.004
+    stale_boundary: float = 0.01
+    clock_skew: float = 0.006
+
+    def rate(self, kind: str) -> float:
+        return getattr(self, kind.replace("-", "_"))
+
+    @classmethod
+    def all_off(cls) -> "FaultRates":
+        return cls(**{f.name: 0.0 for f in fields(cls)})
+
+    @classmethod
+    def only(cls, *kinds: str, rate: float = 0.05) -> "FaultRates":
+        """Rates enabling only the given kinds (unit-test helper)."""
+        vals = {f.name: 0.0 for f in fields(cls)}
+        for k in kinds:
+            key = k.replace("-", "_")
+            if key not in vals:
+                raise ValueError(f"unknown fault kind {k!r}")
+            vals[key] = rate
+        return cls(**vals)
+
+
+#: severity scales per kind: (mean, clip_max) of an exponential draw
+_SEVERITY = {
+    "transfer-stall": (1.0, 1.0),  # severity unused (binary fault)
+    "transfer-corrupt": (3.0, 12.0),  # retransmit seconds
+    "volume-truncated": (0.3, 0.9),  # fraction of cells dropped
+    "volume-nan": (0.2, 0.8),  # fraction of cells poisoned
+    "member-lost": (0.15, 0.5),  # fraction of members lost
+    "member-diverged": (0.15, 0.5),
+    "part1-down": (90.0, 600.0),  # repair seconds
+    "part2-down": (90.0, 600.0),
+    "stale-boundary": (1.0, 1.0),  # binary quality fault
+    "clock-skew": (5.0, 25.0),  # skew seconds
+}
+
+
+class FaultInjector:
+    """Draws the fault set of each cycle from ``(seed, cycle)`` alone."""
+
+    def __init__(self, rates: FaultRates | None = None, *, seed: int = 0):
+        self.rates = rates or FaultRates()
+        self.seed = int(seed)
+        #: injection bookkeeping (does not influence future draws)
+        self.counts: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+
+    def _rng(self, cycle: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, int(cycle)))
+
+    def faults_for_cycle(self, cycle: int) -> list[FaultEvent]:
+        """The faults striking this cycle (possibly several at once)."""
+        rng = self._rng(cycle)
+        out: list[FaultEvent] = []
+        for kind in FAULT_KINDS:
+            # fixed two draws per kind keeps the stream layout stable
+            # even as individual rates change
+            hit = rng.random() < self.rates.rate(kind)
+            mean, cap = _SEVERITY[kind]
+            sev = float(min(rng.exponential(mean), cap))
+            if hit:
+                out.append(FaultEvent(cycle=cycle, kind=kind, severity=sev))
+                self.counts[kind] += 1
+        return out
+
+    # -- data-level fault application (used by the cycling harness) -----
+
+    @staticmethod
+    def poison_volume(values: np.ndarray, valid: np.ndarray, fraction: float,
+                      rng: np.random.Generator) -> None:
+        """NaN-poison a random ``fraction`` of the valid cells in place."""
+        idx = np.flatnonzero(valid)
+        if idx.size == 0:
+            return
+        k = max(1, int(round(fraction * idx.size)))
+        pick = rng.choice(idx, size=min(k, idx.size), replace=False)
+        values.reshape(-1)[pick] = np.nan
+
+    @staticmethod
+    def truncate_volume(valid: np.ndarray, fraction: float) -> None:
+        """Drop the trailing ``fraction`` of vertical levels (a volume
+        whose file write was cut short loses its top elevations)."""
+        nz = valid.shape[0]
+        k0 = max(1, int(round(nz * (1.0 - fraction))))
+        valid[k0:] = False
+
+    @staticmethod
+    def poison_members(ensemble_members: list, fraction: float,
+                       rng: np.random.Generator, *, mode: str = "nan") -> list[int]:
+        """Mark a random member subset lost (NaN) or diverged (blow-up).
+
+        Returns the poisoned member indices.
+        """
+        m = len(ensemble_members)
+        k = max(1, int(round(fraction * m)))
+        picks = rng.choice(m, size=min(k, m), replace=False)
+        for i in picks:
+            st = ensemble_members[int(i)]
+            if mode == "nan":
+                st.fields["rhot_p"][...] = np.nan
+            else:
+                st.fields["rhot_p"][...] *= 1e8  # numerical divergence
+        return [int(i) for i in picks]

@@ -1,0 +1,125 @@
+"""Retry/timeout/backoff policies and the circuit breaker.
+
+Generalizes the fixed two-attempt logic of the original JIT-DT fail-safe
+(Sec. 5 "restarted automatically when necessary"): attempt timeouts and
+restart penalties follow configurable exponential schedules, and a
+circuit breaker stops hammering a link that keeps failing — the
+workflow-level analog of "declare an outage and wait" (the gray shading
+of Fig. 5) instead of burning a restart per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential retry schedule for one supervised operation.
+
+    Attempt ``i`` (0-based) is given ``timeout(i)`` seconds before being
+    declared hung; a failed attempt costs ``penalty(i)`` seconds of
+    restart work before the next try. The legacy fail-safe behaviour is
+    ``RetryPolicy(max_attempts=2, timeout_backoff=1.0)``.
+    """
+
+    max_attempts: int = 2
+    timeout_s: float = 15.0
+    penalty_s: float = 20.0
+    #: growth factor of the restart penalty between attempts
+    penalty_backoff: float = 2.0
+    #: growth factor of the per-attempt timeout (1.0 = constant)
+    timeout_backoff: float = 1.0
+    max_penalty_s: float = 120.0
+    max_timeout_s: float = 120.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if min(self.timeout_s, self.penalty_s) < 0:
+            raise ValueError("timeout/penalty must be non-negative")
+        if min(self.penalty_backoff, self.timeout_backoff) < 1.0:
+            raise ValueError("backoff factors must be >= 1")
+
+    def timeout(self, attempt: int) -> float:
+        return min(self.timeout_s * self.timeout_backoff**attempt, self.max_timeout_s)
+
+    def penalty(self, attempt: int) -> float:
+        return min(self.penalty_s * self.penalty_backoff**attempt, self.max_penalty_s)
+
+    def worst_case_seconds(self) -> float:
+        """Upper bound on time lost before the cycle is abandoned —
+        the FlowDA-style bounded-latency guarantee under faults."""
+        return sum(
+            self.timeout(i) + self.penalty(i) for i in range(self.max_attempts)
+        )
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed -> open -> half-open).
+
+    ``record_failure`` after ``failure_threshold`` consecutive failures
+    opens the circuit; while open, ``allow`` denies ``cooldown`` calls
+    outright (each denial counts toward the cooldown), then the breaker
+    goes half-open and admits a single trial whose outcome closes or
+    re-opens it.
+    """
+
+    def __init__(self, *, failure_threshold: int = 5, cooldown: int = 10):
+        if failure_threshold < 1 or cooldown < 1:
+            raise ValueError("threshold and cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = "closed"  # "closed" | "open" | "half-open"
+        self.consecutive_failures = 0
+        self._cooldown_left = 0
+        self.n_opens = 0
+        self.n_short_circuits = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == "open"
+
+    def allow(self) -> bool:
+        """Whether the protected operation may be attempted now."""
+        if self.state == "open":
+            self._cooldown_left -= 1
+            self.n_short_circuits += 1
+            if self._cooldown_left <= 0:
+                self.state = "half-open"
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self._cooldown_left = self.cooldown
+            self.n_opens += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "cooldown_left": self._cooldown_left,
+            "n_opens": self.n_opens,
+            "n_short_circuits": self.n_short_circuits,
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.state = d["state"]
+        self.consecutive_failures = int(d["consecutive_failures"])
+        self._cooldown_left = int(d["cooldown_left"])
+        self.n_opens = int(d["n_opens"])
+        self.n_short_circuits = int(d["n_short_circuits"])

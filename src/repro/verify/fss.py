@@ -46,7 +46,8 @@ def fss(forecast: np.ndarray, observed: np.ndarray, threshold: float, window: in
     ref = float(np.mean(pf**2) + np.mean(po**2))
     if ref == 0.0:
         return float("nan")
-    return 1.0 - mse / ref
+    # roundoff in the box filter can push the score epsilon outside [0, 1]
+    return float(np.clip(1.0 - mse / ref, 0.0, 1.0))
 
 
 def fss_profile(

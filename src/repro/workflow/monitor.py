@@ -49,16 +49,26 @@ class WorkflowMonitor:
         self.degradation_fraction = degradation_fraction
         self._recent: deque[CycleRecord] = deque(maxlen=window)
         self._failure_streak = 0
+        self._failure_start_t: float | None = None
+        self._in_tts_degradation = False
         self.alerts: list[Alert] = []
         self.n_seen = 0
+        #: cumulative degraded-cycle count (free-run/reduced products)
+        self.n_degraded = 0
+        #: seconds from each failure episode's first cycle to recovery
+        self.recovery_times: list[float] = []
 
     def observe(self, rec: CycleRecord) -> list[Alert]:
         """Ingest one record; returns alerts it triggered."""
         new: list[Alert] = []
         self.n_seen += 1
         self._recent.append(rec)
+        if getattr(rec, "degraded", False):
+            self.n_degraded += 1
 
         if not rec.ok:
+            if self._failure_start_t is None:
+                self._failure_start_t = rec.t_obs
             self._failure_streak += 1
             if self._failure_streak == self.streak_threshold:
                 new.append(
@@ -70,6 +80,9 @@ class WorkflowMonitor:
                     )
                 )
         else:
+            if self._failure_start_t is not None:
+                self.recovery_times.append(rec.t_obs - self._failure_start_t)
+                self._failure_start_t = None
             self._failure_streak = 0
             if rec.time_to_solution > self.deadline_s:
                 new.append(
@@ -82,17 +95,22 @@ class WorkflowMonitor:
                 )
 
         frac = self.deadline_fraction()
-        if len(self._recent) == self.window and frac < self.degradation_fraction:
-            # fire once per degradation episode
-            if not self.alerts or self.alerts[-1].kind != "tts-degradation":
-                new.append(
-                    Alert(
-                        t=rec.t_obs,
-                        kind="tts-degradation",
-                        message=f"rolling deadline compliance {frac:.0%} "
-                        f"below {self.degradation_fraction:.0%}",
+        if len(self._recent) == self.window:
+            # fire once per degradation episode: re-arm only after the
+            # rolling compliance has recovered above the threshold
+            if frac < self.degradation_fraction:
+                if not self._in_tts_degradation:
+                    self._in_tts_degradation = True
+                    new.append(
+                        Alert(
+                            t=rec.t_obs,
+                            kind="tts-degradation",
+                            message=f"rolling deadline compliance {frac:.0%} "
+                            f"below {self.degradation_fraction:.0%}",
+                        )
                     )
-                )
+            else:
+                self._in_tts_degradation = False
         self.alerts.extend(new)
         return new
 
@@ -113,11 +131,27 @@ class WorkflowMonitor:
             return 0.0
         return float(np.mean([r.ok for r in self._recent]))
 
+    # -- recovery metrics (cumulative over the whole stream) -----------------
+
+    def degraded_fraction(self) -> float:
+        """Fraction of all observed cycles served by a degraded path."""
+        return self.n_degraded / self.n_seen if self.n_seen else 0.0
+
+    def mean_time_to_recover(self) -> float:
+        """Mean seconds from a failure episode's start to the next
+        product; NaN while no recovery has been observed."""
+        if not self.recovery_times:
+            return float("nan")
+        return float(np.mean(self.recovery_times))
+
     def summary(self) -> str:
         return (
             f"cycles {self.n_seen}, availability {self.availability():.1%}, "
             f"median TTS {self.median_tts():.0f}s, "
-            f"deadline {self.deadline_fraction():.1%}, alerts {len(self.alerts)}"
+            f"deadline {self.deadline_fraction():.1%}, "
+            f"degraded {self.degraded_fraction():.1%}, "
+            f"MTTR {self.mean_time_to_recover():.0f}s "
+            f"({len(self.recovery_times)} recoveries), alerts {len(self.alerts)}"
         )
 
 

@@ -14,19 +14,36 @@ One cycle, every 30 seconds (times relative to T_obs = scan completion):
 
 time-to-solution = T_fcst - T_obs (Fig. 4), and the deadline is the
 paper's "< 3 minutes".
+
+With a :class:`~repro.resilience.faults.FaultInjector` attached, typed
+faults perturb the cycle: transfer faults exercise the fail-safe,
+poisoned volumes and lost members degrade the cycle to a free-run or
+reduced-member analysis (product still produced, ``degraded`` set), and
+node failures delay the resources they strike.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..comm.topology import FugakuAllocation
 from ..config import WorkflowConfig
 from ..jitdt.failsafe import FailSafeMonitor
+from ..resilience.faults import FaultEvent, FaultInjector
+from ..resilience.policy import CircuitBreaker
 from .events import Resource
 from .scheduler import CycleCosts, StageCostModel
 
 __all__ = ["CycleRecord", "RealtimeWorkflow"]
+
+#: fault kinds that degrade the product rather than delay/skip it
+_DEGRADING_KINDS = frozenset(
+    {"volume-truncated", "volume-nan", "member-lost", "member-diverged",
+     "stale-boundary"}
+)
+#: seconds part <1> spends detecting and rejecting an unusable volume
+_QC_REJECT_S = 0.5
 
 
 @dataclass(frozen=True)
@@ -36,21 +53,42 @@ class CycleRecord:
     cycle: int
     t_obs: float
     ok: bool
-    #: absolute completion times (NaN-free only when ok)
+    #: absolute completion times (meaningful only when ok)
     t_file: float = 0.0
     t_transferred: float = 0.0
     t_analysis: float = 0.0
     t_product: float = 0.0
     rain_area_km2: float = 0.0
     skipped_reason: str = ""
+    #: product was produced but from a degraded path (free-run analysis,
+    #: reduced members, stale boundary, ...)
+    degraded: bool = False
+    #: comma-joined fault kinds that struck this cycle
+    fault: str = ""
 
     @property
     def time_to_solution(self) -> float:
-        """T_fcst - T_obs [s], the paper's headline metric."""
+        """T_fcst - T_obs [s], the paper's headline metric.
+
+        NaN when no product was produced: the all-zero timestamps of a
+        failed record would otherwise yield a misleading negative
+        duration (-t_obs).
+        """
+        if not self.ok:
+            return math.nan
         return self.t_product - self.t_obs
 
     def breakdown(self) -> dict[str, float]:
-        """The Fig. 4 segment durations."""
+        """The Fig. 4 segment durations.
+
+        Raises on failed records — their timestamps are unset and the
+        differences below would be meaningless.
+        """
+        if not self.ok:
+            raise ValueError(
+                f"cycle {self.cycle} produced no forecast "
+                f"({self.skipped_reason or 'failed'}); no breakdown exists"
+            )
         return {
             "file_creation": self.t_file - self.t_obs,
             "jitdt_transfer": self.t_transferred - self.t_file,
@@ -76,6 +114,8 @@ class RealtimeWorkflow:
         costs: StageCostModel | None = None,
         *,
         seed: int = 42,
+        injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         self.config = config
         self.costs = costs or StageCostModel(config, seed=seed)
@@ -85,8 +125,11 @@ class RealtimeWorkflow:
             Resource(f"part2-slot{i}") for i in range(self.allocation.part2_concurrency)
         ]
         self.failsafe = FailSafeMonitor(
-            deadline_s=15.0, restart_penalty_s=config.jitdt.restart_penalty_s
+            deadline_s=15.0,
+            restart_penalty_s=config.jitdt.restart_penalty_s,
+            breaker=breaker,
         )
+        self.injector = injector
         self.records: list[CycleRecord] = []
 
     def run_cycle(
@@ -98,39 +141,77 @@ class RealtimeWorkflow:
     ) -> CycleRecord:
         """Simulate one 30-s cycle; returns (and stores) its record."""
         t_obs = cycle * self.config.cycle_interval_s
+        faults: list[FaultEvent] = (
+            self.injector.faults_for_cycle(cycle) if self.injector is not None else []
+        )
+        by_kind = {f.kind: f for f in faults}
+        fault_str = ",".join(f.kind for f in faults)
+
         if in_outage:
             rec = CycleRecord(
                 cycle=cycle, t_obs=t_obs, ok=False, skipped_reason="outage",
-                rain_area_km2=rain_area_km2,
+                rain_area_km2=rain_area_km2, fault=fault_str,
             )
             self.records.append(rec)
             return rec
 
         c: CycleCosts = self.costs.draw(rain_area_km2)
         t_file = t_obs + c.file_creation
+        if "clock-skew" in by_kind:
+            # the radar host's clock drifted: the file timestamp lands in
+            # the past/future and JIT-DT waits out the skew to realign
+            t_file += by_kind["clock-skew"].severity
 
-        # JIT-DT with fail-safe supervision: pre-draw a retry in case the
-        # first attempt stalls
-        retry = self.costs.draw(rain_area_km2)
-        transfer_total = self.failsafe.supervise(
-            t_file,
-            [(c.transfer, c.transfer_stalled), (retry.transfer, retry.transfer_stalled)],
+        # JIT-DT with fail-safe supervision: pre-draw retries in case
+        # attempts stall (the default policy keeps the legacy 2 attempts)
+        extra = [
+            self.costs.draw(rain_area_km2)
+            for _ in range(self.failsafe.max_attempts - 1)
+        ]
+        attempts = [(c.transfer, c.transfer_stalled)] + [
+            (r.transfer, r.transfer_stalled) for r in extra
+        ]
+        if "transfer-stall" in by_kind:
+            attempts = [(s, True) for s, _ in attempts]
+        circuit_was_open = (
+            self.failsafe.breaker is not None and self.failsafe.breaker.is_open
         )
+        transfer_total = self.failsafe.supervise(t_file, attempts)
         if transfer_total is None:
+            reason = "circuit-open" if circuit_was_open else "transfer-failed"
             rec = CycleRecord(
-                cycle=cycle, t_obs=t_obs, ok=False, skipped_reason="transfer-failed",
-                rain_area_km2=rain_area_km2,
+                cycle=cycle, t_obs=t_obs, ok=False, skipped_reason=reason,
+                rain_area_km2=rain_area_km2, fault=fault_str,
             )
             self.records.append(rec)
             return rec
+        if "transfer-corrupt" in by_kind:
+            # checksum mismatch on arrival: retransmit once
+            transfer_total += by_kind["transfer-corrupt"].severity
         t_transferred = t_file + transfer_total
 
         # part <1>: LETKF + 30-s ensemble forecasts occupy the 8008 nodes
+        if "part1-down" in by_kind:
+            # failed node block held out of service for its repair time
+            self.part1.acquire(t_transferred, by_kind["part1-down"].severity)
         start1 = self.part1.acquire(t_transferred, c.part1_busy)
-        t_analysis = start1 + c.letkf
+        if "volume-truncated" in by_kind or "volume-nan" in by_kind:
+            # the volume fails input validation: the cycle degrades to a
+            # forecast-only free run (no LETKF transform to pay for)
+            t_analysis = start1 + _QC_REJECT_S
+        else:
+            letkf_cost = c.letkf
+            member_fault = by_kind.get("member-lost") or by_kind.get("member-diverged")
+            if member_fault is not None:
+                # reduced-member analysis: the transform shrinks with the
+                # surviving fraction
+                letkf_cost *= 1.0 - min(member_fault.severity, 0.5)
+            t_analysis = start1 + letkf_cost
 
         # part <2>: rotating slot hosts the 30-minute forecast
         slot = self.part2_slots[cycle % len(self.part2_slots)]
+        if "part2-down" in by_kind:
+            slot.acquire(t_analysis, by_kind["part2-down"].severity)
         start2 = slot.acquire(t_analysis, c.forecast_30min + c.product_write)
         t_product = start2 + c.forecast_30min + c.product_write
 
@@ -143,16 +224,65 @@ class RealtimeWorkflow:
             t_analysis=t_analysis,
             t_product=t_product,
             rain_area_km2=rain_area_km2,
+            degraded=bool(_DEGRADING_KINDS & by_kind.keys()),
+            fault=fault_str,
         )
         self.records.append(rec)
         return rec
 
     # ------------------------------------------------------------------
 
-    def deadline_fraction(self) -> float:
-        """Fraction of produced forecasts meeting the < 3 min deadline."""
+    def deadline_fraction(self, *, denominator: str = "produced") -> float:
+        """Fraction of forecasts meeting the < 3 min deadline.
+
+        ``denominator`` makes the normalization policy explicit:
+
+        * ``"produced"`` (default, the paper's Fig.-5c convention) —
+          among cycles that produced a forecast;
+        * ``"attempted"`` — among all simulated cycles, so skipped or
+          outage cycles count against the deadline.
+        """
+        if denominator not in ("produced", "attempted"):
+            raise ValueError(f"unknown denominator policy {denominator!r}")
         done = [r for r in self.records if r.ok]
-        if not done:
+        total = len(done) if denominator == "produced" else len(self.records)
+        if not total:
             return 0.0
         hit = sum(1 for r in done if r.time_to_solution <= self.config.deadline_s)
-        return hit / len(done)
+        return hit / total
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume the recurrence bit-identically."""
+        from dataclasses import asdict
+
+        return {
+            "rng_state": self.costs.rng.bit_generator.state,
+            "part1": _resource_state(self.part1),
+            "part2": [_resource_state(s) for s in self.part2_slots],
+            "failsafe": self.failsafe.state_dict(),
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.costs.rng.bit_generator.state = d["rng_state"]
+        _load_resource(self.part1, d["part1"])
+        for slot, s in zip(self.part2_slots, d["part2"]):
+            _load_resource(slot, s)
+        self.failsafe.load_state_dict(d["failsafe"])
+        self.records = [CycleRecord(**row) for row in d["records"]]
+
+
+def _resource_state(r: Resource) -> dict:
+    return {
+        "free_at": r.free_at,
+        "busy_seconds": r.busy_seconds,
+        "acquisitions": r.acquisitions,
+    }
+
+
+def _load_resource(r: Resource, d: dict) -> None:
+    r.free_at = float(d["free_at"])
+    r.busy_seconds = float(d["busy_seconds"])
+    r.acquisitions = int(d["acquisitions"])

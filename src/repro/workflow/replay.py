@@ -27,6 +27,8 @@ _FIELDS = (
     "t_product",
     "rain_area_km2",
     "skipped_reason",
+    "degraded",
+    "fault",
 )
 
 
