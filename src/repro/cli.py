@@ -122,6 +122,7 @@ def _cmd_quickcycle(args) -> int:
     bda = BDASystem(
         scfg, lcfg, RadarConfig().reduced(),
         sounding=convective_sounding(cape_factor=1.1), seed=args.seed,
+        backend=args.backend,
     )
     bda.trigger_convection(n=2, amplitude=5.0)
     print("spinning up nature run ...")
@@ -164,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     qc.add_argument("--members", type=int, default=6)
     qc.add_argument("--cycles", type=int, default=4)
     qc.add_argument("--seed", type=int, default=7)
+    qc.add_argument(
+        "--backend", choices=("serial", "vectorized", "sharded"),
+        default="vectorized",
+        help="ensemble execution backend (vectorized is bit-identical to "
+             "serial; sharded adds virtual-MPI member blocks)",
+    )
     return p
 
 

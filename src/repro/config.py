@@ -27,6 +27,7 @@ __all__ = [
     "JITDTConfig",
     "NodeAllocation",
     "WorkflowConfig",
+    "ExecutionConfig",
     "OperationalSystem",
     "OPERATIONAL_SYSTEMS",
     "BDA2021_SYSTEM",
@@ -384,6 +385,41 @@ class WorkflowConfig:
     deadline_s: float = 180.0  # the "< 3 minutes" target
     jitdt: JITDTConfig = field(default_factory=JITDTConfig)
     nodes: NodeAllocation = field(default_factory=NodeAllocation)
+
+
+# ---------------------------------------------------------------------------
+# Execution backend selection (member-batched forecast engine)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the ensemble forecast step is executed.
+
+    ``serial`` integrates one member at a time (the seed behaviour, kept
+    as a bit-exact fallback); ``vectorized`` integrates the whole
+    member-batched :class:`~repro.model.ensemble_state.EnsembleState`
+    through the kernels at once (the default — bit-identical to serial
+    because every kernel is member-independent); ``sharded`` splits the
+    member axis into ``n_shards`` blocks and runs each block through the
+    virtual-MPI communicator, modelling the part <1-2> node groups.
+    """
+
+    backend: str = "vectorized"
+    #: member-axis blocks for the sharded backend
+    n_shards: int = 2
+    #: measured throughput of this backend relative to the serial
+    #: per-member loop (fill from BENCH_cycle_throughput.json); the
+    #: workflow cost model divides forecast-stage times by this
+    relative_throughput: float = 1.0
+
+    def __post_init__(self):
+        if self.backend not in ("serial", "vectorized", "sharded"):
+            raise ValueError(f"unknown execution backend {self.backend!r}")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.relative_throughput <= 0.0:
+            raise ValueError("relative_throughput must be positive")
 
 
 # ---------------------------------------------------------------------------

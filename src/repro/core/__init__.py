@@ -5,6 +5,9 @@ Wires the substrates together into the workflow of Fig. 2:
 * :mod:`repro.core.ensemble` — the ensemble container: initial-condition
   perturbations, the mean, and the paper's "ensemble mean and 10
   analyses randomly chosen" member selection for part <2>;
+* :mod:`repro.core.backends` — pluggable execution backends mapping the
+  member axis onto compute (serial loop, batched vectorized, sharded
+  over the virtual MPI);
 * :mod:`repro.core.cycling` — part <1>: the 30-second DA cycle
   (ensemble 30-s forecasts <1-2> + LETKF analysis <1-1>);
 * :mod:`repro.core.nesting` — the outer/inner domain coupling of
@@ -22,11 +25,23 @@ from .nesting import NestedDomains
 from .bda import BDASystem, ForecastProduct
 from .timeline import TimeToSolution, StageStamp
 from .products import ProductWriter
+from .backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardedBackend,
+    VectorizedBackend,
+    make_backend,
+)
 
 __all__ = [
     "Ensemble",
     "DACycler",
     "CycleResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ShardedBackend",
+    "make_backend",
     "NestedDomains",
     "BDASystem",
     "ForecastProduct",

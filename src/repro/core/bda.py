@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import LETKFConfig, RadarConfig, ScaleConfig
+from ..config import ExecutionConfig, LETKFConfig, RadarConfig, ScaleConfig
 from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
+from ..model.ensemble_state import EnsembleState
 from ..model.initial import random_thermals, warm_bubble
 from ..model.model import ScaleRM
 from ..model.reference import Sounding
@@ -28,6 +29,7 @@ from ..model.state import ModelState
 from ..radar.pawr import PAWRSimulator, VolumeScan
 from ..radar.regrid import volume_to_grid
 from ..radar.reflectivity import dbz_from_state
+from .backends import ExecutionBackend, make_backend
 from .cycling import CycleResult, DACycler
 from .ensemble import Ensemble
 
@@ -67,6 +69,7 @@ class BDASystem:
         sounding: Sounding | None = None,
         seed: int = 11,
         use_raw_volumes: bool = False,
+        backend: str | ExecutionConfig | ExecutionBackend | None = None,
     ):
         self.scale_config = scale_config
         self.letkf_config = letkf_config
@@ -89,8 +92,11 @@ class BDASystem:
         self.additive_inflation: tuple[float, float, float] = (0.15, 0.15, 0.01)
         self.obsope = RadarObsOperator(self.model.grid, radar_config)
         self.pawr = PAWRSimulator(radar_config, self.model.grid, seed=seed + 1)
+        #: execution backend shared by the cycler and the part-<2> forecasts
+        self.backend = make_backend(backend)
         self.cycler = DACycler(
-            self.model, self.ensemble, letkf_config, self.obsope
+            self.model, self.ensemble, letkf_config, self.obsope,
+            backend=self.backend,
         )
         self.cycle_count = 0
         self.last_scan: VolumeScan | None = None
@@ -118,9 +124,9 @@ class BDASystem:
         carries rain in wrong places rather than no rain at all.
         """
         self.nature = self.nature_model.integrate(self.nature, seconds)
-        self.ensemble.members = [
-            self.model.integrate(st, seconds) for st in self.ensemble.members
-        ]
+        self.ensemble.state = self.backend.forecast(
+            self.model, self.ensemble.state, seconds
+        )
 
     def _inject_additive_spread(self) -> None:
         """Small smooth additive perturbations every cycle (spread floor)."""
@@ -214,21 +220,21 @@ class BDASystem:
         inits = self.ensemble.select_forecast_members(n_members, self.rng)
         leads = np.arange(0.0, length_seconds + 1e-6, output_interval)
 
-        member_dbz = []
-        for st in inits:
-            snaps = []
-            cur = st
-            t0 = cur.time
-            for li, lead in enumerate(leads):
-                target = t0 + lead
-                if cur.time < target:
-                    cur = self.model.integrate(cur, target - cur.time)
-                snaps.append(dbz_from_state(cur))
-            member_dbz.append(np.stack(snaps))
+        # the part-<2> ensemble runs member-batched through the same
+        # execution backend as the cycle; reflectivity snapshots come
+        # straight off the batch as (m, nz, ny, nx) blocks per lead
+        cur = EnsembleState.from_members(inits)
+        t0 = cur.time
+        snaps = []
+        for lead in leads:
+            target = t0 + lead
+            if cur.time < target:
+                cur = self.backend.forecast(self.model, cur, target - cur.time)
+            snaps.append(dbz_from_state(cur))
         return ForecastProduct(
-            init_time=inits[0].time,
+            init_time=t0,
             lead_seconds=leads,
-            member_dbz=np.stack(member_dbz),
+            member_dbz=np.stack(snaps, axis=1),
         )
 
     # ------------------------------------------------------------------

@@ -28,12 +28,14 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import LETKFConfig
+from ..config import ExecutionConfig, LETKFConfig
 from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
 from ..letkf.solver import AnalysisDiagnostics, LETKFSolver
+from ..model.ensemble_state import EnsembleState
 from ..model.model import ScaleRM
 from ..model.state import ModelState
+from .backends import ExecutionBackend, make_backend
 from .ensemble import Ensemble
 
 __all__ = ["CycleResult", "DACycler"]
@@ -78,12 +80,15 @@ class DACycler:
         seed: int = 0,
         guard: bool = True,
         recovery_spread_factor: float = 0.5,
+        backend: str | ExecutionConfig | ExecutionBackend | None = None,
     ):
         self.model = model
         self.ensemble = ensemble
         self.letkf = LETKFSolver(model.grid, letkf_config)
         self.obsope = obs_operator
         self.cycle_seconds = cycle_seconds
+        #: execution backend for the part <1-2> member forecasts
+        self.backend = make_backend(backend)
         #: NaN/Inf guards + rollback enabled (off = fail fast, for tests)
         self.guard = guard
         #: refilled members get this fraction of the survivors' spread
@@ -92,15 +97,15 @@ class DACycler:
         self._rng = np.random.default_rng(seed)
         self.results: list[CycleResult] = []
         self._cycle = 0
-        #: copies of the member states after the last clean analysis that
+        #: batched copy of the ensemble after the last clean analysis that
         #: also *survived the following integration* — the rollback target
         #: when poison slips through. A fresh analysis is only a
         #: candidate (``_pending_good``) until the next cycle's forecast
         #: step proves it integrates without blowing up; promoting it
         #: immediately would let an unstable reduced-member analysis
         #: poison the rollback target itself.
-        self._last_good: list[ModelState] | None = None
-        self._pending_good: list[ModelState] | None = None
+        self._last_good: EnsembleState | None = None
+        self._pending_good: EnsembleState | None = None
 
     # -- degraded-mode helpers -------------------------------------------
 
@@ -109,17 +114,11 @@ class DACycler:
         return all(bool(np.all(np.isfinite(v))) for v in st.fields.values())
 
     def _healthy_indices(self) -> list[int]:
-        return [
-            i for i, st in enumerate(self.ensemble.members)
-            if self._is_finite_state(st)
-        ]
+        return [int(i) for i in np.nonzero(self.ensemble.state.finite_mask())[0]]
 
     def _subset_arrays(self, idx: list[int]) -> dict[str, np.ndarray]:
-        per_member = [self.ensemble.members[i].to_analysis() for i in idx]
-        return {
-            v: np.stack([pm[v] for pm in per_member], axis=0)
-            for v in ModelState.ANALYSIS_VARS
-        }
+        """Analysis variables of a member subset, via the batch accessor."""
+        return self.ensemble.state.analysis_arrays(idx)
 
     def _refill_lost(self, lost: list[int], healthy: list[int]) -> None:
         """Replace lost members with survivor clones + re-inflated spread.
@@ -145,7 +144,7 @@ class DACycler:
             self.ensemble.members[i] = clone
 
     def _snapshot_candidate(self) -> None:
-        self._pending_good = [st.copy() for st in self.ensemble.members]
+        self._pending_good = self.ensemble.state.copy()
 
     def _promote_or_discard_candidate(self, all_finite: bool) -> None:
         """Candidate survived a full integration -> it becomes the
@@ -161,7 +160,7 @@ class DACycler:
                 "ensemble is wholly non-finite and no good analysis exists "
                 "to roll back to"
             )
-        self.ensemble.members = [st.copy() for st in self._last_good]
+        self.ensemble.state = self._last_good.copy()
 
     # --------------------------------------------------------------------
 
@@ -171,9 +170,9 @@ class DACycler:
         """One full 30-s cycle; degrades instead of failing on bad input."""
         # --- part <1-2>: 30-second ensemble forecasts ------------------
         t0 = time.perf_counter()
-        self.ensemble.members = [
-            self.model.integrate(st, self.cycle_seconds) for st in self.ensemble.members
-        ]
+        self.ensemble.state = self.backend.forecast(
+            self.model, self.ensemble.state, self.cycle_seconds
+        )
         t_fcst = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -215,9 +214,14 @@ class DACycler:
         diag = AnalysisDiagnostics()
 
         if do_analysis:
-            healthy_states = [self.ensemble.members[i] for i in healthy]
-            hxb = self.obsope.hxb_ensemble(healthy_states)
-            arrays = self._subset_arrays(healthy)
+            all_healthy = len(healthy) == len(self.ensemble)
+            batch = (
+                self.ensemble.state
+                if all_healthy
+                else self.ensemble.state.subset(healthy)
+            )
+            hxb = self.obsope.hxb_ensemble(batch)
+            arrays = batch.analysis_arrays()
             analysis, diag = self.letkf.analyze(arrays, masked, hxb)
 
             finite = all(bool(np.all(np.isfinite(a))) for a in analysis.values())
@@ -227,10 +231,13 @@ class DACycler:
                 # last good analysis
                 mode = "rollback"
             else:
-                for row, i in enumerate(healthy):
-                    self.ensemble.members[i].from_analysis(
-                        {v: analysis[v][row] for v in ModelState.ANALYSIS_VARS}
-                    )
+                if all_healthy:
+                    self.ensemble.state.load_analysis(analysis)
+                else:
+                    for row, i in enumerate(healthy):
+                        self.ensemble.members[i].from_analysis(
+                            {v: analysis[v][row] for v in ModelState.ANALYSIS_VARS}
+                        )
                 if lost:
                     mode = "reduced"
         elif mode != "rollback":
@@ -247,7 +254,7 @@ class DACycler:
         self._cycle += 1
         res = CycleResult(
             cycle=self._cycle,
-            t_valid=self.ensemble.members[0].time,
+            t_valid=self.ensemble.state.time,
             forecast_seconds=t_fcst,
             letkf_seconds=t_letkf,
             diagnostics=diag,
@@ -264,33 +271,46 @@ class DACycler:
     # -- checkpoint/restart ----------------------------------------------
 
     def state_dict(self) -> tuple[dict, dict[str, np.ndarray]]:
-        """(meta, arrays) capturing everything the cycle recurrence reads."""
+        """(meta, arrays) capturing everything the cycle recurrence reads.
+
+        The batched layout writes each prognostic variable as one
+        ``member_<v>`` ``(m, ...)`` array straight from the batch, plus
+        ``member_aux_<k>`` for the per-member closure arrays (TKE, rain
+        rate) that feed the physics recurrence.
+        """
         arrays: dict[str, np.ndarray] = {}
-        for v in self.ensemble.members[0].fields:
-            arrays[f"member_{v}"] = np.stack(
-                [st.fields[v] for st in self.ensemble.members], axis=0
-            )
+        batch = self.ensemble.state
+        for v, arr in batch.fields.items():
+            arrays[f"member_{v}"] = arr.copy()
+        for k, arr in batch.aux.items():
+            arrays[f"member_aux_{k}"] = arr.copy()
         for tag, snap in (("lastgood", self._last_good), ("pending", self._pending_good)):
             if snap is not None:
-                for v in snap[0].fields:
-                    arrays[f"{tag}_{v}"] = np.stack(
-                        [st.fields[v] for st in snap], axis=0
-                    )
-        # model-internal prognostic closure state (shared across members)
-        # also feeds the recurrence: without it a resumed run integrates
-        # with different eddy diffusivities and drifts off bit-identity
-        if self.model.physics is not None:
-            arrays["model_pbl_tke"] = self.model.physics.pbl.tke.copy()
+                for v, arr in snap.fields.items():
+                    arrays[f"{tag}_{v}"] = arr.copy()
+                for k, arr in snap.aux.items():
+                    arrays[f"{tag}_aux_{k}"] = arr.copy()
         meta = {
             "kind": "da-cycler",
             "model_nsteps": self.model.nsteps,
+            "member_nsteps": batch.nsteps,
             "cycle": self._cycle,
-            "member_times": [st.time for st in self.ensemble.members],
+            "member_times": [batch.time] * batch.n_members,
             "lastgood_times": (
-                [st.time for st in self._last_good] if self._last_good else None
+                [self._last_good.time] * self._last_good.n_members
+                if self._last_good is not None
+                else None
+            ),
+            "lastgood_nsteps": (
+                self._last_good.nsteps if self._last_good is not None else None
             ),
             "pending_times": (
-                [st.time for st in self._pending_good] if self._pending_good else None
+                [self._pending_good.time] * self._pending_good.n_members
+                if self._pending_good is not None
+                else None
+            ),
+            "pending_nsteps": (
+                self._pending_good.nsteps if self._pending_good is not None else None
             ),
             "rng_state": self._rng.bit_generator.state,
             "obsope_last_t_valid": self.obsope._last_t_valid,
@@ -300,28 +320,42 @@ class DACycler:
     def load_state_dict(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
         if meta.get("kind") != "da-cycler":
             raise ValueError("not a DACycler checkpoint")
-        for i, st in enumerate(self.ensemble.members):
-            for v in st.fields:
-                st.fields[v][...] = arrays[f"member_{v}"][i]
-            st.time = float(meta["member_times"][i])
-        template = self.ensemble.members[0]
+        batch = self.ensemble.state
+        for v in batch.fields:
+            batch.fields[v][...] = arrays[f"member_{v}"]
+        batch.time = float(meta["member_times"][0])
+        batch.nsteps = int(meta.get("member_nsteps", meta.get("model_nsteps", 0)))
+        batch.aux.clear()
+        for key, arr in arrays.items():
+            if key.startswith("member_aux_"):
+                batch.aux[key[len("member_aux_"):]] = arr.copy()
+        if "model_pbl_tke" in arrays and "tke" not in batch.aux:
+            # legacy checkpoints carried one shared TKE array; replicate
+            # it across the member axis of the per-member layout
+            tke = np.asarray(arrays["model_pbl_tke"])
+            batch.aux["tke"] = np.repeat(tke[None], batch.n_members, axis=0)
 
-        def _restore(tag: str, times) -> list[ModelState] | None:
+        def _restore(tag: str, times) -> EnsembleState | None:
             if times is None:
                 return None
-            snap = []
-            for i, t in enumerate(times):
-                st = template.copy()
-                for v in st.fields:
-                    st.fields[v][...] = arrays[f"{tag}_{v}"][i]
-                st.time = float(t)
-                snap.append(st)
-            return snap
+            fields = {v: arrays[f"{tag}_{v}"].copy() for v in batch.fields}
+            aux = {
+                key[len(f"{tag}_aux_"):]: arr.copy()
+                for key, arr in arrays.items()
+                if key.startswith(f"{tag}_aux_")
+            }
+            nsteps = meta.get(f"{tag}_nsteps")
+            return EnsembleState(
+                grid=batch.grid,
+                reference=batch.reference,
+                fields=fields,
+                time=float(times[0]),
+                nsteps=int(nsteps) if nsteps is not None else batch.nsteps,
+                aux=aux,
+            )
 
         self._last_good = _restore("lastgood", meta["lastgood_times"])
         self._pending_good = _restore("pending", meta.get("pending_times"))
-        if self.model.physics is not None and "model_pbl_tke" in arrays:
-            self.model.physics.pbl.tke[...] = arrays["model_pbl_tke"]
         self.model.nsteps = int(meta.get("model_nsteps", self.model.nsteps))
         self._cycle = int(meta["cycle"])
         self._rng.bit_generator.state = meta["rng_state"]

@@ -1,36 +1,91 @@
 """Ensemble management.
 
-Holds the member model states of part <1>, generates initial-condition
-spread, and implements the paper's part-<2> member selection: "11-member
-ensemble forecasts ... initialized by the ensemble mean analysis and 10
-analyses randomly chosen from the 1000-member ensemble analyses".
+Holds the part-<1> ensemble as one member-batched
+:class:`~repro.model.ensemble_state.EnsembleState` (structure of arrays,
+member axis leading), generates initial-condition spread, and implements
+the paper's part-<2> member selection: "11-member ensemble forecasts ...
+initialized by the ensemble mean analysis and 10 analyses randomly
+chosen from the 1000-member ensemble analyses".
+
+:class:`Ensemble` is a facade: the batch is the native currency (the
+execution backends and the LETKF consume ``ensemble.state`` directly),
+while ``ensemble.members`` remains available as a sequence proxy of
+zero-copy member views for per-member consumers (fault injection,
+perturbation loops, diagnostics).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..model.ensemble_state import EnsembleState
 from ..model.model import ScaleRM
-from ..model.state import ModelState, PROGNOSTIC_VARS, WATER_SPECIES
+from ..model.state import ModelState
 
 __all__ = ["Ensemble"]
 
 
-class Ensemble:
-    """A collection of model states sharing one grid/reference."""
+class _MemberList:
+    """Sequence proxy over the batch: views out, copies in.
 
-    def __init__(self, members: list[ModelState]):
-        if not members:
-            raise ValueError("ensemble needs at least one member")
-        self.members = members
-        self.grid = members[0].grid
-        self.reference = members[0].reference
+    ``members[i]`` yields a zero-copy :class:`ModelState` view (writes to
+    its arrays land in the batch); ``members[i] = state`` copies a state
+    into slot ``i``. Slices return lists of views.
+    """
+
+    def __init__(self, state: EnsembleState):
+        self._state = state
 
     def __len__(self) -> int:
-        return len(self.members)
+        return self._state.n_members
 
     def __iter__(self):
-        return iter(self.members)
+        return iter(self._state)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return [self._state.member_view(i) for i in range(len(self))[key]]
+        return self._state.member_view(int(key))
+
+    def __setitem__(self, key, value: ModelState) -> None:
+        self._state.set_member(int(key), value)
+
+
+class Ensemble:
+    """A member-batched collection of model states on one grid/reference."""
+
+    def __init__(self, members: list[ModelState] | EnsembleState):
+        if isinstance(members, EnsembleState):
+            self.state = members
+        else:
+            self.state = EnsembleState.from_members(list(members))
+
+    # -- member-level access (compat surface) --------------------------------
+
+    @property
+    def members(self) -> _MemberList:
+        return _MemberList(self.state)
+
+    @members.setter
+    def members(self, value: list[ModelState] | EnsembleState) -> None:
+        if isinstance(value, EnsembleState):
+            self.state = value
+        else:
+            self.state = EnsembleState.from_members(list(value))
+
+    @property
+    def grid(self):
+        return self.state.grid
+
+    @property
+    def reference(self):
+        return self.state.reference
+
+    def __len__(self) -> int:
+        return self.state.n_members
+
+    def __iter__(self):
+        return iter(self.state)
 
     # ------------------------------------------------------------------
 
@@ -77,31 +132,18 @@ class Ensemble:
     # ------------------------------------------------------------------
 
     def analysis_arrays(self) -> dict[str, np.ndarray]:
-        """Stack members' LETKF analysis variables: var -> (m, nz, ny, nx)."""
-        per_member = [st.to_analysis() for st in self.members]
-        return {
-            v: np.stack([pm[v] for pm in per_member], axis=0)
-            for v in ModelState.ANALYSIS_VARS
-        }
+        """Member-batched LETKF analysis variables: var -> (m, nz, ny, nx)."""
+        return self.state.analysis_arrays()
 
     def load_analysis_arrays(self, arrays: dict[str, np.ndarray]) -> None:
-        """Write analysis variables back into every member state."""
-        for i, st in enumerate(self.members):
-            st.from_analysis({v: arrays[v][i] for v in ModelState.ANALYSIS_VARS})
+        """Write analysis variables back into the batch."""
+        self.state.load_analysis(arrays)
 
     # ------------------------------------------------------------------
 
     def mean_state(self) -> ModelState:
         """The ensemble-mean state (prognostic-variable average)."""
-        out = self.members[0].copy()
-        for name in PROGNOSTIC_VARS:
-            acc = np.zeros_like(out.fields[name], dtype=np.float64)
-            for st in self.members:
-                acc += st.fields[name]
-            out.fields[name][...] = (acc / len(self.members)).astype(self.grid.dtype)
-        for q in WATER_SPECIES:
-            np.clip(out.fields[q], 0.0, None, out=out.fields[q])
-        return out
+        return self.state.mean_state()
 
     def select_forecast_members(
         self, n_forecast: int, rng: np.random.Generator
@@ -111,13 +153,11 @@ class Ensemble:
             raise ValueError("need at least one forecast member")
         picks: list[ModelState] = [self.mean_state()]
         if n_forecast > 1:
-            k = min(n_forecast - 1, len(self.members))
-            idx = rng.choice(len(self.members), size=k, replace=False)
-            picks.extend(self.members[int(i)].copy() for i in idx)
+            k = min(n_forecast - 1, len(self))
+            idx = rng.choice(len(self), size=k, replace=False)
+            picks.extend(self.state.member_view(int(i)).copy() for i in idx)
         return picks
 
     def spread(self, var: str = "theta_p") -> float:
         """RMS ensemble spread of one analysis variable (domain mean)."""
-        arrs = np.stack([st.to_analysis()[var] for st in self.members], axis=0)
-        mean = arrs.mean(axis=0)
-        return float(np.sqrt(np.mean((arrs - mean) ** 2)))
+        return self.state.spread_value(var)

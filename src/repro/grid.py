@@ -104,12 +104,16 @@ class Grid:
         return (np.roll(f, -1, axis=-2) - np.roll(f, 1, axis=-2)) / (2.0 * self.dy)
 
     def ddz_c(self, f: np.ndarray) -> np.ndarray:
-        """Centered z-derivative of a cell-centered field (one-sided at ends)."""
+        """Centered z-derivative of a cell-centered field (one-sided at ends).
+
+        ``f`` is ``(..., nz, ny, nx)``; leading axes (e.g. an ensemble
+        member axis) broadcast through.
+        """
         out = np.empty_like(f)
         dzc = (self.z_c[2:] - self.z_c[:-2]).astype(f.dtype)
-        out[1:-1] = (f[2:] - f[:-2]) / dzc[:, None, None]
-        out[0] = (f[1] - f[0]) / (self.z_c[1] - self.z_c[0])
-        out[-1] = (f[-1] - f[-2]) / (self.z_c[-1] - self.z_c[-2])
+        out[..., 1:-1, :, :] = (f[..., 2:, :, :] - f[..., :-2, :, :]) / dzc[:, None, None]
+        out[..., 0, :, :] = (f[..., 1, :, :] - f[..., 0, :, :]) / (self.z_c[1] - self.z_c[0])
+        out[..., -1, :, :] = (f[..., -1, :, :] - f[..., -2, :, :]) / (self.z_c[-1] - self.z_c[-2])
         return out
 
     def laplacian_h(self, f: np.ndarray) -> np.ndarray:

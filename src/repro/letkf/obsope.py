@@ -65,7 +65,16 @@ class RadarObsOperator(_ScreeningMixin):
         }
 
     def hxb_ensemble(self, states) -> dict[str, np.ndarray]:
-        """Stack H(x_b) over members: each value is (m, nz, ny, nx)."""
+        """H(x_b) over members: each value is (m, nz, ny, nx).
+
+        Accepts a member-batched
+        :class:`~repro.model.ensemble_state.EnsembleState` (the forward
+        operators are elementwise/broadcast over the member axis, so
+        they run once on the whole batch) or any iterable of per-member
+        states (legacy path, stacked member by member).
+        """
+        if hasattr(states, "fields"):
+            return self.hxb_member(states)
         refl = []
         dopp = []
         for st in states:
@@ -101,7 +110,12 @@ class MultiRadarObsOperator(_ScreeningMixin):
         self.coverage = cov
 
     def hxb_ensemble(self, states) -> dict[str, np.ndarray]:
-        out: dict[str, np.ndarray] = {
+        if hasattr(states, "fields"):
+            out: dict[str, np.ndarray] = {"reflectivity": dbz_from_state(states)}
+            for radar in self.radars:
+                out[f"doppler@{radar.name}"] = doppler_from_state(states, radar)
+            return out
+        out = {
             "reflectivity": np.stack([dbz_from_state(st) for st in states], axis=0)
         }
         for radar, op in zip(self.radars, self.site_ops):

@@ -17,6 +17,7 @@ The public entry point is :class:`repro.model.model.ScaleRM`.
 
 from .reference import ReferenceState, Sounding
 from .state import ModelState, PROGNOSTIC_VARS, HYDROMETEORS
+from .ensemble_state import EnsembleState
 from .model import ScaleRM
 from .initial import warm_bubble, random_thermals, convective_sounding
 
@@ -24,6 +25,7 @@ __all__ = [
     "ReferenceState",
     "Sounding",
     "ModelState",
+    "EnsembleState",
     "ScaleRM",
     "PROGNOSTIC_VARS",
     "HYDROMETEORS",

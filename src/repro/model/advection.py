@@ -56,23 +56,24 @@ def face_value_y(s: np.ndarray, flux: np.ndarray, scheme: str = "ud3") -> np.nda
 
 
 def _vertical_face_value(s: np.ndarray, rhow: np.ndarray, scheme: str) -> np.ndarray:
-    """Scalar value at interior z-faces 1..nz-1; shape (nz-1, ny, nx).
+    """Scalar value at interior z-faces 1..nz-1; shape (..., nz-1, ny, nx).
 
     The vertical stencil is one-sided near the rigid boundaries and falls
-    back to first order there regardless of scheme.
+    back to first order there regardless of scheme. Leading (member)
+    axes pass through untouched.
     """
-    up1 = np.where(rhow[1:-1] >= 0.0, s[:-1], s[1:])
-    if scheme == "ud1" or s.shape[0] < 4:
+    up1 = np.where(rhow[..., 1:-1, :, :] >= 0.0, s[..., :-1, :, :], s[..., 1:, :, :])
+    if scheme == "ud1" or s.shape[-3] < 4:
         return up1
     # ud3 on interior faces with full stencil (faces 2..nz-2)
     out = up1.copy()
-    sm1 = s[:-3]
-    s0 = s[1:-2]
-    sp1 = s[2:-1]
-    sp2 = s[3:]
+    sm1 = s[..., :-3, :, :]
+    s0 = s[..., 1:-2, :, :]
+    sp1 = s[..., 2:-1, :, :]
+    sp2 = s[..., 3:, :, :]
     centered = (7.0 * (s0 + sp1) - (sm1 + sp2)) / 12.0
     upwind = (3.0 * (sp1 - s0) - (sp2 - sm1)) / 12.0
-    out[1:-1] = centered - np.sign(rhow[2:-2]) * upwind
+    out[..., 1:-1, :, :] = centered - np.sign(rhow[..., 2:-2, :, :]) * upwind
     return out
 
 
@@ -89,10 +90,11 @@ def flux_divergence(
     Parameters
     ----------
     rhou, rhov:
-        Mass fluxes at x-/y-faces, shape (nz, ny, nx).
+        Mass fluxes at x-/y-faces, shape (..., nz, ny, nx); leading
+        (member) axes broadcast through every stencil.
     rhow:
-        Vertical mass flux at z-faces, shape (nz+1, ny, nx); the top and
-        bottom faces carry zero flux (rigid lid / ground).
+        Vertical mass flux at z-faces, shape (..., nz+1, ny, nx); the top
+        and bottom faces carry zero flux (rigid lid / ground).
     s:
         Cell-centered advected quantity per unit mass.
     """
@@ -102,12 +104,12 @@ def flux_divergence(
     tend -= (fy - np.roll(fy, 1, axis=-2)) / grid.dy
 
     # vertical: build the face-flux array with zero boundary fluxes
-    fz_int = rhow[1:-1] * _vertical_face_value(s, rhow, scheme)
+    fz_int = rhow[..., 1:-1, :, :] * _vertical_face_value(s, rhow, scheme)
     dz = grid.dz.astype(s.dtype)[:, None, None]
     # div_z at center k = (F_{k+1/2} - F_{k-1/2}) / dz_k
-    tend[0] -= fz_int[0] / dz[0]
-    tend[1:-1] -= (fz_int[1:] - fz_int[:-1]) / dz[1:-1]
-    tend[-1] -= -fz_int[-1] / dz[-1]
+    tend[..., 0, :, :] -= fz_int[..., 0, :, :] / dz[0]
+    tend[..., 1:-1, :, :] -= (fz_int[..., 1:, :, :] - fz_int[..., :-1, :, :]) / dz[1:-1]
+    tend[..., -1, :, :] -= -fz_int[..., -1, :, :] / dz[-1]
     return tend
 
 

@@ -75,12 +75,15 @@ class LateralBoundary:
         self.fields = fields
 
     def apply(self, state: ModelState, dt: float) -> None:
-        """Relax the lateral zone toward the boundary fields, in place."""
+        """Relax the lateral zone toward the boundary fields, in place.
+
+        The (ny, nx) relaxation-rate plane and the (nz[+1], ny, nx)
+        targets broadcast against both plain and member-batched states.
+        """
         if self.fields is None:
             return
         rate = np.minimum(self._weights * dt, 1.0)
         for name, target in self.fields.items():
             fld = state.fields[name]
-            if fld.shape == target.shape:
-                r = rate[None, :, :] if fld.ndim == 3 else rate
-                fld += (r * (target - fld)).astype(fld.dtype)
+            if fld.shape[-3:] == target.shape:
+                fld += (rate * (target - fld)).astype(fld.dtype)

@@ -72,14 +72,20 @@ class TridiagonalFactors:
         self.inv = inv
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve for all columns; ``rhs`` has shape (n, ...) and is not modified."""
+        """Solve for all columns; ``rhs`` is (..., n, ny, nx), not modified.
+
+        Leading (member) axes vectorize through the sweeps, so one call
+        solves every column of every ensemble member.
+        """
         n = self.n
         out = np.empty_like(rhs)
-        out[0] = rhs[0] * self.inv[0]
+        out[..., 0, :, :] = rhs[..., 0, :, :] * self.inv[0]
         for k in range(1, n):
-            out[k] = (rhs[k] - self.sub[k] * out[k - 1]) * self.inv[k]
+            out[..., k, :, :] = (
+                rhs[..., k, :, :] - self.sub[k] * out[..., k - 1, :, :]
+            ) * self.inv[k]
         for k in range(n - 2, -1, -1):
-            out[k] -= self.cp[k] * out[k + 1]
+            out[..., k, :, :] -= self.cp[k] * out[..., k + 1, :, :]
         return out
 
 
@@ -164,7 +170,7 @@ class HEVIDynamics:
         u = f["momx"] * inv_dens
         v = f["momy"] * inv_dens
         momz = f["momz"]
-        w_c = 0.5 * (momz[1:] + momz[:-1]) * inv_dens
+        w_c = 0.5 * (momz[..., 1:, :, :] + momz[..., :-1, :, :]) * inv_dens
         theta = (self._theta0 * self._dens0 + f["rhot_p"]) * inv_dens
 
         rhou, rhov, rhow = f["momx"], f["momy"], f["momz"]
@@ -182,7 +188,7 @@ class HEVIDynamics:
         # divergence damping (acoustic filter): tend += nu * grad(div),
         # nu scaled by the sound speed and mesh (Skamarock & Klemp 1992)
         if cfg.divergence_damping > 0.0:
-            dwdz = (momz[1:] - momz[:-1]) / g.dz.astype(g.dtype)[:, None, None]
+            dwdz = (momz[..., 1:, :, :] - momz[..., :-1, :, :]) / g.dz.astype(g.dtype)[:, None, None]
             div = mass_divergence(g, rhou, rhov) + dwdz
             cs = np.sqrt(np.max(self.ref.cs2_c))
             nu = g.dtype.type(cfg.divergence_damping * cs)
@@ -200,7 +206,7 @@ class HEVIDynamics:
         buoy_c = GRAV * self._dens0 * (0.608 * (f["qv"] - self._qv0) - q_hyd)
         t_wc += buoy_c
         t_wf = np.zeros_like(momz)
-        t_wf[1:-1] = 0.5 * (t_wc[1:] + t_wc[:-1])
+        t_wf[..., 1:-1, :, :] = 0.5 * (t_wc[..., 1:, :, :] + t_wc[..., :-1, :, :])
         # Rayleigh sponge near the lid
         t_wf -= self._sponge_f * momz
         tends["momz"] = t_wf
@@ -214,12 +220,16 @@ class HEVIDynamics:
         theta_p = theta - self._theta0
         t_rt = flux_divergence(g, rhou, rhov, rhow * 0.0, theta)
         # vertical flux of theta' with time-n W (first-order upwind)
-        thp_face = np.where(momz[1:-1] >= 0.0, theta_p[:-1], theta_p[1:])
-        fz = momz[1:-1] * thp_face
+        thp_face = np.where(
+            momz[..., 1:-1, :, :] >= 0.0,
+            theta_p[..., :-1, :, :],
+            theta_p[..., 1:, :, :],
+        )
+        fz = momz[..., 1:-1, :, :] * thp_face
         dz = g.dz.astype(g.dtype)[:, None, None]
-        t_rt[0] -= fz[0] / dz[0]
-        t_rt[1:-1] -= (fz[1:] - fz[:-1]) / dz[1:-1]
-        t_rt[-1] += fz[-1] / dz[-1]
+        t_rt[..., 0, :, :] -= fz[..., 0, :, :] / dz[0]
+        t_rt[..., 1:-1, :, :] -= (fz[..., 1:, :, :] - fz[..., :-1, :, :]) / dz[1:-1]
+        t_rt[..., -1, :, :] += fz[..., -1, :, :] / dz[-1]
         tends["rhot_p"] = t_rt
 
         # --- water species (full flux-form; ud1 keeps hydrometeors
@@ -258,27 +268,29 @@ class HEVIDynamics:
 
         # RHS at interior faces k=1..nz-1
         c_f = ref.dpdrt_f
-        drt_dz = (rhot_star[1:] - rhot_star[:-1]) / dzf[1:-1, None, None]
-        dens_f = 0.5 * (dens_star[1:] + dens_star[:-1])
+        drt_dz = (rhot_star[..., 1:, :, :] - rhot_star[..., :-1, :, :]) / dzf[1:-1, None, None]
+        dens_f = 0.5 * (dens_star[..., 1:, :, :] + dens_star[..., :-1, :, :])
         rhs = (
-            fb["momz"][1:-1].astype(np.float64)
-            + dt * E["momz"][1:-1].astype(np.float64)
+            fb["momz"][..., 1:-1, :, :].astype(np.float64)
+            + dt * E["momz"][..., 1:-1, :, :].astype(np.float64)
             - dt * c_f[1:-1, None, None] * drt_dz
             - dt * GRAV * dens_f
         )
         w_new_int = self._factors_for(dt).solve(rhs)
 
         momz_new = np.zeros_like(fb["momz"], dtype=np.float64)
-        momz_new[1:-1] = w_new_int
+        momz_new[..., 1:-1, :, :] = w_new_int
 
         # back-substitute the implicit continuity / thermodynamic updates
-        dwdz = (momz_new[1:] - momz_new[:-1]) / dz
+        dwdz = (momz_new[..., 1:, :, :] - momz_new[..., :-1, :, :]) / dz
         dens_new = dens_star - dt * dwdz
         thf = ref.theta_f[:, None, None]
-        dwt_dz = (momz_new[1:] * thf[1:] - momz_new[:-1] * thf[:-1]) / dz
+        dwt_dz = (
+            momz_new[..., 1:, :, :] * thf[1:] - momz_new[..., :-1, :, :] * thf[:-1]
+        ) / dz
         rhot_new = rhot_star - dt * dwt_dz
 
-        out = ModelState(grid=g, reference=ref, fields={}, time=base.time + dt)
+        out = base.blank_like(base.time + dt)
         dtp = g.dtype
         out.fields["momx"] = (fb["momx"].astype(np.float64) + dt * E["momx"]).astype(dtp)
         out.fields["momy"] = (fb["momy"].astype(np.float64) + dt * E["momy"]).astype(dtp)

@@ -1,0 +1,193 @@
+"""Batched ensemble state: the structure-of-arrays ensemble container.
+
+The paper's throughput hinges on treating the 1000-member ensemble as
+one batched workload rather than 1000 independent model runs. This
+module provides :class:`EnsembleState`, a :class:`ModelState` whose
+arrays carry a leading member axis — one ``(m, nz, ny, nx)`` array per
+prognostic variable (``(m, nz+1, ny, nx)`` for ``momz``) — so that
+
+* the dynamical core, physics suite and boundary relaxation advance all
+  members in one set of vectorized numpy expressions (every kernel is
+  member-independent: stencils touch only the trailing z/y/x axes, so
+  batching is bit-identical to a per-member loop);
+* the LETKF touchpoints (``to_analysis``/``from_analysis``, spread,
+  mean) read the member-stacked arrays directly instead of re-stacking
+  ``m`` per-member dicts every cycle;
+* member access stays cheap: ``member_view(i)`` returns a
+  :class:`ModelState` of zero-copy views into the batch, so in-place
+  consumers (fault injection, perturbation injection, diagnostics)
+  keep working unchanged.
+
+Members march in lockstep: the batch carries a single ``time`` and a
+single ``nsteps`` (the physics-cadence counter), which is exactly the
+paper's regime — every member integrates the same 30 s window each
+cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import ModelState, PROGNOSTIC_VARS, WATER_SPECIES
+
+__all__ = ["EnsembleState", "AUX_DEFAULTS"]
+
+#: fill values for per-state closure arrays when a member joining a
+#: batch has not carried them yet (fresh states before the first
+#: physics call); must match the schemes' own cold-start values
+AUX_DEFAULTS = {"tke": 0.1}
+
+
+class EnsembleState(ModelState):
+    """A member-batched :class:`ModelState` (member axis leading).
+
+    All inherited kernels/diagnostics (``velocities``, ``pressure``,
+    ``to_analysis``, ``from_analysis`` ...) operate on the batch
+    unchanged because they index the trailing ``(z, y, x)`` axes only.
+    """
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_members(cls, members: list[ModelState]) -> "EnsembleState":
+        """Stack per-member states into one batch (copies once)."""
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        first = members[0]
+        fields = {
+            v: np.stack([st.fields[v] for st in members], axis=0)
+            for v in first.fields
+        }
+        out = cls(
+            grid=first.grid,
+            reference=first.reference,
+            fields=fields,
+            time=first.time,
+            nsteps=first.nsteps,
+        )
+        aux_keys: set[str] = set()
+        for st in members:
+            aux_keys |= set(st.aux)
+        for k in sorted(aux_keys):
+            out.aux[k] = np.stack(
+                [st.aux.get(k, _aux_default(k, st, members)) for st in members],
+                axis=0,
+            )
+        return out
+
+    # -- member access -----------------------------------------------------
+
+    @property
+    def n_members(self) -> int:
+        return self.fields["dens_p"].shape[0]
+
+    def __len__(self) -> int:
+        return self.n_members
+
+    def __iter__(self):
+        return (self.member_view(i) for i in range(self.n_members))
+
+    def member_view(self, i: int) -> ModelState:
+        """Member ``i`` as a :class:`ModelState` of zero-copy views.
+
+        Writes through the view's arrays propagate into the batch;
+        scalar attributes (``time``, ``nsteps``) are snapshots.
+        """
+        return ModelState(
+            grid=self.grid,
+            reference=self.reference,
+            fields={k: v[i] for k, v in self.fields.items()},
+            time=self.time,
+            nsteps=self.nsteps,
+            aux={k: v[i] for k, v in self.aux.items()},
+        )
+
+    def set_member(self, i: int, st: ModelState) -> None:
+        """Copy a per-member state into slot ``i`` (fields and aux)."""
+        for v, arr in self.fields.items():
+            arr[i] = st.fields[v]
+        for k, arr in self.aux.items():
+            if k in st.aux:
+                arr[i] = st.aux[k]
+            else:
+                arr[i] = AUX_DEFAULTS.get(k, 0.0)
+        for k, val in st.aux.items():
+            if k not in self.aux:
+                batch = np.empty((self.n_members,) + val.shape, dtype=val.dtype)
+                batch[...] = _aux_default(k, st, [st])
+                batch[i] = val
+                self.aux[k] = batch
+
+    def subset(self, idx) -> "EnsembleState":
+        """A new batch holding members ``idx`` (fancy-index copy)."""
+        idx = np.asarray(idx, dtype=np.intp)
+        out = type(self)(
+            grid=self.grid,
+            reference=self.reference,
+            fields={k: v[idx] for k, v in self.fields.items()},
+            time=self.time,
+            nsteps=self.nsteps,
+            aux={k: v[idx] for k, v in self.aux.items()},
+        )
+        return out
+
+    # -- the one ensemble <-> analysis accessor ---------------------------
+    #
+    # Every LETKF touchpoint (DACycler's healthy-subset arrays, the
+    # Ensemble facade's analysis_arrays/spread, refill sigma estimation)
+    # routes through here: no per-member re-stacking anywhere.
+
+    def analysis_arrays(self, idx=None) -> dict[str, np.ndarray]:
+        """Member-batched LETKF analysis variables, ``var -> (m', ...)``.
+
+        With ``idx`` the accessor restricts to that member subset (the
+        reduced-ensemble degraded mode); values are computed straight
+        from the batched prognostic arrays.
+        """
+        src = self if idx is None else self.subset(idx)
+        return src.to_analysis()
+
+    def load_analysis(self, arrays: dict[str, np.ndarray]) -> None:
+        """Write full-batch analysis variables back (all members)."""
+        self.from_analysis(arrays)
+
+    def spread_value(self, var: str = "theta_p") -> float:
+        """RMS ensemble spread of one analysis variable (domain mean)."""
+        arrs = self.analysis_arrays()[var]
+        mean = arrs.mean(axis=0)
+        return float(np.sqrt(np.mean((arrs - mean) ** 2)))
+
+    def mean_state(self) -> ModelState:
+        """The ensemble-mean state (prognostic-variable average).
+
+        Accumulates in float64 (member-sequential order, matching the
+        historical per-member loop bit-for-bit) and clips water species.
+        """
+        out = self.member_view(0).copy()
+        m = self.n_members
+        for name in PROGNOSTIC_VARS:
+            batch = self.fields[name]
+            acc = np.zeros(batch.shape[1:], dtype=np.float64)
+            for i in range(m):
+                acc += batch[i]
+            out.fields[name][...] = (acc / m).astype(self.grid.dtype)
+        for q in WATER_SPECIES:
+            np.clip(out.fields[q], 0.0, None, out=out.fields[q])
+        return out
+
+    def finite_mask(self) -> np.ndarray:
+        """Per-member all-finite flags over the prognostic fields, (m,)."""
+        ok = np.ones(self.n_members, dtype=bool)
+        for arr in self.fields.values():
+            ok &= np.isfinite(arr).reshape(arr.shape[0], -1).all(axis=1)
+        return ok
+
+
+def _aux_default(key: str, like: ModelState, members: list[ModelState]) -> np.ndarray:
+    """Default slice for an aux array a member does not carry yet."""
+    for st in members:
+        if key in st.aux:
+            template = st.aux[key]
+            return np.full(template.shape, AUX_DEFAULTS.get(key, 0.0), dtype=template.dtype)
+    shape = like.fields["dens_p"].shape
+    return np.full(shape, AUX_DEFAULTS.get(key, 0.0), dtype=like.grid.dtype)

@@ -196,37 +196,91 @@ class MicrophysicsSM6:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _sediment_species(
+        q: np.ndarray,
+        v: np.ndarray,
+        dens: np.ndarray,
+        dz: np.ndarray,
+        dt: float,
+        nsub: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sub-stepped downward flux transport of one species block.
+
+        Works on any ``(..., nz, ny, nx)`` block whose members share the
+        same sub-step count; returns (new q, surface flux contribution).
+        """
+        dts = dt / nsub
+        sfc = np.zeros(q.shape[:-3] + q.shape[-2:], dtype=np.float64)
+        for _ in range(nsub):
+            flux = dens * q * v  # downward mass flux at centers
+            # downward first-order upwind: flux through bottom face of
+            # cell k is the cell's own flux
+            dq = np.empty_like(q)
+            dq[..., :-1, :, :] = (flux[..., 1:, :, :] - flux[..., :-1, :, :]) / dz[:-1]
+            dq[..., -1, :, :] = -flux[..., -1, :, :] / dz[-1]
+            q = np.maximum(q + dts * dq / dens, 0.0)
+            sfc += flux[..., 0, :, :] * dts / dt
+        return q, sfc
+
     def sedimentation(self, state: ModelState, dt: float) -> np.ndarray:
         """Apply precipitation fallout in place; returns surface rain rate.
 
         Flux-form downward transport with CFL sub-stepping; the returned
-        array is the surface precipitation rate [mm/h] of shape (ny, nx),
-        the quantity the Fig. 5 rain-area curves and the Fig. 1a product
-        are built from.
+        array is the surface precipitation rate [mm/h] of shape
+        (..., ny, nx), the quantity the Fig. 5 rain-area curves and the
+        Fig. 1a product are built from.
+
+        The sub-step count is a per-member reduction: a batched
+        :class:`~repro.model.ensemble_state.EnsembleState` takes each
+        member's own CFL-limited ``nsub`` (members grouped by count),
+        so the batched path is bit-identical to the per-member loop.
         """
         g = self.grid
         dens = np.maximum(state.dens.astype(np.float64), 1e-6)
         dz = g.dz[:, None, None]
-        sfc_flux = np.zeros((g.ny, g.nx), dtype=np.float64)
+        dz_min = float(np.min(g.dz))
+        batched = state.fields["qr"].ndim == 4
+        m = state.fields["qr"].shape[0] if batched else 1
+        lead = (m,) if batched else ()
+        sfc_flux = np.zeros(lead + (g.ny, g.nx), dtype=np.float64)
 
         for species in ("qr", "qs", "qg"):
             q = state.fields[species].astype(np.float64)
-            if not np.any(q > 1e-12):
+            if not batched:
+                if not np.any(q > 1e-12):
+                    continue
+                v = _fall_speed(species, dens, q, self._dens_sfc)
+                vmax = float(np.max(v))
+                if not np.isfinite(vmax):
+                    # poisoned (partly NaN) state: sedimenting it is
+                    # meaningless and the CFL count is undefined; leave
+                    # it for the cycler's finite-mask guard to refill
+                    continue
+                nsub = max(1, int(np.ceil(vmax * dt / dz_min)))
+                q, sfc = self._sediment_species(q, v, dens, dz, dt, nsub)
+                sfc_flux += sfc
+                state.fields[species][...] = q.astype(g.dtype)
+                continue
+            # per-member activity mask and CFL sub-step counts
+            active = np.any(q.reshape(m, -1) > 1e-12, axis=1)
+            if not active.any():
                 continue
             v = _fall_speed(species, dens, q, self._dens_sfc)
-            vmax = float(np.max(v))
-            nsub = max(1, int(np.ceil(vmax * dt / float(np.min(g.dz)))))
-            dts = dt / nsub
-            for _ in range(nsub):
-                flux = dens * q * v  # downward mass flux at centers
-                # downward first-order upwind: flux through bottom face of
-                # cell k is the cell's own flux
-                dq = np.empty_like(q)
-                dq[:-1] = (flux[1:] - flux[:-1]) / dz[:-1]
-                dq[-1] = -flux[-1] / dz[-1]
-                q = np.maximum(q + dts * dq / dens, 0.0)
-                sfc_flux += flux[0] * dts / dt
-            state.fields[species][...] = q.astype(g.dtype)
+            vmax_m = v.reshape(m, -1).max(axis=1)
+            active &= np.isfinite(vmax_m)  # same poisoned-member skip
+            if not active.any():
+                continue
+            nsub_m = np.where(
+                np.isfinite(vmax_m), np.maximum(1.0, np.ceil(vmax_m * dt / dz_min)), 1.0
+            ).astype(int)
+            for ns in np.unique(nsub_m[active]):
+                sel = np.nonzero(active & (nsub_m == ns))[0]
+                qb, sfc = self._sediment_species(
+                    q[sel], v[sel], dens[sel], dz, dt, int(ns)
+                )
+                sfc_flux[sel] += sfc
+                state.fields[species][sel] = qb.astype(g.dtype)
 
         # kg m^-2 s^-1 -> mm/h
         return (sfc_flux * 3600.0).astype(g.dtype)
@@ -240,4 +294,5 @@ def surface_rain_rate(state: ModelState) -> np.ndarray:
     dens = np.maximum(state.dens.astype(np.float64), 1e-6)
     q = state.fields["qr"].astype(np.float64)
     v = _fall_speed("qr", dens, q, float(state.reference.dens_c[0]))
-    return (dens[0] * q[0] * v[0] * 3600.0).astype(state.grid.dtype)
+    sfc = dens[..., 0, :, :] * q[..., 0, :, :] * v[..., 0, :, :]
+    return (sfc * 3600.0).astype(state.grid.dtype)

@@ -55,6 +55,10 @@ class ScaleRM:
         self.boundary = LateralBoundary(self.grid)
         self.boundary.set_fields(boundary_from_reference(self.grid, self.reference))
         self.physics_every = max(1, int(physics_every))
+        #: total step() invocations on this instance — telemetry only;
+        #: the physics cadence is driven by each state's own ``nsteps``
+        #: counter, so member trajectories are independent of the global
+        #: call order through a shared model instance
         self.nsteps = 0
 
     # ------------------------------------------------------------------
@@ -64,11 +68,18 @@ class ScaleRM:
         return ModelState.zeros(self.grid, self.reference)
 
     def step(self, state: ModelState) -> ModelState:
-        """Advance one dynamics step (and physics when scheduled)."""
+        """Advance one dynamics step (and physics when scheduled).
+
+        ``state`` may be a single :class:`ModelState` or a member-batched
+        :class:`~repro.model.ensemble_state.EnsembleState`; every kernel
+        below is member-independent, so the batched step is bit-identical
+        to stepping each member separately.
+        """
         dt = self.config.dt
         state = self.dynamics.step(state, dt)
+        state.nsteps += 1
         self.nsteps += 1
-        if self.physics is not None and self.nsteps % self.physics_every == 0:
+        if self.physics is not None and state.nsteps % self.physics_every == 0:
             self.physics.apply(state, dt * self.physics_every)
         self.boundary.apply(state, dt)
         return state
@@ -82,8 +93,15 @@ class ScaleRM:
 
     # ------------------------------------------------------------------
 
-    def rain_rate(self) -> np.ndarray | None:
-        """Latest surface rain rate [mm/h] from the microphysics, if any."""
+    def rain_rate(self, state: ModelState | None = None) -> np.ndarray | None:
+        """Latest surface rain rate [mm/h] from the microphysics, if any.
+
+        Prefer passing the state: its ``aux['rain_rate']`` is per-member
+        and checkpointable; the stateless form returns whatever the last
+        physics call produced (whichever state that was).
+        """
+        if state is not None:
+            return state.aux.get("rain_rate")
         if self.physics is None:
             return None
         return self.physics.last_rain_rate

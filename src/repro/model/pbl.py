@@ -37,22 +37,24 @@ B1 = 24.0
 def _tridiag_solve_var(sub: np.ndarray, diag: np.ndarray, sup: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     """Thomas algorithm with per-column coefficients.
 
-    All arguments have shape (nz, ny, nx); the sweep is over k with
-    vectorized (ny, nx) planes.
+    All arguments have shape (..., nz, ny, nx); the sweep is over k with
+    vectorized planes (leading member axes pass through).
     """
-    n = diag.shape[0]
+    n = diag.shape[-3]
     cp = np.empty_like(diag)
     dp = np.empty_like(rhs)
-    cp[0] = sup[0] / diag[0]
-    dp[0] = rhs[0] / diag[0]
+    cp[..., 0, :, :] = sup[..., 0, :, :] / diag[..., 0, :, :]
+    dp[..., 0, :, :] = rhs[..., 0, :, :] / diag[..., 0, :, :]
     for k in range(1, n):
-        denom = diag[k] - sub[k] * cp[k - 1]
-        cp[k] = sup[k] / denom
-        dp[k] = (rhs[k] - sub[k] * dp[k - 1]) / denom
+        denom = diag[..., k, :, :] - sub[..., k, :, :] * cp[..., k - 1, :, :]
+        cp[..., k, :, :] = sup[..., k, :, :] / denom
+        dp[..., k, :, :] = (
+            rhs[..., k, :, :] - sub[..., k, :, :] * dp[..., k - 1, :, :]
+        ) / denom
     out = np.empty_like(rhs)
-    out[-1] = dp[-1]
+    out[..., -1, :, :] = dp[..., -1, :, :]
     for k in range(n - 2, -1, -1):
-        out[k] = dp[k] - cp[k] * out[k + 1]
+        out[..., k, :, :] = dp[..., k, :, :] - cp[..., k, :, :] * out[..., k + 1, :, :]
     return out
 
 
@@ -71,17 +73,35 @@ class MYNN25:
 
     def __post_init__(self):
         g = self.grid
+        # cold-start value only; the prognostic TKE lives on each state's
+        # ``aux`` dict (per-member closure state — a shared array here
+        # would couple ensemble members through the model instance).
+        # ``self.tke`` tracks the most recently advanced state's array
+        # as a diagnostic window for tests and monitoring.
         self.tke = np.full(g.shape, 0.1, dtype=g.dtype)
 
     # ------------------------------------------------------------------
 
-    def _mixing_length(self, z: np.ndarray, n2: np.ndarray) -> np.ndarray:
+    def state_tke(self, state: ModelState) -> np.ndarray:
+        """The state's prognostic TKE array, created on first touch.
+
+        Must match the batch shape of the state's fields, so a batched
+        :class:`EnsembleState` carries one TKE profile per member.
+        """
+        tke = state.aux.get("tke")
+        if tke is None or tke.shape != state.fields["dens_p"].shape:
+            tke = np.full(state.fields["dens_p"].shape, 0.1, dtype=self.grid.dtype)
+            state.aux["tke"] = tke
+        self.tke = tke
+        return tke
+
+    def _mixing_length(self, z: np.ndarray, n2: np.ndarray, tke: np.ndarray) -> np.ndarray:
         """Nakanishi-Niino-style master length: harmonic blend of kappa*z,
         the asymptotic length, and the stable buoyancy limit."""
         l_s = 0.4 * z  # surface-layer length
         l_b = np.where(
             n2 > 1e-10,
-            0.76 * np.sqrt(np.maximum(self.tke.astype(np.float64), self.tke_min)) / np.sqrt(np.maximum(n2, 1e-10)),
+            0.76 * np.sqrt(np.maximum(tke.astype(np.float64), self.tke_min)) / np.sqrt(np.maximum(n2, 1e-10)),
             self.l_max,
         )
         inv = 1.0 / np.maximum(l_s, 1.0) + 1.0 / self.l_max + 1.0 / np.maximum(l_b, 1.0)
@@ -90,6 +110,7 @@ class MYNN25:
     def diffusivities(self, state: ModelState) -> tuple[np.ndarray, np.ndarray]:
         """(K_m, K_h) vertical eddy diffusivities [m^2/s] at cell centers."""
         g = self.grid
+        tke_arr = self.state_tke(state)
         u, v, _ = state.velocities()
         theta = state.theta.astype(np.float64)
         thv = theta * (1.0 + 0.608 * state.fields["qv"].astype(np.float64))
@@ -101,8 +122,8 @@ class MYNN25:
         s2 = du_dz**2 + dv_dz**2
 
         z = g.z_c[:, None, None]
-        length = self._mixing_length(z, n2)
-        q = np.sqrt(np.maximum(self.tke.astype(np.float64), self.tke_min))
+        length = self._mixing_length(z, n2, tke_arr)
+        q = np.sqrt(np.maximum(tke_arr.astype(np.float64), self.tke_min))
 
         # level-2.5 stability functions in gradient-Richardson form
         ri = n2 / np.maximum(s2, 1e-8)
@@ -128,25 +149,32 @@ class MYNN25:
         if not hasattr(self, "_cache"):
             self.diffusivities(state)
         n2, s2, length, km, kh = self._cache
-        tke = self.tke.astype(np.float64)
+        tke = self.state_tke(state).astype(np.float64)
         prod = km * s2 - kh * n2
         diss = tke**1.5 / (B1 * np.maximum(length, 1.0))
         tke = tke + dt * (prod - diss)
         # surface TKE injection from friction velocity
         if ustar is not None:
-            tke[0] = np.maximum(tke[0], (3.75 * ustar.astype(np.float64) ** 2))
+            tke[..., 0, :, :] = np.maximum(
+                tke[..., 0, :, :], (3.75 * ustar.astype(np.float64) ** 2)
+            )
         # simple vertical mixing of TKE itself (explicit)
         g = self.grid
         dz2 = (g.dz[:, None, None]) ** 2
         lap = np.zeros_like(tke)
-        lap[1:-1] = (tke[2:] - 2 * tke[1:-1] + tke[:-2]) / dz2[1:-1]
+        lap[..., 1:-1, :, :] = (
+            tke[..., 2:, :, :] - 2 * tke[..., 1:-1, :, :] + tke[..., :-2, :, :]
+        ) / dz2[1:-1]
         tke += dt * 2.0 * km * lap
-        # a non-finite state (e.g. a lost ensemble member passing through
-        # the shared model instance) must not poison the prognostic TKE
-        # permanently: reset contaminated cells to the floor so later
-        # integrations of healthy states start from sane closure state
+        # a non-finite member state must not poison its prognostic TKE
+        # permanently: reset contaminated cells to the floor so a later
+        # refill restarts from sane closure state
         tke = np.where(np.isfinite(tke), tke, self.tke_min)
-        self.tke = np.maximum(tke, self.tke_min).astype(g.dtype)
+        # rebind (never write in place): views of a batch must not leak
+        # updates back into the pre-step source state
+        new = np.maximum(tke, self.tke_min).astype(g.dtype)
+        state.aux["tke"] = new
+        self.tke = new
 
     # ------------------------------------------------------------------
 
@@ -158,21 +186,23 @@ class MYNN25:
 
         dens = np.maximum(state.dens.astype(np.float64), 1e-6)
         dz = g.dz[:, None, None]
-        # face diffusivities (interior faces k=1..nz-1)
-        kmf = np.zeros((g.nz + 1, g.ny, g.nx))
+        # face diffusivities (interior faces k=1..nz-1); work buffers
+        # inherit the (member-batched) leading shape of the inputs
+        lead = km.shape[:-3]
+        kmf = np.zeros(lead + (g.nz + 1, g.ny, g.nx))
         khf = np.zeros_like(kmf)
-        kmf[1:-1] = 0.5 * (km[1:] + km[:-1])
-        khf[1:-1] = 0.5 * (kh[1:] + kh[:-1])
+        kmf[..., 1:-1, :, :] = 0.5 * (km[..., 1:, :, :] + km[..., :-1, :, :])
+        khf[..., 1:-1, :, :] = 0.5 * (kh[..., 1:, :, :] + kh[..., :-1, :, :])
         densf = np.zeros_like(kmf)
-        densf[1:-1] = 0.5 * (dens[1:] + dens[:-1])
+        densf[..., 1:-1, :, :] = 0.5 * (dens[..., 1:, :, :] + dens[..., :-1, :, :])
         dzf = np.empty(g.nz + 1)
         dzf[1:-1] = g.z_c[1:] - g.z_c[:-1]
         dzf[0] = dzf[-1] = 1.0
 
         def build(kf):
             """Backward-Euler bands for d/dz(rho K d/dz)/rho."""
-            up = (densf[1:] * kf[1:] / dzf[1:, None, None]) / (dens * dz)
-            lo = (densf[:-1] * kf[:-1] / dzf[:-1, None, None]) / (dens * dz)
+            up = (kf[..., 1:, :, :] * densf[..., 1:, :, :] / dzf[1:, None, None]) / (dens * dz)
+            lo = (kf[..., :-1, :, :] * densf[..., :-1, :, :] / dzf[:-1, None, None]) / (dens * dz)
             sub = -dt * lo
             sup = -dt * up
             diag = 1.0 + dt * (lo + up)

@@ -77,7 +77,12 @@ class PhysicsSuite:
         f["rhot_p"][...] = (
             f["rhot_p"].astype(np.float64) + dt * tends["rhot_p"]
         ).astype(g.dtype)
-        self.last_rain_rate = self.microphysics.sedimentation(state, dt)
+        rain = self.microphysics.sedimentation(state, dt)
+        # the authoritative copy rides on the state (per-member, survives
+        # checkpointing); the attribute is a convenience window onto the
+        # most recent call for diagnostics
+        state.aux["rain_rate"] = rain
+        self.last_rain_rate = rain
         self.calls["cloud_microphysics"] += 1
 
         if with_radiation:

@@ -54,7 +54,7 @@ class GrayRadiation:
     sw_absorb: float = 0.18
 
     def heating_rate(self, state: ModelState, *, cos_zenith: float = 0.5) -> np.ndarray:
-        """Potential-temperature heating rate [K/s], shape (nz, ny, nx)."""
+        """Potential-temperature heating rate [K/s], shape (..., nz, ny, nx)."""
         g = self.grid
         dens = np.maximum(state.dens.astype(np.float64), 1e-6)
         temp = state.temperature().astype(np.float64)
@@ -70,29 +70,30 @@ class GrayRadiation:
         emit = STEFAN_BOLTZMANN * temp**4 * (1.0 - trans)
 
         nzp, ny, nx = g.nz + 1, g.ny, g.nx
+        lead = dens.shape[:-3]  # (m,) for a member-batched state
         # upward flux: surface emission propagated up
-        fup = np.empty((nzp, ny, nx))
-        t_sfc = temp[0] + 1.0  # surface slightly warmer than air
-        fup[0] = self.emissivity * STEFAN_BOLTZMANN * t_sfc**4
+        fup = np.empty(lead + (nzp, ny, nx))
+        t_sfc = temp[..., 0, :, :] + 1.0  # surface slightly warmer than air
+        fup[..., 0, :, :] = self.emissivity * STEFAN_BOLTZMANN * t_sfc**4
         for k in range(g.nz):
-            fup[k + 1] = fup[k] * trans[k] + emit[k]
+            fup[..., k + 1, :, :] = fup[..., k, :, :] * trans[..., k, :, :] + emit[..., k, :, :]
         # downward flux: space (0) propagated down
-        fdn = np.empty((nzp, ny, nx))
-        fdn[-1] = 0.0
+        fdn = np.empty(lead + (nzp, ny, nx))
+        fdn[..., -1, :, :] = 0.0
         for k in range(g.nz - 1, -1, -1):
-            fdn[k] = fdn[k + 1] * trans[k] + emit[k]
+            fdn[..., k, :, :] = fdn[..., k + 1, :, :] * trans[..., k, :, :] + emit[..., k, :, :]
 
         net = fup - fdn  # positive upward
         # heating = -d(net)/dz / (rho cp)
-        heat = -(net[1:] - net[:-1]) / dz / (dens * CPDRY)
+        heat = -(net[..., 1:, :, :] - net[..., :-1, :, :]) / dz / (dens * CPDRY)
 
         # bulk shortwave: absorbed solar deposited with an exponential
         # profile from the top, modulated by zenith angle
         if cos_zenith > 0.0:
             sw = self.solar * cos_zenith * self.sw_absorb
-            col = np.cumsum(dtau[::-1], axis=0)[::-1]
+            col = np.cumsum(dtau[..., ::-1, :, :], axis=-3)[..., ::-1, :, :]
             absorb_prof = np.exp(-0.5 * col)
-            absorb_prof /= np.maximum(np.sum(absorb_prof * dz, axis=0, keepdims=True), 1e-6)
+            absorb_prof /= np.maximum(np.sum(absorb_prof * dz, axis=-3, keepdims=True), 1e-6)
             heat += sw * absorb_prof / (dens * CPDRY)
 
         # convert temperature heating to theta heating

@@ -42,6 +42,14 @@ class ModelState:
     reference: ReferenceState
     fields: dict[str, np.ndarray] = field(default_factory=dict)
     time: float = 0.0
+    #: dynamics steps taken along this state's trajectory; the physics
+    #: cadence (``nsteps % physics_every``) is a property of the state,
+    #: not of the (shared) model instance
+    nsteps: int = 0
+    #: per-state closure/diagnostic arrays carried along the trajectory
+    #: (e.g. the MYNN prognostic TKE, the latest surface rain rate);
+    #: same leading shape as the prognostic fields
+    aux: dict[str, np.ndarray] = field(default_factory=dict)
 
     @classmethod
     def zeros(cls, grid: Grid, reference: ReferenceState) -> "ModelState":
@@ -65,11 +73,27 @@ class ModelState:
         self.fields[name][...] = value
 
     def copy(self) -> "ModelState":
-        return ModelState(
+        return type(self)(
             grid=self.grid,
             reference=self.reference,
             fields={k: v.copy() for k, v in self.fields.items()},
             time=self.time,
+            nsteps=self.nsteps,
+            aux={k: v.copy() for k, v in self.aux.items()},
+        )
+
+    def blank_like(self, time: float) -> "ModelState":
+        """An empty-fields state of the same type/trajectory (for kernels
+        that build their output arrays from scratch). ``aux`` is shared
+        by reference: closure updates rebind entries rather than writing
+        in place, so the source state is never mutated through it."""
+        return type(self)(
+            grid=self.grid,
+            reference=self.reference,
+            fields={},
+            time=time,
+            nsteps=self.nsteps,
+            aux=dict(self.aux),
         )
 
     # -- diagnostics -----------------------------------------------------------
@@ -95,7 +119,7 @@ class ModelState:
         u = self.fields["momx"] / dens
         v = self.fields["momy"] / dens
         momz = self.fields["momz"]
-        w = 0.5 * (momz[1:] + momz[:-1]) / dens
+        w = 0.5 * (momz[..., 1:, :, :] + momz[..., :-1, :, :]) / dens
         return u, v, w
 
     def pressure(self) -> np.ndarray:
@@ -115,7 +139,7 @@ class ModelState:
         dens = self.dens.astype(np.float64)
         qtot = sum(self.fields[q].astype(np.float64) for q in WATER_SPECIES)
         dz = self.grid.dz[:, None, None]
-        return float(np.mean(np.sum(dens * qtot * dz, axis=0)))
+        return float(np.mean(np.sum(dens * qtot * dz, axis=-3)))
 
     def dry_mass(self) -> float:
         """Domain-total density anomaly integral (mass conservation checks)."""
@@ -152,9 +176,12 @@ class ModelState:
         self.fields["momy"][...] = dens * ana["v"]
         momz = self.fields["momz"]
         w_c = ana["w"]
-        momz[1:-1] = 0.5 * (dens[1:] * w_c[1:] + dens[:-1] * w_c[:-1])
-        momz[0] = 0.0
-        momz[-1] = 0.0
+        momz[..., 1:-1, :, :] = 0.5 * (
+            dens[..., 1:, :, :] * w_c[..., 1:, :, :]
+            + dens[..., :-1, :, :] * w_c[..., :-1, :, :]
+        )
+        momz[..., 0, :, :] = 0.0
+        momz[..., -1, :, :] = 0.0
         theta = ana["theta_p"] + self.reference.theta_c[:, None, None].astype(self.grid.dtype)
         ref_rhot = self.reference.rhot_c[:, None, None].astype(self.grid.dtype)
         self.fields["rhot_p"][...] = dens * theta - ref_rhot

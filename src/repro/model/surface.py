@@ -56,27 +56,28 @@ class BeljaarsSurface:
     gust_min: float = 0.5
 
     def fluxes(self, state: ModelState) -> dict[str, np.ndarray]:
-        """Surface fluxes on (ny, nx).
+        """Surface fluxes on (..., ny, nx).
 
         Returns ``tau_x``/``tau_y`` (momentum flux, N/m^2, sign opposing
         the wind), ``shf`` (sensible, W/m^2, positive upward), ``lhf``
-        (latent, W/m^2), and ``ustar``.
+        (latent, W/m^2), and ``ustar``. A member-batched state yields
+        per-member flux planes.
         """
         g = self.grid
         z1 = float(g.z_c[0])
         u, v, _ = state.velocities()
-        u1 = u[0].astype(np.float64)
-        v1 = v[0].astype(np.float64)
+        u1 = u[..., 0, :, :].astype(np.float64)
+        v1 = v[..., 0, :, :].astype(np.float64)
         spd = np.maximum(np.hypot(u1, v1), self.gust_min)
 
         temp = state.temperature()
-        t1 = temp[0].astype(np.float64)
+        t1 = temp[..., 0, :, :].astype(np.float64)
         t_sfc = t1 + self.skin_excess
-        pres1 = state.pressure()[0]
-        qv1 = state.fields["qv"][0].astype(np.float64)
+        pres1 = state.pressure()[..., 0, :, :]
+        qv1 = state.fields["qv"][..., 0, :, :].astype(np.float64)
         q_sfc = self.wetness * saturation_mixing_ratio(pres1, t_sfc)
 
-        dens1 = np.maximum(state.dens[0].astype(np.float64), 1e-6)
+        dens1 = np.maximum(state.dens[..., 0, :, :].astype(np.float64), 1e-6)
 
         # bulk Richardson number -> Obukhov stability parameter (one
         # fixed-point pass, adequate for a parameterization)
@@ -108,11 +109,11 @@ class BeljaarsSurface:
         fl = self.fluxes(state)
         dz1 = float(g.dz[0])
         f = state.fields
-        f["momx"][0] += (dt / dz1) * fl["tau_x"]
-        f["momy"][0] += (dt / dz1) * fl["tau_y"]
+        f["momx"][..., 0, :, :] += (dt / dz1) * fl["tau_x"]
+        f["momy"][..., 0, :, :] += (dt / dz1) * fl["tau_y"]
         # sensible heat -> rho*theta (divide by cp*exner ~ cp for low levels)
-        pres = state.pressure()[0]
+        pres = state.pressure()[..., 0, :, :]
         exner = (pres / 1.0e5) ** 0.2854
-        f["rhot_p"][0] += (dt / dz1) * (fl["shf"] / (CPDRY * exner)).astype(g.dtype)
-        dens1 = np.maximum(state.dens[0], 1e-6)
-        f["qv"][0] += (dt / dz1) * (fl["lhf"] / LHV0) / dens1
+        f["rhot_p"][..., 0, :, :] += (dt / dz1) * (fl["shf"] / (CPDRY * exner)).astype(g.dtype)
+        dens1 = np.maximum(state.dens[..., 0, :, :], 1e-6)
+        f["qv"][..., 0, :, :] += (dt / dz1) * (fl["lhf"] / LHV0) / dens1

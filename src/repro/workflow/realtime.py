@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..comm.topology import FugakuAllocation
-from ..config import WorkflowConfig
+from ..config import ExecutionConfig, WorkflowConfig
 from ..jitdt.failsafe import FailSafeMonitor
 from ..resilience.faults import FaultEvent, FaultInjector
 from ..resilience.policy import CircuitBreaker
@@ -116,9 +116,10 @@ class RealtimeWorkflow:
         seed: int = 42,
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
+        execution: ExecutionConfig | None = None,
     ):
         self.config = config
-        self.costs = costs or StageCostModel(config, seed=seed)
+        self.costs = costs or StageCostModel(config, seed=seed, execution=execution)
         self.allocation = FugakuAllocation(config.nodes)
         self.part1 = Resource("part1-nodes")
         self.part2_slots = [

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import WorkflowConfig
+from ..config import ExecutionConfig, WorkflowConfig
 
 __all__ = ["CycleCosts", "StageCostModel"]
 
@@ -39,11 +39,29 @@ class CycleCosts:
 
 
 class StageCostModel:
-    """Stochastic per-cycle stage costs, conditioned on rain area."""
+    """Stochastic per-cycle stage costs, conditioned on rain area.
 
-    def __init__(self, config: WorkflowConfig, seed: int = 42):
+    An optional :class:`~repro.config.ExecutionConfig` scales the member
+    forecast stages (<1-2> and part <2>) by the measured throughput of
+    the selected execution backend relative to the serial per-member
+    loop — fill ``relative_throughput`` from the numbers in
+    ``BENCH_cycle_throughput.json`` to see what a faster ensemble engine
+    buys in end-to-end time-to-solution.
+    """
+
+    def __init__(
+        self,
+        config: WorkflowConfig,
+        seed: int = 42,
+        *,
+        execution: ExecutionConfig | None = None,
+    ):
         self.config = config
         self.rng = np.random.default_rng(seed)
+        self.execution = execution
+        self._fcst_scale = (
+            1.0 / execution.relative_throughput if execution is not None else 1.0
+        )
 
     def draw(self, rain_area_km2: float = 0.0) -> CycleCosts:
         """Sample one cycle's costs.
@@ -67,9 +85,15 @@ class StageCostModel:
         stalled = bool(rng.random() < c.jitdt.stall_probability)
 
         letkf = max(2.0, rng.normal(c.letkf_mean_s, 1.0) + rain_extra)
-        fcst30s = max(1.0, rng.normal(c.member_forecast_30s_mean_s, 0.5) + 0.3 * rain_extra)
+        fcst30s = max(
+            1.0,
+            (rng.normal(c.member_forecast_30s_mean_s, 0.5) + 0.3 * rain_extra)
+            * self._fcst_scale,
+        )
         fcst30m = max(
-            30.0, rng.normal(c.forecast_30min_mean_s, 6.0) + 1.2 * rain_extra
+            30.0,
+            (rng.normal(c.forecast_30min_mean_s, 6.0) + 1.2 * rain_extra)
+            * self._fcst_scale,
         )
         # straggler cycles (OS noise, filesystem hiccups): the paper's
         # histogram (Fig. 5c) has a few-percent tail beyond 3 minutes
