@@ -87,6 +87,17 @@ def run(args) -> dict:
     if len(checks) != 1:
         raise SystemExit(f"backend checksums diverge: {checks}")
 
+    if args.profile:
+        # separate pass so the probes never contaminate the timings above
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(profile_kernels=True)
+        model = ScaleRM(cfg)
+        tel.instrument_model(model)
+        make_backend("vectorized").forecast(model, state.copy(), args.seconds)
+        print("\nhot-kernel profile (vectorized backend, one cycle):")
+        print(tel.profiler.report())
+
     base = results["serial"]["members_per_sec"]
     report = {
         "config": {
@@ -127,6 +138,11 @@ def main(argv=None) -> int:
     p.add_argument(
         "--smoke", action="store_true",
         help="tiny problem + no speedup gate (CI sanity run)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="additionally print the per-kernel wall-time/bytes profile "
+             "(separate untimed pass; does not affect the benchmark numbers)",
     )
     args = p.parse_args(argv)
     if args.smoke:

@@ -16,8 +16,22 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.viz` — production graphics (PNG, map views, 3-D views).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import config, constants
 
 __all__ = ["config", "constants", "__version__"]
+
+
+def __getattr__(name: str):
+    """Delegate the supported public names to :mod:`repro.api` lazily.
+
+    ``repro.BDASystem`` and friends resolve without importing the heavy
+    subpackages at ``import repro`` time; :mod:`repro.api` stays the
+    canonical spelling.
+    """
+    from . import api
+
+    if name in api.__all__:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

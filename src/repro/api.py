@@ -1,0 +1,65 @@
+"""The supported public surface of the package.
+
+Everything a downstream user should reach for lives here, re-exported
+from its implementation module::
+
+    from repro.api import BDASystem, Telemetry, ScaleConfig
+
+Imports are lazy (PEP 562): touching one name pays only for the modules
+that name actually needs, so ``from repro.api import ScaleConfig`` does
+not drag in scipy-heavy model code. ``__all__`` is the compatibility
+contract — names outside it (and underscore-prefixed internals anywhere
+in the package) may change without notice.
+"""
+
+from __future__ import annotations
+
+#: name -> implementation module, relative to this package
+_EXPORTS = {
+    # assembled system + cycling
+    "BDASystem": ".core.bda",
+    "ForecastProduct": ".core.bda",
+    "DACycler": ".core.cycling",
+    "CycleResult": ".core.cycling",
+    "Ensemble": ".core.ensemble",
+    # batched ensemble state + execution backends
+    "EnsembleState": ".model.ensemble_state",
+    "ExecutionBackend": ".core.backends",
+    "make_backend": ".core.backends",
+    # telemetry
+    "Telemetry": ".telemetry",
+    "MetricsRegistry": ".telemetry",
+    "Tracer": ".telemetry",
+    "KernelProfiler": ".telemetry",
+    # real-time workflow + resilience
+    "RealtimeWorkflow": ".workflow.realtime",
+    "CycleRecord": ".workflow.realtime",
+    "WorkflowMonitor": ".workflow.monitor",
+    "FaultCampaign": ".resilience.campaign",
+    "ResilienceReport": ".resilience.campaign",
+    # configuration dataclasses
+    "ScaleConfig": ".config",
+    "LETKFConfig": ".config",
+    "RadarConfig": ".config",
+    "JITDTConfig": ".config",
+    "WorkflowConfig": ".config",
+    "ExecutionConfig": ".config",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    value = getattr(import_module(module, __package__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -8,18 +8,61 @@ Gives downstream users the paper's artifacts without writing code:
   summary + histogram (optionally render the Fig.-5a panel PNG);
 * ``calibrate`` — measure this host's kernels and report the
   paper-scale extrapolation;
-* ``faultcampaign`` — seeded fault-injection campaign over the pipeline
-  with recovery metrics and checkpoint/resume;
-* ``quickcycle`` — a tiny OSSE cycling demo (the quickstart in one
-  command).
+* ``fault-campaign`` (alias ``faultcampaign``) — seeded fault-injection
+  campaign over the pipeline with recovery metrics and
+  checkpoint/resume;
+* ``quick-cycle`` (alias ``quickcycle``) — a tiny OSSE cycling demo
+  (the quickstart in one command);
+* ``telemetry`` — replay a recorded ``--telemetry`` run directory into
+  the Fig.-4/5-style TTS breakdown and metrics summary.
+
+Common flags (``--seed``, ``--out``, ``--telemetry``) come from one
+shared parent parser, so every command spells them the same way. Exit
+codes are uniform: 0 success, 1 runtime failure, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser", "EXIT_OK", "EXIT_ERROR", "EXIT_USAGE"]
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+
+
+def _resolve_out(args, path: str | None) -> str | None:
+    """Resolve an artifact path under ``--out`` when one was given."""
+    if path is None:
+        return None
+    p = Path(path)
+    if getattr(args, "out", None) and not p.is_absolute():
+        return str(Path(args.out) / p)
+    return str(p)
+
+
+def _make_telemetry(args, **kw):
+    """Telemetry bundle for a command, or None without ``--telemetry``."""
+    if not getattr(args, "telemetry", None):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry(**kw)
+
+
+def _write_telemetry(args, tel) -> None:
+    if tel is None:
+        return
+    outdir = _resolve_out(args, args.telemetry)
+    paths = tel.write(outdir)
+    print(f"telemetry written to {outdir} ({', '.join(sorted(paths))})")
+
+
+# ----------------------------------------------------------------------
+# command handlers
 
 
 def _cmd_table1(args) -> int:
@@ -27,7 +70,7 @@ def _cmd_table1(args) -> int:
 
     _, text = table1()
     print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_table2(args) -> int:
@@ -35,7 +78,7 @@ def _cmd_table2(args) -> int:
     from .report import table2_text
 
     print(table2_text(LETKFConfig()))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_table3(args) -> int:
@@ -43,7 +86,7 @@ def _cmd_table3(args) -> int:
     from .report import table3_text
 
     print(table3_text(ScaleConfig()))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_fig5(args) -> int:
@@ -62,28 +105,45 @@ def _cmd_fig5(args) -> int:
     edges = np.arange(0.0, 375.0, 15.0)
     counts, _ = np.histogram(np.clip(tts, 0, 359.99), bins=edges)
     print(histogram_text(edges, counts, width=40))
+    tel = _make_telemetry(args)
+    if tel is not None:
+        # mirror the campaign outcome into the standard counters so
+        # ``repro telemetry`` reproduces the compliance number above
+        from .telemetry import TTS_BUCKETS
+
+        hist = tel.histogram("bda_tts_seconds", buckets=TTS_BUCKETS)
+        ok = tel.counter("bda_cycles_ok_total")
+        hit = tel.counter("bda_deadline_hit_total")
+        for v in tts:
+            hist.observe(float(v))
+            ok.inc()
+            if v <= 180.0:
+                hit.inc()
+        _write_telemetry(args, tel)
     if args.png:
         from .viz.png import write_png
         from .viz.timeseries import render_tts_panel
 
         r = campaign["Olympics"]
         img = render_tts_panel(r.tts_series, r.rain_area_1mm, r.rain_area_20mm)
-        write_png(args.png, img)
-        print(f"wrote {args.png}")
-    return 0
+        png = _resolve_out(args, args.png)
+        write_png(png, img)
+        print(f"wrote {png}")
+    return EXIT_OK
 
 
 def _cmd_faultcampaign(args) -> int:
     from .report import resilience_text
     from .resilience import FaultCampaign
 
-    camp = FaultCampaign(seed=args.seed)
+    tel = _make_telemetry(args)
+    camp = FaultCampaign(seed=args.seed, telemetry=tel)
     if args.resume:
         try:
             camp = FaultCampaign.resume(args.resume)
         except FileNotFoundError:
             print(f"error: no checkpoint at {args.resume}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         # the checkpoint carries its own seed; --seed does not apply
         print(
             f"resumed from {args.resume} at cycle {camp.next_cycle}"
@@ -91,23 +151,40 @@ def _cmd_faultcampaign(args) -> int:
         )
     report = camp.run(args.cycles)
     print(resilience_text(report))
+    if tel is not None:
+        from .workflow.monitor import WorkflowMonitor
+
+        monitor = WorkflowMonitor(
+            deadline_s=camp.config.deadline_s, telemetry=tel
+        )
+        for rec in camp.workflow.records:
+            monitor.observe(rec)
+        _write_telemetry(args, tel)
     if args.checkpoint:
-        camp.checkpoint(args.checkpoint)
-        print(f"wrote {args.checkpoint}")
-    return 0
+        ckpt = _resolve_out(args, args.checkpoint)
+        camp.checkpoint(ckpt)
+        print(f"wrote {ckpt}")
+    return EXIT_OK
 
 
 def _cmd_calibrate(args) -> int:
     from .workflow.calibration import calibrate
 
     print(calibrate().report())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_quickcycle(args) -> int:
     from .config import LETKFConfig, RadarConfig, ScaleConfig
     from .core import BDASystem
     from .model.initial import convective_sounding
+
+    tel = _make_telemetry(args, profile_kernels=True)
+    monitor = None
+    if tel is not None:
+        from .workflow.monitor import WorkflowMonitor
+
+        monitor = WorkflowMonitor(deadline_s=180.0, telemetry=tel)
 
     scfg = ScaleConfig().reduced(nx=16, nz=12, members=args.members)
     lcfg = LETKFConfig(
@@ -122,55 +199,128 @@ def _cmd_quickcycle(args) -> int:
     bda = BDASystem(
         scfg, lcfg, RadarConfig().reduced(),
         sounding=convective_sounding(cape_factor=1.1), seed=args.seed,
-        backend=args.backend,
+        backend=args.backend, telemetry=tel,
     )
     bda.trigger_convection(n=2, amplitude=5.0)
     print("spinning up nature run ...")
     bda.spinup_nature(1800.0)
-    for _ in range(args.cycles):
+    for i in range(args.cycles):
         res = bda.cycle()
         print(f"cycle {res.cycle}: {res.diagnostics.summary()}")
+        if monitor is not None:
+            monitor.observe(_record_from_cycle(tel, res, i))
     print(f"analysis theta RMSE vs truth: {bda.analysis_rmse('theta_p'):.4f}")
-    return 0
+    if monitor is not None:
+        print(monitor.summary())
+        _write_telemetry(args, tel)
+    return EXIT_OK
+
+
+def _record_from_cycle(tel, res, cycle: int):
+    """Real-wall-clock CycleRecord for one instrumented OSSE cycle.
+
+    Timestamps come from the cycle's root span, so the record's
+    time-to-solution IS the traced cycle wall time — ``repro telemetry``
+    then reconciles child spans against it.
+    """
+    from .workflow.realtime import CycleRecord
+
+    span = next(s for s in reversed(tel.tracer.spans) if s.name == "cycle")
+    t_obs, t_product = span.t_start, span.t_end
+    t_analysis = t_obs + res.forecast_seconds + res.letkf_seconds
+    return CycleRecord(
+        cycle=cycle,
+        t_obs=t_obs,
+        ok=True,
+        t_file=t_obs,
+        t_transferred=t_obs,
+        t_analysis=min(t_analysis, t_product),
+        t_product=t_product,
+        degraded=res.degraded,
+    )
+
+
+def _cmd_telemetry(args) -> int:
+    from .report import telemetry_run_text
+
+    path = Path(args.run)
+    if not path.exists():
+        print(f"error: no telemetry run at {path}", file=sys.stderr)
+        return EXIT_USAGE
+    print(telemetry_run_text(path, deadline_s=args.deadline))
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# parser
+
+
+def _common_parent(*, seed_default: int) -> argparse.ArgumentParser:
+    """The flags every artifact-producing command shares."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--seed", type=int, default=seed_default,
+                   help=f"RNG seed (default {seed_default})")
+    p.add_argument("--out", type=str, default=None, metavar="DIR",
+                   help="base directory for written artifacts")
+    p.add_argument("--telemetry", type=str, default=None, metavar="DIR",
+                   help="record trace.jsonl + metrics snapshot into DIR")
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="BDA (SC'23) reproduction command-line tools",
     )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print Table 1 (operational systems survey)")
     sub.add_parser("table2", help="print Table 2 (LETKF settings)")
     sub.add_parser("table3", help="print Table 3 (SCALE settings)")
 
-    f5 = sub.add_parser("fig5", help="run the Fig.-5 operations simulation")
-    f5.add_argument("--seed", type=int, default=2021)
+    f5 = sub.add_parser(
+        "fig5", help="run the Fig.-5 operations simulation",
+        parents=[_common_parent(seed_default=2021)],
+    )
     f5.add_argument("--png", type=str, default=None, help="write the Fig.-5a panel PNG")
 
     sub.add_parser("calibrate", help="measure kernels, extrapolate to paper scale")
 
     fc = sub.add_parser(
-        "faultcampaign", help="seeded fault-injection campaign with recovery metrics"
+        "fault-campaign", aliases=["faultcampaign"],
+        help="seeded fault-injection campaign with recovery metrics",
+        parents=[_common_parent(seed_default=2021)],
     )
     fc.add_argument("--cycles", type=int, default=2000)
-    fc.add_argument("--seed", type=int, default=2021)
     fc.add_argument("--checkpoint", type=str, default=None,
                     help="write a resumable checkpoint at the end")
     fc.add_argument("--resume", type=str, default=None,
                     help="resume from a checkpoint written by --checkpoint")
 
-    qc = sub.add_parser("quickcycle", help="tiny OSSE cycling demo")
+    qc = sub.add_parser(
+        "quick-cycle", aliases=["quickcycle"],
+        help="tiny OSSE cycling demo",
+        parents=[_common_parent(seed_default=7)],
+    )
     qc.add_argument("--members", type=int, default=6)
     qc.add_argument("--cycles", type=int, default=4)
-    qc.add_argument("--seed", type=int, default=7)
     qc.add_argument(
         "--backend", choices=("serial", "vectorized", "sharded"),
         default="vectorized",
         help="ensemble execution backend (vectorized is bit-identical to "
              "serial; sharded adds virtual-MPI member blocks)",
     )
+
+    tl = sub.add_parser(
+        "telemetry", help="replay a recorded --telemetry run (TTS breakdown)"
+    )
+    tl.add_argument("run", help="telemetry directory (or trace.jsonl path)")
+    tl.add_argument("--deadline", type=float, default=180.0,
+                    help="deadline [s] for the compliance number (default 180)")
+
     return p
 
 
@@ -180,14 +330,23 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "fig5": _cmd_fig5,
     "calibrate": _cmd_calibrate,
+    "fault-campaign": _cmd_faultcampaign,
     "faultcampaign": _cmd_faultcampaign,
+    "quick-cycle": _cmd_quickcycle,
     "quickcycle": _cmd_quickcycle,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        return EXIT_ERROR
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

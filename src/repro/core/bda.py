@@ -29,6 +29,7 @@ from ..model.state import ModelState
 from ..radar.pawr import PAWRSimulator, VolumeScan
 from ..radar.regrid import volume_to_grid
 from ..radar.reflectivity import dbz_from_state
+from ..telemetry import NULL_TELEMETRY
 from .backends import ExecutionBackend, make_backend
 from .cycling import CycleResult, DACycler
 from .ensemble import Ensemble
@@ -70,6 +71,7 @@ class BDASystem:
         seed: int = 11,
         use_raw_volumes: bool = False,
         backend: str | ExecutionConfig | ExecutionBackend | None = None,
+        telemetry=None,
     ):
         self.scale_config = scale_config
         self.letkf_config = letkf_config
@@ -94,9 +96,11 @@ class BDASystem:
         self.pawr = PAWRSimulator(radar_config, self.model.grid, seed=seed + 1)
         #: execution backend shared by the cycler and the part-<2> forecasts
         self.backend = make_backend(backend)
+        #: injected telemetry bundle (tracer + metrics + kernel profiler)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cycler = DACycler(
             self.model, self.ensemble, letkf_config, self.obsope,
-            backend=self.backend,
+            backend=self.backend, telemetry=telemetry,
         )
         self.cycle_count = 0
         self.last_scan: VolumeScan | None = None
@@ -226,16 +230,21 @@ class BDASystem:
         cur = EnsembleState.from_members(inits)
         t0 = cur.time
         snaps = []
-        for lead in leads:
-            target = t0 + lead
-            if cur.time < target:
-                cur = self.backend.forecast(self.model, cur, target - cur.time)
-            snaps.append(dbz_from_state(cur))
-        return ForecastProduct(
-            init_time=t0,
-            lead_seconds=leads,
-            member_dbz=np.stack(snaps, axis=1),
-        )
+        with self.telemetry.span(
+            "part2", members=len(inits), length_s=float(length_seconds)
+        ):
+            for lead in leads:
+                target = t0 + lead
+                if cur.time < target:
+                    cur = self.backend.forecast(self.model, cur, target - cur.time)
+                snaps.append(dbz_from_state(cur))
+            with self.telemetry.span("product", n_leads=len(leads)):
+                product = ForecastProduct(
+                    init_time=t0,
+                    lead_seconds=leads,
+                    member_dbz=np.stack(snaps, axis=1),
+                )
+        return product
 
     # ------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from ..letkf.solver import AnalysisDiagnostics, LETKFSolver
 from ..model.ensemble_state import EnsembleState
 from ..model.model import ScaleRM
 from ..model.state import ModelState
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .backends import ExecutionBackend, make_backend
 from .ensemble import Ensemble
 
@@ -81,10 +82,19 @@ class DACycler:
         guard: bool = True,
         recovery_spread_factor: float = 0.5,
         backend: str | ExecutionConfig | ExecutionBackend | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.model = model
         self.ensemble = ensemble
-        self.letkf = LETKFSolver(model.grid, letkf_config)
+        #: injected telemetry bundle (tracer + metrics + kernel profiler);
+        #: defaults to the shared no-op so un-instrumented cycles pay
+        #: only attribute checks
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if telemetry is not None:
+            telemetry.instrument_model(model)
+        self.letkf = LETKFSolver(
+            model.grid, letkf_config, profiler=self.telemetry.profiler
+        )
         self.obsope = obs_operator
         self.cycle_seconds = cycle_seconds
         #: execution backend for the part <1-2> member forecasts
@@ -135,13 +145,13 @@ class DACycler:
         }
         for i in lost:
             donor = healthy[int(self._rng.integers(len(healthy)))]
-            clone = self.ensemble.members[donor].copy()
+            clone = self.ensemble.state.member_view(donor).copy()
             ana = clone.to_analysis()
             for v in ana:
                 noise = self._rng.normal(0.0, sigma[v], size=ana[v].shape)
                 ana[v] = ana[v] + noise.astype(ana[v].dtype)
             clone.from_analysis(ana)
-            self.ensemble.members[i] = clone
+            self.ensemble.state.set_member(i, clone)
 
     def _snapshot_candidate(self) -> None:
         self._pending_good = self.ensemble.state.copy()
@@ -168,88 +178,130 @@ class DACycler:
         self, observations: list[GriddedObservations] | None = None
     ) -> CycleResult:
         """One full 30-s cycle; degrades instead of failing on bad input."""
-        # --- part <1-2>: 30-second ensemble forecasts ------------------
-        t0 = time.perf_counter()
-        self.ensemble.state = self.backend.forecast(
-            self.model, self.ensemble.state, self.cycle_seconds
-        )
-        t_fcst = time.perf_counter() - t0
+        tel = self.telemetry
+        tracer = tel.tracer
+        with tracer.span("cycle", cycle=self._cycle + 1) as cyc_span:
+            # --- part <1-2>: 30-second ensemble forecasts ------------------
+            t0 = time.perf_counter()
+            with tracer.span("forecast", backend=self.backend.name):
+                with tracer.span(self.backend.name,
+                                 members=self.ensemble.state.n_members):
+                    self.ensemble.state = self.backend.forecast(
+                        self.model, self.ensemble.state, self.cycle_seconds
+                    )
+            t_fcst = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        mode = "analysis"
-        n_recovered = 0
+            t0 = time.perf_counter()
+            mode = "analysis"
+            n_recovered = 0
 
-        if self.guard:
-            healthy = self._healthy_indices()
-            lost = [i for i in range(len(self.ensemble)) if i not in set(healthy)]
-            self._promote_or_discard_candidate(not lost)
-            if len(healthy) < 2:
-                # catastrophic loss: the whole ensemble (or all but one
-                # member) went non-finite — restore the last good analysis
-                self._rollback()
-                mode = "rollback"
-                healthy = list(range(len(self.ensemble)))
-                lost = []
-        else:
-            # fail-fast path: no masking, no refill (for debugging)
-            healthy = list(range(len(self.ensemble)))
-            lost = []
-
-        # --- input validation (the guard in front of the LETKF) --------
-        obs_in = observations or []
-        if self.guard:
-            obs_ok, reasons = self.obsope.screen(obs_in)
-        else:
-            obs_ok, reasons = list(obs_in), []
-
-        # restrict obs to the instrument's coverage (Fig. 6b mask)
-        masked = []
-        for obs in obs_ok:
-            ob = obs.copy()
-            ob.valid &= self.obsope.coverage
-            masked.append(ob)
-        n_valid_total = sum(ob.n_valid for ob in masked)
-
-        do_analysis = mode != "rollback" and n_valid_total > 0 and len(healthy) >= 2
-        diag = AnalysisDiagnostics()
-
-        if do_analysis:
-            all_healthy = len(healthy) == len(self.ensemble)
-            batch = (
-                self.ensemble.state
-                if all_healthy
-                else self.ensemble.state.subset(healthy)
-            )
-            hxb = self.obsope.hxb_ensemble(batch)
-            arrays = batch.analysis_arrays()
-            analysis, diag = self.letkf.analyze(arrays, masked, hxb)
-
-            finite = all(bool(np.all(np.isfinite(a))) for a in analysis.values())
-            if self.guard and not finite:
-                # NaN/Inf state guard: discard the poisoned update and
-                # keep the (finite) background — it descends from the
-                # last good analysis
-                mode = "rollback"
-            else:
-                if all_healthy:
-                    self.ensemble.state.load_analysis(analysis)
+            with tracer.span("qc"):
+                if self.guard:
+                    healthy = self._healthy_indices()
+                    lost = [
+                        i for i in range(len(self.ensemble)) if i not in set(healthy)
+                    ]
+                    self._promote_or_discard_candidate(not lost)
+                    if len(healthy) < 2:
+                        # catastrophic loss: the whole ensemble (or all but
+                        # one member) went non-finite — restore the last
+                        # good analysis
+                        self._rollback()
+                        mode = "rollback"
+                        healthy = list(range(len(self.ensemble)))
+                        lost = []
                 else:
-                    for row, i in enumerate(healthy):
-                        self.ensemble.members[i].from_analysis(
-                            {v: analysis[v][row] for v in ModelState.ANALYSIS_VARS}
+                    # fail-fast path: no masking, no refill (for debugging)
+                    healthy = list(range(len(self.ensemble)))
+                    lost = []
+
+                # --- input validation (the guard in front of the LETKF) ----
+                obs_in = observations or []
+                if self.guard:
+                    obs_ok, reasons = self.obsope.screen(obs_in)
+                else:
+                    obs_ok, reasons = list(obs_in), []
+
+                # restrict obs to the instrument's coverage (Fig. 6b mask)
+                masked = []
+                for obs in obs_ok:
+                    ob = obs.copy()
+                    ob.valid &= self.obsope.coverage
+                    masked.append(ob)
+                n_valid_total = sum(ob.n_valid for ob in masked)
+
+            do_analysis = (
+                mode != "rollback" and n_valid_total > 0 and len(healthy) >= 2
+            )
+            diag = AnalysisDiagnostics()
+
+            with tracer.span("letkf", analysed=do_analysis):
+                if do_analysis:
+                    all_healthy = len(healthy) == len(self.ensemble)
+                    batch = (
+                        self.ensemble.state
+                        if all_healthy
+                        else self.ensemble.state.subset(healthy)
+                    )
+                    with tracer.span("obsope"):
+                        hxb = self.obsope.hxb_ensemble(batch)
+                        arrays = batch.analysis_arrays()
+                    with tracer.span("solver"):
+                        analysis, diag = self.letkf.analyze(arrays, masked, hxb)
+
+                    with tracer.span("update"):
+                        finite = all(
+                            bool(np.all(np.isfinite(a))) for a in analysis.values()
                         )
+                        if self.guard and not finite:
+                            # NaN/Inf state guard: discard the poisoned
+                            # update and keep the (finite) background — it
+                            # descends from the last good analysis
+                            mode = "rollback"
+                        else:
+                            if all_healthy:
+                                self.ensemble.state.load_analysis(analysis)
+                            else:
+                                for row, i in enumerate(healthy):
+                                    self.ensemble.state.member_view(i).from_analysis(
+                                        {
+                                            v: analysis[v][row]
+                                            for v in ModelState.ANALYSIS_VARS
+                                        }
+                                    )
+                            if lost:
+                                mode = "reduced"
+                elif mode != "rollback":
+                    mode = "free-run"
+
                 if lost:
-                    mode = "reduced"
-        elif mode != "rollback":
-            mode = "free-run"
+                    self._refill_lost(lost, healthy)
+                    n_recovered = len(lost)
 
-        if lost:
-            self._refill_lost(lost, healthy)
-            n_recovered = len(lost)
+                if self.guard and mode in ("analysis", "reduced"):
+                    self._snapshot_candidate()
+            t_letkf = time.perf_counter() - t0
+            cyc_span.set(
+                mode=mode,
+                forecast_seconds=t_fcst,
+                letkf_seconds=t_letkf,
+                n_members_used=len(healthy) if do_analysis else 0,
+            )
 
-        if self.guard and mode in ("analysis", "reduced"):
-            self._snapshot_candidate()
-        t_letkf = time.perf_counter() - t0
+        # cycle-level metrics (no-ops on the null registry)
+        tel.counter("bda_cycles_total", help="DA cycles run").inc()
+        if mode != "analysis":
+            tel.counter("bda_degraded_cycles_total",
+                        help="cycles served by a degraded path").inc()
+        tel.histogram("bda_stage_seconds", help="per-stage wall time",
+                      stage="forecast").observe(t_fcst)
+        tel.histogram("bda_stage_seconds", help="per-stage wall time",
+                      stage="letkf").observe(t_letkf)
+        if t_fcst > 0:
+            tel.gauge("bda_members_per_second",
+                      help="ensemble-forecast throughput").set(
+                self.ensemble.state.n_members / t_fcst
+            )
 
         self._cycle += 1
         res = CycleResult(

@@ -16,6 +16,8 @@ perturbation loops, diagnostics).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..model.ensemble_state import EnsembleState
@@ -48,6 +50,13 @@ class _MemberList:
         return self._state.member_view(int(key))
 
     def __setitem__(self, key, value: ModelState) -> None:
+        warnings.warn(
+            "assigning through ensemble.members[i] is deprecated; use "
+            "ensemble.state.set_member(i, state) (EnsembleState is the "
+            "supported mutation surface)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._state.set_member(int(key), value)
 
 

@@ -15,15 +15,22 @@ BACKENDS = {
 }
 
 
-def eigh_dispatch(mats: np.ndarray, backend: str = "kedv") -> tuple[np.ndarray, np.ndarray]:
+def eigh_dispatch(
+    mats: np.ndarray, backend: str = "kedv", *, profiler=None
+) -> tuple[np.ndarray, np.ndarray]:
     """Eigendecompose a batch of symmetric matrices with the named backend.
 
     ``backend`` is the LETKF config's ``eigensolver`` knob: "lapack" for
     the baseline, "kedv" for the batched from-scratch solver the
-    production system switched to.
+    production system switched to. An enabled
+    :class:`~repro.telemetry.profile.KernelProfiler` records per-call
+    wall time and the batch bytes handled.
     """
     try:
         fn = BACKENDS[backend]
     except KeyError:
         raise ValueError(f"unknown eigensolver backend {backend!r}") from None
+    if profiler is not None and profiler.enabled:
+        with profiler.profile(f"eigh_{backend}", nbytes=mats.nbytes):
+            return fn(mats)
     return fn(mats)

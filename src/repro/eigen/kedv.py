@@ -55,14 +55,23 @@ def tridiagonalize_batched(mats: np.ndarray) -> tuple[np.ndarray, np.ndarray, np
     Q = np.broadcast_to(np.eye(k, dtype=dtype), (B, k, k)).copy()
     eps = np.finfo(dtype).tiny
 
+    # columns smaller than this have squares that underflow to
+    # subnormals inside norm(), which corrupts the reflector's unit
+    # normalization (dlarfg's rescaling case); well-scaled columns take
+    # scale=1 and stay bit-identical
+    rmin = np.sqrt(np.finfo(dtype).tiny) / np.finfo(dtype).eps
+
     for j in range(k - 2):
         # Householder vector annihilating column j below the subdiagonal
         x = A[:, j + 1 :, j]  # (B, m) with m = k-1-j
-        alpha = np.linalg.norm(x, axis=1)  # (B,)
+        sigma = np.abs(x).max(axis=1)  # (B,)
+        scale = np.where((sigma > 0) & (sigma < rmin), sigma, 1.0)
+        xs = x / scale[:, None]
+        alpha = np.linalg.norm(xs, axis=1) * scale  # (B,)
         # sign choice for numerical stability
         alpha = -np.sign(np.where(x[:, 0] == 0, 1.0, x[:, 0])) * alpha
-        v = x.copy()
-        v[:, 0] -= alpha
+        v = xs.copy()
+        v[:, 0] -= alpha / scale
         vnorm = np.linalg.norm(v, axis=1, keepdims=True)
         # skip degenerate columns (already tridiagonal there)
         active = vnorm[:, 0] > eps
@@ -207,8 +216,25 @@ def eigh_kedv(mats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     k = arr.shape[-1]
     flat = arr.reshape(-1, k, k)
 
+    # LAPACK-style range guard (dsyev's rmin/rmax): matrices whose norm
+    # sits below sqrt(tiny)/eps push the QL off-diagonals under the
+    # deflation floor mid-rotation and the Givens chain stops being
+    # orthogonal; above sqrt(max) the hypot squares overflow. Scale those
+    # to O(1) and scale the eigenvalues back. In-range batches pass
+    # through untouched (bit-identical to the unguarded path).
+    fin = np.finfo(arr.dtype if np.issubdtype(arr.dtype, np.floating) else np.float64)
+    absmax = np.abs(flat).max(axis=(1, 2))
+    rmin = np.sqrt(fin.tiny) / fin.eps
+    rmax = np.sqrt(fin.max) / k  # k-entry row sums of squares must not overflow
+    need = (absmax > 0) & ((absmax < rmin) | (absmax > rmax))
+    scale = np.where(need, absmax, 1.0)
+    if np.any(need):
+        flat = flat / scale[:, None, None]
+
     d, e, Q = tridiagonalize_batched(flat)
     w, V = ql_implicit_batched(d, e, Q)
+    if np.any(need):
+        w = w * scale[:, None]
 
     order = np.argsort(w, axis=1)
     w = np.take_along_axis(w, order, axis=1)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import JITDTConfig
+from ..telemetry import NULL_TELEMETRY
 from .protocol import chunk_payload, reassemble
 
 __all__ = ["SINETLink", "TransferEngine", "TransferResult"]
@@ -76,25 +77,34 @@ class TransferEngine:
     simulator consumes the time, the assimilation consumes the bytes.
     """
 
-    def __init__(self, link: SINETLink | None = None):
+    def __init__(self, link: SINETLink | None = None, *, telemetry=None):
         self.link = link or SINETLink()
         self.transfers: list[TransferResult] = []
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def send(self, payload: bytes, *, keep_payload: bool = True) -> TransferResult:
         cfg = self.link.config
-        chunks = list(chunk_payload(payload, cfg.chunk_bytes))
-        received = reassemble(chunks)
-        if received != payload:
-            raise RuntimeError("protocol round-trip corrupted the payload")
-        seconds, stalled = self.link.transfer_time(len(payload))
-        res = TransferResult(
-            nbytes=len(payload),
-            seconds=seconds,
-            stalled=stalled,
-            n_chunks=len(chunks),
-            payload=received if keep_payload else None,
-        )
-        self.transfers.append(res)
+        with self.telemetry.span("transfer", nbytes=len(payload)) as sp:
+            chunks = list(chunk_payload(payload, cfg.chunk_bytes))
+            received = reassemble(chunks)
+            if received != payload:
+                raise RuntimeError("protocol round-trip corrupted the payload")
+            seconds, stalled = self.link.transfer_time(len(payload))
+            res = TransferResult(
+                nbytes=len(payload),
+                seconds=seconds,
+                stalled=stalled,
+                n_chunks=len(chunks),
+                payload=received if keep_payload else None,
+            )
+            self.transfers.append(res)
+            sp.set(seconds=seconds, stalled=stalled, n_chunks=len(chunks))
+        tel = self.telemetry
+        if tel.enabled:
+            tel.histogram("jitdt_transfer_seconds").observe(seconds)
+            tel.counter("jitdt_bytes_total").inc(len(payload))
+            if stalled:
+                tel.counter("jitdt_stalls_total").inc()
         return res
 
     def mean_seconds(self) -> float:

@@ -39,6 +39,7 @@ def letkf_transform(
     backend: str = "kedv",
     rtpp_factor: float = 0.0,
     return_pa_trace: bool = False,
+    profiler=None,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Batched ensemble-space analysis weights.
 
@@ -58,6 +59,9 @@ def letkf_transform(
     rtpp_factor:
         Relaxation-to-prior-perturbation factor (Table 2: 0.95) folded
         directly into the returned weights.
+    profiler:
+        Optional :class:`~repro.telemetry.profile.KernelProfiler`
+        forwarded to the batched eigensolver.
 
     Returns
     -------
@@ -79,7 +83,7 @@ def letkf_transform(
     idx = np.arange(m)
     A[:, idx, idx] += dtype.type(m - 1)
 
-    w, V = eigh_dispatch(A, backend=backend)
+    w, V = eigh_dispatch(A, backend=backend, profiler=profiler)
     # A is SPD by construction; guard tiny/negative eigenvalues from
     # single-precision roundoff
     floor = np.finfo(dtype).eps * np.maximum(w[:, -1:], 1.0) * m

@@ -47,10 +47,13 @@ class AnalysisDiagnostics:
 class LETKFSolver:
     """LETKF analysis on the model grid with Table-2 configuration."""
 
-    def __init__(self, grid: Grid, config: LETKFConfig):
+    def __init__(self, grid: Grid, config: LETKFConfig, *, profiler=None):
         self.grid = grid
         self.config = config
         self.dtype = config.numpy_dtype()
+        #: optional :class:`~repro.telemetry.profile.KernelProfiler`
+        #: threaded down to the batched eigensolver
+        self.profiler = profiler
         # The per-grid observation cap (Table 2: 1000) is enforced by
         # truncating the stencil to the nearest cells; with two
         # observation types sharing the budget, each type gets half.
@@ -237,6 +240,7 @@ class LETKFSolver:
                 rinv,
                 backend=cfg.eigensolver,
                 rtpp_factor=cfg.rtpp_factor,
+                profiler=self.profiler,
             )
 
             # apply weights to every analysis variable in the chunk

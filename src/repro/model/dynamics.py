@@ -96,6 +96,9 @@ class HEVIDynamics:
         self.grid = grid
         self.ref = reference
         self.config = config
+        #: optional :class:`~repro.telemetry.profile.KernelProfiler`;
+        #: attached by ``Telemetry.instrument_model``, ``None`` by default
+        self.profiler = None
         self._factors: dict[float, TridiagonalFactors] = {}
         g = grid
         # reference profiles broadcast once (in model dtype for hot loops)
@@ -309,6 +312,13 @@ class HEVIDynamics:
 
     def step(self, state: ModelState, dt: float) -> ModelState:
         """One full Wicker–Skamarock RK3 step of length ``dt``."""
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            nbytes = sum(a.nbytes for a in state.fields.values())
+            with prof.profile("hevi_dycore", nbytes=nbytes):
+                s1 = self.substage(state, state, dt / 3.0)
+                s2 = self.substage(state, s1, dt / 2.0)
+                return self.substage(state, s2, dt)
         s1 = self.substage(state, state, dt / 3.0)
         s2 = self.substage(state, s1, dt / 2.0)
         s3 = self.substage(state, s2, dt)

@@ -87,6 +87,9 @@ class MicrophysicsSM6:
 
     def __post_init__(self):
         self._dens_sfc = float(self.reference.dens_c[0])
+        #: optional :class:`~repro.telemetry.profile.KernelProfiler`;
+        #: attached by ``Telemetry.instrument_model``, ``None`` by default
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -236,6 +239,16 @@ class MicrophysicsSM6:
         member's own CFL-limited ``nsub`` (members grouped by count),
         so the batched path is bit-identical to the per-member loop.
         """
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            nbytes = state.fields["dens_p"].nbytes + sum(
+                state.fields[s].nbytes for s in ("qr", "qs", "qg")
+            )
+            with prof.profile("sm6_sedimentation", nbytes=nbytes):
+                return self._sedimentation(state, dt)
+        return self._sedimentation(state, dt)
+
+    def _sedimentation(self, state: ModelState, dt: float) -> np.ndarray:
         g = self.grid
         dens = np.maximum(state.dens.astype(np.float64), 1e-6)
         dz = g.dz[:, None, None]

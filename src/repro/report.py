@@ -26,6 +26,8 @@ __all__ = [
     "table3_text",
     "histogram_text",
     "resilience_text",
+    "metrics_snapshot_text",
+    "telemetry_run_text",
 ]
 
 
@@ -146,3 +148,84 @@ def histogram_text(edges: np.ndarray, counts: np.ndarray, *, width: int = 50) ->
         bar = "#" * int(round(width * c / peak))
         lines.append(f"{edges[i]/60:5.2f}-{edges[i+1]/60:5.2f} min |{bar} {c}")
     return "\n".join(lines)
+
+
+def metrics_snapshot_text(reg, *, deadline_s: float = 180.0) -> str:
+    """Operational summary straight from a metrics registry/snapshot.
+
+    Consumes the counters the instrumented components maintain instead
+    of recomputing statistics from cycle records — the numbers here must
+    match what :class:`~repro.workflow.monitor.WorkflowMonitor` reported
+    live, because they are the *same* counters.
+    """
+    from .telemetry.replay import snapshot_deadline_fraction
+
+    lines = []
+
+    def _val(kind: str, name: str, **labels) -> float | None:
+        m = reg.get(kind, name, **labels)
+        return None if m is None else m.value
+
+    cycles = _val("counter", "bda_cycles_total")
+    if cycles:
+        degraded = _val("counter", "bda_degraded_cycles_total") or 0.0
+        lines.append(f"{'DA cycles run':<28}{int(cycles)}")
+        lines.append(f"{'degraded cycles':<28}{int(degraded)} "
+                     f"({degraded / cycles:.1%})")
+    observed = _val("counter", "bda_cycles_observed_total")
+    if observed:
+        ok = _val("counter", "bda_cycles_ok_total") or 0.0
+        lines.append(f"{'workflow cycles observed':<28}{int(observed)}")
+        lines.append(f"{'availability':<28}{ok / observed:8.1%}")
+    frac = snapshot_deadline_fraction(reg, deadline_s=deadline_s)
+    if frac is not None:
+        lines.append(f"{'deadline compliance':<28}{frac:8.1%}")
+    tts = reg.get("histogram", "bda_tts_seconds")
+    if tts is not None and tts.count:
+        lines.append(f"{'mean TTS':<28}{tts.sum / tts.count:8.1f} s "
+                     f"({tts.count} products)")
+    for kernel_counter in reg:
+        if kernel_counter.name == "kernel_seconds_total":
+            k = kernel_counter.labels.get("kernel", "?")
+            calls = _val("counter", "kernel_calls_total", kernel=k) or 0
+            lines.append(f"{'kernel ' + k:<28}{kernel_counter.value:8.3f} s "
+                         f"over {int(calls)} calls")
+    return "\n".join(lines) if lines else "(empty metrics snapshot)"
+
+
+def telemetry_run_text(path, *, deadline_s: float = 180.0) -> str:
+    """Render a recorded telemetry run (the ``repro telemetry`` command).
+
+    Rebuilds the span tree from ``trace.jsonl`` into the Fig.-4-style
+    per-stage TTS breakdown and appends the metrics-snapshot summary.
+    """
+    from .telemetry.replay import (
+        build_tree,
+        breakdown_table,
+        cycle_breakdowns,
+        load_run,
+        reconcile_cycles,
+    )
+
+    records, reg = load_run(path)
+    blocks = []
+    if records:
+        rows = cycle_breakdowns(build_tree(records))
+        if rows:
+            rec = reconcile_cycles(rows)
+            blocks.append("per-cycle TTS breakdown (from trace.jsonl):")
+            blocks.append(breakdown_table(rows))
+            blocks.append(
+                f"span reconciliation: child spans cover cycle wall time to "
+                f"{rec['max_gap_fraction']:.2%} worst-case gap over "
+                f"{rec['n_cycles']} cycles"
+            )
+        else:
+            blocks.append("(trace contains no cycle spans)")
+    else:
+        blocks.append("(no trace records found)")
+    if reg is not None:
+        blocks.append("")
+        blocks.append("metrics snapshot:")
+        blocks.append(metrics_snapshot_text(reg, deadline_s=deadline_s))
+    return "\n".join(blocks)

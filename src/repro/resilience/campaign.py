@@ -130,6 +130,7 @@ class FaultCampaign:
         rates: FaultRates | None = None,
         breaker_threshold: int = 5,
         breaker_cooldown: int = 10,
+        telemetry=None,
     ):
         self.config = config or WorkflowConfig()
         self.seed = int(seed)
@@ -137,6 +138,7 @@ class FaultCampaign:
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
         self.injector = FaultInjector(self.rates, seed=self.seed + 101)
+        self.telemetry = telemetry
         self.workflow = RealtimeWorkflow(
             self.config,
             seed=self.seed,
@@ -144,6 +146,7 @@ class FaultCampaign:
             breaker=CircuitBreaker(
                 failure_threshold=breaker_threshold, cooldown=breaker_cooldown
             ),
+            telemetry=telemetry,
         )
         self.next_cycle = 0
 

@@ -1,0 +1,139 @@
+"""End-to-end telemetry: tracing, metrics and kernel profiling.
+
+One :class:`Telemetry` object threads through the whole pipeline —
+``BDASystem`` → ``DACycler`` → execution backends → LETKF →
+``RealtimeWorkflow`` / ``FaultCampaign`` / ``WorkflowMonitor`` — by
+explicit injection (no globals). Components default to the shared
+:data:`NULL_TELEMETRY`, whose tracer/metrics/profiler are all no-ops,
+so un-instrumented runs pay only an attribute check.
+
+* :mod:`repro.telemetry.trace` — nested spans with deterministic ids
+  and JSONL export;
+* :mod:`repro.telemetry.metrics` — counters / gauges / fixed-bucket
+  histograms with Prometheus-text and JSON-snapshot exporters;
+* :mod:`repro.telemetry.profile` — opt-in hot-kernel profiling (HEVI
+  dycore, SM6 sedimentation, KeDV eigensolver);
+* :mod:`repro.telemetry.replay` — rebuild the span tree from a JSONL
+  trace and render the Fig.-4/5-style TTS breakdown
+  (``python -m repro telemetry``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    STAGE_BUCKETS,
+    TTS_BUCKETS,
+)
+from .profile import KernelProfiler, KernelStats
+from .trace import NULL_SPAN, Span, Tracer, read_jsonl
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "KernelStats",
+    "TTS_BUCKETS",
+    "STAGE_BUCKETS",
+    "read_jsonl",
+]
+
+
+class Telemetry:
+    """The injected telemetry bundle: tracer + metrics + profiler.
+
+    Build an enabled instance with ``Telemetry()`` (or
+    ``Telemetry.enabled()``); pass it once to the top-level object
+    (``BDASystem``, ``FaultCampaign``, ``RealtimeWorkflow``) and it
+    propagates to every instrumented layer. ``profile_kernels=True``
+    additionally arms the hot-kernel profiler (off by default — kernel
+    probes sit inside the model step loop).
+    """
+
+    def __init__(self, *, enabled: bool = True, profile_kernels: bool = False,
+                 clock=None):
+        self._enabled = bool(enabled)
+        kw = {} if clock is None else {"clock": clock}
+        if enabled:
+            self.tracer = Tracer(**kw)
+            self.metrics: MetricsRegistry | NullMetricsRegistry = MetricsRegistry()
+            self.profiler = KernelProfiler(enabled=profile_kernels, **kw)
+        else:
+            self.tracer = Tracer(enabled=False)
+            self.metrics = NullMetricsRegistry()
+            self.profiler = KernelProfiler(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    # -- convenience pass-throughs -------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, help: str = "", **labels: str):
+        return self.metrics.counter(name, help=help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str):
+        return self.metrics.gauge(name, help=help, **labels)
+
+    def histogram(self, name: str, buckets=STAGE_BUCKETS, help: str = "",
+                  **labels: str):
+        return self.metrics.histogram(name, buckets=buckets, help=help, **labels)
+
+    # -- model wiring ---------------------------------------------------
+
+    def instrument_model(self, model) -> None:
+        """Attach the kernel profiler to a model's hot kernels.
+
+        Safe to call on any :class:`~repro.model.model.ScaleRM`; a
+        disabled profiler keeps the hooks dormant.
+        """
+        model.dynamics.profiler = self.profiler
+        if model.physics is not None:
+            model.physics.microphysics.profiler = self.profiler
+
+    # -- export ---------------------------------------------------------
+
+    def write(self, outdir: str | Path) -> dict[str, str]:
+        """Dump everything to ``outdir``: ``trace.jsonl``,
+        ``metrics.json``, ``metrics.prom`` (+ kernel stats if any).
+
+        Returns the paths written, keyed by artifact name.
+        """
+        out = Path(outdir)
+        out.mkdir(parents=True, exist_ok=True)
+        if self.profiler.stats:
+            self.profiler.publish(self.metrics)
+        paths = {
+            "trace": str(self.tracer.export_jsonl(out / "trace.jsonl")),
+        }
+        if isinstance(self.metrics, MetricsRegistry):
+            paths["metrics_json"] = str(self.metrics.write_json(out / "metrics.json"))
+            paths["metrics_prom"] = str(
+                self.metrics.write_prometheus(out / "metrics.prom")
+            )
+        return paths
+
+
+#: the shared disabled bundle every component defaults to
+NULL_TELEMETRY = Telemetry(enabled=False)

@@ -1,0 +1,364 @@
+"""Counters, gauges and fixed-bucket histograms with snapshot export.
+
+The metric families mirror what the paper's month of operations implies
+was tracked: time-to-solution and per-stage latency histograms, cycle /
+degraded-cycle / deadline counters, breaker-state and throughput gauges.
+Two export formats:
+
+* **Prometheus text** (``to_prometheus``) — the de-facto scrape format,
+  so a real deployment could lift this registry unchanged;
+* **JSON snapshot** (``snapshot`` / ``from_snapshot``) — a lossless
+  round-trippable dump that :mod:`repro.workflow.monitor` and ``python
+  -m repro telemetry`` consume instead of recomputing statistics from
+  raw cycle records.
+
+A disabled registry (``NullMetricsRegistry``) hands out shared no-op
+instruments so instrumented call sites stay branch-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "TTS_BUCKETS",
+    "STAGE_BUCKETS",
+]
+
+#: default TTS histogram bucket upper edges [s] — 15-s bins to 6 min,
+#: the resolution of the paper's Fig. 5c histogram
+TTS_BUCKETS = tuple(float(b) for b in range(15, 375, 15))
+
+#: default per-stage latency bucket upper edges [s]
+STAGE_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0,
+                 60.0, 120.0, 180.0)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def state(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+    def load(self, st: dict[str, Any]) -> None:
+        self.value = float(st["value"])
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def state(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+    def load(self, st: dict[str, Any]) -> None:
+        self.value = float(st["value"])
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are finite upper edges; an implicit ``+Inf`` bucket
+    catches the tail. An observation lands in the first bucket whose
+    edge is >= the value (``v <= le``), cumulative counts on export.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float],
+        help: str = "",
+        labels: dict[str, str] | None = None,
+    ):
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(edges):
+            raise ValueError("bucket edges must be sorted ascending")
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError("bucket edges must be finite (+Inf is implicit)")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = edges
+        #: per-bucket (non-cumulative) counts; index len(buckets) = +Inf
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            return  # NaN observations (failed cycles) are counted elsewhere
+        i = 0
+        for i, edge in enumerate(self.buckets):
+            if v <= edge:
+                break
+        else:
+            i = len(self.buckets)
+        self.counts[i] += 1
+        self.sum += v
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        out = []
+        run = 0
+        for c in self.counts:
+            run += c
+            out.append(run)
+        return out
+
+    def fraction_le(self, edge: float) -> float:
+        """Fraction of observations <= ``edge`` (must be a bucket edge)."""
+        if self.count == 0:
+            return 0.0
+        try:
+            i = self.buckets.index(float(edge))
+        except ValueError:
+            raise ValueError(f"{edge} is not a bucket edge of {self.name}")
+        return self.cumulative_counts()[i] / self.count
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def load(self, st: dict[str, Any]) -> None:
+        if tuple(st["buckets"]) != self.buckets:
+            raise ValueError(f"bucket mismatch restoring histogram {self.name}")
+        self.counts = [int(c) for c in st["counts"]]
+        self.sum = float(st["sum"])
+        self.count = int(st["count"])
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, optionally labelled instruments."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    # -- instrument factories ------------------------------------------
+
+    def _get(self, cls, name: str, help: str, labels: dict[str, str], **kw):
+        key = (cls.kind, name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = cls(name, help=help, labels=labels, **kw)
+            self._metrics[key] = m
+        return m
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = STAGE_BUCKETS,
+        help: str = "", **labels: str,
+    ) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = Histogram(name, buckets, help=help, labels=labels)
+            self._metrics[key] = m
+        return m
+
+    # -- introspection -------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, kind: str, name: str, **labels: str):
+        """Fetch an existing instrument or None (never creates)."""
+        return self._metrics.get((kind, name, _label_key(labels)))
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Lossless JSON-ready dump (see :meth:`from_snapshot`)."""
+        items = []
+        for (kind, name, lkey), m in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][1], kv[0][0], kv[0][2])
+        ):
+            items.append(
+                {"kind": kind, "name": name, "labels": dict(lkey),
+                 "help": m.help, "state": m.state()}
+            )
+        return {"version": 1, "metrics": items}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "MetricsRegistry":
+        if snap.get("version") != 1:
+            raise ValueError("unknown metrics snapshot version")
+        reg = cls()
+        for item in snap["metrics"]:
+            kind, name, labels = item["kind"], item["name"], item["labels"]
+            if kind == "counter":
+                m = reg.counter(name, help=item.get("help", ""), **labels)
+            elif kind == "gauge":
+                m = reg.gauge(name, help=item.get("help", ""), **labels)
+            elif kind == "histogram":
+                m = reg.histogram(
+                    name, buckets=item["state"]["buckets"],
+                    help=item.get("help", ""), **labels,
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            m.load(item["state"])
+        return reg
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def read_json(cls, path: str | Path) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(Path(path).read_text()))
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (stable ordering)."""
+        lines: list[str] = []
+        seen_headers: set[tuple[str, str]] = set()
+        for (kind, name, lkey), m in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][1], kv[0][0], kv[0][2])
+        ):
+            if (kind, name) not in seen_headers:
+                seen_headers.add((kind, name))
+                if m.help:
+                    lines.append(f"# HELP {name} {m.help}")
+                lines.append(f"# TYPE {name} {kind}")
+            labels = dict(lkey)
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_format_labels(labels)} {_fmt(m.value)}")
+            else:
+                cum = m.cumulative_counts()
+                for edge, c in zip(m.buckets, cum[:-1]):
+                    lab = dict(labels)
+                    lab["le"] = _fmt(edge)
+                    lines.append(f"{name}_bucket{_format_labels(lab)} {c}")
+                lab = dict(labels)
+                lab["le"] = "+Inf"
+                lines.append(f"{name}_bucket{_format_labels(lab)} {cum[-1]}")
+                lines.append(f"{name}_sum{_format_labels(labels)} {_fmt(m.sum)}")
+                lines.append(f"{name}_count{_format_labels(labels)} {m.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_prometheus())
+        return path
+
+
+def _fmt(v: float) -> str:
+    """Render numbers the way Prometheus clients expect (no trailing .0
+    noise for integral values)."""
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every factory returns the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=STAGE_BUCKETS, help: str = "", **labels: str):
+        return _NULL_INSTRUMENT
+
+    def get(self, kind: str, name: str, **labels: str):
+        return None
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"version": 1, "metrics": []}
+
+    def to_prometheus(self) -> str:
+        return ""

@@ -1,0 +1,124 @@
+"""Opt-in profiling hooks for the hot kernels.
+
+The three kernels that dominate the cycle budget — the HEVI dynamical
+core, the SM6 sedimentation sweep, and the KeDV batched eigensolver —
+carry a ``profiler`` hook (an attribute, or a keyword argument on the
+functional solvers). When a :class:`KernelProfiler` is attached and
+enabled, each call records wall time and the array bytes it touched;
+when absent (the default) the hook is a single attribute check per call,
+far below measurement noise for kernels that run milliseconds of numpy
+work.
+
+Bytes touched are the *nominal* traffic — the sum of the operand array
+sizes — not a hardware counter; the ratio seconds/bytes still ranks the
+kernels by achieved bandwidth, which is what the tuning loop needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["KernelProfiler", "KernelStats"]
+
+
+class KernelStats:
+    """Accumulated statistics of one kernel."""
+
+    __slots__ = ("calls", "seconds", "nbytes")
+
+    def __init__(self):
+        self.calls = 0
+        self.seconds = 0.0
+        self.nbytes = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        gbps = (
+            self.nbytes / self.seconds / 1e9 if self.seconds > 0 else 0.0
+        )
+        return {
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "bytes": self.nbytes,
+            "seconds_per_call": self.seconds / self.calls if self.calls else 0.0,
+            "effective_gb_per_s": gbps,
+        }
+
+
+class _Probe:
+    """Context manager timing one kernel call."""
+
+    __slots__ = ("_prof", "_name", "_nbytes", "_t0")
+
+    def __init__(self, prof: "KernelProfiler", name: str, nbytes: int):
+        self._prof = prof
+        self._name = name
+        self._nbytes = nbytes
+
+    def __enter__(self) -> "_Probe":
+        self._t0 = self._prof._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dt = self._prof._clock() - self._t0
+        st = self._prof.stats.setdefault(self._name, KernelStats())
+        st.calls += 1
+        st.seconds += dt
+        st.nbytes += self._nbytes
+        return False
+
+
+class KernelProfiler:
+    """Per-kernel wall-time + bytes-touched accounting.
+
+    Kernel call sites guard on :attr:`enabled` before computing byte
+    counts, so a disabled profiler costs one attribute read::
+
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            with prof.profile("hevi_dycore", nbytes):
+                ...
+    """
+
+    def __init__(
+        self, *, enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self._clock = clock
+        self.stats: dict[str, KernelStats] = {}
+
+    def profile(self, name: str, nbytes: int = 0) -> _Probe:
+        return _Probe(self, name, int(nbytes))
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {k: v.as_dict() for k, v in sorted(self.stats.items())}
+
+    def report(self) -> str:
+        """Human-readable per-kernel table."""
+        rows = self.as_dict()
+        if not rows:
+            return "(no kernel profiles recorded)"
+        lines = [
+            f"{'kernel':<22}{'calls':>8}{'total s':>12}{'s/call':>12}"
+            f"{'GB touched':>12}{'eff. GB/s':>12}",
+            "-" * 78,
+        ]
+        for name, r in rows.items():
+            lines.append(
+                f"{name:<22}{r['calls']:>8}{r['seconds']:>12.4f}"
+                f"{r['seconds_per_call']:>12.6f}"
+                f"{r['bytes']/1e9:>12.3f}{r['effective_gb_per_s']:>12.2f}"
+            )
+        return "\n".join(lines)
+
+    def publish(self, metrics) -> None:
+        """Mirror the accumulated stats into a metrics registry."""
+        if not getattr(metrics, "enabled", True):
+            return
+        for name, st in sorted(self.stats.items()):
+            metrics.counter("kernel_calls_total", kernel=name).value = float(st.calls)
+            metrics.counter("kernel_seconds_total", kernel=name).value = st.seconds
+            metrics.counter("kernel_bytes_total", kernel=name).value = float(st.nbytes)

@@ -1,0 +1,175 @@
+"""Replay a recorded telemetry run: span tree -> TTS breakdown.
+
+``python -m repro telemetry <dir>`` feeds a run's ``trace.jsonl`` and
+``metrics.json`` through this module to reproduce the paper's Fig.-4
+style per-stage breakdown and the Fig.-5 deadline-compliance number —
+from the recorded artifacts alone, without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .metrics import MetricsRegistry
+from .trace import read_jsonl
+
+__all__ = [
+    "SpanNode",
+    "build_tree",
+    "cycle_breakdowns",
+    "reconcile_cycles",
+    "breakdown_table",
+    "snapshot_deadline_fraction",
+    "load_run",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span with its children resolved."""
+
+    record: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def duration(self) -> float:
+        return float(self.record["duration"])
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return self.record.get("attrs", {})
+
+    def child_sum(self) -> float:
+        return float(sum(c.duration for c in self.children))
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+def build_tree(records: list[dict[str, Any]]) -> list[SpanNode]:
+    """Reconstruct the forest from flat JSONL records (roots returned)."""
+    nodes = {r["span_id"]: SpanNode(r) for r in records}
+    roots: list[SpanNode] = []
+    for r in sorted(records, key=lambda r: r["span_id"]):
+        node = nodes[r["span_id"]]
+        parent = r.get("parent_id")
+        if parent is None or parent not in nodes:
+            roots.append(node)
+        else:
+            nodes[parent].children.append(node)
+    return roots
+
+
+def cycle_breakdowns(
+    roots: list[SpanNode], *, root_name: str = "cycle"
+) -> list[dict[str, float]]:
+    """Per-cycle stage durations from each ``cycle`` root span.
+
+    Returns one dict per cycle: ``{stage: seconds, "_total": cycle
+    duration, "_children": child-span sum}``.
+    """
+    out = []
+    for root in roots:
+        if root.name != root_name:
+            continue
+        row: dict[str, float] = {}
+        for c in root.children:
+            row[c.name] = row.get(c.name, 0.0) + c.duration
+        row["_total"] = root.duration
+        row["_children"] = root.child_sum()
+        out.append(row)
+    return out
+
+
+def reconcile_cycles(rows: list[dict[str, float]]) -> dict[str, float]:
+    """How well the child spans account for each cycle's wall time.
+
+    The acceptance bar for the instrumentation: the per-cycle child-span
+    sum must reconcile with the cycle span (the ``CycleResult``/record
+    total) to well under 1% — anything worse means a stage is running
+    untraced.
+    """
+    if not rows:
+        return {"n_cycles": 0, "max_gap_fraction": 0.0, "mean_gap_fraction": 0.0}
+    gaps = []
+    for row in rows:
+        total = row["_total"]
+        gaps.append(abs(total - row["_children"]) / total if total > 0 else 0.0)
+    return {
+        "n_cycles": len(rows),
+        "max_gap_fraction": float(np.max(gaps)),
+        "mean_gap_fraction": float(np.mean(gaps)),
+    }
+
+
+def breakdown_table(rows: list[dict[str, float]]) -> str:
+    """Fig.-4-style per-stage table (mean / p50 / p95 / max seconds)."""
+    if not rows:
+        return "(no cycle spans in trace)"
+    stages = []
+    for row in rows:
+        for k in row:
+            if not k.startswith("_") and k not in stages:
+                stages.append(k)
+    lines = [
+        f"{'stage':<14}{'mean s':>10}{'p50 s':>10}{'p95 s':>10}{'max s':>10}"
+        f"{'share':>8}",
+        "-" * 62,
+    ]
+    totals = np.array([row["_total"] for row in rows])
+    for stage in stages + ["_total"]:
+        vals = np.array([row.get(stage, 0.0) for row in rows])
+        share = vals.sum() / totals.sum() if totals.sum() > 0 else 0.0
+        label = "cycle total" if stage == "_total" else stage
+        lines.append(
+            f"{label:<14}{vals.mean():>10.4f}{np.percentile(vals, 50):>10.4f}"
+            f"{np.percentile(vals, 95):>10.4f}{vals.max():>10.4f}{share:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def snapshot_deadline_fraction(
+    reg: MetricsRegistry, *, deadline_s: float = 180.0
+) -> float | None:
+    """Deadline compliance from a metrics snapshot, no records needed.
+
+    Prefers the monitor's explicit counters (exactly what
+    :class:`~repro.workflow.monitor.WorkflowMonitor` reports); falls
+    back to the TTS histogram's cumulative bucket at the deadline.
+    """
+    hit = reg.get("counter", "bda_deadline_hit_total")
+    ok = reg.get("counter", "bda_cycles_ok_total")
+    if hit is not None and ok is not None and ok.value > 0:
+        return hit.value / ok.value
+    hist = reg.get("histogram", "bda_tts_seconds")
+    if hist is not None and hist.count > 0:
+        try:
+            return hist.fraction_le(deadline_s)
+        except ValueError:
+            return None
+    return None
+
+
+def load_run(path: str | Path) -> tuple[list[dict[str, Any]], MetricsRegistry | None]:
+    """Load ``(trace records, metrics registry)`` from a telemetry dir
+    (or directly from a ``*.jsonl`` trace file)."""
+    p = Path(path)
+    if p.is_dir():
+        trace_path = p / "trace.jsonl"
+        metrics_path = p / "metrics.json"
+    else:
+        trace_path = p
+        metrics_path = p.parent / "metrics.json"
+    records = read_jsonl(trace_path) if trace_path.exists() else []
+    reg = MetricsRegistry.read_json(metrics_path) if metrics_path.exists() else None
+    return records, reg

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY, TTS_BUCKETS
 from .realtime import CycleRecord
 
 __all__ = ["Alert", "WorkflowMonitor", "detect_outages"]
@@ -42,17 +43,23 @@ class WorkflowMonitor:
         window: int = 120,
         streak_threshold: int = 3,
         degradation_fraction: float = 0.8,
+        telemetry=None,
     ):
         self.deadline_s = deadline_s
         self.window = window
         self.streak_threshold = streak_threshold
         self.degradation_fraction = degradation_fraction
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._recent: deque[CycleRecord] = deque(maxlen=window)
         self._failure_streak = 0
         self._failure_start_t: float | None = None
         self._in_tts_degradation = False
         self.alerts: list[Alert] = []
         self.n_seen = 0
+        #: cumulative count of cycles that produced (ok) products
+        self.n_ok = 0
+        #: cumulative count of ok cycles that also met the deadline
+        self.n_deadline_hit = 0
         #: cumulative degraded-cycle count (free-run/reduced products)
         self.n_degraded = 0
         #: seconds from each failure episode's first cycle to recovery
@@ -63,8 +70,19 @@ class WorkflowMonitor:
         new: list[Alert] = []
         self.n_seen += 1
         self._recent.append(rec)
+        tel = self.telemetry
+        tel.counter("bda_cycles_observed_total").inc()
         if getattr(rec, "degraded", False):
             self.n_degraded += 1
+            tel.counter("bda_degraded_observed_total").inc()
+        tts = rec.time_to_solution
+        if rec.ok and np.isfinite(tts):
+            self.n_ok += 1
+            tel.counter("bda_cycles_ok_total").inc()
+            tel.histogram("bda_tts_seconds", buckets=TTS_BUCKETS).observe(tts)
+            if tts <= self.deadline_s:
+                self.n_deadline_hit += 1
+                tel.counter("bda_deadline_hit_total").inc()
 
         if not rec.ok:
             if self._failure_start_t is None:
@@ -116,26 +134,59 @@ class WorkflowMonitor:
 
     # -- rolling statistics --------------------------------------------------
 
+    def _window_tts(self) -> np.ndarray:
+        """Window TTS array with NaN for failed (or NaN-timed) cycles.
+
+        A record can be flagged ``ok`` yet carry a non-finite
+        time-to-solution (an injected fault that fired after the product
+        was written); folding those into NaN here keeps one poisoned
+        cycle from corrupting the whole window's statistics.
+        """
+        return np.array(
+            [r.time_to_solution if r.ok else np.nan for r in self._recent],
+            dtype=float,
+        )
+
+    def window_failure_count(self) -> int:
+        """Cycles in the current window without a usable product."""
+        return int(np.count_nonzero(~np.isfinite(self._window_tts())))
+
     def deadline_fraction(self) -> float:
-        done = [r for r in self._recent if r.ok]
-        if not done:
+        tts = self._window_tts()
+        good = np.isfinite(tts)
+        if not good.any():
             return 0.0
-        return float(np.mean([r.time_to_solution <= self.deadline_s for r in done]))
+        return float(np.mean(tts[good] <= self.deadline_s))
 
     def median_tts(self) -> float:
-        done = [r.time_to_solution for r in self._recent if r.ok]
-        return float(np.median(done)) if done else float("nan")
+        tts = self._window_tts()
+        if not np.isfinite(tts).any():
+            return float("nan")
+        return float(np.nanmedian(tts))
+
+    def mean_tts(self) -> float:
+        tts = self._window_tts()
+        if not np.isfinite(tts).any():
+            return float("nan")
+        return float(np.nanmean(tts))
 
     def availability(self) -> float:
         if not self._recent:
             return 0.0
-        return float(np.mean([r.ok for r in self._recent]))
+        return 1.0 - self.window_failure_count() / len(self._recent)
 
     # -- recovery metrics (cumulative over the whole stream) -----------------
 
     def degraded_fraction(self) -> float:
         """Fraction of all observed cycles served by a degraded path."""
         return self.n_degraded / self.n_seen if self.n_seen else 0.0
+
+    def cumulative_deadline_fraction(self) -> float:
+        """Deadline compliance over *all* ok cycles seen (not just the
+        rolling window) — exactly ``bda_deadline_hit_total /
+        bda_cycles_ok_total`` in the metrics snapshot, so ``python -m
+        repro telemetry`` reproduces this number from artifacts alone."""
+        return self.n_deadline_hit / self.n_ok if self.n_ok else 0.0
 
     def mean_time_to_recover(self) -> float:
         """Mean seconds from a failure episode's start to the next

@@ -32,6 +32,7 @@ from ..config import ExecutionConfig, WorkflowConfig
 from ..jitdt.failsafe import FailSafeMonitor
 from ..resilience.faults import FaultEvent, FaultInjector
 from ..resilience.policy import CircuitBreaker
+from ..telemetry import NULL_TELEMETRY, STAGE_BUCKETS
 from .events import Resource
 from .scheduler import CycleCosts, StageCostModel
 
@@ -117,8 +118,10 @@ class RealtimeWorkflow:
         injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
         execution: ExecutionConfig | None = None,
+        telemetry=None,
     ):
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.costs = costs or StageCostModel(config, seed=seed, execution=execution)
         self.allocation = FugakuAllocation(config.nodes)
         self.part1 = Resource("part1-nodes")
@@ -153,8 +156,7 @@ class RealtimeWorkflow:
                 cycle=cycle, t_obs=t_obs, ok=False, skipped_reason="outage",
                 rain_area_km2=rain_area_km2, fault=fault_str,
             )
-            self.records.append(rec)
-            return rec
+            return self._record(rec)
 
         c: CycleCosts = self.costs.draw(rain_area_km2)
         t_file = t_obs + c.file_creation
@@ -184,8 +186,7 @@ class RealtimeWorkflow:
                 cycle=cycle, t_obs=t_obs, ok=False, skipped_reason=reason,
                 rain_area_km2=rain_area_km2, fault=fault_str,
             )
-            self.records.append(rec)
-            return rec
+            return self._record(rec)
         if "transfer-corrupt" in by_kind:
             # checksum mismatch on arrival: retransmit once
             transfer_total += by_kind["transfer-corrupt"].severity
@@ -228,7 +229,30 @@ class RealtimeWorkflow:
             degraded=bool(_DEGRADING_KINDS & by_kind.keys()),
             fault=fault_str,
         )
+        return self._record(rec)
+
+    def _record(self, rec: CycleRecord) -> CycleRecord:
+        """Store a cycle record and mirror it into the metrics registry."""
         self.records.append(rec)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("workflow_cycles_total").inc()
+            if rec.ok:
+                for stage, seconds in rec.breakdown().items():
+                    tel.histogram(
+                        "workflow_stage_seconds", buckets=STAGE_BUCKETS,
+                        stage=stage,
+                    ).observe(seconds)
+            else:
+                tel.counter(
+                    "workflow_cycles_skipped_total",
+                    reason=rec.skipped_reason or "failed",
+                ).inc()
+            if rec.degraded:
+                tel.counter("workflow_degraded_total").inc()
+            breaker = self.failsafe.breaker
+            if breaker is not None:
+                tel.gauge("breaker_open").set(1.0 if breaker.is_open else 0.0)
         return rec
 
     # ------------------------------------------------------------------

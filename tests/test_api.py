@@ -1,0 +1,70 @@
+"""The consolidated public API surface (repro.api)."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestApiSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_star_import_exposes_documented_surface(self):
+        ns = {}
+        exec("from repro.api import *", ns)
+        exported = {k for k in ns if not k.startswith("_")}
+        assert exported == set(api.__all__)
+
+    def test_core_entry_points_present(self):
+        expected = {
+            "BDASystem", "DACycler", "EnsembleState", "ExecutionConfig",
+            "Telemetry", "FaultCampaign", "ScaleConfig", "LETKFConfig",
+            "RadarConfig", "WorkflowConfig", "RealtimeWorkflow",
+            "WorkflowMonitor",
+        }
+        assert expected <= set(api.__all__)
+
+    def test_reexports_are_the_implementation_objects(self):
+        from repro.core.bda import BDASystem
+        from repro.telemetry import Telemetry
+
+        assert api.BDASystem is BDASystem
+        assert api.Telemetry is Telemetry
+
+    def test_unknown_name_raises_attribute_error(self):
+        with pytest.raises(AttributeError):
+            api.does_not_exist
+
+    def test_dir_lists_public_names(self):
+        listing = dir(api)
+        assert "BDASystem" in listing and "Telemetry" in listing
+
+
+class TestPackageDelegation:
+    def test_package_delegates_to_api(self):
+        assert repro.BDASystem is api.BDASystem
+        assert repro.ExecutionConfig is api.ExecutionConfig
+
+    def test_package_unknown_name(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_version_present(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_config_import_stays_light(self):
+        """Reaching a config class must not drag in the heavy model code."""
+        code = (
+            "import sys; from repro.api import ScaleConfig; "
+            "assert 'repro.model.model' not in sys.modules, 'model imported'; "
+            "assert 'scipy' not in sys.modules, 'scipy imported'"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -85,7 +85,8 @@ class TestEnsembleState:
         _, _, ens = tiny_ensemble(members=3)
         replacement = ens.members[0].copy()
         replacement.fields["qv"][...] = 0.125
-        ens.members[2] = replacement
+        with pytest.warns(DeprecationWarning, match="set_member"):
+            ens.members[2] = replacement
         assert np.all(ens.state.fields["qv"][2] == 0.125)
         assert len(ens.members[:2]) == 2
         assert len(list(ens.members)) == 3

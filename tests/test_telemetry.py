@@ -1,0 +1,502 @@
+"""Telemetry layer: tracer spans, metrics, profiler, replay, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    KernelProfiler,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Telemetry,
+    Tracer,
+    TTS_BUCKETS,
+    read_jsonl,
+)
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.replay import (
+    breakdown_table,
+    build_tree,
+    cycle_breakdowns,
+    load_run,
+    reconcile_cycles,
+    snapshot_deadline_fraction,
+)
+from repro.workflow.monitor import WorkflowMonitor
+from repro.workflow.realtime import CycleRecord
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.t
+        self.t += self.step
+        return t
+
+
+def _rec(cycle, tts, *, ok=True, degraded=False):
+    t_obs = cycle * 30.0
+    return CycleRecord(
+        cycle=cycle, t_obs=t_obs, ok=ok, t_file=t_obs,
+        t_transferred=t_obs, t_analysis=t_obs, t_product=t_obs + tts,
+        degraded=degraded,
+    )
+
+
+class TestTracer:
+    def test_nested_spans_record_parentage(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("cycle", cycle=1):
+            with tr.span("forecast"):
+                pass
+            with tr.span("letkf"):
+                with tr.span("solver"):
+                    pass
+        recs = tr.to_records()
+        by_name = {r["name"]: r for r in recs}
+        assert by_name["cycle"]["parent_id"] is None
+        assert by_name["forecast"]["parent_id"] == by_name["cycle"]["span_id"]
+        assert by_name["letkf"]["parent_id"] == by_name["cycle"]["span_id"]
+        assert by_name["solver"]["parent_id"] == by_name["letkf"]["span_id"]
+        assert by_name["cycle"]["attrs"] == {"cycle": 1}
+
+    def test_deterministic_ids(self):
+        def run():
+            tr = Tracer(clock=FakeClock())
+            with tr.span("a"):
+                with tr.span("b"):
+                    pass
+            with tr.span("c"):
+                pass
+            return tr.to_records()
+
+        assert run() == run()
+
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        sp = tr.span("anything", foo=1)
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.set(bar=2)  # no-op, no error
+        assert tr.spans == []
+
+    def test_exception_recorded_and_reraised(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert tr.spans[0].attrs["error"] == "ValueError"
+        assert tr.spans[0].t_end is not None
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("cycle"):
+            with tr.span("forecast"):
+                pass
+        path = tr.export_jsonl(tmp_path / "trace.jsonl")
+        assert read_jsonl(path) == tr.to_records()
+
+
+class TestHistogram:
+    def test_bucket_edge_is_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)   # lands in le=1 bucket (v <= edge)
+        h.observe(1.5)   # le=2
+        h.observe(2.0)   # le=2
+        h.observe(99.0)  # +Inf
+        assert h.counts == [1, 2, 1]
+        assert h.cumulative_counts() == [1, 3, 4]
+        assert h.fraction_le(2.0) == 0.75
+
+    def test_nan_observations_skipped(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(float("nan"))
+        assert h.count == 0 and h.sum == 0.0
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_fraction_le_requires_exact_edge(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.fraction_le(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_and_labels(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("n", stage="a")
+        c2 = reg.counter("n", stage="a")
+        c3 = reg.counter("n", stage="b")
+        assert c1 is c2 and c1 is not c3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_snapshot_roundtrip_lossless(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="a counter").inc(3)
+        reg.gauge("g").set(-2.5)
+        h = reg.histogram("h", buckets=(1.0, 5.0), stage="x")
+        h.observe(0.5)
+        h.observe(7.0)
+        reg2 = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert reg2.snapshot() == reg.snapshot()
+        assert reg2.get("histogram", "h", stage="x").counts == [1, 0, 1]
+
+    def test_prometheus_export_golden(self):
+        reg = MetricsRegistry()
+        reg.counter("bda_cycles_total", help="DA cycles run").inc(2)
+        h = reg.histogram("bda_tts_seconds", buckets=(30.0, 60.0))
+        h.observe(25.0)
+        h.observe(45.0)
+        h.observe(100.0)
+        reg.gauge("bda_members_per_second").set(12.5)
+        expected = "\n".join([
+            "# HELP bda_cycles_total DA cycles run",
+            "# TYPE bda_cycles_total counter",
+            "bda_cycles_total 2",
+            "# TYPE bda_members_per_second gauge",
+            "bda_members_per_second 12.5",
+            "# TYPE bda_tts_seconds histogram",
+            'bda_tts_seconds_bucket{le="30"} 1',
+            'bda_tts_seconds_bucket{le="60"} 2',
+            'bda_tts_seconds_bucket{le="+Inf"} 3',
+            "bda_tts_seconds_sum 170",
+            "bda_tts_seconds_count 3",
+            "",
+        ])
+        assert reg.to_prometheus() == expected
+
+    def test_null_registry_is_inert(self):
+        reg = NullMetricsRegistry()
+        reg.counter("x").inc()
+        reg.histogram("y").observe(1.0)
+        reg.gauge("z").set(5.0)
+        assert len(reg) == 0
+        assert reg.get("counter", "x") is None
+        assert reg.to_prometheus() == ""
+
+
+class TestKernelProfiler:
+    def test_accumulates_calls_and_bytes(self):
+        prof = KernelProfiler(clock=FakeClock(step=0.5))
+        for _ in range(3):
+            with prof.profile("k", nbytes=100):
+                pass
+        st = prof.stats["k"]
+        assert st.calls == 3 and st.nbytes == 300
+        assert st.seconds == pytest.approx(1.5)
+        assert "k" in prof.report()
+
+    def test_publish_mirrors_into_registry(self):
+        prof = KernelProfiler(clock=FakeClock())
+        with prof.profile("k", nbytes=8):
+            pass
+        reg = MetricsRegistry()
+        prof.publish(reg)
+        assert reg.get("counter", "kernel_calls_total", kernel="k").value == 1
+        assert reg.get("counter", "kernel_bytes_total", kernel="k").value == 8
+
+    def test_publish_to_disabled_registry_is_noop(self):
+        prof = KernelProfiler(clock=FakeClock())
+        with prof.profile("k"):
+            pass
+        prof.publish(NullMetricsRegistry())  # must not raise
+
+
+class TestTelemetryBundle:
+    def test_disabled_bundle_is_fully_inert(self):
+        tel = Telemetry.disabled()
+        assert not tel.enabled
+        assert tel.span("cycle") is NULL_SPAN
+        tel.counter("c").inc()
+        tel.histogram("h").observe(1.0)
+        assert not tel.profiler.enabled
+        assert NULL_TELEMETRY.span("x") is NULL_SPAN
+
+    def test_write_artifacts(self, tmp_path):
+        tel = Telemetry(profile_kernels=True)
+        with tel.span("cycle"):
+            pass
+        tel.counter("bda_cycles_total").inc()
+        with tel.profiler.profile("k", nbytes=4):
+            pass
+        paths = tel.write(tmp_path / "run")
+        assert set(paths) == {"trace", "metrics_json", "metrics_prom"}
+        records, reg = load_run(tmp_path / "run")
+        assert records[0]["name"] == "cycle"
+        assert reg.get("counter", "bda_cycles_total").value == 1
+        # profiler stats published on write
+        assert reg.get("counter", "kernel_calls_total", kernel="k").value == 1
+
+
+class TestReplay:
+    def _trace(self):
+        tr = Tracer(clock=FakeClock())
+        for c in range(2):
+            with tr.span("cycle", cycle=c):
+                with tr.span("forecast"):
+                    pass
+                with tr.span("letkf"):
+                    with tr.span("solver"):
+                        pass
+        return tr.to_records()
+
+    def test_tree_and_breakdowns(self):
+        roots = build_tree(self._trace())
+        assert [r.name for r in roots] == ["cycle", "cycle"]
+        rows = cycle_breakdowns(roots)
+        assert len(rows) == 2
+        assert set(rows[0]) == {"forecast", "letkf", "_total", "_children"}
+        table = breakdown_table(rows)
+        assert "forecast" in table and "cycle total" in table
+
+    def test_reconcile_reports_gap(self):
+        rows = [
+            {"forecast": 1.0, "letkf": 2.0, "_total": 3.0, "_children": 3.0},
+            {"forecast": 1.0, "letkf": 2.0, "_total": 4.0, "_children": 3.0},
+        ]
+        rec = reconcile_cycles(rows)
+        assert rec["n_cycles"] == 2
+        assert rec["max_gap_fraction"] == pytest.approx(0.25)
+
+    def test_snapshot_deadline_fraction_prefers_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("bda_cycles_ok_total").inc(4)
+        reg.counter("bda_deadline_hit_total").inc(3)
+        # a contradictory histogram must NOT win over the counters
+        h = reg.histogram("bda_tts_seconds", buckets=TTS_BUCKETS)
+        h.observe(10.0)
+        assert snapshot_deadline_fraction(reg) == pytest.approx(0.75)
+
+    def test_snapshot_deadline_fraction_histogram_fallback(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("bda_tts_seconds", buckets=TTS_BUCKETS)
+        for v in (100.0, 170.0, 200.0, 350.0):
+            h.observe(v)
+        assert snapshot_deadline_fraction(reg, deadline_s=180.0) == pytest.approx(0.5)
+
+
+class TestMonitorTelemetry:
+    def test_monitor_from_snapshot_equivalence(self):
+        """The replayed snapshot reproduces the monitor's numbers exactly."""
+        tel = Telemetry()
+        mon = WorkflowMonitor(deadline_s=180.0, telemetry=tel)
+        tts_values = [100.0, 150.0, 179.0, 181.0, 250.0, 120.0]
+        for i, tts in enumerate(tts_values):
+            mon.observe(_rec(i, tts))
+        mon.observe(_rec(6, 0.0, ok=False))
+        snap = MetricsRegistry.from_snapshot(tel.metrics.snapshot())
+        assert snapshot_deadline_fraction(snap) == pytest.approx(
+            mon.cumulative_deadline_fraction()
+        )
+        assert snap.get("counter", "bda_cycles_ok_total").value == mon.n_ok
+        assert snap.get("counter", "bda_cycles_observed_total").value == mon.n_seen
+        h = snap.get("histogram", "bda_tts_seconds")
+        assert h.count == len(tts_values)
+        assert h.sum == pytest.approx(sum(tts_values))
+
+    def test_nan_tts_does_not_poison_window_stats(self):
+        """Bugfix: one ok-flagged record with NaN timing must not flip
+        the window median to NaN or silently skew compliance."""
+        mon = WorkflowMonitor(deadline_s=180.0)
+        for i in range(4):
+            mon.observe(_rec(i, 100.0))
+        poisoned = CycleRecord(
+            cycle=4, t_obs=120.0, ok=True, t_file=120.0,
+            t_transferred=120.0, t_analysis=120.0, t_product=float("nan"),
+        )
+        mon.observe(poisoned)
+        assert np.isfinite(mon.median_tts())
+        assert mon.median_tts() == pytest.approx(100.0)
+        assert mon.mean_tts() == pytest.approx(100.0)
+        assert mon.deadline_fraction() == pytest.approx(1.0)
+        assert mon.window_failure_count() == 1
+        assert mon.availability() == pytest.approx(0.8)
+
+    def test_failed_cycles_excluded_from_compliance(self):
+        mon = WorkflowMonitor(deadline_s=180.0)
+        mon.observe(_rec(0, 100.0))
+        mon.observe(_rec(1, 0.0, ok=False))
+        mon.observe(_rec(2, 200.0))
+        assert mon.deadline_fraction() == pytest.approx(0.5)
+        assert mon.availability() == pytest.approx(2.0 / 3.0)
+
+
+class TestInstrumentedComponents:
+    def test_dacycler_emits_cycle_spans_and_metrics(self, small_scale_config):
+        from repro.config import LETKFConfig, RadarConfig
+        from repro.core import BDASystem
+        from repro.model.initial import convective_sounding
+
+        tel = Telemetry(profile_kernels=True)
+        lcfg = LETKFConfig(
+            ensemble_size=small_scale_config.ensemble_size_analysis,
+            analysis_zmin=0.0, analysis_zmax=20000.0,
+            localization_h=12000.0, localization_v=4000.0,
+            gross_error_refl_dbz=100.0, gross_error_doppler_ms=100.0,
+        )
+        bda = BDASystem(
+            small_scale_config, lcfg, RadarConfig().reduced(),
+            sounding=convective_sounding(), seed=3, telemetry=tel,
+        )
+        bda.trigger_convection(n=1, amplitude=4.0)
+        bda.cycle()
+        roots = build_tree(tel.tracer.to_records())
+        cycles = [r for r in roots if r.name == "cycle"]
+        assert len(cycles) == 1
+        names = {n.name for n in cycles[0].walk()}
+        assert {"forecast", "qc", "letkf", "obsope", "solver", "update"} <= names
+        rows = cycle_breakdowns(cycles)
+        rec = reconcile_cycles(rows)
+        assert rec["max_gap_fraction"] < 0.01
+        assert tel.metrics.get("counter", "bda_cycles_total").value == 1
+        # kernel profiler saw the hot kernels
+        assert "hevi_dycore" in tel.profiler.stats
+        assert any(k.startswith("eigh_") for k in tel.profiler.stats)
+
+    def test_transfer_engine_metrics(self):
+        from repro.jitdt.transfer import TransferEngine
+
+        tel = Telemetry()
+        eng = TransferEngine(telemetry=tel)
+        eng.send(b"x" * 1024)
+        assert tel.metrics.get("counter", "jitdt_bytes_total").value == 1024
+        assert tel.tracer.spans[0].name == "transfer"
+        assert tel.tracer.spans[0].attrs["nbytes"] == 1024
+
+    def test_realtime_workflow_metrics(self):
+        from repro.config import WorkflowConfig
+        from repro.workflow.realtime import RealtimeWorkflow
+
+        tel = Telemetry()
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=5, telemetry=tel)
+        for c in range(3):
+            wf.run_cycle(c)
+        wf.run_cycle(3, in_outage=True)
+        assert tel.metrics.get("counter", "workflow_cycles_total").value == 4
+        assert tel.metrics.get(
+            "counter", "workflow_cycles_skipped_total", reason="outage"
+        ).value == 1
+        h = tel.metrics.get(
+            "histogram", "workflow_stage_seconds", stage="jitdt_transfer"
+        )
+        assert h is not None and h.count == 3
+
+    def test_untelemetered_components_share_null_bundle(self):
+        from repro.config import WorkflowConfig
+        from repro.workflow.realtime import RealtimeWorkflow
+
+        wf = RealtimeWorkflow(WorkflowConfig(), seed=5)
+        assert wf.telemetry is NULL_TELEMETRY
+        wf.run_cycle(0)  # must not record anything anywhere
+        assert len(NULL_TELEMETRY.tracer.spans) == 0
+
+
+class TestCLI:
+    def test_alias_spellings_accepted(self):
+        from repro.cli import build_parser
+
+        p = build_parser()
+        for spelling in ("quickcycle", "quick-cycle"):
+            args = p.parse_args([spelling, "--members", "3"])
+            assert args.command == spelling
+            assert args.members == 3
+        for spelling in ("faultcampaign", "fault-campaign"):
+            args = p.parse_args([spelling, "--cycles", "10"])
+            assert args.command == spelling
+
+    def test_common_flags_on_every_campaign_command(self):
+        from repro.cli import build_parser
+
+        p = build_parser()
+        for cmd in ("fig5", "fault-campaign", "quick-cycle"):
+            args = p.parse_args([cmd, "--seed", "9", "--telemetry", "t",
+                                 "--out", "o"])
+            assert args.seed == 9 and args.telemetry == "t" and args.out == "o"
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_telemetry_command_missing_dir_is_usage_error(self, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        assert main(["telemetry", "/nonexistent/run"]) == EXIT_USAGE
+
+    def test_telemetry_command_replays_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tel = Telemetry()
+        mon = WorkflowMonitor(deadline_s=180.0, telemetry=tel)
+        with tel.span("cycle", cycle=0):
+            with tel.span("forecast"):
+                pass
+            with tel.span("letkf"):
+                pass
+        mon.observe(_rec(0, 100.0))
+        tel.write(tmp_path / "run")
+        assert main(["telemetry", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "TTS breakdown" in out
+        assert "deadline compliance" in out
+        assert "100.0%" in out
+
+    def test_faultcampaign_telemetry_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run = tmp_path / "fc"
+        assert main(["fault-campaign", "--cycles", "40", "--telemetry",
+                     str(run)]) == 0
+        assert (run / "trace.jsonl").exists()
+        reg = MetricsRegistry.read_json(run / "metrics.json")
+        assert reg.get("counter", "workflow_cycles_total").value == 40
+        assert reg.get("counter", "bda_cycles_observed_total").value == 40
+        capsys.readouterr()
+        assert main(["telemetry", str(run)]) == 0
+        assert "metrics snapshot" in capsys.readouterr().out
+
+
+class TestDeprecation:
+    def test_member_list_setitem_warns_exactly_once(self, small_scale_config):
+        from repro.core.ensemble import Ensemble
+        from repro.model.model import ScaleRM
+
+        model = ScaleRM(small_scale_config)
+        ens = Ensemble.from_model(model, 3, np.random.default_rng(0))
+        replacement = ens.members[0].copy()
+        with pytest.warns(DeprecationWarning) as warned:
+            ens.members[1] = replacement
+        dep = [w for w in warned if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "set_member" in str(dep[0].message)
+
+    def test_supported_mutation_path_is_silent(self, small_scale_config):
+        import warnings
+
+        from repro.core.ensemble import Ensemble
+        from repro.model.model import ScaleRM
+
+        model = ScaleRM(small_scale_config)
+        ens = Ensemble.from_model(model, 3, np.random.default_rng(0))
+        replacement = ens.state.member_view(0).copy()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ens.state.set_member(1, replacement)
