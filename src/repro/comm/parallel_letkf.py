@@ -266,23 +266,46 @@ class DistributedLETKF:
         d = np.concatenate(d_parts, axis=1)
         rinv = np.concatenate(rinv_parts, axis=1)
 
+        # ---- shared compacted path: transform only the active points ----
+        # (same contract as LETKFSolver._analyze_sparse: inactive points
+        # keep the background bit-identically, active points get the
+        # assume_active transform — so the rank-local batch stays
+        # bit-compatible with the serial sparse solver)
+        has_obs = np.any(rinv > 0.0, axis=1)
+        active = np.flatnonzero(has_obs)
+        if active.size == 0:
+            return out
+        # operand-layout contract of letkf_transform: dYb and d
+        # point-major (unit inner stride) — fancy indexing alone would
+        # inherit this module's observation-major gather layouts and
+        # the transform would copy them per call
+        dYb_act = np.ascontiguousarray(dYb[active])
+        d_act = np.ascontiguousarray(d[active])
         W = letkf_transform(
-            dYb, d, rinv, backend=cfg.eigensolver, rtpp_factor=cfg.rtpp_factor
+            dYb_act,
+            d_act,
+            rinv[active],
+            backend=cfg.eigensolver,
+            rtpp_factor=cfg.rtpp_factor,
+            assume_active=True,
         )
 
-        # apply to this rank's state at the analysis levels
+        # apply to this rank's state at the analysis levels; G is
+        # ordered (level, col) to match W's batch order
         sel = state[:, :, :, ana_levels]  # (m, n_cols, nv, n_lev)
         pert = sel - sel.mean(axis=0, keepdims=True)
         mean = sel.mean(axis=0)
-        # reorder to (G, nv, m) with G = n_lev*n_cols matching W's order
-        # W was built with G ordered (level, col)
-        pert_g = pert.transpose(3, 1, 2, 0).reshape(
-            len(ana_levels) * n_cols, nv, m
+        n_lev = len(ana_levels)
+        # member-major base layout, matching the serial apply step
+        pert_g = (
+            pert.transpose(0, 2, 3, 1).reshape(m, nv, n_lev * n_cols)
+            [:, :, active].transpose(2, 1, 0)
         )
         xa_pert = np.einsum("gvm,gmn->gvn", pert_g, W)
         # mean: (n_cols, nv, n_lev) -> (lev, col, nv) to match G=(lev,col)
-        mean_g = mean.transpose(2, 0, 1).reshape(len(ana_levels) * n_cols, nv)
-        xa = mean_g[:, :, None] + xa_pert  # (G, nv, m)
-        xa_back = xa.reshape(len(ana_levels), n_cols, nv, m).transpose(3, 1, 2, 0)
-        state[:, :, :, ana_levels] = xa_back
+        mean_g = mean.transpose(2, 0, 1).reshape(n_lev * n_cols, nv)
+        xa = mean_g[active][:, :, None] + xa_pert  # (n_act, nv, m)
+        # scatter only the active points back into the shard state
+        l_idx, c_idx = np.divmod(active, n_cols)
+        state[:, c_idx, :, ana_levels[l_idx]] = xa.transpose(0, 2, 1)
         return out

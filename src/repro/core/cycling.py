@@ -96,6 +96,14 @@ class DACycler:
             model.grid, letkf_config, profiler=self.telemetry.profiler
         )
         self.obsope = obs_operator
+        #: precomputed "assimilable cells" mask: radar coverage ∩ the
+        #: analysis level range dilated by the vertical stencil reach.
+        #: Observations outside it cannot influence any analysis point,
+        #: so screening against it up front is exact, and the per-cycle
+        #: mask intersection is shared instead of re-derived.
+        self._assimilable = obs_operator.assimilable_mask(
+            self.letkf.level_mask, self.letkf.stencil_reach_k
+        )
         self.cycle_seconds = cycle_seconds
         #: execution backend for the part <1-2> member forecasts
         self.backend = make_backend(backend)
@@ -222,11 +230,12 @@ class DACycler:
                 else:
                     obs_ok, reasons = list(obs_in), []
 
-                # restrict obs to the instrument's coverage (Fig. 6b mask)
+                # restrict obs to the assimilable cells: instrument
+                # coverage (Fig. 6b mask) ∩ stencil-dilated analysis levels
                 masked = []
                 for obs in obs_ok:
                     ob = obs.copy()
-                    ob.valid &= self.obsope.coverage
+                    ob.valid &= self._assimilable
                     masked.append(ob)
                 n_valid_total = sum(ob.n_valid for ob in masked)
 
@@ -301,6 +310,15 @@ class DACycler:
             tel.gauge("bda_members_per_second",
                       help="ensemble-forecast throughput").set(
                 self.ensemble.state.n_members / t_fcst
+            )
+        if do_analysis:
+            tel.gauge("letkf_active_fraction",
+                      help="fraction of analysis points with local obs").set(
+                diag.active_fraction
+            )
+            tel.gauge("letkf_obs_per_point",
+                      help="mean valid local obs per active point").set(
+                diag.obs_per_point_mean
             )
 
         self._cycle += 1

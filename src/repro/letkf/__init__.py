@@ -15,14 +15,17 @@ over all grid points at once, with the per-point k x k eigenproblems
 dispatched to the LAPACK or KeDV backend.
 """
 
-from .core import letkf_transform
+from .core import letkf_transform, compact_observations, observation_selection
 from .localization import gaspari_cohn, build_stencil, LocalizationStencil
 from .inflation import rtpp
 from .qc import gross_error_check, GriddedObservations
 from .solver import LETKFSolver, AnalysisDiagnostics
+from .workspace import LETKFWorkspace
 
 __all__ = [
     "letkf_transform",
+    "compact_observations",
+    "observation_selection",
     "gaspari_cohn",
     "build_stencil",
     "LocalizationStencil",
@@ -31,4 +34,5 @@ __all__ = [
     "GriddedObservations",
     "LETKFSolver",
     "AnalysisDiagnostics",
+    "LETKFWorkspace",
 ]

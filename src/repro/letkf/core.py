@@ -19,6 +19,25 @@ with KeDV; this module batches it over *all* grid points at once
 R-localization (Hunt et al. 2007, Sec. 4.3) enters through per-
 observation weights multiplying :math:`R^{-1}`; padded or invalid
 observations simply carry zero weight.
+
+Sparsity contract
+-----------------
+
+A point whose weights are all zero is an exact no-op (analysis ==
+background), so the caller should not pay for it. Callers that compact
+the batch down to active points pass ``assume_active=True`` and the
+transform skips mask derivation and identity fill entirely; callers
+that keep inactive rows can pass their precomputed ``has_obs`` mask so
+it is not re-derived here. Because both eigensolver backends are
+per-matrix deterministic (every write is masked per matrix; LAPACK
+loops over the batch), dropping rows from the batch is *bit-exact*:
+active points get identical analyses either way.
+
+:func:`compact_observations` additionally shrinks the observation axis
+to the largest per-point valid count. Removed entries contribute exact
+zeros, so the result is numerically equivalent, but BLAS re-blocks the
+contraction over a shorter axis — equality is at roundoff level, not
+bit level (the solver's bit-identity guarantee is the row compaction).
 """
 
 from __future__ import annotations
@@ -28,7 +47,85 @@ import numpy as np
 from ..eigen import eigh_dispatch
 from .inflation import rtpp_weights
 
-__all__ = ["letkf_transform"]
+__all__ = ["letkf_transform", "compact_observations", "observation_selection"]
+
+
+def observation_selection(
+    valid: np.ndarray,
+    weights: np.ndarray,
+    *,
+    obs_budget: int | None = None,
+) -> tuple[np.ndarray, int] | None:
+    """Per-point column selection compacting valid observations leftward.
+
+    Parameters
+    ----------
+    valid:
+        Boolean validity mask, shape (G, No).
+    weights:
+        Localization weights, broadcastable to (G, No); consulted only
+        when ``obs_budget`` forces dropping *valid* observations, in
+        which case each point keeps its highest-weight ones.
+    obs_budget:
+        Optional hard cap on observations per point (the Table-2
+        "maximum observation number per grid" applied after validity).
+
+    Returns
+    -------
+    (sel, k):
+        ``sel`` is (G, k) column indices — each row's valid columns in
+        stable (original) order, padded with invalid columns whose
+        weight the caller must zero — or None when no truncation is
+        possible (every column needed somewhere).
+    """
+    G, No = valid.shape
+    if G == 0 or No == 0:
+        return None
+    counts = np.count_nonzero(valid, axis=1)
+    k = int(counts.max(initial=0))
+    cap = No if obs_budget is None else max(1, int(obs_budget))
+    k_new = max(1, min(max(k, 1), cap))
+    if k_new >= No:
+        return None
+    if np.any(counts > k_new):
+        # over budget: keep each point's top-k by localized weight;
+        # re-sorting the kept columns restores stable stencil order
+        w = np.where(valid, np.broadcast_to(weights, valid.shape), 0.0)
+        part = np.argpartition(-w, k_new - 1, axis=1)[:, :k_new]
+        sel = np.sort(part, axis=1)
+    else:
+        # stable sort of ~valid floats every valid column to the front
+        # without reordering them; the padding columns are invalid and
+        # carry zero weight downstream
+        sel = np.argsort(~valid, axis=1, kind="stable")[:, :k_new]
+    return sel, k_new
+
+
+def compact_observations(
+    dYb: np.ndarray,
+    d: np.ndarray,
+    rinv: np.ndarray,
+    *,
+    obs_budget: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncate the observation axis to the largest per-point valid count.
+
+    Shrinks the :math:`C = Y^T R^{-1}` and :math:`A = C Y` contractions
+    feeding the eigensolver from the stencil size down to the number of
+    observations that actually exist. Inputs are returned unchanged
+    (no copy) when nothing can be truncated.
+    """
+    sel = observation_selection(rinv > 0.0, rinv, obs_budget=obs_budget)
+    if sel is None:
+        return dYb, d, rinv
+    cols, _ = sel
+    dYb_c = np.take_along_axis(dYb, cols[:, :, None], axis=1)
+    d_c = np.take_along_axis(d, cols, axis=1)
+    rinv_c = np.take_along_axis(rinv, cols, axis=1)
+    # padding columns (and budget-dropped ones) must not contribute
+    valid_c = np.take_along_axis(rinv > 0.0, cols, axis=1)
+    rinv_c[~valid_c] = 0.0
+    return dYb_c, d_c, rinv_c
 
 
 def letkf_transform(
@@ -40,6 +137,8 @@ def letkf_transform(
     rtpp_factor: float = 0.0,
     return_pa_trace: bool = False,
     profiler=None,
+    has_obs: np.ndarray | None = None,
+    assume_active: bool = False,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Batched ensemble-space analysis weights.
 
@@ -60,24 +159,81 @@ def letkf_transform(
         Relaxation-to-prior-perturbation factor (Table 2: 0.95) folded
         directly into the returned weights.
     profiler:
-        Optional :class:`~repro.telemetry.profile.KernelProfiler`
-        forwarded to the batched eigensolver.
+        Optional :class:`~repro.telemetry.profile.KernelProfiler`;
+        records a ``letkf_transform`` probe here and is forwarded to
+        the batched eigensolver for its own ``eigh_*`` probe.
+    has_obs:
+        Optional precomputed (G,) mask of points with at least one
+        nonzero weight. Callers that already derived it (the solver
+        does, to drive compaction) pass it down so it is not computed
+        twice; ignored when ``assume_active``.
+    assume_active:
+        The caller guarantees every point has at least one active
+        observation (the batch was compacted to active rows); the
+        identity fill for no-obs points is skipped entirely.
 
     Returns
     -------
     W_total:
         Shape (G, m, m); the analysis ensemble at point g is
         ``xb_mean + Xb_pert @ W_total[g]`` (each column one member).
-        Points with no effective observations get exact-identity weights
-        (analysis == background).
+        Unless ``assume_active``, points with no effective observations
+        get exact-identity weights (analysis == background).
     """
     G, No, m = dYb.shape
     if d.shape != (G, No) or rinv.shape != (G, No):
         raise ValueError("shape mismatch between dYb, d, rinv")
+    if profiler is not None and profiler.enabled:
+        nbytes = dYb.nbytes + d.nbytes + rinv.nbytes
+        with profiler.profile("letkf_transform", nbytes):
+            return _transform(
+                dYb, d, rinv, backend, rtpp_factor, return_pa_trace,
+                profiler, has_obs, assume_active,
+            )
+    return _transform(
+        dYb, d, rinv, backend, rtpp_factor, return_pa_trace,
+        profiler, has_obs, assume_active,
+    )
+
+
+def _transform(
+    dYb: np.ndarray,
+    d: np.ndarray,
+    rinv: np.ndarray,
+    backend: str,
+    rtpp_factor: float,
+    return_pa_trace: bool,
+    profiler,
+    has_obs: np.ndarray | None,
+    assume_active: bool,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    G, No, m = dYb.shape
     dtype = dYb.dtype
 
-    # C = Yb^T R^-1 : (G, m, No)
-    C = np.swapaxes(dYb, 1, 2) * rinv[:, None, :]
+    # C = Yb^T R^-1 : (G, m, No). The base layout is pinned to
+    # (m, G, No) — the order NumPy's own heuristic picks for the
+    # gathered dense operands — because the C @ dYb GEMM chooses its
+    # kernel (and hence its partial-sum grouping) from the operand
+    # layout: a floating layout would break bit-identity between the
+    # dense and compacted solver paths.
+    C = np.empty((m, G, No), dtype=dtype).transpose(1, 0, 2)
+    np.multiply(np.swapaxes(dYb, 1, 2), rinv[:, None, :], out=C)
+    # Same contract for the right operand: matmul hands per-item
+    # row-major operands (unit inner stride, row stride >= m) to the
+    # row-major GEMM kernel and anything else to a different kernel
+    # with different partial-sum grouping. The workspace's compacted
+    # views already satisfy it (no copy on the hot path); the dense
+    # reference path's concatenated F-order batch gets copied once.
+    it = dYb.itemsize
+    if dYb.strides[2] != it or dYb.strides[1] < m * it:
+        dYb = np.ascontiguousarray(dYb)
+    # ... and for the innovation: the Cd contraction picks its inner
+    # kernel (vectorized vs scalar, i.e. its partial-sum grouping) from
+    # whether d's observation axis has unit stride, so d is pinned to
+    # point-major. Workspace buffers already comply; F-order batches
+    # (the dense path's concatenation) get copied once.
+    if d.strides[1] != d.itemsize:
+        d = np.ascontiguousarray(d)
     # A = (m-1) I + C Yb : (G, m, m)
     A = C @ dYb
     idx = np.arange(m)
@@ -105,9 +261,13 @@ def letkf_transform(
     W_total = W + wbar[:, :, None]
 
     # points with zero total observation weight: exact identity
-    no_obs = ~np.any(rinv > 0.0, axis=1)
-    if np.any(no_obs):
-        W_total[no_obs] = np.eye(m, dtype=dtype)
+    # (skipped when the caller compacted the batch to active rows)
+    if not assume_active:
+        if has_obs is None:
+            has_obs = np.any(rinv > 0.0, axis=1)
+        no_obs = ~has_obs
+        if np.any(no_obs):
+            W_total[no_obs] = np.eye(m, dtype=dtype)
 
     if return_pa_trace:
         pa_trace = np.sum(inv_w, axis=1) * (1.0 / (m - 1))

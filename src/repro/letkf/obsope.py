@@ -33,6 +33,39 @@ class _ScreeningMixin:
     #: set by subclass __init__
     grid: Grid
     _last_t_valid: float | None = None
+    #: static coverage mask (range + scan cone), set by subclass __init__
+    coverage: np.ndarray
+
+    def assimilable_mask(
+        self, level_mask: np.ndarray, stencil_reach_k: int = 0
+    ) -> np.ndarray:
+        """Cells whose observations can influence the analysis.
+
+        The intersection of the radar ``coverage`` mask with the
+        analysis ``level_mask`` dilated vertically by the localization
+        stencil reach: an observation a few levels outside the analysis
+        range still enters some analysis point's local volume, so the
+        dilation keeps the mask exact rather than conservative.
+
+        QC screening and the solver share this one precomputed mask per
+        (level_mask, reach) instead of re-deriving validity every
+        cycle; results are cached on the operator.
+        """
+        key = (level_mask.tobytes(), int(stencil_reach_k))
+        cache = getattr(self, "_assimilable_cache", None)
+        if cache is None:
+            cache = {}
+            self._assimilable_cache = cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        reach = level_mask.astype(bool).copy()
+        for s in range(1, int(stencil_reach_k) + 1):
+            reach[s:] |= level_mask[:-s]
+            reach[:-s] |= level_mask[s:]
+        mask = self.coverage & reach[:, None, None]
+        cache[key] = mask
+        return mask
 
     def screen(
         self, observations: list[GriddedObservations]

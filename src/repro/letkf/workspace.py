@@ -1,0 +1,214 @@
+"""Reusable cycle workspaces for the sparse LETKF hot path.
+
+:class:`LETKFWorkspace` owns every buffer the solver's per-chunk loop
+needs — the padded observation-space fields, the precomputed flat
+gather indices that replace the Python per-offset copy loop, and the
+active-row scratch arrays the compacted transform reads — so a cycling
+system allocates them once per (grid, stencil, dtype, ensemble) and
+reuses them across chunks *and* cycles. At the 30-second cadence of the
+paper's part <1-1> this removes the allocator from the analysis budget
+entirely: steady-state cycles run the gather/compact/transform chain in
+preallocated memory.
+
+Layout notes
+------------
+
+* The padded fields of all observation types are stored as one flat
+  block per field (type-major), so a single ``np.take`` gathers across
+  types: column ``t * n_off + o`` of the index table points into type
+  ``t``'s padded volume at stencil offset ``o``.
+* ``padded_h`` keeps the member axis *last*: the row gather for active
+  points then lands directly in the (G, No, m) layout
+  :func:`~repro.letkf.core.letkf_transform` consumes, with no
+  transpose.
+* ``gather_idx`` is built once for level offset 0; shifting a chunk to
+  analysis level ``k0`` is a single scalar add (``k0 * k_stride``),
+  because the vertical axis is the slowest of the padded volume.
+* Active-row scratch grows to the high-water mark of active points per
+  chunk and is capped at the chunk size, so memory scales with observed
+  coverage, not domain size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Grid
+from .localization import LocalizationStencil
+
+__all__ = ["LETKFWorkspace"]
+
+
+class LETKFWorkspace:
+    """Preallocated buffers + gather indices for one solver configuration.
+
+    Parameters
+    ----------
+    grid:
+        The analysis grid.
+    stencil:
+        The localization stencil (offsets + weights).
+    dtype:
+        Analysis dtype (the paper's single-precision conversion).
+    n_members:
+        Ensemble size m of the H(x_b) fields.
+    n_types:
+        Number of observation types sharing the stencil (reflectivity,
+        Doppler, ...).
+    level_chunk:
+        Maximum analysis levels per chunk (bounds the scratch sizes).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        stencil: LocalizationStencil,
+        dtype: np.dtype,
+        *,
+        n_members: int,
+        n_types: int,
+        level_chunk: int,
+    ):
+        dtype = np.dtype(dtype)
+        offs = stencil.offsets
+        pk = int(np.max(np.abs(offs[:, 0]))) if len(offs) else 0
+        pj = int(np.max(np.abs(offs[:, 1]))) if len(offs) else 0
+        pi = int(np.max(np.abs(offs[:, 2]))) if len(offs) else 0
+        self.key = (
+            grid.shape, len(offs), dtype.str, n_members, n_types, level_chunk,
+        )
+        self.grid = grid
+        self.dtype = dtype
+        self.n_members = n_members
+        self.n_types = n_types
+        self.level_chunk = level_chunk
+        self.pads = (pk, pj, pi)
+        nzp = grid.nz + 2 * pk
+        nyp = grid.ny + 2 * pj
+        nxp = grid.nx + 2 * pi
+        self.padded_shape = (nzp, nyp, nxp)
+        #: cells per padded volume; type t's block starts at t * n_cells
+        self.n_cells = nzp * nyp * nxp
+        #: flat-index distance between consecutive vertical levels
+        self.k_stride = nyp * nxp
+        self.n_off = len(offs)
+        self.no_total = n_types * len(offs)
+        self.g_max = level_chunk * grid.ny * grid.nx
+
+        # ---- flat gather indices (k0 = 0), ordered (k, j, i) x (t, o) --
+        total = n_types * self.n_cells
+        idx_dtype = np.int32 if total < np.iinfo(np.int32).max else np.int64
+        kk, jj, ii = np.meshgrid(
+            np.arange(level_chunk), np.arange(grid.ny), np.arange(grid.nx),
+            indexing="ij",
+        )
+        kk = kk.ravel()[:, None]
+        jj = jj.ravel()[:, None]
+        ii = ii.ravel()[:, None]
+        base = (
+            (kk + pk + offs[None, :, 0]) * nyp + (jj + pj + offs[None, :, 1])
+        ) * nxp + (ii + pi + offs[None, :, 2])
+        #: (g_max, no_total) — add ``k0 * k_stride`` to shift to a chunk
+        self.gather_idx = np.concatenate(
+            [base + t * self.n_cells for t in range(n_types)], axis=1
+        ).astype(idx_dtype)
+
+        # ---- padded obs-space fields (pad regions stay zero/False) -----
+        self.padded_y = np.zeros(total, dtype=dtype)
+        self.padded_valid = np.zeros(total, dtype=bool)
+        self.padded_h = np.zeros((total, n_members), dtype=dtype)
+        #: concatenated per-type localization weights / sigma_o^2
+        self.weight_row = np.zeros(self.no_total, dtype=dtype)
+        self._stencil_weights = stencil.weights.astype(dtype)
+
+        # ---- full-chunk scratch ----------------------------------------
+        self.idx_chunk = np.empty((self.g_max, self.no_total), dtype=idx_dtype)
+        self.valid_chunk = np.empty((self.g_max, self.no_total), dtype=bool)
+        self.has_obs = np.empty(self.g_max, dtype=bool)
+
+        # ---- active-row scratch (grown on demand, see rows()) ----------
+        self._row_cap = 0
+        self.y = self.d = self.hmean = self.rinv = self.dyb = None
+        self.vact = self.iact = None
+
+    # ------------------------------------------------------------------
+
+    def matches(self, grid, stencil, dtype, n_members, n_types, level_chunk) -> bool:
+        return self.key == (
+            grid.shape, stencil.n, np.dtype(dtype).str,
+            n_members, n_types, level_chunk,
+        )
+
+    # ------------------------------------------------------------------
+
+    def load(self, checked: list, hxb: dict[str, np.ndarray]) -> None:
+        """Fill the padded fields from this cycle's QC'd observations.
+
+        Writes only the interior; the pad frames were zero/False at
+        construction and are never touched, so they stay exactly the
+        ``np.pad`` constants of the dense reference path.
+        """
+        if len(checked) != self.n_types:
+            raise ValueError(
+                f"workspace built for {self.n_types} obs types, got {len(checked)}"
+            )
+        g = self.grid
+        pk, pj, pi = self.pads
+        nzp, nyp, nxp = self.padded_shape
+        ksl = slice(pk, pk + g.nz)
+        jsl = slice(pj, pj + g.ny)
+        isl = slice(pi, pi + g.nx)
+        y4 = self.padded_y.reshape(self.n_types, nzp, nyp, nxp)
+        v4 = self.padded_valid.reshape(self.n_types, nzp, nyp, nxp)
+        h5 = self.padded_h.reshape(self.n_types, nzp, nyp, nxp, self.n_members)
+        no = self.n_off
+        for t, obs in enumerate(checked):
+            y4[t, ksl, jsl, isl] = obs.values
+            v4[t, ksl, jsl, isl] = obs.valid
+            h5[t, ksl, jsl, isl] = np.moveaxis(hxb[obs.hxb_key], 0, -1)
+            self.weight_row[t * no : (t + 1) * no] = (
+                self._stencil_weights / self.dtype.type(obs.error_std) ** 2
+            )
+
+    # ------------------------------------------------------------------
+
+    def chunk_indices(self, k0: int, n_points: int) -> np.ndarray:
+        """Gather indices for a chunk starting at analysis level ``k0``."""
+        out = self.idx_chunk[:n_points]
+        np.add(self.gather_idx[:n_points], k0 * self.k_stride, out=out)
+        return out
+
+    def rows(self, n: int) -> None:
+        """Ensure the active-row scratch holds at least ``n`` rows.
+
+        Grows geometrically to the observed high-water mark (capped at
+        the chunk size), so steady-state cycles never allocate.
+        """
+        if n <= self._row_cap:
+            return
+        cap = min(self.g_max, max(n, int(1.5 * self._row_cap) + 16))
+        no, m = self.no_total, self.n_members
+        # point-major buffers satisfy letkf_transform's operand-layout
+        # contract (unit stride along the observation axis), so the hot
+        # path hands them to the transform without any copy
+        self.y = np.empty((cap, no), dtype=self.dtype)
+        self.d = np.empty((cap, no), dtype=self.dtype)
+        self.hmean = np.empty((cap, no), dtype=self.dtype)
+        self.rinv = np.empty((cap, no), dtype=self.dtype)
+        self.dyb = np.empty((cap, no, m), dtype=self.dtype)
+        self.vact = np.empty((cap, no), dtype=bool)
+        self.iact = np.empty((cap, no), dtype=self.gather_idx.dtype)
+        self._row_cap = cap
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held (diagnostics / telemetry)."""
+        arrays = [
+            self.gather_idx, self.padded_y, self.padded_valid, self.padded_h,
+            self.weight_row, self.idx_chunk, self.valid_chunk, self.has_obs,
+            self.y, self.d, self.hmean, self.rinv, self.dyb, self.vact,
+            self.iact,
+        ]
+        return sum(a.nbytes for a in arrays if a is not None)

@@ -1,0 +1,428 @@
+"""The sparse LETKF hot path: compaction bit-identity + workspaces.
+
+The contract under test (see the "Sparsity contract" in
+:mod:`repro.letkf.core`): compacting the transform batch down to active
+points is *bit-exact* — active points get identical analyses whether or
+not the inactive rows ride along — and inactive points keep the
+background untouched. Observation-axis compaction is numerically
+equivalent (exact-zero contributions removed) but not bit-exact.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.parallel_letkf import DistributedLETKF
+from repro.config import LETKFConfig, RadarConfig, ScaleConfig, reduced_inner_domain
+from repro.core.cycling import DACycler
+from repro.core.ensemble import Ensemble
+from repro.grid import Grid
+from repro.letkf import (
+    LETKFSolver,
+    LETKFWorkspace,
+    compact_observations,
+    letkf_transform,
+    observation_selection,
+)
+from repro.letkf.obsope import RadarObsOperator
+from repro.letkf.qc import GriddedObservations
+from repro.model.model import ScaleRM
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def make_batch(rng, G, No, m, active_frac):
+    """Random transform inputs with ~active_frac rows carrying obs."""
+    dYb = rng.normal(size=(G, No, m)).astype(np.float32)
+    dYb -= dYb.mean(axis=2, keepdims=True)
+    d = np.asfortranarray(rng.normal(size=(G, No)).astype(np.float32))
+    rinv = rng.uniform(0.1, 2.0, size=(G, No)).astype(np.float32)
+    rinv[rng.random((G, No)) > 0.5] = 0.0  # per-obs validity
+    inactive = rng.random(G) > active_frac
+    rinv[inactive] = 0.0
+    return dYb, d, rinv
+
+
+def patch_mask(grid, frac):
+    """Centered storm patch covering ``frac`` of the horizontal area."""
+    mask = np.zeros(grid.shape, bool)
+    if frac >= 1.0:
+        mask[...] = True
+        return mask
+    if frac <= 0.0:
+        return mask
+    sy = max(1, int(round(grid.ny * np.sqrt(frac))))
+    sx = max(1, int(round(grid.nx * np.sqrt(frac))))
+    j0, i0 = (grid.ny - sy) // 2, (grid.nx - sx) // 2
+    mask[:, j0 : j0 + sy, i0 : i0 + sx] = True
+    return mask
+
+
+def dilated_active_cells(solver, valid):
+    """Analysis cells with >= 1 valid obs inside the stencil."""
+    g = solver.grid
+    offs = solver.stencil.offsets
+    pk = int(np.max(np.abs(offs[:, 0])))
+    pj = int(np.max(np.abs(offs[:, 1])))
+    pi = int(np.max(np.abs(offs[:, 2])))
+    pv = np.pad(valid, ((pk, pk), (pj, pj), (pi, pi)), constant_values=False)
+    act = np.zeros(g.shape, bool)
+    for dk, dj, di in offs:
+        act |= pv[
+            pk + dk : pk + dk + g.nz,
+            pj + dj : pj + dj + g.ny,
+            pi + di : pi + di + g.nx,
+        ]
+    act &= solver.level_mask[:, None, None]
+    return act
+
+
+def solver_case(nx=10, nz=8, m=12, frac=0.1, seed=5):
+    grid = Grid(reduced_inner_domain(nx=nx, nz=nz))
+    cfg = LETKFConfig(
+        ensemble_size=m,
+        localization_h=9000.0,
+        localization_v=3000.0,
+        analysis_zmin=0.0,
+        analysis_zmax=20000.0,
+        eigensolver="lapack",
+    )
+    rng = np.random.default_rng(seed)
+    truth = (rng.normal(size=grid.shape) * 8 + 20).astype(np.float32)
+    ens = {
+        "x": (truth + rng.normal(size=(m,) + grid.shape) * 4).astype(np.float32),
+        "qv": np.abs(rng.normal(size=(m,) + grid.shape)).astype(np.float32) * 1e-4,
+    }
+    obs = GriddedObservations(
+        kind="reflectivity",
+        values=truth + rng.normal(size=grid.shape).astype(np.float32),
+        valid=patch_mask(grid, frac),
+        error_std=1.0,
+    )
+    hxb = {"reflectivity": ens["x"].copy()}
+    return grid, cfg, ens, [obs], hxb
+
+
+# ---------------------------------------------------------------------------
+# core: active-row compaction is bit-exact
+# ---------------------------------------------------------------------------
+
+
+class TestTransformCompaction:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        G=st.integers(4, 40),
+        No=st.integers(1, 24),
+        m=st.integers(3, 24),
+        active_frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_row_compaction_bit_identical(self, G, No, m, active_frac, seed):
+        """Property: dropping inactive rows never changes active rows."""
+        rng = np.random.default_rng(seed)
+        dYb, d, rinv = make_batch(rng, G, No, m, active_frac)
+        W_full = letkf_transform(dYb, d, rinv, backend="lapack")
+        act = np.flatnonzero(np.any(rinv > 0.0, axis=1))
+        # solver-path operand layouts: point-major dYb and d
+        W_act = letkf_transform(
+            np.ascontiguousarray(dYb[act]),
+            np.ascontiguousarray(d[act]),
+            np.ascontiguousarray(rinv[act]),
+            backend="lapack",
+            assume_active=True,
+        )
+        assert np.array_equal(W_full[act], W_act)
+        # inactive rows are exact identities
+        inact = np.setdiff1d(np.arange(G), act)
+        eye = np.eye(m, dtype=np.float32)
+        assert all(np.array_equal(W_full[i], eye) for i in inact)
+
+    def test_has_obs_passthrough_matches_derived(self):
+        rng = np.random.default_rng(0)
+        dYb, d, rinv = make_batch(rng, 30, 12, 8, 0.4)
+        has_obs = np.any(rinv > 0.0, axis=1)
+        W_a = letkf_transform(dYb, d, rinv, backend="lapack")
+        W_b = letkf_transform(dYb, d, rinv, backend="lapack", has_obs=has_obs)
+        assert np.array_equal(W_a, W_b)
+
+    def test_obs_compaction_numerically_equivalent(self):
+        rng = np.random.default_rng(1)
+        dYb, d, rinv = make_batch(rng, 40, 20, 10, 1.0)
+        rinv[:, 8:] = 0.0  # only 8 columns ever valid -> truncatable
+        rinv[0, :8] = 1.0  # ... and at least one row uses all 8
+        dYb_c, d_c, rinv_c = compact_observations(dYb, d, rinv)
+        assert rinv_c.shape[1] == 8
+        W_full = letkf_transform(dYb, d, rinv, backend="lapack")
+        W_comp = letkf_transform(dYb_c, d_c, rinv_c, backend="lapack")
+        np.testing.assert_allclose(W_full, W_comp, atol=1e-5)
+
+    def test_compaction_noop_returns_inputs(self):
+        rng = np.random.default_rng(2)
+        dYb, d, rinv = make_batch(rng, 10, 6, 5, 1.0)
+        rinv[...] = 1.0  # every column valid somewhere -> nothing to cut
+        out = compact_observations(dYb, d, rinv)
+        assert out[0] is dYb and out[1] is d and out[2] is rinv
+
+
+class TestObservationSelection:
+    def test_stable_order_and_padding_invalid(self):
+        valid = np.array([[True, False, True, False], [False, False, True, False]])
+        w = np.ones(4)
+        sel, k = observation_selection(valid, w)
+        assert k == 2
+        # row 0 keeps its valid columns in stencil order
+        assert sel[0].tolist() == [0, 2]
+        # row 1's padding column is invalid (caller zeroes its weight)
+        assert sel[1, 0] == 2
+
+    def test_budget_keeps_highest_weight(self):
+        valid = np.ones((1, 5), bool)
+        w = np.array([0.1, 0.9, 0.5, 0.8, 0.2])
+        sel, k = observation_selection(valid, w, obs_budget=2)
+        assert k == 2
+        assert sorted(sel[0].tolist()) == [1, 3]
+
+    def test_no_truncation_possible(self):
+        valid = np.ones((3, 4), bool)
+        assert observation_selection(valid, np.ones(4)) is None
+
+
+# ---------------------------------------------------------------------------
+# solver: sparse path vs dense reference
+# ---------------------------------------------------------------------------
+
+
+class TestSolverSparsePath:
+    @pytest.mark.parametrize("frac", [0.02, 0.15, 1.0])
+    def test_bit_identical_on_active_cells(self, frac):
+        grid, cfg, ens, obs, hxb = solver_case(frac=frac)
+        solver = LETKFSolver(grid, cfg)
+        act = dilated_active_cells(solver, obs[0].valid)
+        a_dense, d_dense = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb, sparse=False
+        )
+        a_sparse, d_sparse = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb,
+            sparse=True, obs_compaction=False,
+        )
+        for v in ens:
+            np.testing.assert_array_equal(a_dense[v][:, act], a_sparse[v][:, act])
+        assert d_dense.n_points_updated == d_sparse.n_points_updated
+        assert d_sparse.n_points_updated == int(np.count_nonzero(act))
+        assert d_dense.obs_per_point_mean == pytest.approx(
+            d_sparse.obs_per_point_mean
+        )
+        assert d_dense.obs_per_point_max == d_sparse.obs_per_point_max
+
+    def test_inactive_cells_keep_background_bits(self):
+        grid, cfg, ens, obs, hxb = solver_case(frac=0.05)
+        solver = LETKFSolver(grid, cfg)
+        act = dilated_active_cells(solver, obs[0].valid)
+        ana, _ = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb,
+            sparse=True, obs_compaction=False,
+        )
+        # background bits survive everywhere outside the active set
+        np.testing.assert_array_equal(ana["x"][:, ~act], ens["x"][:, ~act])
+
+    def test_zero_coverage_is_exact_identity(self):
+        grid, cfg, ens, obs, hxb = solver_case(frac=0.0)
+        solver = LETKFSolver(grid, cfg)
+        ana, diag = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb
+        )
+        np.testing.assert_array_equal(ana["x"], ens["x"])
+        assert diag.n_points_updated == 0
+        assert diag.active_fraction == 0.0
+
+    def test_obs_compaction_fast_mode_close(self):
+        grid, cfg, ens, obs, hxb = solver_case(frac=0.1)
+        solver = LETKFSolver(grid, cfg)
+        a_ref, _ = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb, sparse=False
+        )
+        a_fast, _ = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb,
+            sparse=True, obs_compaction=True,
+        )
+        for v in ens:
+            np.testing.assert_allclose(a_ref[v], a_fast[v], atol=1e-4)
+
+    def test_obs_budget_caps_local_volume(self):
+        grid, cfg, ens, obs, hxb = solver_case(frac=1.0)
+        solver = LETKFSolver(grid, cfg)
+        ana, diag = solver.analyze(
+            {k: v.copy() for k, v in ens.items()}, obs, hxb, obs_budget=4
+        )
+        assert np.all(np.isfinite(ana["x"]))
+        assert diag.n_points_updated > 0
+
+    def test_workspace_reused_and_runs_deterministic(self):
+        grid, cfg, ens, obs, hxb = solver_case(frac=0.1)
+        solver = LETKFSolver(grid, cfg)
+        a1, _ = solver.analyze({k: v.copy() for k, v in ens.items()}, obs, hxb)
+        ws = solver._workspace
+        assert isinstance(ws, LETKFWorkspace)
+        a2, _ = solver.analyze({k: v.copy() for k, v in ens.items()}, obs, hxb)
+        # same buffers, bit-identical result: no stale-state contamination
+        assert solver._workspace is ws
+        for v in ens:
+            np.testing.assert_array_equal(a1[v], a2[v])
+        assert ws.nbytes > 0
+
+    def test_ensemble_size_mismatch_recorded_and_warned_once(self):
+        grid, cfg, ens, obs, hxb = solver_case(m=6, frac=0.1)
+        from dataclasses import replace
+
+        solver = LETKFSolver(grid, replace(cfg, ensemble_size=10))
+        with pytest.warns(RuntimeWarning, match="10 members but"):
+            _, diag = solver.analyze(
+                {k: v.copy() for k, v in ens.items()}, obs, hxb
+            )
+        assert diag.ensemble_size_expected == 10
+        assert diag.ensemble_size_actual == 6
+        assert diag.ensemble_size_mismatch
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call must stay silent
+            _, diag2 = solver.analyze(
+                {k: v.copy() for k, v in ens.items()}, obs, hxb
+            )
+        assert diag2.ensemble_size_mismatch
+
+
+# ---------------------------------------------------------------------------
+# distributed path shares the compacted transform
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedBitCompat:
+    @pytest.mark.parametrize("n_ranks", [1, 3])
+    def test_partial_coverage_bit_equal_to_serial(self, n_ranks):
+        grid, cfg, ens, obs, hxb = solver_case(frac=0.08)
+        serial, _ = LETKFSolver(grid, cfg).analyze(
+            {k: v.copy() for k, v in ens.items()},
+            [o.copy() for o in obs], hxb, obs_compaction=False,
+        )
+        dist = DistributedLETKF(grid, cfg, n_ranks=n_ranks)
+        parallel, _ = dist.analyze(
+            {k: v.copy() for k, v in ens.items()}, [o.copy() for o in obs], hxb
+        )
+        for v in ens:
+            np.testing.assert_array_equal(serial[v], parallel[v])
+
+
+# ---------------------------------------------------------------------------
+# obsope: shared assimilable-cells mask
+# ---------------------------------------------------------------------------
+
+
+class TestAssimilableMask:
+    def make_op(self):
+        grid = Grid(reduced_inner_domain(nx=10, nz=8))
+        return grid, RadarObsOperator(grid, RadarConfig().reduced())
+
+    def test_intersection_and_dilation(self):
+        grid, op = self.make_op()
+        lm = np.zeros(grid.nz, bool)
+        lm[3:5] = True
+        m0 = op.assimilable_mask(lm, 0)
+        np.testing.assert_array_equal(m0, op.coverage & lm[:, None, None])
+        m1 = op.assimilable_mask(lm, 1)
+        dil = np.zeros(grid.nz, bool)
+        dil[2:6] = True
+        np.testing.assert_array_equal(m1, op.coverage & dil[:, None, None])
+        # dilation clips at the domain edges
+        lm_edge = np.zeros(grid.nz, bool)
+        lm_edge[0] = True
+        m_edge = op.assimilable_mask(lm_edge, 2)
+        dil_edge = np.zeros(grid.nz, bool)
+        dil_edge[:3] = True
+        np.testing.assert_array_equal(m_edge, op.coverage & dil_edge[:, None, None])
+
+    def test_cached_per_mask_and_reach(self):
+        grid, op = self.make_op()
+        lm = np.ones(grid.nz, bool)
+        assert op.assimilable_mask(lm, 1) is op.assimilable_mask(lm, 1)
+        assert op.assimilable_mask(lm, 1) is not op.assimilable_mask(lm, 2)
+
+    def test_solver_reach_matches_stencil(self):
+        grid, op = self.make_op()
+        cfg = LETKFConfig(
+            ensemble_size=4, localization_h=9000.0, localization_v=3000.0,
+            analysis_zmin=0.0, analysis_zmax=20000.0,
+        )
+        solver = LETKFSolver(grid, cfg)
+        offs = solver.stencil.offsets
+        assert solver.stencil_reach_k == int(np.max(np.abs(offs[:, 0])))
+
+
+# ---------------------------------------------------------------------------
+# multicycle regression through the DA cycler
+# ---------------------------------------------------------------------------
+
+
+class TestMulticycleCoverage:
+    def run_cycles(self, backend, frac, *, members=4, n_cycles=2, seed=13):
+        scfg = ScaleConfig().reduced(nx=8, nz=6, members=members)
+        model = ScaleRM(scfg)
+        rng = np.random.default_rng(seed)
+        ens = Ensemble.from_model(model, members, rng)
+        lcfg = LETKFConfig(
+            ensemble_size=members,
+            localization_h=12000.0,
+            localization_v=4000.0,
+            analysis_zmin=0.0,
+            analysis_zmax=20000.0,
+            gross_error_refl_dbz=100.0,
+            gross_error_doppler_ms=100.0,
+            eigensolver="lapack",
+        )
+        obsope = RadarObsOperator(model.grid, RadarConfig().reduced())
+        cycler = DACycler(model, ens, lcfg, obsope, seed=seed, backend=backend)
+        mask = patch_mask(model.grid, frac)
+        results = []
+        for c in range(n_cycles):
+            h = obsope.hxb_member(ens.state.member_view(0))
+            obs = [
+                GriddedObservations(
+                    kind="reflectivity",
+                    values=h["reflectivity"] + 1.0,
+                    valid=mask.copy(),
+                    error_std=5.0,
+                    t_valid=30.0 * (c + 1),
+                ),
+                GriddedObservations(
+                    kind="doppler",
+                    values=h["doppler"],
+                    valid=mask.copy(),
+                    error_std=3.0,
+                    t_valid=30.0 * (c + 1),
+                ),
+            ]
+            results.append(cycler.run_cycle(obs))
+        return cycler, results
+
+    @pytest.mark.parametrize("frac", [0.0, 0.05, 1.0])
+    def test_serial_vectorized_bit_identical(self, frac):
+        runs = {}
+        for backend in ("serial", "vectorized"):
+            cycler, results = self.run_cycles(backend, frac)
+            state = cycler.ensemble.state
+            assert all(
+                bool(np.all(np.isfinite(a))) for a in state.fields.values()
+            )
+            expect_mode = "free-run" if frac == 0.0 else "analysis"
+            assert all(r.mode == expect_mode for r in results)
+            if frac > 0.0:
+                assert all(
+                    r.diagnostics.n_points_updated > 0 for r in results
+                )
+            runs[backend] = state
+        a, b = runs["serial"], runs["vectorized"]
+        for v in a.fields:
+            np.testing.assert_array_equal(a.fields[v], b.fields[v])
