@@ -59,7 +59,6 @@ def test_io_ablation(benchmark, tmp_path):
     assert rep_shared.simulated_seconds > rep_f.simulated_seconds
 
     # ---- end to end: the distributed LETKF through both transports -----
-    import numpy as np_
     from scipy.ndimage import gaussian_filter
 
     from repro.comm.parallel_letkf import DistributedLETKF

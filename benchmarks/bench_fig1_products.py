@@ -6,7 +6,6 @@ convective state, and writes both PNGs — the per-cycle product path
 whose file timestamp defines T_fcst.
 """
 
-import numpy as np
 from conftest import OUTPUT_DIR
 
 

@@ -7,7 +7,6 @@ serializes consecutive cycles, and part <2> runs on rotating slots so a
 new 30-minute forecast can start every 30 s while earlier ones finish.
 """
 
-import numpy as np
 from conftest import write_artifact
 
 from repro.config import WorkflowConfig

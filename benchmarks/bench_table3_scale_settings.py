@@ -8,7 +8,6 @@ carries the paper values, which the artifact renders verbatim.
 """
 
 import numpy as np
-import pytest
 from conftest import write_artifact
 
 from repro.config import ScaleConfig

@@ -1,0 +1,70 @@
+"""Correctness tooling: static ``reprolint`` + runtime array sanitizer.
+
+Two sides of one contract (see ``docs/architecture.md`` — "Correctness
+tooling"):
+
+* the **static** side — :mod:`repro.checks.linter` /
+  :mod:`repro.checks.runner` — is an AST linter (``python -m
+  repro.checks lint``) enforcing the determinism / dtype / layout rules
+  of :mod:`repro.checks.rules`, with a committed baseline for
+  grandfathered findings (:mod:`repro.checks.baseline`);
+* the **runtime** side — :mod:`repro.checks.sanitizer` — wraps kernel
+  entry points to assert dtype/contiguity, trap in-place mutation of
+  inputs, and detect NaN/Inf creation, enabled via
+  ``ExecutionConfig(sanitize=True)`` / ``--sanitize``.
+
+The linter half is stdlib-only; the sanitizer (which needs numpy) is
+imported lazily so ``python -m repro.checks`` works without the
+scientific stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .baseline import Baseline
+from .linter import Finding, lint_file, lint_paths, lint_source
+from .rules import RULES, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitizer import (
+        ArraySanitizer,
+        NullSanitizer,
+        SanitizerError,
+    )
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "Baseline",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    # lazy (numpy-backed) sanitizer surface
+    "ArraySanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "SanitizerError",
+    "make_sanitizer",
+]
+
+_LAZY = {
+    "ArraySanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "SanitizerError",
+    "make_sanitizer",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import sanitizer
+
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,98 @@
+"""Baseline file for grandfathered ``reprolint`` findings.
+
+The baseline lets the linter gate *new* violations while a cleanup is
+still in flight: findings recorded in the committed baseline are
+reported as "baselined" and do not fail the run. Entries are keyed by
+``(path, rule, stripped source line)`` — not line numbers — so
+unrelated edits above a grandfathered site do not invalidate it, and
+each key carries a count so duplicating a grandfathered pattern is
+still a new finding.
+
+Workflow for contributors::
+
+    python -m repro.checks lint src --write-baseline   # grandfather
+    python -m repro.checks lint src                    # gate new ones
+
+The repo's committed baseline (``reprolint.baseline.json``) is empty:
+every in-repo violation was either fixed or inline-annotated with
+``# reprolint: ok <CODE> <reason>``. Keep it that way when you can —
+the baseline is for migrations, the annotation is for contracts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .linter import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "reprolint.baseline.json"
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path.replace("\\", "/"), finding.code, finding.source)
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, entries: Counter | None = None):
+        self.entries: Counter = entries if entries is not None else Counter()
+
+    # -- IO --------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {p}"
+            )
+        entries: Counter = Counter()
+        for e in data.get("findings", []):
+            entries[(e["path"], e["code"], e["source"])] = int(e.get("count", 1))
+        return cls(entries)
+
+    def save(self, path: str | Path) -> Path:
+        p = Path(path)
+        findings = [
+            {"path": k[0], "code": k[1], "source": k[2], "count": n}
+            for k, n in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "findings": findings}
+        p.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return p
+
+    # -- filtering -------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        b = cls()
+        for f in findings:
+            b.entries[_key(f)] += 1
+        return b
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (new, baselined)."""
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            k = _key(f)
+            if budget.get(k, 0) > 0:
+                budget[k] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,593 @@
+"""``reprolint`` — the AST side of the correctness tooling.
+
+Pure stdlib (``ast`` + ``tokenize``): the linter imports neither numpy
+nor the rest of :mod:`repro`, so it runs in any environment, including
+CI images that have no scientific stack installed.
+
+Rule scoping is path-based (mirroring where each contract applies):
+
+* DET001 everywhere;
+* DET002 everywhere except ``telemetry/`` and ``workflow/`` (the two
+  layers allowed to read wall clocks);
+* DTY001 in the single-precision hot paths ``letkf/`` and ``eigen/``;
+* MUT001 in kernel modules: ``model/`` and ``letkf/core.py``;
+* LAY001 in ``letkf_transform``-adjacent code: ``letkf/`` and
+  ``comm/parallel_letkf.py``.
+
+Suppression: ``# reprolint: ok CODE[,CODE...] <reason>`` on the
+offending statement (any of its physical lines) or on the line directly
+above it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+from .rules import RULES
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: stripped source line — the baseline's line-number-independent key
+    source: str = ""
+    suppressed: bool = False
+
+    @property
+    def hint(self) -> str:
+        return RULES[self.code].hint
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+            "source": self.source,
+        }
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ok\s+"
+    r"(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map physical line -> rule codes suppressed on that line."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                codes = {c.strip() for c in m.group("codes").split(",")}
+                out.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+# ---------------------------------------------------------------------------
+# path-based rule scoping
+# ---------------------------------------------------------------------------
+
+
+def _scopes(path: str) -> set[str]:
+    parts = PurePosixPath(str(path).replace("\\", "/")).parts
+    name = parts[-1] if parts else ""
+    scopes = {"det001", "det002"}
+    if "telemetry" in parts or "workflow" in parts:
+        scopes.discard("det002")
+    if "letkf" in parts or "eigen" in parts:
+        scopes.add("dtype")
+    if "model" in parts or ("letkf" in parts and name == "core.py"):
+        scopes.add("kernel")
+    if "letkf" in parts or name == "parallel_letkf.py":
+        scopes.add("layout")
+    return scopes
+
+
+# ---------------------------------------------------------------------------
+# import-alias resolution
+# ---------------------------------------------------------------------------
+
+
+def _collect_aliases(tree: ast.AST) -> dict[str, str]:
+    """Local name -> dotted module/object path, from every import stmt."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    root = a.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _resolve(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to a dotted path, or None."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    chain.append(base)
+    return ".".join(reversed(chain))
+
+
+def _base_param(node: ast.AST) -> str | None:
+    """The parameter name a Subscript ultimately indexes, if direct."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# rule constants
+# ---------------------------------------------------------------------------
+
+_NP_LEGACY_RNG = {
+    "rand", "randn", "random", "random_sample", "ranf", "sample", "seed",
+    "normal", "uniform", "randint", "random_integers", "choice", "shuffle",
+    "permutation", "standard_normal", "poisson", "exponential", "gamma",
+    "beta", "binomial", "lognormal", "get_state", "set_state",
+}
+_STDLIB_RNG = {
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "seed", "betavariate",
+    "expovariate", "triangular", "getrandbits", "vonmisesvariate",
+    "paretovariate", "weibullvariate",
+}
+#: constructors whose first/only seed argument must be present and not None
+_SEEDED_CTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "random.Random",
+}
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+_DEFAULT_F64_CTORS = {
+    "numpy.zeros": 2,   # dtype is the Nth positional argument
+    "numpy.ones": 2,
+    "numpy.empty": 2,
+    "numpy.full": 3,
+}
+_MUTATING_METHODS = {
+    "fill", "sort", "partition", "resize", "put", "setflags", "itemset",
+    "byteswap",
+}
+_GEMM_FUNCS = {"numpy.matmul", "numpy.dot", "numpy.einsum", "numpy.tensordot"}
+_TRANSPOSE_FUNCS = {
+    "numpy.swapaxes", "numpy.transpose", "numpy.moveaxis", "numpy.rollaxis",
+}
+_TRANSPOSE_METHODS = {"transpose", "swapaxes"}
+#: methods that keep a floating layout floating (views / ambiguous copies)
+_PASSTHROUGH_METHODS = {"reshape", "view"}
+_PIN_FUNCS = {
+    "numpy.ascontiguousarray", "numpy.asfortranarray", "numpy.copy",
+    "numpy.array",
+}
+
+
+def _is_f64_dtype_value(node: ast.AST, aliases: dict[str, str]) -> bool:
+    resolved = _resolve(node, aliases)
+    if resolved in ("numpy.float64", "numpy.double", "numpy.float_"):
+        return True
+    if isinstance(node, ast.Name) and node.id == "float" and "float" not in aliases:
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("float64", "double", "f8"):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the linter
+# ---------------------------------------------------------------------------
+
+
+class _Linter:
+    def __init__(self, path: str, tree: ast.Module, scopes: set[str]):
+        self.path = path
+        self.scopes = scopes
+        self.aliases = _collect_aliases(tree)
+        self.findings: list[tuple[Finding, int]] = []
+
+    # -- emit -----------------------------------------------------------
+
+    def flag(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(
+            (
+                Finding(
+                    path=self.path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0) + 1,
+                    code=code,
+                    message=message,
+                ),
+                getattr(node, "end_lineno", None) or line,
+            )
+        )
+
+    # -- module-wide, order-independent rules ---------------------------
+
+    def check_module(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, ast.keyword) and node.arg == "dtype":
+                if "dtype" in self.scopes and _is_f64_dtype_value(
+                    node.value, self.aliases
+                ):
+                    self.flag(
+                        node.value, "DTY001",
+                        "float64 dtype literal in a single-precision hot path",
+                    )
+        for fn in self._functions(tree):
+            if "kernel" in self.scopes:
+                self._check_mutation(fn)
+            if "layout" in self.scopes:
+                self._check_layout(fn)
+
+    @staticmethod
+    def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    # -- DET001 / DET002 / DTY001 (call-shaped) -------------------------
+
+    def _check_call(self, node: ast.Call) -> None:
+        resolved = _resolve(node.func, self.aliases)
+        if resolved is None:
+            self._check_astype(node)
+            return
+
+        if "det001" in self.scopes:
+            if resolved in _SEEDED_CTORS:
+                if self._seed_missing(node):
+                    self.flag(
+                        node, "DET001",
+                        f"{resolved}() without an explicit seed breaks "
+                        "run-to-run determinism",
+                    )
+            elif resolved.startswith("numpy.random."):
+                attr = resolved.rsplit(".", 1)[1]
+                if attr in _NP_LEGACY_RNG:
+                    self.flag(
+                        node, "DET001",
+                        f"legacy global-state RNG call {resolved}(); use a "
+                        "seeded np.random.Generator instead",
+                    )
+            elif resolved.startswith("random."):
+                attr = resolved.rsplit(".", 1)[1]
+                if attr in _STDLIB_RNG:
+                    self.flag(
+                        node, "DET001",
+                        f"stdlib global-state RNG call {resolved}()",
+                    )
+
+        if "det002" in self.scopes and resolved in _WALL_CLOCK:
+            self.flag(
+                node, "DET002",
+                f"wall-clock call {resolved}() outside telemetry/ and "
+                "workflow/",
+            )
+
+        if "dtype" in self.scopes and resolved in _DEFAULT_F64_CTORS:
+            n_pos = _DEFAULT_F64_CTORS[resolved]
+            has_dtype = len(node.args) >= n_pos or any(
+                kw.arg == "dtype" for kw in node.keywords
+            )
+            if not has_dtype:
+                short = resolved.rsplit(".", 1)[1]
+                self.flag(
+                    node, "DTY001",
+                    f"np.{short}() without dtype= defaults to float64 in a "
+                    "single-precision hot path",
+                )
+
+    def _check_astype(self, node: ast.Call) -> None:
+        if "dtype" not in self.scopes:
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and node.args
+            and _is_f64_dtype_value(node.args[0], self.aliases)
+        ):
+            self.flag(
+                node, "DTY001",
+                "astype(float64) promotion in a single-precision hot path",
+            )
+
+    @staticmethod
+    def _seed_missing(node: ast.Call) -> bool:
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+            if kw.arg is None:  # **kwargs — cannot prove, stay silent
+                return False
+        return True
+
+    # -- MUT001 ---------------------------------------------------------
+
+    def _check_mutation(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        a = fn.args
+        params = {
+            p.arg
+            for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)
+        }
+        for var in (a.vararg, a.kwarg):
+            if var is not None:
+                params.add(var.arg)
+        params -= {"self", "cls"}
+        params = {
+            p for p in params
+            if p != "out" and not p.startswith("out_") and not p.endswith("_out")
+        }
+        if not params:
+            return
+
+        for node in self._walk_own(fn):
+            if isinstance(node, ast.Assign):
+                targets: list[ast.AST] = []
+                for t in node.targets:
+                    targets.extend(t.elts if isinstance(t, ast.Tuple) else [t])
+                for t in targets:
+                    if isinstance(t, ast.Subscript):
+                        name = _base_param(t)
+                        if name in params:
+                            self.flag(
+                                t, "MUT001",
+                                f"kernel writes into parameter '{name}' "
+                                "(subscript assignment)",
+                            )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Subscript
+            ):
+                name = _base_param(node.target)
+                if name in params:
+                    self.flag(
+                        node.target, "MUT001",
+                        f"kernel writes into parameter '{name}' "
+                        "(augmented subscript assignment)",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in params
+                    and func.attr in _MUTATING_METHODS
+                ):
+                    self.flag(
+                        node, "MUT001",
+                        f"kernel mutates parameter '{func.value.id}' via "
+                        f".{func.attr}()",
+                    )
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "out"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in params
+                    ):
+                        self.flag(
+                            node, "MUT001",
+                            f"kernel writes into parameter '{kw.value.id}' "
+                            "via out=",
+                        )
+                resolved = _resolve(func, self.aliases)
+                if (
+                    resolved == "numpy.copyto"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params
+                ):
+                    self.flag(
+                        node, "MUT001",
+                        f"kernel writes into parameter '{node.args[0].id}' "
+                        "via np.copyto",
+                    )
+
+    @staticmethod
+    def _walk_own(fn: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body without descending into nested defs."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    # -- LAY001 ---------------------------------------------------------
+
+    def _floating_expr(self, node: ast.AST, floating: set[str]) -> bool:
+        """Does this expression yield a layout-floating (transposed) view?"""
+        if isinstance(node, ast.Name):
+            return node.id in floating
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                return True
+            return False
+        if isinstance(node, ast.Call):
+            resolved = _resolve(node.func, self.aliases)
+            if resolved in _PIN_FUNCS:
+                return False
+            if resolved in _TRANSPOSE_FUNCS:
+                return True
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _TRANSPOSE_METHODS:
+                    return True
+                if func.attr in _PASSTHROUGH_METHODS:
+                    return self._floating_expr(func.value, floating)
+                if func.attr in ("copy", "astype"):
+                    return False
+            return False
+        if isinstance(node, ast.Subscript):
+            # a slice of a floating view stays floating
+            return self._floating_expr(node.value, floating)
+        return False
+
+    def _check_layout(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        floating: set[str] = set()
+        nodes = sorted(
+            self._walk_own(fn),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        )
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                for side, operand in (("left", node.left), ("right", node.right)):
+                    if self._floating_expr(operand, floating):
+                        self.flag(
+                            operand, "LAY001",
+                            f"{side} operand of '@' is a layout-floating "
+                            "transposed view",
+                        )
+            elif isinstance(node, ast.Call):
+                resolved = _resolve(node.func, self.aliases)
+                if resolved in _GEMM_FUNCS:
+                    for arg in node.args:
+                        if isinstance(arg, ast.Constant):
+                            continue
+                        if self._floating_expr(arg, floating):
+                            self.flag(
+                                arg, "LAY001",
+                                f"operand of {resolved.rsplit('.', 1)[1]}() is "
+                                "a layout-floating transposed view",
+                            )
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                name = node.targets[0].id
+                if self._floating_expr(node.value, floating):
+                    floating.add(name)
+                else:
+                    floating.discard(name)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    include_suppressed: bool = False,
+) -> list[Finding]:
+    """Lint one source string; ``path`` drives rule scoping."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, tree, _scopes(path))
+    linter.check_module(tree)
+    suppressed = _suppressions(source)
+
+    out: list[Finding] = []
+    lines = source.splitlines()
+    for f, end_line in linter.findings:
+        src_line = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
+        # accept an annotation on any physical line of the flagged
+        # expression, the line above it, or the line below its end
+        is_suppressed = any(
+            f.code in suppressed.get(ln, ())
+            for ln in range(f.line - 1, end_line + 2)
+        )
+        f = Finding(
+            path=f.path, line=f.line, col=f.col, code=f.code,
+            message=f.message, source=src_line, suppressed=is_suppressed,
+        )
+        if include_suppressed or not f.suppressed:
+            out.append(f)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return out
+
+
+def lint_file(path: str | Path, *, include_suppressed: bool = False) -> list[Finding]:
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    return lint_source(
+        source, str(p), include_suppressed=include_suppressed
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into .py files, skipping hidden dirs."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part.startswith(".") for part in f.parts):
+                    yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, include_suppressed: bool = False
+) -> list[Finding]:
+    """Lint every .py file under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, include_suppressed=include_suppressed))
+    return findings

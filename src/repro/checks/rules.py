@@ -1,0 +1,99 @@
+"""Rule registry for ``reprolint``.
+
+Each rule encodes one of the numerical-discipline contracts the
+reproduction inherits from the paper's production system (single
+precision LETKF, bit-reproducible cycling, fail-safe restarts that must
+resume bit-identically):
+
+========  ==========================================================
+DET001    unseeded / global RNG (breaks seed-determinism)
+DET002    wall-clock reads outside the telemetry/workflow layers
+DTY001    dtype discipline in the single-precision hot paths
+MUT001    in-place mutation of function parameters in kernel modules
+LAY001    layout-floating GEMM/einsum operands near ``letkf_transform``
+========  ==========================================================
+
+Findings are suppressed inline with ``# reprolint: ok <CODE> <reason>``
+on the offending statement (first or last line) or the line above it;
+give the reason — it is the documentation of the contract exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, summary, and a fix-it hint."""
+
+    code: str
+    name: str
+    summary: str
+    hint: str
+
+
+RULES: dict[str, Rule] = {
+    r.code: r
+    for r in (
+        Rule(
+            code="DET001",
+            name="unseeded-rng",
+            summary="unseeded or global random number generator",
+            hint=(
+                "pass an explicit seed (np.random.default_rng(seed)); thread "
+                "seeds from the caller instead of drawing from global state"
+            ),
+        ),
+        Rule(
+            code="DET002",
+            name="wall-clock",
+            summary="wall-clock read outside telemetry/ or workflow/",
+            hint=(
+                "numerics must not depend on wall time; take timestamps in the "
+                "telemetry or workflow layer and pass them in as data"
+            ),
+        ),
+        Rule(
+            code="DTY001",
+            name="dtype-discipline",
+            summary="float64 or default-dtype array construction in a "
+            "single-precision hot path",
+            hint=(
+                "pin dtype= to the configured precision (config.numpy_dtype() "
+                "or an existing array's .dtype); annotate deliberate float64 "
+                "accumulation with '# reprolint: ok DTY001 <reason>'"
+            ),
+        ),
+        Rule(
+            code="MUT001",
+            name="parameter-mutation",
+            summary="in-place mutation of a function parameter in a kernel "
+            "module",
+            hint=(
+                "kernels must not write into caller-owned arrays: operate on "
+                "a copy, return a new array, or rename the parameter 'out' / "
+                "'*_out' if writing into it is the documented contract"
+            ),
+        ),
+        Rule(
+            code="LAY001",
+            name="layout-floating-operand",
+            summary="transposed view fed to a GEMM/einsum without a pinned "
+            "memory layout",
+            hint=(
+                "BLAS picks its partial-sum grouping from operand strides, so "
+                "a layout-floating view breaks bit-reproducibility between "
+                "code paths; pin with np.ascontiguousarray(...) or annotate "
+                "the documented layout contract"
+            ),
+        ),
+    )
+}
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by code (KeyError on unknown codes)."""
+    return RULES[code]

@@ -1,0 +1,209 @@
+"""``python -m repro.checks`` — the correctness-tooling CLI.
+
+Commands
+--------
+
+``lint [paths] --format {text,json,github}``
+    Run ``reprolint`` over the given files/directories (default:
+    ``src``). Exit 0 when no *new* findings (baselined findings do not
+    fail the run), 1 when new findings exist, 2 on usage errors.
+
+``rules``
+    Print the rule table (code, name, summary, fix-it hint).
+
+Only the Python stdlib is imported here, so the linter works in
+environments without numpy installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .linter import Finding, lint_paths
+from .rules import RULES
+
+__all__ = ["main", "build_parser", "render"]
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+# ---------------------------------------------------------------------------
+# output formats
+# ---------------------------------------------------------------------------
+
+
+def _render_text(new: list[Finding], old: list[Finding], *, hints: bool) -> str:
+    lines = []
+    for f in new:
+        lines.append(f.text())
+        if hints:
+            lines.append(f"    hint: {f.hint}")
+    if old:
+        lines.append(f"({len(old)} baselined finding(s) not shown)")
+    n = len(new)
+    lines.append(
+        "reprolint: clean" if n == 0 else f"reprolint: {n} new finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(new: list[Finding], old: list[Finding]) -> str:
+    payload = {
+        "tool": "reprolint",
+        "rules": {
+            c: {"name": r.name, "summary": r.summary, "hint": r.hint}
+            for c, r in sorted(RULES.items())
+        },
+        "new": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in old],
+        "summary": {"new": len(new), "baselined": len(old)},
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _render_github(new: list[Finding], old: list[Finding]) -> str:
+    """GitHub Actions workflow-command annotations."""
+    lines = []
+    for f in new:
+        msg = f"{f.message} — {f.hint}".replace("\n", " ")
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=reprolint {f.code}::{msg}"
+        )
+    for f in old:
+        lines.append(
+            f"::warning file={f.path},line={f.line},col={f.col},"
+            f"title=reprolint {f.code} (baselined)::{f.message}"
+        )
+    lines.append(
+        f"::notice title=reprolint::{len(new)} new, {len(old)} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render(
+    fmt: str, new: list[Finding], old: list[Finding], *, hints: bool = True
+) -> str:
+    if fmt == "json":
+        return _render_json(new, old)
+    if fmt == "github":
+        return _render_github(new, old)
+    return _render_text(new, old, hints=hints)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    findings = lint_paths(paths)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(findings)} grandfathered finding(s))"
+        )
+        return EXIT_OK
+
+    if args.no_baseline:
+        new, old = findings, []
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad baseline file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        new, old = baseline.split(findings)
+
+    text = render(args.format, new, old, hints=not args.no_hints)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return EXIT_FINDINGS if new else EXIT_OK
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    for code, r in sorted(RULES.items()):
+        print(f"{code}  {r.name}")
+        print(f"    {r.summary}")
+        print(f"    fix: {r.hint}")
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.checks",
+        description="reprolint: determinism / dtype / layout contract checks",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint files or directories")
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME})",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather all current findings into the baseline and exit 0",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: every finding is a failure",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    lint.add_argument(
+        "--no-hints", action="store_true",
+        help="omit fix-it hints from text output",
+    )
+
+    sub.add_parser("rules", help="print the rule table")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"lint": _cmd_lint, "rules": _cmd_rules}
+    try:
+        return handlers[args.command](args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

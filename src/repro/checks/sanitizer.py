@@ -1,0 +1,186 @@
+"""Runtime array sanitizer — the dynamic side of the correctness tooling.
+
+``reprolint`` proves what it can statically; this module traps at run
+time the violations it cannot: a kernel mutating caller-owned input
+arrays, silent dtype drift, layout drift on kernel boundaries, and
+NaN/Inf *creation* inside a kernel (inputs finite, outputs not).
+
+The sanitizer follows the telemetry null-object pattern: components
+hold :data:`NULL_SANITIZER` by default, whose every operation is a
+no-op, so un-sanitized runs pay only an attribute check. An enabled
+:class:`ArraySanitizer` is injected via
+``ExecutionConfig(sanitize=True)`` (see
+:func:`repro.core.backends.make_backend`) or the ``--sanitize`` CLI
+flag on ``python -m repro quick-cycle``.
+
+All checks are read-only (reductions and ``writeable`` flag toggles on
+the *same* arrays — never copies), so a sanitized run is bit-identical
+to an unsanitized one; ``tests/test_checks.py`` locks that in on a
+quick-cycle run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "ArraySanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "make_sanitizer",
+]
+
+
+class SanitizerError(RuntimeError):
+    """A kernel violated a dtype / layout / mutation / finiteness contract."""
+
+
+class _GuardRecord:
+    """What the guard learned on entry (consumed by exit-side checks)."""
+
+    __slots__ = ("kernel", "inputs_finite")
+
+    def __init__(self, kernel: str, inputs_finite: bool):
+        self.kernel = kernel
+        self.inputs_finite = inputs_finite
+
+
+class ArraySanitizer:
+    """Opt-in runtime contract checks around kernel entry points."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: kernel name -> number of guarded calls (test / debug aid)
+        self.calls: Counter = Counter()
+
+    # -- entry checks ----------------------------------------------------
+
+    def check_dtype(
+        self,
+        kernel: str,
+        arrays: Mapping[str, np.ndarray],
+        expected: np.dtype | type | str,
+    ) -> None:
+        """Every array must carry exactly the contracted dtype."""
+        exp = np.dtype(expected)
+        for name, arr in arrays.items():
+            if arr.dtype != exp:
+                raise SanitizerError(
+                    f"[{kernel}] input '{name}' has dtype {arr.dtype}, "
+                    f"contract requires {exp} — a silent promotion upstream "
+                    "would break the single-precision bit-reproducibility"
+                )
+
+    def check_contiguous(
+        self, kernel: str, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Arrays crossing this boundary must be C-contiguous."""
+        for name, arr in arrays.items():
+            if not arr.flags.c_contiguous:
+                raise SanitizerError(
+                    f"[{kernel}] input '{name}' is not C-contiguous "
+                    f"(strides {arr.strides}); a layout-floating operand "
+                    "changes BLAS partial-sum grouping"
+                )
+
+    # -- exit checks -----------------------------------------------------
+
+    def check_outputs(
+        self,
+        record: _GuardRecord | None,
+        arrays: Mapping[str, np.ndarray],
+    ) -> None:
+        """Trap NaN/Inf *creation*: finite inputs must yield finite outputs."""
+        if record is None or not record.inputs_finite:
+            return
+        for name, arr in arrays.items():
+            if not np.issubdtype(arr.dtype, np.floating):
+                continue
+            if not bool(np.all(np.isfinite(arr))):
+                raise SanitizerError(
+                    f"[{record.kernel}] created non-finite values in output "
+                    f"'{name}' from finite inputs"
+                )
+
+    # -- the guard -------------------------------------------------------
+
+    @contextmanager
+    def guard(
+        self,
+        kernel: str,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        expect_dtype: np.dtype | type | str | None = None,
+        require_contiguous: bool = False,
+    ) -> Iterator[_GuardRecord]:
+        """Guard a kernel call: entry checks + input write-protection.
+
+        Input arrays are flipped ``writeable=False`` for the duration —
+        any in-place write by the kernel surfaces as a
+        :class:`SanitizerError` naming the kernel instead of silently
+        corrupting caller state (the PR-2 shared-mutable hazard class).
+        Flags are restored on exit, so the arrays themselves are
+        untouched and the run stays bit-identical.
+        """
+        self.calls[kernel] += 1
+        if expect_dtype is not None:
+            self.check_dtype(kernel, arrays, expect_dtype)
+        if require_contiguous:
+            self.check_contiguous(kernel, arrays)
+
+        inputs_finite = all(
+            bool(np.all(np.isfinite(arr)))
+            for arr in arrays.values()
+            if np.issubdtype(arr.dtype, np.floating)
+        )
+        frozen: list[np.ndarray] = []
+        for arr in arrays.values():
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+                frozen.append(arr)
+        try:
+            yield _GuardRecord(kernel, inputs_finite)
+        except ValueError as exc:
+            if "read-only" in str(exc):
+                raise SanitizerError(
+                    f"[{kernel}] kernel attempted an in-place write to a "
+                    f"caller-owned input array: {exc}"
+                ) from exc
+            raise
+        finally:
+            for arr in frozen:
+                arr.flags.writeable = True
+
+
+class NullSanitizer:
+    """The disabled sanitizer: every operation is a no-op."""
+
+    enabled = False
+
+    def check_dtype(self, kernel, arrays, expected) -> None:
+        pass
+
+    def check_contiguous(self, kernel, arrays) -> None:
+        pass
+
+    def check_outputs(self, record, arrays) -> None:
+        pass
+
+    @contextmanager
+    def guard(self, kernel, arrays, **kw) -> Iterator[None]:
+        yield None
+
+
+#: the shared disabled sanitizer every component defaults to
+NULL_SANITIZER = NullSanitizer()
+
+
+def make_sanitizer(enabled: bool) -> ArraySanitizer | NullSanitizer:
+    """An enabled sanitizer, or the shared null object."""
+    return ArraySanitizer() if enabled else NULL_SANITIZER

@@ -175,7 +175,7 @@ def _cmd_calibrate(args) -> int:
 
 
 def _cmd_quickcycle(args) -> int:
-    from .config import LETKFConfig, RadarConfig, ScaleConfig
+    from .config import ExecutionConfig, LETKFConfig, RadarConfig, ScaleConfig
     from .core import BDASystem
     from .model.initial import convective_sounding
 
@@ -199,7 +199,8 @@ def _cmd_quickcycle(args) -> int:
     bda = BDASystem(
         scfg, lcfg, RadarConfig().reduced(),
         sounding=convective_sounding(cape_factor=1.1), seed=args.seed,
-        backend=args.backend, telemetry=tel,
+        backend=ExecutionConfig(backend=args.backend, sanitize=args.sanitize),
+        telemetry=tel,
     )
     bda.trigger_convection(n=2, amplitude=5.0)
     print("spinning up nature run ...")
@@ -312,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="ensemble execution backend (vectorized is bit-identical to "
              "serial; sharded adds virtual-MPI member blocks)",
+    )
+    qc.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime array sanitizer (repro.checks): assert "
+             "dtype/contiguity at kernel entry, trap in-place mutation of "
+             "inputs, detect NaN/Inf creation; results are bit-identical",
     )
 
     tl = sub.add_parser(

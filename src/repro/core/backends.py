@@ -43,6 +43,7 @@ __all__ = [
     "SerialBackend",
     "VectorizedBackend",
     "ShardedBackend",
+    "SanitizedBackend",
     "make_backend",
 ]
 
@@ -162,23 +163,80 @@ class ShardedBackend(ExecutionBackend):
         return f"ShardedBackend(n_shards={self.n_shards})"
 
 
+class SanitizedBackend(ExecutionBackend):
+    """Decorator backend arming the runtime array sanitizer.
+
+    Entry: the member-batched prognostic fields must carry the grid's
+    working dtype (the single-precision contract). During the forecast
+    every input array is write-protected, so a kernel mutating
+    caller-owned state raises
+    :class:`~repro.checks.sanitizer.SanitizerError` instead of silently
+    corrupting the ensemble. Exit: finite inputs must produce finite
+    outputs (NaN/Inf creation is trapped per kernel).
+
+    All checks are read-only, so the wrapped backend's results are
+    bit-identical to running it bare.
+    """
+
+    def __init__(self, inner: ExecutionBackend, sanitizer=None):
+        from ..checks.sanitizer import make_sanitizer
+
+        self.inner = inner
+        #: shared :class:`~repro.checks.sanitizer.ArraySanitizer`; the
+        #: cycler picks it up from here to guard the LETKF step too
+        self.sanitizer = sanitizer if sanitizer is not None else make_sanitizer(True)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        # keep the inner name so telemetry spans are unchanged
+        return self.inner.name
+
+    def forecast(self, model, state: EnsembleState, duration: float) -> EnsembleState:
+        san = self.sanitizer
+        fields = {f"fields.{k}": v for k, v in state.fields.items()}
+        inputs = dict(fields)
+        inputs.update({f"aux.{k}": v for k, v in state.aux.items()})
+        san.check_dtype("forecast", fields, state.grid.dtype)
+        with san.guard("forecast", inputs) as rec:
+            out = self.inner.forecast(model, state, duration)
+        san.check_outputs(rec, {f"fields.{k}": v for k, v in out.fields.items()})
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SanitizedBackend({self.inner!r})"
+
+
 def make_backend(
     spec: str | ExecutionConfig | ExecutionBackend | None = None,
+    *,
+    sanitize: bool | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec: name, config, backend instance, or None.
 
-    ``None`` yields the default :class:`VectorizedBackend`.
+    ``None`` yields the default :class:`VectorizedBackend`. The runtime
+    sanitizer is armed when ``sanitize=True`` or when an
+    :class:`~repro.config.ExecutionConfig` with ``sanitize=True`` is
+    given (an explicit ``sanitize`` argument wins).
     """
+    if isinstance(spec, ExecutionConfig) and sanitize is None:
+        sanitize = spec.sanitize
+
     if spec is None:
-        return VectorizedBackend()
-    if isinstance(spec, ExecutionBackend):
-        return spec
-    if isinstance(spec, str):
-        spec = ExecutionConfig(backend=spec)
-    if isinstance(spec, ExecutionConfig):
+        backend: ExecutionBackend = VectorizedBackend()
+    elif isinstance(spec, ExecutionBackend):
+        backend = spec
+    else:
+        if isinstance(spec, str):
+            spec = ExecutionConfig(backend=spec)
+        if not isinstance(spec, ExecutionConfig):
+            raise TypeError(f"cannot build an execution backend from {spec!r}")
         if spec.backend == "serial":
-            return SerialBackend()
-        if spec.backend == "vectorized":
-            return VectorizedBackend()
-        return ShardedBackend(n_shards=spec.n_shards)
-    raise TypeError(f"cannot build an execution backend from {spec!r}")
+            backend = SerialBackend()
+        elif spec.backend == "vectorized":
+            backend = VectorizedBackend()
+        else:
+            backend = ShardedBackend(n_shards=spec.n_shards)
+
+    if sanitize and not isinstance(backend, SanitizedBackend):
+        backend = SanitizedBackend(backend)
+    return backend

@@ -14,7 +14,7 @@ observations exactly as the paper verifies against MP-PAWR (Figs. 6-7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,10 +22,9 @@ from ..config import ExecutionConfig, LETKFConfig, RadarConfig, ScaleConfig
 from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
 from ..model.ensemble_state import EnsembleState
-from ..model.initial import random_thermals, warm_bubble
+from ..model.initial import random_thermals
 from ..model.model import ScaleRM
 from ..model.reference import Sounding
-from ..model.state import ModelState
 from ..radar.pawr import PAWRSimulator, VolumeScan
 from ..radar.regrid import volume_to_grid
 from ..radar.reflectivity import dbz_from_state

@@ -23,11 +23,12 @@ cycler mirrors that by never letting a bad input kill the cycle):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from ..checks.sanitizer import NULL_SANITIZER
 from ..config import ExecutionConfig, LETKFConfig
 from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
@@ -107,6 +108,10 @@ class DACycler:
         self.cycle_seconds = cycle_seconds
         #: execution backend for the part <1-2> member forecasts
         self.backend = make_backend(backend)
+        #: runtime array sanitizer — shared with a
+        #: :class:`~repro.core.backends.SanitizedBackend` when one was
+        #: built (``ExecutionConfig(sanitize=True)``), else the no-op
+        self.sanitizer = getattr(self.backend, "sanitizer", NULL_SANITIZER)
         #: NaN/Inf guards + rollback enabled (off = fail fast, for tests)
         self.guard = guard
         #: refilled members get this fraction of the survivors' spread
@@ -256,7 +261,15 @@ class DACycler:
                         hxb = self.obsope.hxb_ensemble(batch)
                         arrays = batch.analysis_arrays()
                     with tracer.span("solver"):
-                        analysis, diag = self.letkf.analyze(arrays, masked, hxb)
+                        san = self.sanitizer
+                        san.check_dtype("letkf", arrays, self.letkf.dtype)
+                        inputs = {f"xb.{k}": v for k, v in arrays.items()}
+                        inputs.update({f"hxb.{k}": v for k, v in hxb.items()})
+                        with san.guard("letkf", inputs) as rec:
+                            analysis, diag = self.letkf.analyze(
+                                arrays, masked, hxb
+                            )
+                        san.check_outputs(rec, analysis)
 
                     with tracer.span("update"):
                         finite = all(

@@ -14,7 +14,6 @@ are interpolated onto the inner members' lateral relaxation zones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -56,8 +56,8 @@ class AdaptiveInflation:
 
         Returns the updated rho.
         """
-        innovations = np.asarray(innovations, dtype=np.float64).ravel()
-        hpb = np.asarray(hpb_diag, dtype=np.float64).ravel()
+        innovations = np.asarray(innovations, dtype=np.float64).ravel()  # reprolint: ok DTY001 f64 stats
+        hpb = np.asarray(hpb_diag, dtype=np.float64).ravel()  # reprolint: ok DTY001 f64 stats
         if innovations.size == 0 or hpb.size == 0:
             return self.rho
         mean_hpb = float(np.mean(hpb))

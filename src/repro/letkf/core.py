@@ -235,7 +235,7 @@ def _transform(
     if d.strides[1] != d.itemsize:
         d = np.ascontiguousarray(d)
     # A = (m-1) I + C Yb : (G, m, m)
-    A = C @ dYb
+    A = C @ dYb  # reprolint: ok LAY001 C's base layout is the documented (m, G, No) pin above
     idx = np.arange(m)
     A[:, idx, idx] += dtype.type(m - 1)
 
@@ -247,7 +247,7 @@ def _transform(
 
     inv_w = 1.0 / w
     # wbar = V diag(1/w) V^T (C d)
-    Cd = np.einsum("gmn,gn->gm", C, d)
+    Cd = np.einsum("gmn,gn->gm", C, d)  # reprolint: ok LAY001 same pinned C; d pinned point-major above
     VtCd = np.einsum("gkm,gk->gm", V, Cd)  # V^T Cd
     wbar = np.einsum("gkm,gm->gk", V, inv_w * VtCd)
 

@@ -43,8 +43,8 @@ def desroziers(omb: np.ndarray, oma: np.ndarray) -> DesroziersStats:
     E[d_oa * d_ob] = R          ->  sigma_o^2
     E[(d_ob - d_oa) * d_ob] = HBH^T  ->  sigma_b^2 (in obs space)
     """
-    omb = np.asarray(omb, dtype=np.float64).ravel()
-    oma = np.asarray(oma, dtype=np.float64).ravel()
+    omb = np.asarray(omb, dtype=np.float64).ravel()  # reprolint: ok DTY001 f64 stats
+    oma = np.asarray(oma, dtype=np.float64).ravel()  # reprolint: ok DTY001 f64 stats
     if omb.shape != oma.shape:
         raise ValueError("O-B and O-A must pair up")
     if omb.size == 0:
@@ -77,8 +77,8 @@ def rank_histogram(ensemble: np.ndarray, truth: np.ndarray) -> np.ndarray:
 
 def spread_skill_ratio(ensemble: np.ndarray, truth: np.ndarray) -> float:
     """RMS spread / RMS error of the mean; ~1 for a reliable ensemble."""
-    ens = np.asarray(ensemble, dtype=np.float64)
-    t = np.asarray(truth, dtype=np.float64)
+    ens = np.asarray(ensemble, dtype=np.float64)  # reprolint: ok DTY001 f64 stats
+    t = np.asarray(truth, dtype=np.float64)  # reprolint: ok DTY001 f64 stats
     mean = ens.mean(axis=0)
     m = ens.shape[0]
     spread = np.sqrt(np.mean((ens - mean) ** 2) * m / max(m - 1, 1))

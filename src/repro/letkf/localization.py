@@ -27,7 +27,9 @@ def gaspari_cohn(r: np.ndarray) -> np.ndarray:
 
     ``c`` is the half-support: the function is exactly zero for r >= 2.
     """
-    r = np.abs(np.asarray(r, dtype=np.float64))
+    # the 5th-order GC polynomial is evaluated in f64 once at stencil
+    # build time; callers cast the finished weights to the working dtype
+    r = np.abs(np.asarray(r, dtype=np.float64))  # reprolint: ok DTY001 f64 weight build
     out = np.zeros_like(r)
     near = r < 1.0
     far = (r >= 1.0) & (r < 2.0)

@@ -12,7 +12,7 @@ Table 2 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -187,10 +187,11 @@ def superob_to_grid(
 
     n_cells = grid.nz * grid.ny * grid.nx
     counts = np.bincount(flat, minlength=n_cells)
-    sums = np.bincount(flat, weights=values.astype(np.float64), minlength=n_cells)
-
+    # bincount accumulates its weights in f64; keep the mean buffer in
+    # the same precision and cast once at the output boundary below
+    sums = np.bincount(flat, weights=values.astype(np.float64), minlength=n_cells)  # reprolint: ok DTY001 f64 accumulation
     valid = counts >= min_samples
-    mean = np.zeros(n_cells)
+    mean = np.zeros(n_cells, dtype=np.float64)  # reprolint: ok DTY001 f64 accumulation
     mean[valid] = sums[valid] / counts[valid]
 
     return GriddedObservations(

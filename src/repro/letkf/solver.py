@@ -288,7 +288,9 @@ class LETKFSolver:
         ens_stack = np.stack([ensemble[v] for v in var_names], axis=1).astype(self.dtype)
         xb_mean = ens_stack.mean(axis=0)
         xb_pert = ens_stack - xb_mean
-        diag.spread_before = float(np.sqrt(np.mean(xb_pert.astype(np.float64) ** 2)))
+        diag.spread_before = float(
+            np.sqrt(np.mean(xb_pert.astype(np.float64) ** 2))  # reprolint: ok DTY001 f64 stats
+        )
 
         analysis = ens_stack.copy()
         ana_levels = np.nonzero(self.level_mask)[0]
@@ -310,7 +312,7 @@ class LETKFSolver:
         diag.obs_per_point_max = obs_max
         xa_mean = analysis.mean(axis=0)
         diag.spread_after = float(
-            np.sqrt(np.mean((analysis.astype(np.float64) - xa_mean) ** 2))
+            np.sqrt(np.mean((analysis.astype(np.float64) - xa_mean) ** 2))  # reprolint: ok DTY001 f64 stats
         )
 
         out = {}
@@ -423,11 +425,15 @@ class LETKFSolver:
             with self._probe(
                 "letkf_apply", n_act * nv * m * itemsize + W.nbytes
             ):
+                # pert_act is a transposed view of the fancy-index copy —
+                # the same member-major base layout the dense path's apply
+                # step produces, so the weight application contracts its
+                # sums identically on both paths
                 pert_act = (
                     xb_pert[:, :, k0:k1].reshape(m, nv, G)[:, :, active]
                     .transpose(2, 1, 0)
                 )
-                xa_pert = np.einsum("gvm,gmn->gvn", pert_act, W)
+                xa_pert = np.einsum("gvm,gmn->gvn", pert_act, W)  # reprolint: ok LAY001 member-major layout shared with dense path
                 mean_act = xb_mean[:, k0:k1].reshape(nv, G)[:, active].T
                 xa = mean_act[:, :, None] + xa_pert
                 flat = analysis[:, :, k0:k1].reshape(m, nv, G)
@@ -534,7 +540,7 @@ class LETKFSolver:
             # apply weights to every analysis variable in the chunk
             pert = xb_pert[:, :, k0:k1].reshape(m, nv, G)
             pert = pert.transpose(2, 1, 0)  # (G, nv, m)
-            xa_pert = np.einsum("gvm,gmn->gvn", pert, W)
+            xa_pert = np.einsum("gvm,gmn->gvn", pert, W)  # reprolint: ok LAY001 member-major layout shared with sparse path
             xa = xb_mean[:, k0:k1].reshape(nv, G).T[:, :, None] + xa_pert
             analysis[:, :, k0:k1] = (
                 xa.transpose(2, 1, 0).reshape(m, nv, nk, g.ny, g.nx)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..constants import CPDRY, GRAV, KAPPA, PRE00, RDRY, saturation_mixing_ratio
+from ..constants import CPDRY, KAPPA, RDRY, saturation_mixing_ratio
 from .state import ModelState
 
 __all__ = [

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..grid import Grid
-from .reference import ReferenceState, Sounding
+from .reference import Sounding
 from .state import ModelState
 
 __all__ = ["convective_sounding", "warm_bubble", "random_thermals"]

@@ -9,7 +9,6 @@ forecast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

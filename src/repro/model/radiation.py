@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..constants import CPDRY, KAPPA, PRE00, TEM00
+from ..constants import CPDRY, KAPPA, PRE00
 from ..grid import Grid
 from .reference import ReferenceState
 from .state import ModelState

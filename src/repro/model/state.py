@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..constants import CPDRY, CVDRY, KAPPA, PRE00, RDRY, as_dtype
+from ..constants import CPDRY, CVDRY, KAPPA, PRE00, RDRY
 from ..grid import Grid
 from .reference import ReferenceState
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..config import LETKFConfig, RadarConfig
+from ..config import RadarConfig
 from ..grid import Grid
 from ..letkf.qc import GriddedObservations
 from .blockage import grid_observation_mask

@@ -8,7 +8,6 @@ unit vector varies negligibly across one 500-m cell).
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..config import LETKFConfig
 from ..grid import Grid

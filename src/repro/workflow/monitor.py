@@ -14,7 +14,7 @@ provides that layer over the cycle-record stream:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,7 @@ into the stage cost model. Produces exactly the Fig. 5 data products:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

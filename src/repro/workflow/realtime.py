@@ -25,7 +25,7 @@ node failures delay the resources they strike.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..comm.topology import FugakuAllocation
 from ..config import ExecutionConfig, WorkflowConfig

@@ -13,7 +13,7 @@ import pytest
 from repro.config import LETKFConfig, RadarConfig, ScaleConfig
 from repro.grid import Grid
 from repro.model import ScaleRM, convective_sounding, warm_bubble
-from repro.model.reference import ReferenceState, Sounding
+from repro.model.reference import ReferenceState
 
 
 @pytest.fixture(scope="session")

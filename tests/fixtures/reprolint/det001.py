@@ -1,0 +1,29 @@
+"""DET001 fixture: unseeded / global-state RNG (applies everywhere)."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_unseeded():
+    rng = default_rng()  # positive: no seed argument
+    other = np.random.default_rng(seed=None)  # positive: explicit None
+    return rng, other
+
+
+def bad_global_state():
+    np.random.seed(0)  # positive: legacy global-state RNG
+    x = np.random.normal(size=3)  # positive
+    y = random.random()  # positive: stdlib global RNG
+    return x, y
+
+
+def good_seeded(seed):
+    rng = np.random.default_rng(7)  # negative: explicit seed
+    named = default_rng(seed=seed)  # negative: seed forwarded
+    return rng.normal(size=3) + named.normal()  # negative: generator methods
+
+
+def tolerated():
+    rng = default_rng()  # reprolint: ok DET001 fixture demonstrates suppression
+    return rng

@@ -1,0 +1,20 @@
+"""DET002 fixture: wall-clock reads outside telemetry/ and workflow/."""
+import datetime
+import time
+
+
+def bad_clock_reads():
+    t = time.time()  # positive
+    ns = time.time_ns()  # positive
+    now = datetime.datetime.now()  # positive
+    today = datetime.date.today()  # positive
+    return t, ns, now, today
+
+
+def good_monotonic():
+    return time.perf_counter()  # negative: monotonic clocks are fine
+
+
+def tolerated():
+    # reprolint: ok DET002 fixture demonstrates line-above suppression
+    return time.time()

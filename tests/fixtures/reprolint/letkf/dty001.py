@@ -1,0 +1,23 @@
+"""DTY001 fixture: float64 discipline in the single-precision hot path."""
+import numpy as np
+
+
+def bad_dtype(x, n):
+    a = np.zeros(n)  # positive: dtype-less ctor defaults to float64
+    b = np.empty((n, n))  # positive
+    c = np.asarray(x, dtype=np.float64)  # positive: literal f64 dtype
+    d = np.full(n, 0.0, dtype="float64")  # positive: string f64 dtype
+    e = x.astype(np.float64)  # positive: f64 promotion
+    return a, b, c, d, e
+
+
+def good_dtype(x, n, dtype):
+    a = np.zeros(n, dtype=np.float32)  # negative: explicit f32
+    b = np.empty((n, n), dtype=dtype)  # negative: dtype threaded through
+    c = np.asarray(x, dtype=dtype)  # negative
+    return a, b, c
+
+
+def tolerated(x):
+    acc = np.asarray(x, dtype=np.float64)  # reprolint: ok DTY001 f64 accumulator
+    return acc

@@ -1,0 +1,24 @@
+"""LAY001 fixture: layout-floating GEMM operands near letkf_transform."""
+import numpy as np
+
+
+def bad_layouts(A, B, d):
+    bad = A.T @ B  # positive: direct transposed view into '@'
+    t = A.transpose(1, 0)
+    also_bad = np.matmul(t, B)  # positive: name assigned from a transpose
+    r = t.reshape(-1, B.shape[0])
+    via_view = np.einsum("ij,jk->ik", r, B)  # positive: reshape keeps it floating
+    return bad, also_bad, via_view
+
+
+def good_layouts(A, B):
+    pinned = np.ascontiguousarray(A.T)
+    ok = pinned @ B  # negative: contiguity pinned before the GEMM
+    c = A.T.copy()
+    ok2 = np.dot(c, B)  # negative: .copy() materializes the layout
+    return ok, ok2
+
+
+def tolerated(A, B):
+    w = np.einsum("ij,jk->ik", A.T, B)  # reprolint: ok LAY001 fixture suppression
+    return w

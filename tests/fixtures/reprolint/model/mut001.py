@@ -1,0 +1,23 @@
+"""MUT001 fixture: in-place mutation of kernel parameters (model/)."""
+import numpy as np
+
+
+def bad_mutations(state, work, aux):
+    state[0] = 1.0  # positive: subscript assignment
+    work[:, 0] += 2.0  # positive: augmented subscript assignment
+    aux.fill(0.0)  # positive: mutating method
+    np.add(state, work, out=state)  # positive: out= into a parameter
+    np.copyto(work, state)  # positive: copyto into a parameter
+    return state
+
+
+def good_fresh_output(state, out):
+    local = state.copy()
+    local[0] = 1.0  # negative: mutates a local copy
+    out[:] = local  # negative: 'out' parameters are the documented sink
+    return out
+
+
+def tolerated(state):
+    state[0] = 0.0  # reprolint: ok MUT001 fixture demonstrates suppression
+    return state

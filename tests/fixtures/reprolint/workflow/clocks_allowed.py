@@ -1,0 +1,6 @@
+"""DET002 negative fixture: workflow/ is allowed to read wall clocks."""
+import time
+
+
+def scheduler_tick():
+    return time.time()  # negative: DET002 is off under workflow/

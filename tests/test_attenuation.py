@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.radar.attenuation import (
-    ALPHA_X,
     attenuate_scan,
     correct_attenuation_kdp,
     specific_attenuation,

@@ -8,7 +8,7 @@ import pytest
 
 from repro.config import ScaleConfig
 from repro.core import Ensemble, NestedDomains, ProductWriter, TimeToSolution
-from repro.model import ScaleRM, convective_sounding
+from repro.model import convective_sounding
 
 
 @pytest.fixture()

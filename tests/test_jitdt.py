@@ -1,7 +1,6 @@
 """JIT-DT: protocol, transfer engine, watcher, fail-safe."""
 
 import os
-import time
 
 import numpy as np
 import pytest

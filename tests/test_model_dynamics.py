@@ -2,7 +2,7 @@ import numpy as np
 import pytest
 
 from repro.config import ScaleConfig
-from repro.model import ScaleRM, convective_sounding, warm_bubble
+from repro.model import ScaleRM, convective_sounding
 from repro.model.dynamics import TridiagonalFactors
 
 

@@ -167,7 +167,7 @@ class TestDegradedAndTTSDegradation:
 
 class TestMonitorOverCampaign:
     def test_monitor_agrees_with_report(self):
-        from repro.resilience import FaultCampaign, resilience_metrics
+        from repro.resilience import FaultCampaign
 
         camp = FaultCampaign(seed=31)
         camp.run(400)

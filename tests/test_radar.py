@@ -10,7 +10,6 @@ from repro.radar import (
     ScanGeometry,
     decode_volume,
     encode_volume,
-    observation_mask,
     reflectivity_dbz,
     reflectivity_factor,
     volume_to_grid,

@@ -1,7 +1,5 @@
 """Telemetry layer: tracer spans, metrics, profiler, replay, CLI."""
 
-import json
-
 import numpy as np
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import WorkflowConfig
 from repro.workflow import (
-    CampaignPeriod,
     EventQueue,
     OperationsSimulator,
     OutageModel,
