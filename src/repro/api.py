@@ -37,6 +37,14 @@ _EXPORTS = {
     "WorkflowMonitor": ".workflow.monitor",
     "FaultCampaign": ".resilience.campaign",
     "ResilienceReport": ".resilience.campaign",
+    # streaming ingest
+    "IngestBuffer": ".ingest.buffer",
+    "ScanEnvelope": ".ingest.buffer",
+    "AdmissionDecision": ".ingest.buffer",
+    "IngestChaosCampaign": ".ingest.chaos",
+    "IngestChaosReport": ".ingest.chaos",
+    "StreamFaultInjector": ".resilience.faults",
+    "StreamFaultRates": ".resilience.faults",
     # configuration dataclasses
     "ScaleConfig": ".config",
     "LETKFConfig": ".config",

@@ -11,6 +11,9 @@ Gives downstream users the paper's artifacts without writing code:
 * ``fault-campaign`` (alias ``faultcampaign``) — seeded fault-injection
   campaign over the pipeline with recovery metrics and
   checkpoint/resume;
+* ``ingest-campaign`` (alias ``ingestcampaign``) — streaming-ingest
+  chaos campaign: out-of-order/late/duplicate/dropped scans plus
+  corrupt wire chunks, asserting zero stale/duplicate assimilations;
 * ``quick-cycle`` (alias ``quickcycle``) — a tiny OSSE cycling demo
   (the quickstart in one command);
 * ``telemetry`` — replay a recorded ``--telemetry`` run directory into
@@ -167,6 +170,37 @@ def _cmd_faultcampaign(args) -> int:
     return EXIT_OK
 
 
+def _cmd_ingestcampaign(args) -> int:
+    import json
+
+    from .ingest.chaos import IngestChaosCampaign, ingest_chaos_text
+    from .resilience.faults import StreamFaultRates
+
+    tel = _make_telemetry(args)
+    rates = StreamFaultRates(
+        scan_delay=args.scan_rate,
+        scan_reorder=args.scan_rate / 2.0,
+        scan_duplicate=args.scan_rate / 2.0,
+        scan_drop=args.scan_rate / 5.0,
+        chunk_bitflip=args.chunk_rate,
+        chunk_truncate=args.chunk_rate,
+    )
+    camp = IngestChaosCampaign(rates, seed=args.seed, telemetry=tel)
+    report = camp.run(args.cycles)
+    print(ingest_chaos_text(report))
+    if args.json:
+        path = _resolve_out(args, args.json)
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    _write_telemetry(args, tel)
+    if not report.gate_ok:
+        print("error: chaos gate failed (stale/duplicate/undecided/hung)",
+              file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def _cmd_calibrate(args) -> int:
     from .workflow.calibration import calibrate
 
@@ -301,6 +335,24 @@ def build_parser() -> argparse.ArgumentParser:
     fc.add_argument("--resume", type=str, default=None,
                     help="resume from a checkpoint written by --checkpoint")
 
+    ic = sub.add_parser(
+        "ingest-campaign", aliases=["ingestcampaign"],
+        help="streaming-ingest chaos campaign (scan + wire faults)",
+        parents=[_common_parent(seed_default=2021)],
+    )
+    ic.add_argument("--cycles", type=int, default=500)
+    ic.add_argument(
+        "--scan-rate", type=float, default=0.1,
+        help="per-cycle scan-delay rate; reorder/duplicate run at half of "
+             "it, drop at a fifth (default 0.1)",
+    )
+    ic.add_argument(
+        "--chunk-rate", type=float, default=0.02,
+        help="per-transfer chunk bit-flip and truncation rate (default 0.02)",
+    )
+    ic.add_argument("--json", type=str, default=None, metavar="FILE",
+                    help="write the chaos report as JSON")
+
     qc = sub.add_parser(
         "quick-cycle", aliases=["quickcycle"],
         help="tiny OSSE cycling demo",
@@ -339,6 +391,8 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "fault-campaign": _cmd_faultcampaign,
     "faultcampaign": _cmd_faultcampaign,
+    "ingest-campaign": _cmd_ingestcampaign,
+    "ingestcampaign": _cmd_ingestcampaign,
     "quick-cycle": _cmd_quickcycle,
     "quickcycle": _cmd_quickcycle,
     "telemetry": _cmd_telemetry,

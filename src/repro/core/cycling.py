@@ -30,6 +30,7 @@ import numpy as np
 
 from ..checks.sanitizer import NULL_SANITIZER
 from ..config import ExecutionConfig, LETKFConfig
+from ..ingest.buffer import ADMIT, SKIP, SUBSTITUTE, WAIT, AdmissionDecision
 from ..letkf.obsope import RadarObsOperator
 from ..letkf.qc import GriddedObservations
 from ..letkf.solver import AnalysisDiagnostics, LETKFSolver
@@ -62,6 +63,9 @@ class CycleResult:
     #: observation volumes rejected by input validation
     n_volumes_rejected: int = 0
     rejection_reasons: tuple[str, ...] = ()
+    #: ingest admission action that routed this cycle ("" when the
+    #: observations were handed over directly, without an IngestBuffer)
+    admission: str = ""
 
     @property
     def degraded(self) -> bool:
@@ -188,9 +192,45 @@ class DACycler:
     # --------------------------------------------------------------------
 
     def run_cycle(
-        self, observations: list[GriddedObservations] | None = None
+        self,
+        observations: list[GriddedObservations] | None = None,
+        *,
+        admission: AdmissionDecision | None = None,
     ) -> CycleResult:
-        """One full 30-s cycle; degrades instead of failing on bad input."""
+        """One full 30-s cycle; degrades instead of failing on bad input.
+
+        Observations arrive either directly (``observations``, the
+        legacy path) or routed through an ingest
+        :class:`~repro.ingest.buffer.AdmissionDecision`:
+
+        * ``admit`` — assimilate the admitted scan's payload; this takes
+          *exactly* the direct path (bit-identical to passing the same
+          observations directly);
+        * ``substitute-previous`` — assimilate the previous scan's
+          payload as an explicitly degraded analysis (``mode ==
+          "substitute"``, a new rung between ``reduced`` and
+          ``free-run`` on the degradation ladder);
+        * ``skip-cycle`` — no usable scan: forecast-only free run;
+        * ``wait`` — not runnable; the caller must resolve the wait
+          (deliver arrivals and re-decide) before cycling. Raises.
+        """
+        if admission is not None:
+            if observations is not None:
+                raise ValueError(
+                    "pass observations directly or an admission decision, "
+                    "not both"
+                )
+            if admission.action == WAIT:
+                raise ValueError(
+                    "a 'wait' decision is not runnable — re-decide at the "
+                    "deadline before running the cycle"
+                )
+            if admission.action in (ADMIT, SUBSTITUTE):
+                observations = admission.observations
+            elif admission.action != SKIP:
+                raise ValueError(
+                    f"unknown admission action {admission.action!r}"
+                )
         tel = self.telemetry
         tracer = tel.tracer
         with tracer.span("cycle", cycle=self._cycle + 1) as cyc_span:
@@ -300,7 +340,16 @@ class DACycler:
                     self._refill_lost(lost, healthy)
                     n_recovered = len(lost)
 
-                if self.guard and mode in ("analysis", "reduced"):
+                if (
+                    admission is not None
+                    and admission.action == SUBSTITUTE
+                    and mode == "analysis"
+                ):
+                    # a clean analysis of the *previous* scan is still a
+                    # degraded product: surface it as its own rung
+                    mode = "substitute"
+
+                if self.guard and mode in ("analysis", "reduced", "substitute"):
                     self._snapshot_candidate()
             t_letkf = time.perf_counter() - t0
             cyc_span.set(
@@ -333,6 +382,10 @@ class DACycler:
                       help="mean valid local obs per active point").set(
                 diag.obs_per_point_mean
             )
+        if admission is not None:
+            tel.counter("bda_admissions_total",
+                        help="cycles routed through ingest admission",
+                        action=admission.action).inc()
 
         self._cycle += 1
         res = CycleResult(
@@ -347,6 +400,7 @@ class DACycler:
             n_members_recovered=n_recovered,
             n_volumes_rejected=len(obs_in) - len(obs_ok),
             rejection_reasons=tuple(reasons),
+            admission=admission.action if admission is not None else "",
         )
         self.results.append(res)
         return res

@@ -1,0 +1,35 @@
+"""Streaming-ingest robustness for the JIT-DT scan pipeline.
+
+* :mod:`repro.ingest.buffer` — per-radar :class:`IngestBuffer` turning
+  the out-of-order / late / duplicate arrival stream into one explicit
+  admission decision per cycle (admit / wait / substitute-previous /
+  skip-cycle), with a watermark that makes stale assimilation
+  impossible by construction;
+* :mod:`repro.ingest.chaos` — the ingest chaos campaign driving the
+  workflow through scan-stream and chunk-level fault sweeps
+  (``python -m repro ingest-campaign``).
+"""
+
+from __future__ import annotations
+
+from .buffer import (
+    ADMIT,
+    SKIP,
+    SUBSTITUTE,
+    WAIT,
+    AdmissionDecision,
+    IngestBuffer,
+    ScanEnvelope,
+    envelope_from_observations,
+)
+
+__all__ = [
+    "ADMIT",
+    "WAIT",
+    "SUBSTITUTE",
+    "SKIP",
+    "AdmissionDecision",
+    "IngestBuffer",
+    "ScanEnvelope",
+    "envelope_from_observations",
+]

@@ -1,0 +1,478 @@
+"""Per-radar scan admission: reordering, dedup, lateness, and decisions.
+
+The paper's 30-second refresh holds only while JIT-DT delivers every
+scan clean and in order; in production the stream is late, reordered,
+duplicated, or missing. :class:`IngestBuffer` sits between the JIT-DT
+stack and the cycling workflow and turns that messy arrival stream into
+exactly one *deterministic decision per cycle*:
+
+* **admit** — the scan for the cycle's valid time is here: hand it to
+  the LETKF (byte-identical to the un-buffered path);
+* **wait** — the scan is missing but wall budget remains before the
+  cycle must commit;
+* **substitute-previous** — budget exhausted, but the previous admitted
+  scan exists: run an explicitly *degraded* analysis on it (the ingest
+  analog of the PR-1 degradation ladder's ``reduced`` rung);
+* **skip-cycle** — nothing to substitute: the cycle free-runs.
+
+The **watermark** is the highest valid time the buffer has resolved
+(admitted or degraded past). It is the stale-data firewall: once cycle
+``T`` is resolved, any later arrival with ``t_valid <= T`` is discarded
+on offer — a late scan can *never* be assimilated as if it were fresh,
+and the admitted sequence is strictly increasing in valid time by
+construction. Duplicate suppression is keyed on the full scan identity
+``(radar_id, t_valid, content signature)``, so a re-sent volume is
+dropped while a *conflicting* volume (same time, different bytes — a
+corrupted retransmission that slipped past the chunk CRCs) keeps the
+first-arrived copy and counts the conflict.
+
+Determinism contract: decisions depend only on the offered envelopes
+and the ``decide`` arguments — never on wall clock or global state — so
+any interleaving of delayed/duplicated/reordered deliveries of the same
+scan set yields the same admitted sequence as the sorted unique stream
+(property-tested in ``tests/test_ingest.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..radar.scan import ScanId, volume_signature
+from ..telemetry import LATENESS_BUCKETS, NULL_TELEMETRY
+
+__all__ = [
+    "ADMIT",
+    "WAIT",
+    "SUBSTITUTE",
+    "SKIP",
+    "ScanEnvelope",
+    "AdmissionDecision",
+    "IngestBuffer",
+    "envelope_from_observations",
+]
+
+#: the four admission actions (the cycle-facing state machine)
+ADMIT = "admit"
+WAIT = "wait"
+SUBSTITUTE = "substitute-previous"
+SKIP = "skip-cycle"
+
+#: offer() outcomes (the arrival-facing half)
+_OFFER_OUTCOMES = ("buffered", "duplicate", "stale", "conflict", "overflow")
+
+
+@dataclass(frozen=True)
+class ScanEnvelope:
+    """One scan delivery as the ingest stage sees it.
+
+    ``arrival_time`` is supplied by the caller (simulation clock or the
+    transfer layer's completion stamp) — the buffer itself never reads a
+    wall clock, which keeps admission replayable.
+    """
+
+    radar_id: str
+    t_valid: float
+    signature: str
+    arrival_time: float
+    payload: Any = None
+
+    @property
+    def scan_id(self) -> ScanId:
+        return ScanId(self.radar_id, self.t_valid, self.signature)
+
+    @property
+    def lateness_s(self) -> float:
+        return self.arrival_time - self.t_valid
+
+
+def envelope_from_observations(
+    radar_id: str,
+    observations: list,
+    *,
+    t_valid: float,
+    arrival_time: float,
+) -> ScanEnvelope:
+    """Wrap gridded observation volumes in a content-hashed envelope."""
+    arrays = []
+    for obs in observations:
+        arrays.append(obs.values)
+        arrays.append(obs.valid)
+    return ScanEnvelope(
+        radar_id=radar_id,
+        t_valid=float(t_valid),
+        signature=volume_signature(*arrays),
+        arrival_time=float(arrival_time),
+        payload=observations,
+    )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The buffer's verdict for one cycle (consumed by the DACycler)."""
+
+    action: str
+    t_valid: float
+    scan: ScanEnvelope | None = None
+    reason: str = ""
+
+    @property
+    def observations(self) -> Any:
+        """The payload the cycle should assimilate (None on wait/skip)."""
+        return self.scan.payload if self.scan is not None else None
+
+
+@dataclass
+class _LatenessStats:
+    """Fixed-bucket lateness accounting mirrored into telemetry."""
+
+    buckets: tuple[float, ...] = LATENESS_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    n: int = 0
+    total: float = 0.0
+    max: float = -math.inf
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, v: float) -> None:
+        self.n += 1
+        self.total += v
+        self.max = max(self.max, v)
+        for i, edge in enumerate(self.buckets):
+            if v <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean_s": self.mean,
+            "max_s": self.max if self.n else 0.0,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class IngestBuffer:
+    """Reordering/admission stage for one radar's scan stream.
+
+    ``max_backlog`` bounds the reorder window: scans buffered beyond it
+    are dropped under an explicit policy (``"oldest"`` drops the scan
+    closest to its — presumably already blown — deadline, ``"newest"``
+    refuses the incoming scan). ``t_match_tol`` absorbs float noise in
+    valid-time matching.
+    """
+
+    def __init__(
+        self,
+        radar_id: str,
+        *,
+        max_backlog: int = 8,
+        drop_policy: str = "oldest",
+        allow_substitute: bool = True,
+        t_match_tol: float = 1e-6,
+        dedup_horizon_s: float = 600.0,
+        telemetry=None,
+    ):
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+        if drop_policy not in ("oldest", "newest"):
+            raise ValueError(f"unknown drop policy {drop_policy!r}")
+        self.radar_id = radar_id
+        self.max_backlog = int(max_backlog)
+        self.drop_policy = drop_policy
+        self.allow_substitute = bool(allow_substitute)
+        self.t_match_tol = float(t_match_tol)
+        #: duplicate identities are remembered this long past the
+        #: watermark; re-sends older than that are already caught (and
+        #: counted) by the stale firewall
+        self.dedup_horizon_s = float(dedup_horizon_s)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+        #: highest resolved valid time; arrivals at/below it are stale
+        self.watermark = -math.inf
+        #: t_valid -> buffered envelope (the reorder window)
+        self._backlog: dict[float, ScanEnvelope] = {}
+        #: identities seen (buffered or admitted), for dedup
+        self._seen: dict[tuple, float] = {}
+        #: substitution source: the last admitted scan
+        self.last_admitted: ScanEnvelope | None = None
+        #: every admitted ScanId in admission order (invariant audit:
+        #: strictly increasing t_valid, no repeated identity)
+        self.admitted_log: list[ScanId] = []
+        self.counters: dict[str, int] = {
+            "offered": 0,
+            "buffered": 0,
+            "admitted": 0,
+            "duplicate": 0,
+            "stale": 0,
+            "conflict": 0,
+            "overflow": 0,
+            "expired": 0,
+            "substituted": 0,
+            "skipped": 0,
+            "waits": 0,
+        }
+        self.lateness = _LatenessStats()
+
+    # -- arrival side ----------------------------------------------------
+
+    def offer(self, scan: ScanEnvelope) -> str:
+        """Present one delivery; returns its fate (see module docstring).
+
+        Outcomes: ``"buffered"`` (held for its cycle), ``"duplicate"``
+        (identity already seen), ``"stale"`` (valid time at or below the
+        watermark — its cycle already resolved), ``"conflict"`` (same
+        valid time as a buffered scan but different content; first copy
+        wins), ``"overflow"`` (bounded backlog full; a scan was dropped
+        under the drop policy — possibly this one).
+        """
+        if scan.radar_id != self.radar_id:
+            raise ValueError(
+                f"scan from radar {scan.radar_id!r} offered to the "
+                f"{self.radar_id!r} ingest buffer"
+            )
+        self.counters["offered"] += 1
+        self.lateness.observe(scan.lateness_s)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("ingest_scans_total", radar=self.radar_id).inc()
+            tel.histogram(
+                "ingest_lateness_seconds", buckets=LATENESS_BUCKETS,
+                radar=self.radar_id,
+            ).observe(scan.lateness_s)
+
+        outcome = self._classify(scan)
+        self.counters[outcome] += 1
+        if tel.enabled:
+            if outcome == "duplicate":
+                tel.counter("ingest_duplicates_total", radar=self.radar_id).inc()
+            elif outcome == "stale":
+                tel.counter("ingest_stale_total", radar=self.radar_id).inc()
+            elif outcome in ("conflict", "overflow"):
+                tel.counter(
+                    "ingest_dropped_total", radar=self.radar_id, reason=outcome
+                ).inc()
+            tel.gauge("ingest_backlog", radar=self.radar_id).set(
+                float(len(self._backlog))
+            )
+        return outcome
+
+    def _classify(self, scan: ScanEnvelope) -> str:
+        if scan.scan_id.key in self._seen:
+            return "duplicate"
+        if scan.t_valid <= self.watermark + self.t_match_tol:
+            return "stale"
+        slot = self._match_slot(scan.t_valid)
+        if slot is not None:
+            # same valid time, different content: a conflicting delivery
+            return "conflict"
+        if len(self._backlog) >= self.max_backlog:
+            if self.drop_policy == "newest":
+                return "overflow"
+            victim = min(self._backlog)  # oldest valid time
+            dropped = self._backlog.pop(victim)
+            self._seen.pop(dropped.scan_id.key, None)
+            self._backlog[scan.t_valid] = scan
+            self._seen[scan.scan_id.key] = scan.t_valid
+            return "overflow"
+        self._backlog[scan.t_valid] = scan
+        self._seen[scan.scan_id.key] = scan.t_valid
+        return "buffered"
+
+    def _match_slot(self, t_valid: float) -> float | None:
+        """The backlog key matching ``t_valid`` within tolerance."""
+        if t_valid in self._backlog:
+            return t_valid
+        best = None
+        for t in self._backlog:
+            if abs(t - t_valid) <= self.t_match_tol:
+                if best is None or abs(t - t_valid) < abs(best - t_valid):
+                    best = t
+        return best
+
+    # -- cycle side ------------------------------------------------------
+
+    def decide(
+        self,
+        t_valid: float,
+        *,
+        now: float | None = None,
+        deadline: float | None = None,
+    ) -> AdmissionDecision:
+        """Resolve the cycle targeting ``t_valid``.
+
+        With the target scan buffered the decision is **admit**.
+        Otherwise, if ``now``/``deadline`` are given and budget remains
+        (``now < deadline``), the decision is **wait** — state is
+        untouched and the caller re-decides after delivering more
+        arrivals. With the budget exhausted (or no deadline supplied)
+        the cycle is resolved *without* its scan: **substitute-previous**
+        when a previous admitted scan exists (and substitution is
+        enabled), else **skip-cycle**. Every resolution advances the
+        watermark to ``t_valid``, so the scan — should it arrive later —
+        is discarded as stale rather than assimilated out of order.
+        """
+        slot = self._match_slot(t_valid)
+        if slot is not None:
+            scan = self._backlog.pop(slot)
+            self._advance(t_valid)
+            self.last_admitted = scan
+            self.admitted_log.append(scan.scan_id)
+            self.counters["admitted"] += 1
+            return self._decided(
+                AdmissionDecision(ADMIT, t_valid, scan=scan, reason="on-time")
+            )
+        if now is not None and deadline is not None and now < deadline:
+            self.counters["waits"] += 1
+            return self._decided(
+                AdmissionDecision(
+                    WAIT, t_valid,
+                    reason=f"scan missing, {deadline - now:.3g} s budget left",
+                )
+            )
+        self._advance(t_valid)
+        if self.allow_substitute and self.last_admitted is not None:
+            self.counters["substituted"] += 1
+            prev = self.last_admitted
+            return self._decided(
+                AdmissionDecision(
+                    SUBSTITUTE, t_valid, scan=prev,
+                    reason=(
+                        f"scan missing at deadline; substituting "
+                        f"t_valid={prev.t_valid:g}"
+                    ),
+                )
+            )
+        self.counters["skipped"] += 1
+        return self._decided(
+            AdmissionDecision(
+                SKIP, t_valid, reason="scan missing and nothing to substitute"
+            )
+        )
+
+    def _advance(self, t_valid: float) -> None:
+        """Move the watermark; expire backlog/dedup state it passed."""
+        self.watermark = max(self.watermark, t_valid)
+        expired = [
+            t for t in self._backlog if t <= self.watermark + self.t_match_tol
+        ]
+        for t in expired:
+            scan = self._backlog.pop(t)
+            self._seen.pop(scan.scan_id.key, None)
+            self.counters["expired"] += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "ingest_dropped_total", radar=self.radar_id, reason="expired"
+                ).inc()
+        horizon = self.watermark - self.dedup_horizon_s
+        for key in [k for k, t in self._seen.items() if t <= horizon]:
+            del self._seen[key]
+
+    def _decided(self, decision: AdmissionDecision) -> AdmissionDecision:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "ingest_decisions_total", radar=self.radar_id,
+                action=decision.action,
+            ).inc()
+            if decision.action == ADMIT:
+                tel.counter("ingest_admitted_total", radar=self.radar_id).inc()
+            if decision.action != WAIT:
+                tel.gauge("ingest_watermark_seconds", radar=self.radar_id).set(
+                    self.watermark
+                )
+                tel.gauge("ingest_backlog", radar=self.radar_id).set(
+                    float(len(self._backlog))
+                )
+        return decision
+
+    # -- audit -----------------------------------------------------------
+
+    @property
+    def backlog_size(self) -> int:
+        return len(self._backlog)
+
+    def verify_invariants(self) -> list[str]:
+        """Audit the admitted log; returns violations (empty = clean).
+
+        The two chaos-gate guarantees: no stale admission (valid times
+        strictly increase) and no duplicate admission (identities are
+        unique). Both hold by construction; the bench asserts them.
+        """
+        problems: list[str] = []
+        times = [s.t_valid for s in self.admitted_log]
+        for a, b in zip(times, times[1:]):
+            if b <= a:
+                problems.append(
+                    f"stale admission: t_valid {b:g} admitted after {a:g}"
+                )
+        keys = [s.key for s in self.admitted_log]
+        if len(set(keys)) != len(keys):
+            dup = sorted({str(k) for k in keys if keys.count(k) > 1})
+            problems.append(f"duplicate admission of {dup}")
+        return problems
+
+    def stats(self) -> dict:
+        """Snapshot for reports: counters + lateness + backlog state."""
+        return {
+            "radar_id": self.radar_id,
+            "watermark": self.watermark,
+            "backlog": len(self._backlog),
+            "counters": dict(self.counters),
+            "lateness": self.lateness.as_dict(),
+        }
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Resumable admission state (scan *payloads* are not carried —
+        a resumed buffer substitutes/admits by identity only, which is
+        all the workflow recurrence consumes)."""
+        def _env(e: ScanEnvelope | None):
+            if e is None:
+                return None
+            return {
+                "radar_id": e.radar_id,
+                "t_valid": e.t_valid,
+                "signature": e.signature,
+                "arrival_time": e.arrival_time,
+            }
+
+        return {
+            "watermark": self.watermark,
+            "backlog": [_env(e) for e in self._backlog.values()],
+            "seen": [[list(k), t] for k, t in self._seen.items()],
+            "last_admitted": _env(self.last_admitted),
+            "admitted_log": [
+                [s.radar_id, s.t_valid, s.signature] for s in self.admitted_log
+            ],
+            "counters": dict(self.counters),
+            "lateness": self.lateness.as_dict(),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        def _env(row):
+            return None if row is None else ScanEnvelope(**row)
+
+        self.watermark = float(d["watermark"])
+        self._backlog = {e["t_valid"]: _env(e) for e in d["backlog"]}
+        self._seen = {tuple(k): float(t) for k, t in d["seen"]}
+        self.last_admitted = _env(d["last_admitted"])
+        self.admitted_log = [ScanId(r, t, s) for r, t, s in d["admitted_log"]]
+        self.counters.update({k: int(v) for k, v in d["counters"].items()})
+        lat = d["lateness"]
+        self.lateness = _LatenessStats(
+            buckets=tuple(lat["buckets"]), counts=list(lat["counts"]),
+            n=int(lat["n"]),
+            total=float(lat["mean_s"]) * int(lat["n"]),
+            max=float(lat["max_s"]) if lat["n"] else -math.inf,
+        )

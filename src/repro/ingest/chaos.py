@@ -1,0 +1,260 @@
+"""The ingest chaos campaign: stream + wire faults, end to end.
+
+Two coupled sweeps exercise the full streaming-ingest stack under the
+fault mix the deployed system faced on SINET:
+
+* **scan-level** — a :class:`~repro.resilience.faults.StreamFaultInjector`
+  delays, reorders, duplicates, and drops whole volume scans in front of
+  a :class:`~repro.workflow.realtime.RealtimeWorkflow` whose ingest
+  buffer must resolve every cycle with an explicit admit /
+  substitute-previous / skip-cycle decision;
+* **byte-level** — the same injector damages wire chunks (bit flips,
+  truncation, reordering) on real payload bytes pushed through the
+  :class:`~repro.jitdt.transfer.TransferEngine`, driving the CRC32
+  detection, bounded retransmit, and watchdog-cancel machinery.
+
+The campaign's gate (asserted by ``benchmarks/bench_ingest_chaos.py``
+and the CI smoke step): **zero stale** and **zero duplicate**
+assimilations at any fault rate, every cycle resolved explicitly, and
+every faulted transfer terminated (repaired or cancelled — never hung).
+
+Everything is ``(seed, cycle)``-deterministic: two runs with the same
+seed produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import JITDTConfig, WorkflowConfig
+from ..jitdt.transfer import SINETLink, TransferEngine, TransferWatchdog
+from ..resilience.faults import StreamFaultInjector, StreamFaultRates
+from ..telemetry import NULL_TELEMETRY
+from ..workflow.realtime import RealtimeWorkflow
+
+__all__ = ["IngestChaosCampaign", "IngestChaosReport", "ingest_chaos_text"]
+
+#: admission actions that terminate a cycle (wait is transient)
+_TERMINAL_ACTIONS = ("admit", "substitute-previous", "skip-cycle")
+
+#: rng salt for synthetic transfer payloads
+_PAYLOAD_SALT = 9973
+
+
+@dataclass(frozen=True)
+class IngestChaosReport:
+    """Everything the chaos gate asserts, in one JSON-ready record."""
+
+    n_cycles: int
+    n_produced: int
+    availability: float
+    degraded_fraction: float
+    #: cycles per terminal admission action
+    decisions: dict[str, int]
+    #: admitted scans whose valid time did not strictly increase — the
+    #: gate requires exactly 0
+    stale_admitted: int
+    #: admitted scans repeating an identity — the gate requires exactly 0
+    duplicate_admitted: int
+    #: cycles that terminated without an explicit decision — 0 required
+    undecided_cycles: int
+    invariant_violations: tuple[str, ...]
+    #: faults the injector actually landed, by kind
+    stream_counts: dict[str, int]
+    #: the ingest buffer's offer/decision counters
+    ingest_counters: dict[str, int]
+    lateness_mean_s: float
+    lateness_max_s: float
+    # byte-level transfer sweep
+    n_transfers: int
+    n_transfers_ok: int
+    n_transfers_cancelled: int
+    n_retransmits: int
+    n_corrupt_chunks: int
+    watchdog_trips: int
+    #: transfers that ended neither delivered nor cancelled (must be 0:
+    #: a hung transfer would stall the 30-s cadence)
+    n_transfers_hung: int
+
+    @property
+    def gate_ok(self) -> bool:
+        """The chaos-gate predicate the bench and CI assert."""
+        return (
+            self.stale_admitted == 0
+            and self.duplicate_admitted == 0
+            and self.undecided_cycles == 0
+            and not self.invariant_violations
+            and self.n_transfers_hung == 0
+        )
+
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        d = asdict(self)
+        d["invariant_violations"] = list(self.invariant_violations)
+        d["gate_ok"] = self.gate_ok
+        return d
+
+
+class IngestChaosCampaign:
+    """Drive the pipeline through one seeded stream-fault configuration.
+
+    ``transfer_bytes``/``chunk_bytes`` size the byte-level sweep (small
+    enough that thousands of cycles stay cheap, large enough for a
+    multi-chunk wire batch so reordering and partial damage are
+    meaningful).
+    """
+
+    def __init__(
+        self,
+        rates: StreamFaultRates | None = None,
+        *,
+        seed: int = 2021,
+        config: WorkflowConfig | None = None,
+        telemetry=None,
+        transfer_bytes: int = 256 * 1024,
+        chunk_bytes: int = 16 * 1024,
+    ):
+        self.seed = int(seed)
+        self.rates = rates or StreamFaultRates()
+        self.config = config or WorkflowConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.injector = StreamFaultInjector(
+            self.rates, seed=seed,
+            cycle_interval_s=self.config.cycle_interval_s,
+        )
+        self.workflow = RealtimeWorkflow(
+            self.config, seed=seed, telemetry=self.telemetry,
+            stream_injector=self.injector,
+        )
+        self.transfer_bytes = int(transfer_bytes)
+        jcfg = JITDTConfig(chunk_bytes=int(chunk_bytes))
+        self.engine = TransferEngine(
+            SINETLink(config=jcfg, seed=seed),
+            telemetry=self.telemetry,
+            watchdog=TransferWatchdog(
+                deadline_s=self.config.cycle_interval_s,
+                monitor=self.workflow.failsafe,
+            ),
+        )
+
+    def _payload(self, cycle: int) -> bytes:
+        rng = np.random.default_rng((self.seed, _PAYLOAD_SALT, int(cycle)))
+        return rng.integers(
+            0, 256, size=self.transfer_bytes, dtype=np.uint8
+        ).tobytes()
+
+    def run(
+        self, n_cycles: int = 500, *, rain_area_km2: float = 100.0
+    ) -> IngestChaosReport:
+        """Run the scan-level and byte-level sweeps over ``n_cycles``."""
+        for c in range(n_cycles):
+            self.workflow.run_cycle(c, rain_area_km2=rain_area_km2)
+            payload = self._payload(c)
+            res = self.engine.send(
+                payload, keep_payload=True,
+                chunk_faults=lambda chunks, attempt, _c=c: (
+                    self.injector.corrupt_chunks(_c, chunks, attempt=attempt)
+                ),
+            )
+            if res.ok and res.payload != payload:
+                raise RuntimeError(
+                    f"cycle {c}: transfer delivered corrupted bytes past the CRC"
+                )
+        return self.report()
+
+    def report(self) -> IngestChaosReport:
+        buf = self.workflow.ingest
+        records = self.workflow.records
+
+        times = [s.t_valid for s in buf.admitted_log]
+        stale = sum(1 for a, b in zip(times, times[1:]) if b <= a)
+        keys = [s.key for s in buf.admitted_log]
+        dup = len(keys) - len(set(keys))
+
+        decisions = {a: 0 for a in _TERMINAL_ACTIONS}
+        undecided = 0
+        for r in records:
+            if r.admission in decisions:
+                decisions[r.admission] += 1
+            elif r.skipped_reason == "outage":
+                # outage cycles never reach the ingest boundary
+                continue
+            else:
+                undecided += 1
+
+        produced = [r for r in records if r.ok]
+        lat = buf.lateness
+        transfers = self.engine.transfers
+        # every non-delivered transfer must have terminated *explicitly*
+        # (watchdog cancel or a retry-exhaustion error); anything else
+        # is a transfer left in limbo — the bug the gate exists to catch
+        hung = sum(
+            1 for t in transfers if not t.ok and not t.cancelled and not t.error
+        )
+        return IngestChaosReport(
+            n_cycles=len(records),
+            n_produced=len(produced),
+            availability=len(produced) / len(records) if records else 0.0,
+            degraded_fraction=(
+                sum(1 for r in produced if r.degraded) / len(produced)
+                if produced else 0.0
+            ),
+            decisions=decisions,
+            stale_admitted=stale,
+            duplicate_admitted=dup,
+            undecided_cycles=undecided,
+            invariant_violations=tuple(buf.verify_invariants()),
+            stream_counts=dict(self.injector.counts),
+            ingest_counters=dict(buf.counters),
+            lateness_mean_s=lat.mean,
+            lateness_max_s=lat.max if lat.n else 0.0,
+            n_transfers=len(transfers),
+            n_transfers_ok=sum(1 for t in transfers if t.ok),
+            n_transfers_cancelled=sum(1 for t in transfers if t.cancelled),
+            n_retransmits=sum(t.n_retransmits for t in transfers),
+            n_corrupt_chunks=sum(t.n_corrupt_chunks for t in transfers),
+            watchdog_trips=self.workflow.failsafe.watchdog_trips,
+            n_transfers_hung=hung,
+        )
+
+
+def ingest_chaos_text(report: IngestChaosReport) -> str:
+    """Render a chaos report for the CLI (mirrors ``resilience_text``)."""
+    lines = [
+        f"{'cycles simulated':<28}{report.n_cycles}",
+        f"{'forecasts produced':<28}{report.n_produced}",
+        f"{'availability':<28}{report.availability:8.1%}",
+        f"{'degraded-cycle fraction':<28}{report.degraded_fraction:8.1%}",
+        "admission decisions:",
+        *(
+            f"  {action:<26}{n}"
+            for action, n in sorted(report.decisions.items())
+        ),
+        f"{'stale admissions':<28}{report.stale_admitted}  (gate: 0)",
+        f"{'duplicate admissions':<28}{report.duplicate_admitted}  (gate: 0)",
+        f"{'undecided cycles':<28}{report.undecided_cycles}  (gate: 0)",
+        f"{'mean scan lateness':<28}{report.lateness_mean_s:8.2f} s "
+        f"(max {report.lateness_max_s:.2f} s)",
+        "wire-level transfers:",
+        f"  {'pushed / intact':<26}{report.n_transfers} / {report.n_transfers_ok}",
+        f"  {'retransmit rounds':<26}{report.n_retransmits}",
+        f"  {'corrupt chunks rejected':<26}{report.n_corrupt_chunks}",
+        f"  {'watchdog cancellations':<26}{report.n_transfers_cancelled}",
+        f"  {'hung transfers':<26}{report.n_transfers_hung}  (gate: 0)",
+        "stream faults landed:",
+    ]
+    strikes = {k: v for k, v in report.stream_counts.items() if v}
+    if strikes:
+        lines.extend(
+            f"  {kind:<26}{n}"
+            for kind, n in sorted(strikes.items(), key=lambda kv: -kv[1])
+        )
+    else:
+        lines.append("  (none)")
+    lines.append(
+        f"{'chaos gate':<28}{'PASS' if report.gate_ok else 'FAIL'}"
+    )
+    return "\n".join(lines)

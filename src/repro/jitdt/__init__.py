@@ -16,18 +16,27 @@ automatically when necessary" (Sec. 5).
 * :mod:`repro.jitdt.failsafe` — the transfer monitor + auto-restart.
 """
 
-from .protocol import chunk_payload, reassemble, ChunkHeader
-from .transfer import SINETLink, TransferEngine, TransferResult
+from .protocol import (
+    ChunkAssembler,
+    ChunkHeader,
+    ProtocolError,
+    chunk_payload,
+    reassemble,
+)
+from .transfer import SINETLink, TransferEngine, TransferResult, TransferWatchdog
 from .watcher import FileWatcher, WatchEvent
 from .failsafe import FailSafeMonitor
 
 __all__ = [
     "chunk_payload",
     "reassemble",
+    "ChunkAssembler",
     "ChunkHeader",
+    "ProtocolError",
     "SINETLink",
     "TransferEngine",
     "TransferResult",
+    "TransferWatchdog",
     "FileWatcher",
     "WatchEvent",
     "FailSafeMonitor",

@@ -58,6 +58,9 @@ class FailSafeMonitor:
     cycles_supervised: int = 0
     #: cycles denied outright by an open circuit
     short_circuited_cycles: int = 0
+    #: transfers cancelled by a :class:`~repro.jitdt.transfer.TransferWatchdog`
+    #: at its deadline budget (reported via :meth:`record_watchdog_trip`)
+    watchdog_trips: int = 0
 
     def __post_init__(self):
         if self.policy is None:
@@ -112,6 +115,15 @@ class FailSafeMonitor:
             self.breaker.record_failure()
         return None
 
+    def record_watchdog_trip(self) -> None:
+        """A transfer watchdog cancelled a push inside its budget window.
+
+        Counted separately from restarts: a trip abandons the cycle's
+        data (the ingest layer then degrades the cycle explicitly)
+        instead of burning a restart into an already-late transfer.
+        """
+        self.watchdog_trips += 1
+
     @property
     def restart_rate(self) -> float:
         """Restarts per supervised cycle.
@@ -131,6 +143,7 @@ class FailSafeMonitor:
             "skipped_cycles": self.skipped_cycles,
             "cycles_supervised": self.cycles_supervised,
             "short_circuited_cycles": self.short_circuited_cycles,
+            "watchdog_trips": self.watchdog_trips,
             "breaker": self.breaker.state_dict() if self.breaker else None,
         }
 
@@ -139,6 +152,7 @@ class FailSafeMonitor:
         self.skipped_cycles = int(d["skipped_cycles"])
         self.cycles_supervised = int(d["cycles_supervised"])
         self.short_circuited_cycles = int(d["short_circuited_cycles"])
+        self.watchdog_trips = int(d.get("watchdog_trips", 0))
         if d.get("breaker") is not None:
             if self.breaker is None:
                 self.breaker = CircuitBreaker()

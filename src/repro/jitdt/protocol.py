@@ -4,6 +4,17 @@ Large volume files are cut into fixed-size chunks, each framed with a
 small header (sequence number, payload length, CRC32). The receiver
 verifies every checksum and reassembles in order; a corrupted or missing
 chunk triggers the fail-safe path.
+
+Two receivers share the verification logic:
+
+* :func:`reassemble` — strict one-shot reassembly: the first bad chunk
+  raises :class:`ProtocolError` naming the offending index (used where
+  the whole wire batch is available and any damage is fatal);
+* :class:`ChunkAssembler` — streaming receiver: chunks arrive in any
+  order, damaged ones are *recorded* instead of raised, and
+  :attr:`ChunkAssembler.missing` names the sequence slots still needed —
+  the retransmit request the hardened
+  :class:`~repro.jitdt.transfer.TransferEngine` serves.
 """
 
 from __future__ import annotations
@@ -13,7 +24,13 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["ChunkHeader", "chunk_payload", "reassemble", "ProtocolError"]
+__all__ = [
+    "ChunkHeader",
+    "ChunkAssembler",
+    "chunk_payload",
+    "reassemble",
+    "ProtocolError",
+]
 
 _HEADER = struct.Struct("<IIII")  # seq, total, length, crc32
 
@@ -53,30 +70,125 @@ def chunk_payload(payload: bytes, chunk_bytes: int) -> Iterator[bytes]:
         yield hdr.pack() + part
 
 
+def _verify_chunk(raw: bytes, index: int, total: int | None) -> tuple[ChunkHeader, bytes]:
+    """Validate one framed chunk against its own header.
+
+    ``index`` is the position in the arrival stream (for error messages);
+    ``total`` is the chunk count claimed by earlier chunks, if any. The
+    header is the contract: sequence numbers must lie in ``[0, total)``
+    and every chunk must agree on ``total`` — the wire order of arrival
+    is never trusted.
+    """
+    if len(raw) < ChunkHeader.size():
+        raise ProtocolError(f"chunk at index {index}: truncated header")
+    hdr = ChunkHeader.unpack(raw)
+    if hdr.total < 1:
+        raise ProtocolError(f"chunk at index {index}: invalid chunk count {hdr.total}")
+    if total is not None and hdr.total != total:
+        raise ProtocolError(
+            f"chunk at index {index}: inconsistent chunk count "
+            f"{hdr.total} != {total}"
+        )
+    if not 0 <= hdr.seq < hdr.total:
+        raise ProtocolError(
+            f"chunk at index {index}: sequence {hdr.seq} out of range "
+            f"[0, {hdr.total})"
+        )
+    body = raw[ChunkHeader.size() : ChunkHeader.size() + hdr.length]
+    if len(body) != hdr.length:
+        raise ProtocolError(
+            f"chunk at index {index} (seq {hdr.seq}): truncated body "
+            f"({len(body)} of {hdr.length} bytes)"
+        )
+    if zlib.crc32(body) != hdr.crc32:
+        raise ProtocolError(f"chunk at index {index} (seq {hdr.seq}): checksum mismatch")
+    return hdr, body
+
+
 def reassemble(chunks: list[bytes]) -> bytes:
-    """Verify and reassemble framed chunks back into the payload."""
+    """Verify and reassemble framed chunks back into the payload.
+
+    Ordering and count come from the validated :class:`ChunkHeader` of
+    every chunk — never from the arrival order of the list — and any
+    violation raises :class:`ProtocolError` naming the offending index.
+    """
     if not chunks:
         raise ProtocolError("no chunks received")
     parts: dict[int, bytes] = {}
-    total = None
-    for raw in chunks:
-        if len(raw) < ChunkHeader.size():
-            raise ProtocolError("truncated chunk header")
-        hdr = ChunkHeader.unpack(raw)
-        body = raw[ChunkHeader.size() : ChunkHeader.size() + hdr.length]
-        if len(body) != hdr.length:
-            raise ProtocolError(f"chunk {hdr.seq}: truncated body")
-        if zlib.crc32(body) != hdr.crc32:
-            raise ProtocolError(f"chunk {hdr.seq}: checksum mismatch")
-        if total is None:
-            total = hdr.total
-        elif hdr.total != total:
-            raise ProtocolError("inconsistent chunk totals")
+    total: int | None = None
+    for index, raw in enumerate(chunks):
+        hdr, body = _verify_chunk(raw, index, total)
+        total = hdr.total
         if hdr.seq in parts:
-            raise ProtocolError(f"duplicate chunk {hdr.seq}")
+            raise ProtocolError(f"chunk at index {index}: duplicate seq {hdr.seq}")
         parts[hdr.seq] = body
     assert total is not None
     missing = set(range(total)) - set(parts)
     if missing:
         raise ProtocolError(f"missing chunks: {sorted(missing)[:5]}...")
     return b"".join(parts[i] for i in range(total))
+
+
+class ChunkAssembler:
+    """Streaming receiver with damage tracking and retransmit requests.
+
+    Chunks are ingested one at a time in whatever order the wire
+    delivers them. A chunk that fails verification is *recorded* (not
+    raised): its slot stays missing and the error text lands in
+    :attr:`errors`. After a batch, :attr:`missing` is the retransmit
+    request — the exact sequence numbers still needed. Duplicates of an
+    already-verified slot are ignored (idempotent retransmits).
+    """
+
+    def __init__(self) -> None:
+        self._parts: dict[int, bytes] = {}
+        self._n_ingested = 0
+        self.total: int | None = None
+        #: verification failures seen so far, as human-readable strings
+        self.errors: list[str] = []
+        #: chunks rejected (bad CRC / truncation / sequence violations)
+        self.n_rejected = 0
+        #: duplicate deliveries of an already-verified slot
+        self.n_duplicates = 0
+
+    def ingest(self, raw: bytes) -> int | None:
+        """Accept one framed chunk; returns its seq, or None if rejected."""
+        index = self._n_ingested
+        self._n_ingested += 1
+        try:
+            hdr, body = _verify_chunk(raw, index, self.total)
+        except ProtocolError as exc:
+            self.errors.append(str(exc))
+            self.n_rejected += 1
+            return None
+        if self.total is None:
+            self.total = hdr.total
+        if hdr.seq in self._parts:
+            self.n_duplicates += 1
+            return hdr.seq
+        self._parts[hdr.seq] = body
+        return hdr.seq
+
+    def ingest_many(self, chunks: list[bytes]) -> None:
+        for raw in chunks:
+            self.ingest(raw)
+
+    @property
+    def missing(self) -> set[int]:
+        """Sequence slots still unverified (the retransmit request)."""
+        if self.total is None:
+            return set()
+        return set(range(self.total)) - set(self._parts)
+
+    @property
+    def complete(self) -> bool:
+        return self.total is not None and not self.missing
+
+    def payload(self) -> bytes:
+        """The reassembled payload; raises if slots are still missing."""
+        if self.total is None:
+            raise ProtocolError("no chunks received")
+        missing = self.missing
+        if missing:
+            raise ProtocolError(f"missing chunks: {sorted(missing)[:5]}...")
+        return b"".join(self._parts[i] for i in range(self.total))

@@ -7,19 +7,41 @@ transfer software and end hosts, not the line. The link model therefore
 exposes both numbers: the line rate (never the bottleneck) and the
 effective goodput with jitter and rare stalls (what time-to-solution
 sees).
+
+Wire-level hardening: ``send`` accepts a chunk-level fault hook (bit
+flips, truncation, drops — see
+:class:`~repro.resilience.faults.StreamFaultInjector`). Damage is
+detected by the per-chunk CRC32 of the protocol layer and repaired by a
+*bounded* retransmit loop driven by a
+:class:`~repro.resilience.policy.RetryPolicy` with seed-deterministic
+jittered backoff; a :class:`TransferWatchdog` cancels a transfer whose
+repair budget exceeds a fraction of the cycle deadline and reports the
+trip to the :class:`~repro.jitdt.failsafe.FailSafeMonitor` — the cycle
+then degrades explicitly instead of stalling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..config import JITDTConfig
+from ..resilience.policy import RetryPolicy
 from ..telemetry import NULL_TELEMETRY
-from .protocol import chunk_payload, reassemble
+from .protocol import ChunkAssembler, chunk_payload, reassemble
 
-__all__ = ["SINETLink", "TransferEngine", "TransferResult"]
+__all__ = [
+    "SINETLink",
+    "TransferEngine",
+    "TransferResult",
+    "TransferWatchdog",
+]
+
+#: chunk-fault hook signature: (wire chunks, attempt index) -> damaged
+#: wire chunks. Attempt 0 is the initial send; retransmits count up.
+ChunkFaultHook = Callable[[list[bytes], int], list[bytes]]
 
 
 @dataclass
@@ -54,6 +76,41 @@ class SINETLink:
 
 
 @dataclass
+class TransferWatchdog:
+    """Cancels a transfer whose repair loop blows the deadline budget.
+
+    The real JIT-DT monitor kills a hung push rather than letting one
+    bad scan stall the 30-second cadence; here the simulated elapsed
+    time (base transfer + retransmit penalties) is checked against
+    ``deadline_s * fraction`` and a breach cancels the transfer. Trips
+    are reported to the attached
+    :class:`~repro.jitdt.failsafe.FailSafeMonitor` so the fail-safe
+    statistics see watchdog cancellations alongside stall restarts.
+    """
+
+    #: the cycle deadline the transfer must leave room inside
+    deadline_s: float = 30.0
+    #: fraction of the deadline the transfer may consume before cancel
+    fraction: float = 0.8
+    #: fail-safe monitor that aggregates trip counts (optional)
+    monitor: object | None = None
+    trips: int = 0
+
+    @property
+    def budget_s(self) -> float:
+        return self.deadline_s * self.fraction
+
+    def exceeded(self, elapsed_s: float) -> bool:
+        """Check the budget; a breach records the trip and cancels."""
+        if elapsed_s <= self.budget_s:
+            return False
+        self.trips += 1
+        if self.monitor is not None:
+            self.monitor.record_watchdog_trip()
+        return True
+
+
+@dataclass
 class TransferResult:
     """Outcome of one JIT-DT push."""
 
@@ -62,6 +119,15 @@ class TransferResult:
     stalled: bool
     n_chunks: int
     payload: bytes | None = None
+    #: the payload was delivered intact (False: cancelled or unrepairable)
+    ok: bool = True
+    #: the watchdog cancelled the transfer at its deadline budget
+    cancelled: bool = False
+    #: retransmit rounds the CRC layer requested
+    n_retransmits: int = 0
+    #: chunks rejected by the receiver (bad CRC / truncated / bad seq)
+    n_corrupt_chunks: int = 0
+    error: str = ""
 
     @property
     def goodput_gbps(self) -> float:
@@ -71,40 +137,134 @@ class TransferResult:
 class TransferEngine:
     """Moves real bytes through the protocol, timed by the link model.
 
-    ``send`` chunks the payload, (optionally, for testing) corrupts
-    nothing, reassembles on the receiving side verifying checksums, and
-    returns the payload plus the simulated transfer time — the workflow
-    simulator consumes the time, the assimilation consumes the bytes.
+    ``send`` chunks the payload, optionally damages the wire batch
+    through a chunk-fault hook, reassembles on the receiving side
+    verifying checksums — retransmitting damaged slots under the retry
+    policy — and returns the payload plus the simulated transfer time.
+    The workflow simulator consumes the time, the assimilation consumes
+    the bytes. Without a fault hook the path is byte- and draw-identical
+    to the unhardened engine.
     """
 
-    def __init__(self, link: SINETLink | None = None, *, telemetry=None):
+    def __init__(
+        self,
+        link: SINETLink | None = None,
+        *,
+        telemetry=None,
+        retry: RetryPolicy | None = None,
+        watchdog: TransferWatchdog | None = None,
+    ):
         self.link = link or SINETLink()
         self.transfers: list[TransferResult] = []
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: bounds the retransmit rounds of one push (attempt 0 = initial
+        #: send, so ``max_attempts - 1`` repair rounds follow it)
+        self.retry = retry or RetryPolicy(
+            max_attempts=3, timeout_s=self.link.config.restart_penalty_s,
+            penalty_s=1.0, max_penalty_s=10.0,
+        )
+        self.watchdog = watchdog
 
-    def send(self, payload: bytes, *, keep_payload: bool = True) -> TransferResult:
+    def _backoff_s(self, attempt: int, n_bad: int) -> float:
+        """Jittered seed-deterministic retransmit backoff.
+
+        The schedule comes from the retry policy; the jitter is drawn
+        from ``(link seed, attempt, n_bad)`` alone so a replayed
+        campaign pays identical repair time without threading an RNG
+        through the call chain.
+        """
+        rng = np.random.default_rng((self.link.seed, 7919, attempt, n_bad))
+        return self.retry.penalty(attempt) * float(rng.uniform(0.5, 1.5))
+
+    def send(
+        self,
+        payload: bytes,
+        *,
+        keep_payload: bool = True,
+        chunk_faults: ChunkFaultHook | None = None,
+    ) -> TransferResult:
         cfg = self.link.config
         with self.telemetry.span("transfer", nbytes=len(payload)) as sp:
             chunks = list(chunk_payload(payload, cfg.chunk_bytes))
-            received = reassemble(chunks)
-            if received != payload:
-                raise RuntimeError("protocol round-trip corrupted the payload")
             seconds, stalled = self.link.transfer_time(len(payload))
+            n_retransmits = 0
+            n_corrupt = 0
+            cancelled = False
+            error = ""
+
+            if chunk_faults is None:
+                # clean fast path: identical to the unhardened engine
+                received: bytes | None = reassemble(chunks)
+                if received != payload:
+                    raise RuntimeError("protocol round-trip corrupted the payload")
+                ok = True
+            else:
+                asm = ChunkAssembler()
+                asm.ingest_many(chunk_faults(list(chunks), 0))
+                n_corrupt = asm.n_rejected
+                # CRC-driven repair: request only the damaged/missing
+                # slots, bounded by the retry policy
+                attempt = 1
+                while not asm.complete and attempt < self.retry.max_attempts:
+                    missing = sorted(asm.missing) if asm.total is not None else None
+                    resend = (
+                        chunks if missing is None
+                        else [chunks[i] for i in missing]
+                    )
+                    seconds += self._backoff_s(attempt - 1, len(resend))
+                    if self.watchdog is not None and self.watchdog.exceeded(seconds):
+                        cancelled = True
+                        error = (
+                            f"watchdog cancelled transfer at {seconds:.1f} s "
+                            f"(budget {self.watchdog.budget_s:.1f} s)"
+                        )
+                        break
+                    before = asm.n_rejected
+                    asm.ingest_many(chunk_faults(resend, attempt))
+                    n_corrupt += asm.n_rejected - before
+                    n_retransmits += 1
+                    attempt += 1
+                ok = asm.complete and not cancelled
+                if ok:
+                    received = asm.payload()
+                    if received != payload:  # pragma: no cover - CRC guards this
+                        raise RuntimeError("protocol round-trip corrupted the payload")
+                else:
+                    received = None
+                    if not error:
+                        n_missing = len(asm.missing) if asm.total is not None else "all"
+                        error = (
+                            f"unrepairable after {n_retransmits} retransmits "
+                            f"({n_missing} chunks missing)"
+                        )
+
             res = TransferResult(
                 nbytes=len(payload),
                 seconds=seconds,
                 stalled=stalled,
                 n_chunks=len(chunks),
                 payload=received if keep_payload else None,
+                ok=ok,
+                cancelled=cancelled,
+                n_retransmits=n_retransmits,
+                n_corrupt_chunks=n_corrupt,
+                error=error,
             )
             self.transfers.append(res)
-            sp.set(seconds=seconds, stalled=stalled, n_chunks=len(chunks))
+            sp.set(seconds=seconds, stalled=stalled, n_chunks=len(chunks),
+                   ok=ok, n_retransmits=n_retransmits)
         tel = self.telemetry
         if tel.enabled:
             tel.histogram("jitdt_transfer_seconds").observe(seconds)
             tel.counter("jitdt_bytes_total").inc(len(payload))
             if stalled:
                 tel.counter("jitdt_stalls_total").inc()
+            if n_retransmits:
+                tel.counter("jitdt_retransmits_total").inc(n_retransmits)
+            if n_corrupt:
+                tel.counter("jitdt_corrupt_chunks_total").inc(n_corrupt)
+            if cancelled:
+                tel.counter("jitdt_watchdog_cancels_total").inc()
         return res
 
     def mean_seconds(self) -> float:

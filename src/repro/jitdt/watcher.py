@@ -9,7 +9,6 @@ discrete-event workflow simulation where no real files exist).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -26,38 +25,69 @@ class WatchEvent:
 
 
 class FileWatcher:
-    """Detects files that appeared (and stopped growing) since last poll."""
+    """Detects files that appeared (and stopped growing) since last poll.
 
-    def __init__(self, directory: str | Path, pattern: str = "*.pawr"):
+    A partially-written file is the single most common ingest hazard: the
+    radar host streams ~100 MB over seconds, and transferring mid-write
+    ships a truncated volume. The settle check guards against it: a file
+    is only emitted once both its *size and mtime* have been stable for
+    ``settle_polls`` consecutive polls — growth, shrinkage, or an
+    in-place rewrite (same size, newer mtime) all reset the settle
+    counter.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        pattern: str = "*.pawr",
+        *,
+        settle_polls: int = 1,
+    ):
+        if settle_polls < 1:
+            raise ValueError("settle_polls must be >= 1")
         self.directory = Path(directory)
         self.pattern = pattern
+        #: consecutive stable polls required before a file is emitted
+        self.settle_polls = settle_polls
         self._seen: dict[str, int] = {}
-        self._pending: dict[str, int] = {}
+        #: path -> (size, mtime_ns, consecutive stable polls observed)
+        self._pending: dict[str, tuple[int, int, int]] = {}
 
     def poll(self) -> list[WatchEvent]:
-        """Return newly completed files (stable size across two polls).
+        """Return newly completed files (settled size/mtime across polls).
 
-        The two-poll stability rule mirrors real JIT-DT's guard against
-        transferring a file the radar is still writing.
+        The stability rule mirrors real JIT-DT's guard against
+        transferring a file the radar is still writing: the first poll
+        records the (size, mtime) signature, and only after the
+        signature has repeated for ``settle_polls`` further polls is the
+        file considered complete.
         """
         events: list[WatchEvent] = []
-        current: dict[str, int] = {}
+        current: dict[str, tuple[int, int, float]] = {}
         for p in sorted(self.directory.glob(self.pattern)):
             st = p.stat()
-            current[str(p)] = st.st_size
-        for path, size in current.items():
+            current[str(p)] = (st.st_size, st.st_mtime_ns, st.st_mtime)
+        for path, (size, mtime_ns, mtime) in current.items():
             if path in self._seen:
                 continue
-            if self._pending.get(path) == size:
-                # size stable across polls: file creation finished
-                st = os.stat(path)
-                events.append(WatchEvent(path=path, size=size, mtime=st.st_mtime))
-                self._seen[path] = size
-                del self._pending[path]
+            prev = self._pending.get(path)
+            if prev is not None and prev[0] == size and prev[1] == mtime_ns:
+                stable = prev[2] + 1
+                if stable >= self.settle_polls:
+                    # signature settled: file creation finished
+                    events.append(WatchEvent(path=path, size=size, mtime=mtime))
+                    self._seen[path] = size
+                    del self._pending[path]
+                else:
+                    self._pending[path] = (size, mtime_ns, stable)
             else:
-                self._pending[path] = size
-        # forget files that vanished
-        gone = [p for p in self._seen if p not in current]
-        for p in gone:
+                # new sighting, or still being written (any size/mtime
+                # change restarts the settle count)
+                self._pending[path] = (size, mtime_ns, 0)
+        # forget files that vanished (from both tracking maps, so a
+        # re-created file of the same name starts a fresh settle count)
+        for p in [p for p in self._seen if p not in current]:
             del self._seen[p]
+        for p in [p for p in self._pending if p not in current]:
+            del self._pending[p]
         return events

@@ -45,7 +45,19 @@ class RadarNetwork:
     def __post_init__(self):
         if not self.radars:
             raise ValueError("network needs at least one radar")
+        names = [r.name for r in self.radars]
+        if len(set(names)) != len(names):
+            # the ingest layer keys per-radar buffers, watermarks, and
+            # telemetry on the radar id; colliding names would silently
+            # merge two sites' dedup/lateness state
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"radar names must be unique, got duplicates {dupes}")
         self._masks = [grid_observation_mask(self.grid, r) for r in self.radars]
+
+    @property
+    def radar_ids(self) -> tuple[str, ...]:
+        """Unique per-site identifiers (the ingest-buffer keying)."""
+        return tuple(r.name for r in self.radars)
 
     @property
     def coverage(self) -> np.ndarray:

@@ -9,6 +9,7 @@ for 15 elevations).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -16,7 +17,46 @@ import numpy as np
 
 from ..config import RadarConfig
 
-__all__ = ["ScanGeometry"]
+__all__ = ["ScanGeometry", "ScanId", "volume_signature"]
+
+
+def volume_signature(*arrays: np.ndarray) -> str:
+    """Content hash of a scan volume (sha256 over dtype/shape/bytes).
+
+    The identity half of duplicate suppression in the ingest layer: two
+    deliveries of the same volume hash identically regardless of how the
+    wire reordered or re-sent them, while a retransmission that was
+    corrupted in flight (and slipped past the chunk CRCs) hashes
+    differently and is treated as a distinct — conflicting — scan.
+    """
+    h = hashlib.sha256()
+    for a in arrays:
+        arr = np.ascontiguousarray(a)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ScanId:
+    """The identity of one volume scan in the ingest stream.
+
+    ``(radar_id, t_valid, signature)`` is the duplicate-suppression key:
+    the same radar re-sending the same volume for the same valid time is
+    a duplicate; anything differing in any component is a distinct scan.
+    """
+
+    radar_id: str
+    t_valid: float
+    signature: str
+
+    @property
+    def key(self) -> tuple[str, float, str]:
+        return (self.radar_id, self.t_valid, self.signature)
+
+    def __str__(self) -> str:
+        return f"{self.radar_id}@{self.t_valid:g}#{self.signature[:12]}"
 
 
 @dataclass(frozen=True)

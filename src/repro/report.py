@@ -190,7 +190,84 @@ def metrics_snapshot_text(reg, *, deadline_s: float = 180.0) -> str:
             calls = _val("counter", "kernel_calls_total", kernel=k) or 0
             lines.append(f"{'kernel ' + k:<28}{kernel_counter.value:8.3f} s "
                          f"over {int(calls)} calls")
+    lines.extend(_ingest_lines(reg))
     return "\n".join(lines) if lines else "(empty metrics snapshot)"
+
+
+def _ingest_lines(reg) -> list[str]:
+    """Streaming-ingest health block (present when scans were buffered).
+
+    One stanza per radar: offer/decision counters and the scan-lateness
+    histogram, plus the wire-level retransmit/watchdog totals — the
+    ingest companion to the Fig.-5 stage table above it.
+    """
+    radars = sorted(
+        {
+            m.labels["radar"]
+            for m in reg
+            if m.name.startswith("ingest_") and "radar" in m.labels
+        }
+    )
+    if not radars:
+        return []
+
+    def _val(kind: str, name: str, **labels) -> float:
+        m = reg.get(kind, name, **labels)
+        return 0.0 if m is None else m.value
+
+    lines = ["streaming-ingest health:"]
+    for radar in radars:
+        offered = _val("counter", "ingest_scans_total", radar=radar)
+        admitted = _val("counter", "ingest_admitted_total", radar=radar)
+        dups = _val("counter", "ingest_duplicates_total", radar=radar)
+        stale = _val("counter", "ingest_stale_total", radar=radar)
+        dropped = sum(
+            m.value
+            for m in reg
+            if m.name == "ingest_dropped_total" and m.labels.get("radar") == radar
+        )
+        lines.append(
+            f"  [{radar}] {int(offered)} scans offered: {int(admitted)} "
+            f"admitted, {int(dups)} duplicate, {int(stale)} stale, "
+            f"{int(dropped)} dropped"
+        )
+        decisions = {
+            m.labels["action"]: int(m.value)
+            for m in reg
+            if m.name == "ingest_decisions_total"
+            and m.labels.get("radar") == radar
+        }
+        if decisions:
+            lines.append(
+                "  decisions: "
+                + ", ".join(f"{a}={n}" for a, n in sorted(decisions.items()))
+            )
+        lat = reg.get("histogram", "ingest_lateness_seconds", radar=radar)
+        if lat is not None and lat.count:
+            lines.append(
+                f"  lateness: mean {lat.sum / lat.count:.2f} s over "
+                f"{lat.count} scans"
+            )
+            peak = max(max(lat.counts), 1)
+            prev = 0.0
+            for edge, c in zip(
+                list(lat.buckets) + [float("inf")], lat.counts
+            ):
+                if c:
+                    bar = "#" * max(1, int(round(20 * c / peak)))
+                    hi = f"{edge:g}" if np.isfinite(edge) else "+Inf"
+                    lines.append(f"    {prev:>5g}-{hi:>5} s |{bar} {c}")
+                prev = edge
+    retrans = _val("counter", "jitdt_retransmits_total")
+    corrupt = _val("counter", "jitdt_corrupt_chunks_total")
+    cancels = _val("counter", "jitdt_watchdog_cancels_total")
+    if retrans or corrupt or cancels:
+        lines.append(
+            f"  wire: {int(corrupt)} corrupt chunks rejected, "
+            f"{int(retrans)} retransmit rounds, "
+            f"{int(cancels)} watchdog cancellations"
+        )
+    return lines
 
 
 def telemetry_run_text(path, *, deadline_s: float = 180.0) -> str:

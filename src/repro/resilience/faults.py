@@ -18,7 +18,17 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultRates", "FaultInjector"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultRates",
+    "FaultInjector",
+    "SCAN_FAULT_KINDS",
+    "CHUNK_FAULT_KINDS",
+    "ScanArrival",
+    "StreamFaultRates",
+    "StreamFaultInjector",
+]
 
 
 #: every fault type the injector knows, in draw order (order matters for
@@ -169,3 +179,177 @@ class FaultInjector:
             else:
                 st.fields["rhot_p"][...] *= 1e8  # numerical divergence
         return [int(i) for i in picks]
+
+
+# ---------------------------------------------------------------------------
+# Streaming-ingest faults: the wire between the radar host and Fugaku
+# ---------------------------------------------------------------------------
+
+#: scan-level stream faults, in draw order (fixed two draws per kind,
+#: same stream-layout contract as :data:`FAULT_KINDS`)
+SCAN_FAULT_KINDS = ("scan-drop", "scan-delay", "scan-reorder", "scan-duplicate")
+
+#: chunk-level wire faults, drawn from an independent substream so the
+#: transfer harness and the arrival simulator never share draws
+CHUNK_FAULT_KINDS = ("chunk-bitflip", "chunk-truncate")
+
+#: substream salts (arbitrary primes) separating scan draws, chunk
+#: draws, and the severity jitter inside each
+_SCAN_SALT = 104_729
+_CHUNK_SALT = 224_737
+
+
+@dataclass(frozen=True)
+class ScanArrival:
+    """One delivery of a cycle's volume scan at the ingest boundary.
+
+    ``copy`` distinguishes duplicate deliveries of the same scan (they
+    share content, so the ingest layer must collapse them by identity).
+    """
+
+    arrival_time: float
+    copy: int = 0
+
+
+@dataclass(frozen=True)
+class StreamFaultRates:
+    """Per-cycle probability of each stream fault (field name = kind
+    with dashes mapped to underscores). Like :class:`FaultRates`, these
+    defaults are a stress harness, well above the deployed SINET link's
+    observed rates."""
+
+    scan_delay: float = 0.1
+    scan_reorder: float = 0.05
+    scan_duplicate: float = 0.05
+    scan_drop: float = 0.02
+    chunk_bitflip: float = 0.01
+    chunk_truncate: float = 0.01
+
+    def rate(self, kind: str) -> float:
+        return getattr(self, kind.replace("-", "_"))
+
+    @classmethod
+    def all_off(cls) -> "StreamFaultRates":
+        return cls(**{f.name: 0.0 for f in fields(cls)})
+
+    @classmethod
+    def only(cls, *kinds: str, rate: float = 0.1) -> "StreamFaultRates":
+        vals = {f.name: 0.0 for f in fields(cls)}
+        for k in kinds:
+            key = k.replace("-", "_")
+            if key not in vals:
+                raise ValueError(f"unknown stream fault kind {k!r}")
+            vals[key] = rate
+        return cls(**vals)
+
+
+class StreamFaultInjector:
+    """Scan- and chunk-level faults drawn from ``(seed, cycle)`` alone.
+
+    Two independent substreams keep the determinism contract modular:
+    :meth:`scan_arrivals` (arrival-time perturbation for the ingest
+    buffer) and :meth:`corrupt_chunks` (byte-level damage for the
+    JIT-DT transfer engine) each derive their generator from
+    ``(seed, salt, cycle)``, so using one never shifts the other's
+    draws and a campaign resumed mid-stream replays identically.
+    """
+
+    def __init__(
+        self,
+        rates: StreamFaultRates | None = None,
+        *,
+        seed: int = 0,
+        cycle_interval_s: float = 30.0,
+        delay_mean_s: float = 6.0,
+        delay_cap_s: float = 25.0,
+    ):
+        self.rates = rates or StreamFaultRates()
+        self.seed = int(seed)
+        self.cycle_interval_s = float(cycle_interval_s)
+        self.delay_mean_s = float(delay_mean_s)
+        self.delay_cap_s = float(delay_cap_s)
+        #: bookkeeping only; never feeds back into the draws
+        self.counts: dict[str, int] = {
+            k: 0 for k in SCAN_FAULT_KINDS + CHUNK_FAULT_KINDS
+        }
+
+    def scan_arrivals(
+        self, cycle: int, *, t_ready: float
+    ) -> list[ScanArrival]:
+        """When (and how often) cycle ``cycle``'s scan reaches ingest.
+
+        ``t_ready`` is the fault-free delivery time (file complete and
+        transferred). Returns ``[]`` for a dropped scan; a delayed scan
+        slips by an exponential jitter (possibly past the cycle's wait
+        budget); a reordered scan slips past the *next* cycle's scan
+        entirely; a duplicated scan is delivered twice.
+        """
+        rng = np.random.default_rng((self.seed, _SCAN_SALT, int(cycle)))
+        hits: dict[str, float] = {}
+        for kind in SCAN_FAULT_KINDS:
+            # fixed two draws per kind (stable stream layout under any
+            # rate combination)
+            hit = rng.random() < self.rates.rate(kind)
+            sev = float(rng.exponential(1.0))
+            if hit:
+                hits[kind] = sev
+                self.counts[kind] += 1
+        if "scan-drop" in hits:
+            return []
+        t = float(t_ready)
+        if "scan-delay" in hits:
+            t += min(hits["scan-delay"] * self.delay_mean_s, self.delay_cap_s)
+        if "scan-reorder" in hits:
+            # arrive after the following cycle's scan: a genuine
+            # out-of-order delivery, not just lateness
+            t += self.cycle_interval_s * (1.0 + min(hits["scan-reorder"], 1.5))
+        out = [ScanArrival(arrival_time=t, copy=0)]
+        if "scan-duplicate" in hits:
+            out.append(
+                ScanArrival(
+                    arrival_time=t + 0.25 * min(hits["scan-duplicate"], 4.0),
+                    copy=1,
+                )
+            )
+        return out
+
+    def corrupt_chunks(
+        self, cycle: int, chunks: list[bytes], *, attempt: int = 0
+    ) -> list[bytes]:
+        """Wire damage for one transfer attempt (the ``ChunkFaultHook``).
+
+        Only the first attempt is damaged — retransmissions are assumed
+        to take the clean path, so every faulted transfer terminates.
+        Damage per fault: ``chunk-bitflip`` flips one payload bit in a
+        random chunk (CRC mismatch on arrival), ``chunk-truncate`` cuts
+        a random chunk short (framing error); either also shuffles the
+        chunk order, exercising out-of-order reassembly.
+        """
+        out = list(chunks)
+        if attempt > 0 or not out:
+            return out
+        rng = np.random.default_rng((self.seed, _CHUNK_SALT, int(cycle)))
+        hits: dict[str, float] = {}
+        for kind in CHUNK_FAULT_KINDS:
+            hit = rng.random() < self.rates.rate(kind)
+            sev = float(rng.exponential(1.0))
+            if hit:
+                hits[kind] = sev
+                self.counts[kind] += 1
+        if "chunk-bitflip" in hits:
+            i = int(rng.integers(len(out)))
+            raw = bytearray(out[i])
+            # flip a bit past the header so the frame parses but the
+            # payload CRC fails
+            lo = min(16, len(raw) - 1)
+            j = int(rng.integers(lo, len(raw)))
+            raw[j] ^= 1 << int(rng.integers(8))
+            out[i] = bytes(raw)
+        if "chunk-truncate" in hits:
+            i = int(rng.integers(len(out)))
+            keep = int(rng.integers(0, max(1, len(out[i]) - 1)))
+            out[i] = out[i][:keep]
+        if hits:
+            order = rng.permutation(len(out))
+            out = [out[int(k)] for k in order]
+        return out

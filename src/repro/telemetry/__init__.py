@@ -26,6 +26,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LATENESS_BUCKETS,
     MetricsRegistry,
     NullMetricsRegistry,
     STAGE_BUCKETS,
@@ -49,6 +50,7 @@ __all__ = [
     "KernelStats",
     "TTS_BUCKETS",
     "STAGE_BUCKETS",
+    "LATENESS_BUCKETS",
     "read_jsonl",
 ]
 

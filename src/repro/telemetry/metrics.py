@@ -31,6 +31,7 @@ __all__ = [
     "NullMetricsRegistry",
     "TTS_BUCKETS",
     "STAGE_BUCKETS",
+    "LATENESS_BUCKETS",
 ]
 
 #: default TTS histogram bucket upper edges [s] — 15-s bins to 6 min,
@@ -40,6 +41,11 @@ TTS_BUCKETS = tuple(float(b) for b in range(15, 375, 15))
 #: default per-stage latency bucket upper edges [s]
 STAGE_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0,
                  60.0, 120.0, 180.0)
+
+#: scan-lateness bucket upper edges [s] for the ingest layer: sub-second
+#: jitter through one full 30-s cycle of delay and beyond (a scan more
+#: than ~2 cycles late is discarded as stale, landing in the +Inf tail)
+LATENESS_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0, 120.0)
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:

@@ -24,13 +24,15 @@ node failures delay the resources they strike.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 
 from ..comm.topology import FugakuAllocation
 from ..config import ExecutionConfig, WorkflowConfig
+from ..ingest.buffer import ADMIT, SKIP, WAIT, IngestBuffer, ScanEnvelope
 from ..jitdt.failsafe import FailSafeMonitor
-from ..resilience.faults import FaultEvent, FaultInjector
+from ..resilience.faults import FaultEvent, FaultInjector, StreamFaultInjector
 from ..resilience.policy import CircuitBreaker
 from ..telemetry import NULL_TELEMETRY, STAGE_BUCKETS
 from .events import Resource
@@ -66,6 +68,8 @@ class CycleRecord:
     degraded: bool = False
     #: comma-joined fault kinds that struck this cycle
     fault: str = ""
+    #: ingest admission action ("" when no ingest buffer is attached)
+    admission: str = ""
 
     @property
     def time_to_solution(self) -> float:
@@ -119,6 +123,9 @@ class RealtimeWorkflow:
         breaker: CircuitBreaker | None = None,
         execution: ExecutionConfig | None = None,
         telemetry=None,
+        stream_injector: StreamFaultInjector | None = None,
+        radar_id: str = "mp-pawr",
+        wait_fraction: float = 0.5,
     ):
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -134,6 +141,25 @@ class RealtimeWorkflow:
             breaker=breaker,
         )
         self.injector = injector
+        #: scan-stream fault source; attaching one routes every cycle
+        #: through an :class:`~repro.ingest.buffer.IngestBuffer` (with no
+        #: injector attached the recurrence is byte-identical to before)
+        self.stream_injector = stream_injector
+        self.radar_id = radar_id
+        if not 0.0 < wait_fraction <= 1.0:
+            raise ValueError("wait_fraction must be in (0, 1]")
+        #: fraction of the cycle interval a cycle may spend waiting for
+        #: its scan before resolving without it
+        self.wait_fraction = float(wait_fraction)
+        self.ingest: IngestBuffer | None = (
+            IngestBuffer(radar_id, telemetry=self.telemetry)
+            if stream_injector is not None
+            else None
+        )
+        #: pending deliveries as a (arrival_time, seq, envelope) heap —
+        #: a reordered scan can outlive its own cycle's window
+        self._arrivals: list[tuple[float, int, ScanEnvelope]] = []
+        self._arrival_seq = 0
         self.records: list[CycleRecord] = []
 
     def run_cycle(
@@ -192,6 +218,30 @@ class RealtimeWorkflow:
             transfer_total += by_kind["transfer-corrupt"].severity
         t_transferred = t_file + transfer_total
 
+        # streaming ingest: with a stream injector attached, the scan
+        # passes through the admission buffer at the arrival boundary
+        admission = ""
+        if self.ingest is not None:
+            decision = self._ingest_decide(cycle, t_obs, t_transferred)
+            admission = decision.action
+            if decision.action == SKIP:
+                rec = CycleRecord(
+                    cycle=cycle, t_obs=t_obs, ok=False,
+                    skipped_reason="scan-missing",
+                    rain_area_km2=rain_area_km2, fault=fault_str,
+                    admission=admission,
+                )
+                return self._record(rec)
+            deadline = t_obs + self.wait_fraction * self.config.cycle_interval_s
+            if decision.action == ADMIT:
+                # a late but in-budget scan stalls the pipeline until it
+                # actually arrived
+                t_transferred = max(t_transferred, decision.scan.arrival_time)
+            else:
+                # substitute-previous: the full wait budget was spent
+                # before falling back to the resident previous scan
+                t_transferred = max(t_transferred, deadline)
+
         # part <1>: LETKF + 30-s ensemble forecasts occupy the 8008 nodes
         if "part1-down" in by_kind:
             # failed node block held out of service for its repair time
@@ -226,10 +276,45 @@ class RealtimeWorkflow:
             t_analysis=t_analysis,
             t_product=t_product,
             rain_area_km2=rain_area_km2,
-            degraded=bool(_DEGRADING_KINDS & by_kind.keys()),
+            degraded=bool(_DEGRADING_KINDS & by_kind.keys())
+            or admission not in ("", ADMIT),
             fault=fault_str,
+            admission=admission,
         )
         return self._record(rec)
+
+    # -- streaming ingest ----------------------------------------------
+
+    def _ingest_decide(self, cycle: int, t_obs: float, t_ready: float):
+        """Generate this cycle's arrivals, deliver due ones, decide.
+
+        ``t_ready`` is the fault-free delivery time. If the scan is not
+        there yet the cycle waits (delivering whatever lands in the
+        window) up to ``wait_fraction`` of the cycle interval past
+        T_obs, then resolves without it.
+        """
+        sig = f"scan-{cycle:010d}"
+        for arr in self.stream_injector.scan_arrivals(cycle, t_ready=t_ready):
+            env = ScanEnvelope(
+                radar_id=self.radar_id, t_valid=t_obs, signature=sig,
+                arrival_time=arr.arrival_time,
+            )
+            heapq.heappush(
+                self._arrivals, (arr.arrival_time, self._arrival_seq, env)
+            )
+            self._arrival_seq += 1
+        deadline = t_obs + self.wait_fraction * self.config.cycle_interval_s
+        self._deliver_due(t_ready)
+        decision = self.ingest.decide(t_obs, now=t_ready, deadline=deadline)
+        if decision.action == WAIT:
+            self._deliver_due(deadline)
+            decision = self.ingest.decide(t_obs, now=deadline, deadline=deadline)
+        return decision
+
+    def _deliver_due(self, until: float) -> None:
+        while self._arrivals and self._arrivals[0][0] <= until:
+            _, _, env = heapq.heappop(self._arrivals)
+            self.ingest.offer(env)
 
     def _record(self, rec: CycleRecord) -> CycleRecord:
         """Store a cycle record and mirror it into the metrics registry."""
@@ -282,13 +367,21 @@ class RealtimeWorkflow:
         """Everything needed to resume the recurrence bit-identically."""
         from dataclasses import asdict
 
-        return {
+        out = {
             "rng_state": self.costs.rng.bit_generator.state,
             "part1": _resource_state(self.part1),
             "part2": [_resource_state(s) for s in self.part2_slots],
             "failsafe": self.failsafe.state_dict(),
             "records": [asdict(r) for r in self.records],
         }
+        if self.ingest is not None:
+            out["ingest"] = self.ingest.state_dict()
+            out["arrivals"] = [
+                [t, seq, asdict(env)] for t, seq, env in sorted(self._arrivals)
+            ]
+            out["arrival_seq"] = self._arrival_seq
+            out["stream_counts"] = dict(self.stream_injector.counts)
+        return out
 
     def load_state_dict(self, d: dict) -> None:
         self.costs.rng.bit_generator.state = d["rng_state"]
@@ -297,6 +390,17 @@ class RealtimeWorkflow:
             _load_resource(slot, s)
         self.failsafe.load_state_dict(d["failsafe"])
         self.records = [CycleRecord(**row) for row in d["records"]]
+        if "ingest" in d and self.ingest is not None:
+            self.ingest.load_state_dict(d["ingest"])
+            self._arrivals = [
+                (float(t), int(seq), ScanEnvelope(**env))
+                for t, seq, env in d["arrivals"]
+            ]
+            heapq.heapify(self._arrivals)
+            self._arrival_seq = int(d["arrival_seq"])
+            self.stream_injector.counts.update(
+                {k: int(v) for k, v in d["stream_counts"].items()}
+            )
 
 
 def _resource_state(r: Resource) -> dict:

@@ -1,0 +1,548 @@
+"""Streaming ingest: admission buffer, stream faults, chaos campaign.
+
+The property tests pin the module's determinism contract: any
+interleaving of delayed/duplicated/reordered deliveries of a scan set
+yields the same admitted sequence as the sorted unique stream.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import WorkflowConfig
+from repro.ingest.buffer import (
+    ADMIT,
+    SKIP,
+    SUBSTITUTE,
+    WAIT,
+    AdmissionDecision,
+    IngestBuffer,
+    ScanEnvelope,
+    envelope_from_observations,
+)
+from repro.ingest.chaos import IngestChaosCampaign, ingest_chaos_text
+from repro.jitdt.protocol import ChunkAssembler, chunk_payload
+from repro.resilience.faults import StreamFaultInjector, StreamFaultRates
+from repro.workflow.realtime import RealtimeWorkflow
+
+settings.register_profile("repro", max_examples=40, deadline=None)
+settings.load_profile("repro")
+
+
+def env(t, sig=None, arrival=None, radar="pawr", payload=None):
+    return ScanEnvelope(
+        radar_id=radar,
+        t_valid=float(t),
+        signature=sig if sig is not None else f"s{t:g}",
+        arrival_time=float(arrival) if arrival is not None else float(t),
+        payload=payload,
+    )
+
+
+class TestIngestBuffer:
+    def test_on_time_admit(self):
+        buf = IngestBuffer("pawr")
+        assert buf.offer(env(30)) == "buffered"
+        d = buf.decide(30.0)
+        assert d.action == ADMIT
+        assert d.scan.t_valid == 30.0
+        assert buf.watermark == 30.0
+        assert [s.t_valid for s in buf.admitted_log] == [30.0]
+
+    def test_wrong_radar_rejected(self):
+        buf = IngestBuffer("pawr")
+        with pytest.raises(ValueError, match="radar"):
+            buf.offer(env(30, radar="other"))
+
+    def test_duplicate_suppressed(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(30, sig="a"))
+        assert buf.offer(env(30, sig="a", arrival=31)) == "duplicate"
+        assert buf.counters["duplicate"] == 1
+        assert buf.backlog_size == 1
+
+    def test_late_arrival_is_stale_after_resolution(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(30))
+        buf.decide(30.0)
+        # the same cycle's scan re-sent after resolution: firewalled
+        assert buf.offer(env(30, sig="resend", arrival=45)) == "stale"
+        assert buf.counters["stale"] == 1
+        # and never admitted
+        assert buf.decide(60.0).action == SUBSTITUTE
+
+    def test_conflict_keeps_first_copy(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(30, sig="first"))
+        assert buf.offer(env(30, sig="second")) == "conflict"
+        d = buf.decide(30.0)
+        assert d.action == ADMIT
+        assert d.scan.signature == "first"
+
+    def test_overflow_drop_oldest(self):
+        buf = IngestBuffer("pawr", max_backlog=2)
+        buf.offer(env(30))
+        buf.offer(env(60))
+        assert buf.offer(env(90)) == "overflow"
+        # oldest (t=30) was evicted to make room
+        assert buf.decide(30.0).action == SKIP
+        assert buf.decide(60.0).action == ADMIT
+        assert buf.decide(90.0).action == ADMIT
+
+    def test_overflow_drop_newest(self):
+        buf = IngestBuffer("pawr", max_backlog=2, drop_policy="newest")
+        buf.offer(env(30))
+        buf.offer(env(60))
+        assert buf.offer(env(90)) == "overflow"
+        # incoming (t=90) was refused; resident scans survive
+        assert buf.decide(30.0).action == ADMIT
+        assert buf.decide(60.0).action == ADMIT
+        assert buf.decide(90.0).action == SUBSTITUTE
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            IngestBuffer("pawr", max_backlog=0)
+        with pytest.raises(ValueError):
+            IngestBuffer("pawr", drop_policy="coin-flip")
+
+    def test_wait_leaves_state_untouched(self):
+        buf = IngestBuffer("pawr")
+        d = buf.decide(30.0, now=31.0, deadline=45.0)
+        assert d.action == WAIT
+        assert buf.watermark == -math.inf
+        # the scan lands inside the budget: re-decide admits it
+        buf.offer(env(30, arrival=40))
+        assert buf.decide(30.0, now=45.0, deadline=45.0).action == ADMIT
+
+    def test_substitute_previous(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(30))
+        buf.decide(30.0)
+        d = buf.decide(60.0)
+        assert d.action == SUBSTITUTE
+        assert d.scan.t_valid == 30.0  # the resident previous scan
+        assert buf.watermark == 60.0
+        assert buf.counters["substituted"] == 1
+
+    def test_skip_without_previous(self):
+        buf = IngestBuffer("pawr")
+        d = buf.decide(30.0)
+        assert d.action == SKIP
+        assert d.observations is None
+        assert buf.watermark == 30.0
+
+    def test_substitute_disabled(self):
+        buf = IngestBuffer("pawr", allow_substitute=False)
+        buf.offer(env(30))
+        buf.decide(30.0)
+        assert buf.decide(60.0).action == SKIP
+
+    def test_watermark_expires_passed_backlog(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(60))  # buffered for a cycle that never resolves
+        buf.decide(90.0)  # watermark jumps past it
+        assert buf.counters["expired"] == 1
+        assert buf.backlog_size == 0
+        # and a re-send of the expired scan hits the stale firewall
+        assert buf.offer(env(60, arrival=95)) == "stale"
+
+    def test_dedup_horizon_prunes_seen(self):
+        buf = IngestBuffer("pawr", dedup_horizon_s=60.0)
+        buf.offer(env(30))
+        buf.decide(30.0)
+        buf.offer(env(600))
+        buf.decide(600.0)
+        # identity of t=30 fell off the horizon; the stale firewall
+        # still rejects the re-send
+        assert buf.offer(env(30, arrival=700)) == "stale"
+
+    def test_t_match_tolerance(self):
+        buf = IngestBuffer("pawr")
+        buf.offer(env(30.0 + 1e-9))
+        assert buf.decide(30.0).action == ADMIT
+
+    def test_verify_invariants(self):
+        buf = IngestBuffer("pawr")
+        for t in (30, 60, 90):
+            buf.offer(env(t))
+            buf.decide(float(t))
+        assert buf.verify_invariants() == []
+        # corrupt the log by hand: the audit must notice both violations
+        buf.admitted_log.append(buf.admitted_log[0])
+        problems = buf.verify_invariants()
+        assert any("stale" in p for p in problems)
+        assert any("duplicate" in p for p in problems)
+
+    def test_state_dict_roundtrip(self):
+        a = IngestBuffer("pawr")
+        a.offer(env(30))
+        a.decide(30.0)
+        a.offer(env(90))  # left in the backlog across the checkpoint
+        a.decide(60.0)  # a substitution, for counter coverage
+
+        b = IngestBuffer("pawr")
+        b.load_state_dict(a.state_dict())
+        assert b.watermark == a.watermark
+        assert b.counters == a.counters
+        assert b.backlog_size == 1
+        assert [s.key for s in b.admitted_log] == [s.key for s in a.admitted_log]
+        assert b.lateness.n == a.lateness.n
+        # resumed buffer behaves identically: the admitted identity is
+        # still remembered, and the carried backlog still admits
+        assert b.offer(env(30, arrival=95)) == "duplicate"
+        assert b.decide(90.0).action == ADMIT
+
+    def test_envelope_from_observations_signature(self):
+        import numpy as np
+
+        class FakeObs:
+            def __init__(self, x):
+                self.values = np.full((2, 2), x)
+                self.valid = np.ones((2, 2), dtype=bool)
+
+        e1 = envelope_from_observations(
+            "pawr", [FakeObs(1.0)], t_valid=30.0, arrival_time=31.0
+        )
+        e2 = envelope_from_observations(
+            "pawr", [FakeObs(1.0)], t_valid=30.0, arrival_time=99.0
+        )
+        e3 = envelope_from_observations(
+            "pawr", [FakeObs(2.0)], t_valid=30.0, arrival_time=31.0
+        )
+        assert e1.signature == e2.signature  # content-keyed, not time-keyed
+        assert e1.signature != e3.signature
+        assert e1.lateness_s == pytest.approx(1.0)
+
+
+# -- the determinism contract, property-tested ---------------------------
+
+
+@st.composite
+def delivery_plans(draw):
+    """A scan set with per-cycle delivery slips and duplicate counts."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    slips = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    dups = draw(st.lists(st.integers(1, 3), min_size=n, max_size=n))
+    return n, slips, dups
+
+
+def _run_plan(n, slips, dups, order_seed):
+    """Drive one buffer through the plan, offering each decide-slot's
+    arrivals in an ``order_seed``-dependent order."""
+    buf = IngestBuffer("pawr", max_backlog=16)
+    slots = {c: [] for c in range(n)}
+    for c in range(n):
+        lands = c + slips[c]
+        if lands < n:
+            for copy in range(dups[c]):
+                slots[lands].append(
+                    env(30 * (c + 1), sig=f"s{c}", arrival=30 * (lands + 1))
+                )
+    for c in range(n):
+        for e in sorted(slots[c], key=lambda e: hash((order_seed, e.t_valid))):
+            buf.offer(e)
+        buf.decide(30.0 * (c + 1))
+    return buf
+
+
+@given(delivery_plans(), st.integers(0, 2**32), st.integers(0, 2**32))
+def test_admission_independent_of_interleaving(plan, seed_a, seed_b):
+    """Any interleaving of delayed/duplicated/reordered deliveries gives
+    the same admitted sequence as the sorted unique on-time stream."""
+    n, slips, dups = plan
+    a = _run_plan(n, slips, dups, seed_a)
+    b = _run_plan(n, slips, dups, seed_b)
+
+    expected = [30.0 * (c + 1) for c in range(n) if slips[c] == 0]
+    assert [s.t_valid for s in a.admitted_log] == expected
+    assert [s.key for s in a.admitted_log] == [s.key for s in b.admitted_log]
+    assert a.verify_invariants() == []
+
+    # accounting is also interleaving-independent: on-time extra copies
+    # are duplicates, slipped deliveries land past the watermark (stale)
+    assert a.counters["duplicate"] == sum(
+        dups[c] - 1 for c in range(n) if slips[c] == 0
+    )
+    assert a.counters["stale"] == sum(
+        dups[c] for c in range(n) if slips[c] > 0 and c + slips[c] < n
+    )
+    assert a.counters == b.counters
+
+
+@given(delivery_plans(), st.integers(0, 2**32))
+def test_every_cycle_resolves_terminally(plan, order_seed):
+    n, slips, dups = plan
+    buf = _run_plan(n, slips, dups, order_seed)
+    terminal = (
+        buf.counters["admitted"]
+        + buf.counters["substituted"]
+        + buf.counters["skipped"]
+    )
+    assert terminal == n
+    assert buf.watermark == 30.0 * n
+
+
+# -- stream fault injector ----------------------------------------------
+
+
+class TestStreamFaultInjector:
+    def test_seed_deterministic(self):
+        a = StreamFaultInjector(StreamFaultRates(), seed=7)
+        b = StreamFaultInjector(StreamFaultRates(), seed=7)
+        for c in range(50):
+            assert a.scan_arrivals(c, t_ready=30.0 * c) == b.scan_arrivals(
+                c, t_ready=30.0 * c
+            )
+        assert a.counts == b.counts
+
+    def test_substreams_independent(self):
+        chunks = list(chunk_payload(b"x" * 10_000, 1000))
+        a = StreamFaultInjector(StreamFaultRates(), seed=7)
+        b = StreamFaultInjector(StreamFaultRates(), seed=7)
+        for c in range(20):
+            b.corrupt_chunks(c, chunks)  # must not shift the scan draws
+            assert a.scan_arrivals(c, t_ready=0.0) == b.scan_arrivals(
+                c, t_ready=0.0
+            )
+
+    def test_all_off_is_transparent(self):
+        inj = StreamFaultInjector(StreamFaultRates.all_off(), seed=1)
+        for c in range(20):
+            arrivals = inj.scan_arrivals(c, t_ready=30.0 * c + 3.0)
+            assert len(arrivals) == 1
+            assert arrivals[0].arrival_time == 30.0 * c + 3.0
+            assert inj.corrupt_chunks(c, [b"abc"]) == [b"abc"]
+        assert sum(inj.counts.values()) == 0
+
+    def test_drop_and_duplicate(self):
+        drop = StreamFaultInjector(
+            StreamFaultRates.only("scan-drop", rate=1.0), seed=2
+        )
+        assert drop.scan_arrivals(0, t_ready=5.0) == []
+        dup = StreamFaultInjector(
+            StreamFaultRates.only("scan-duplicate", rate=1.0), seed=2
+        )
+        arrivals = dup.scan_arrivals(0, t_ready=5.0)
+        assert [a.copy for a in arrivals] == [0, 1]
+        assert arrivals[1].arrival_time >= arrivals[0].arrival_time
+
+    def test_reorder_slips_past_next_cycle(self):
+        inj = StreamFaultInjector(
+            StreamFaultRates.only("scan-reorder", rate=1.0),
+            seed=3, cycle_interval_s=30.0,
+        )
+        (arr,) = inj.scan_arrivals(0, t_ready=5.0)
+        assert arr.arrival_time > 5.0 + 30.0
+
+    def test_chunk_damage_detected_by_crc(self):
+        inj = StreamFaultInjector(
+            StreamFaultRates.only("chunk-bitflip", rate=1.0), seed=4
+        )
+        chunks = list(chunk_payload(b"q" * 20_000, 1000))
+        damaged = inj.corrupt_chunks(0, chunks)
+        asm = ChunkAssembler()
+        asm.ingest_many(damaged)
+        assert asm.n_rejected == 1
+        assert len(asm.missing) == 1
+
+    def test_retransmit_attempts_clean(self):
+        inj = StreamFaultInjector(
+            StreamFaultRates.only("chunk-truncate", rate=1.0), seed=5
+        )
+        chunks = list(chunk_payload(b"q" * 5_000, 1000))
+        assert inj.corrupt_chunks(0, chunks, attempt=1) == chunks
+
+
+# -- workflow integration -----------------------------------------------
+
+
+def _workflow(seed=11, rates=None, **kw):
+    injector = (
+        None
+        if rates is None
+        else StreamFaultInjector(rates, seed=seed, cycle_interval_s=30.0)
+    )
+    return RealtimeWorkflow(
+        WorkflowConfig(), seed=seed, stream_injector=injector, **kw
+    )
+
+
+def _numeric(rec):
+    return (rec.cycle, rec.ok, rec.t_file, rec.t_transferred,
+            rec.t_analysis, rec.t_product, rec.skipped_reason)
+
+
+class TestWorkflowIngest:
+    def test_fault_free_matches_direct_path(self):
+        plain = _workflow()
+        routed = _workflow(rates=StreamFaultRates.all_off())
+        for c in range(30):
+            plain.run_cycle(c)
+            routed.run_cycle(c)
+        assert [r.admission for r in routed.records] == ["admit"] * 30
+        assert not any(r.degraded for r in routed.records)
+        assert [_numeric(r) for r in plain.records] == [
+            _numeric(r) for r in routed.records
+        ]
+
+    def test_faulted_run_deterministic(self):
+        a = _workflow(rates=StreamFaultRates())
+        b = _workflow(rates=StreamFaultRates())
+        for c in range(60):
+            a.run_cycle(c)
+            b.run_cycle(c)
+        assert a.records == b.records
+        assert a.ingest.counters == b.ingest.counters
+
+    def test_checkpoint_resume_identical(self):
+        full = _workflow(rates=StreamFaultRates())
+        for c in range(60):
+            full.run_cycle(c)
+
+        first = _workflow(rates=StreamFaultRates())
+        for c in range(30):
+            first.run_cycle(c)
+        resumed = _workflow(rates=StreamFaultRates())
+        resumed.load_state_dict(first.state_dict())
+        for c in range(30, 60):
+            resumed.run_cycle(c)
+        assert resumed.records == full.records
+        assert resumed.ingest.admitted_log == full.ingest.admitted_log
+
+    def test_gate_invariants_under_faults(self):
+        wf = _workflow(rates=StreamFaultRates(
+            scan_delay=0.2, scan_reorder=0.2, scan_duplicate=0.2,
+            scan_drop=0.1,
+        ))
+        for c in range(120):
+            wf.run_cycle(c)
+        assert wf.ingest.verify_invariants() == []
+        assert all(
+            r.admission in ("admit", "substitute-previous", "skip-cycle")
+            for r in wf.records
+        )
+        skipped = [r for r in wf.records if r.admission == "skip-cycle"]
+        assert all(r.skipped_reason == "scan-missing" for r in skipped)
+        degraded = [r for r in wf.records if r.admission != "admit"]
+        assert all(r.degraded for r in degraded if r.ok)
+
+    def test_wait_fraction_validated(self):
+        with pytest.raises(ValueError):
+            _workflow(rates=StreamFaultRates.all_off(), wait_fraction=0.0)
+        with pytest.raises(ValueError):
+            _workflow(rates=StreamFaultRates.all_off(), wait_fraction=1.5)
+
+
+# -- DACycler admission routing -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mini_bda():
+    from repro.config import LETKFConfig, RadarConfig, ScaleConfig
+    from repro.core import BDASystem
+    from repro.model.initial import convective_sounding
+
+    scfg = ScaleConfig().reduced(nx=10, nz=8, members=3)
+    lcfg = LETKFConfig(
+        ensemble_size=3, analysis_zmin=0.0, analysis_zmax=20000.0,
+        localization_h=15000.0, localization_v=5000.0,
+        gross_error_refl_dbz=100.0, gross_error_doppler_ms=100.0,
+        eigensolver="lapack",
+    )
+    bda = BDASystem(
+        scfg, lcfg,
+        RadarConfig().reduced(n_elevations=4, n_azimuths=16, n_gates=30),
+        sounding=convective_sounding(), seed=99,
+    )
+    bda.trigger_convection(n=1, amplitude=4.0)
+    bda.spinup_nature(60.0)
+    return bda
+
+
+def _next_scan(bda):
+    """One observation step of the OSSE loop (mirrors BDASystem.cycle)."""
+    bda.nature = bda.nature_model.integrate(bda.nature, 30.0)
+    obs = bda.observe_nature()
+    bda._inject_additive_spread()
+    return obs, bda.nature.time
+
+
+class TestCyclerAdmission:
+    def test_admission_state_machine(self, mini_bda):
+        radar = mini_bda.radar_config.name
+        buf = IngestBuffer(radar)
+
+        # admit: exactly the direct observation path
+        obs, t = _next_scan(mini_bda)
+        buf.offer(envelope_from_observations(
+            radar, obs, t_valid=t, arrival_time=t
+        ))
+        d = buf.decide(t)
+        assert d.action == ADMIT
+        res = mini_bda.cycler.run_cycle(admission=d)
+        assert res.mode == "analysis"
+        assert res.admission == ADMIT
+
+        # wait is transient, not runnable
+        with pytest.raises(ValueError, match="not runnable"):
+            mini_bda.cycler.run_cycle(admission=AdmissionDecision(WAIT, t))
+        # passing both hand-off routes is ambiguous
+        with pytest.raises(ValueError, match="not both"):
+            mini_bda.cycler.run_cycle(observations=obs, admission=d)
+        with pytest.raises(ValueError, match="unknown admission"):
+            mini_bda.cycler.run_cycle(
+                admission=AdmissionDecision("hold", t)
+            )
+
+        # substitute-previous: scan never arrives, previous payload is
+        # assimilated as an explicitly degraded analysis
+        _, t2 = _next_scan(mini_bda)
+        d2 = buf.decide(t2)
+        assert d2.action == SUBSTITUTE
+        res2 = mini_bda.cycler.run_cycle(admission=d2)
+        assert res2.mode == "substitute"
+        assert res2.admission == SUBSTITUTE
+        assert res2.n_members_used > 0  # an analysis did run
+
+        # skip-cycle: nothing to assimilate, forecast-only free run
+        empty = IngestBuffer(radar, allow_substitute=False)
+        _, t3 = _next_scan(mini_bda)
+        d3 = empty.decide(t3)
+        assert d3.action == SKIP
+        res3 = mini_bda.cycler.run_cycle(admission=d3)
+        assert res3.mode == "free-run"
+        assert res3.admission == SKIP
+
+
+# -- chaos campaign ------------------------------------------------------
+
+
+class TestIngestChaosCampaign:
+    def test_smoke_gate_holds(self):
+        camp = IngestChaosCampaign(StreamFaultRates(), seed=5)
+        rep = camp.run(60)
+        assert rep.n_cycles == 60
+        assert rep.gate_ok
+        assert rep.stale_admitted == 0
+        assert rep.duplicate_admitted == 0
+        assert rep.undecided_cycles == 0
+        assert rep.n_transfers_hung == 0
+        assert rep.n_transfers == 60
+        # no outages in this campaign: every cycle carries a decision
+        assert sum(rep.decisions.values()) == rep.n_cycles
+        assert "PASS" in ingest_chaos_text(rep)
+
+    def test_campaign_deterministic(self):
+        a = IngestChaosCampaign(StreamFaultRates(), seed=6).run(40)
+        b = IngestChaosCampaign(StreamFaultRates(), seed=6).run(40)
+        assert a.as_dict() == b.as_dict()
+
+    def test_report_round_trips_to_json(self):
+        import json
+
+        rep = IngestChaosCampaign(StreamFaultRates.all_off(), seed=7).run(20)
+        d = json.loads(json.dumps(rep.as_dict()))
+        assert d["gate_ok"] is True
+        assert d["decisions"]["admit"] == 20

@@ -14,7 +14,8 @@ from repro.jitdt import (
     chunk_payload,
     reassemble,
 )
-from repro.jitdt.protocol import ChunkHeader, ProtocolError
+from repro.jitdt.protocol import ChunkAssembler, ChunkHeader, ProtocolError
+from repro.jitdt.transfer import TransferWatchdog
 
 
 class TestProtocol:
@@ -64,6 +65,76 @@ class TestProtocol:
         with pytest.raises(ValueError):
             list(chunk_payload(b"abc", 0))
 
+    def test_sequence_out_of_range_names_index(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        hdr = ChunkHeader(seq=7, total=5, length=4, crc32=0)
+        chunks[3] = hdr.pack() + b"body"
+        with pytest.raises(ProtocolError, match=r"index 3.*out of range"):
+            reassemble(chunks)
+
+    def test_inconsistent_chunk_count_names_index(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        body = chunks[2][ChunkHeader.size():]
+        import zlib
+
+        hdr = ChunkHeader(seq=2, total=9, length=len(body), crc32=zlib.crc32(body))
+        chunks[2] = hdr.pack() + body
+        with pytest.raises(ProtocolError, match=r"index 2.*inconsistent"):
+            reassemble(chunks)
+
+    def test_zero_total_rejected(self):
+        hdr = ChunkHeader(seq=0, total=0, length=0, crc32=0)
+        with pytest.raises(ProtocolError, match="invalid chunk count"):
+            reassemble([hdr.pack()])
+
+
+class TestChunkAssembler:
+    def test_out_of_order_streaming(self):
+        payload = os.urandom(10_000)
+        chunks = list(chunk_payload(payload, 1000))
+        asm = ChunkAssembler()
+        asm.ingest_many(chunks[::-1])
+        assert asm.complete
+        assert asm.payload() == payload
+        assert asm.n_rejected == 0
+
+    def test_damage_recorded_not_raised(self):
+        chunks = list(chunk_payload(b"a" * 5000, 1000))
+        bad = bytearray(chunks[2])
+        bad[-1] ^= 0xFF
+        chunks[2] = bytes(bad)
+        asm = ChunkAssembler()
+        asm.ingest_many(chunks)
+        assert not asm.complete
+        assert asm.n_rejected == 1
+        assert asm.missing == {2}
+        assert any("index 2" in e for e in asm.errors)
+
+    def test_retransmit_repairs(self):
+        payload = os.urandom(5000)
+        chunks = list(chunk_payload(payload, 1000))
+        asm = ChunkAssembler()
+        asm.ingest_many(chunks[:-1])
+        assert asm.missing == {4}
+        asm.ingest(chunks[4])  # the retransmit
+        assert asm.complete
+        assert asm.payload() == payload
+
+    def test_duplicate_retransmit_idempotent(self):
+        payload = os.urandom(3000)
+        chunks = list(chunk_payload(payload, 1000))
+        asm = ChunkAssembler()
+        asm.ingest_many(chunks + chunks)
+        assert asm.n_duplicates == len(chunks)
+        assert asm.payload() == payload
+
+    def test_payload_before_complete_raises(self):
+        chunks = list(chunk_payload(b"a" * 3000, 1000))
+        asm = ChunkAssembler()
+        asm.ingest(chunks[0])
+        with pytest.raises(ProtocolError, match="missing"):
+            asm.payload()
+
 
 class TestSINETLink:
     def test_100mb_in_about_3s(self):
@@ -104,6 +175,67 @@ class TestTransferEngine:
         assert eng.mean_seconds() > 0
 
 
+class TestTransferHardening:
+    @staticmethod
+    def _flip_first_attempt(chunks, attempt):
+        if attempt > 0:
+            return chunks
+        bad = bytearray(chunks[0])
+        bad[-1] ^= 0x01
+        return [bytes(bad)] + chunks[1:]
+
+    def test_retransmit_repairs_payload(self):
+        eng = TransferEngine(SINETLink(seed=6))
+        payload = os.urandom(200_000)
+        res = eng.send(payload, chunk_faults=self._flip_first_attempt)
+        assert res.ok
+        assert res.payload == payload
+        assert res.n_retransmits == 1
+        assert res.n_corrupt_chunks == 1
+        assert not res.cancelled
+
+    def test_clean_hook_matches_clean_path(self):
+        payload = os.urandom(100_000)
+        clean = TransferEngine(SINETLink(seed=7)).send(payload)
+        hooked = TransferEngine(SINETLink(seed=7)).send(
+            payload, chunk_faults=lambda chunks, attempt: chunks
+        )
+        assert hooked.seconds == clean.seconds
+        assert hooked.payload == clean.payload
+        assert hooked.n_retransmits == 0
+
+    def test_unrepairable_terminates_with_error(self):
+        eng = TransferEngine(SINETLink(seed=8))
+        res = eng.send(
+            os.urandom(50_000),
+            chunk_faults=lambda chunks, attempt: [c[:10] for c in chunks],
+        )
+        assert not res.ok
+        assert res.payload is None
+        assert "unrepairable" in res.error
+        assert res.n_retransmits == eng.retry.max_attempts - 1
+
+    def test_watchdog_cancels_and_reports(self):
+        mon = FailSafeMonitor(deadline_s=30.0)
+        wd = TransferWatchdog(deadline_s=0.001, fraction=0.5, monitor=mon)
+        eng = TransferEngine(SINETLink(seed=9), watchdog=wd)
+        res = eng.send(
+            os.urandom(50_000),
+            chunk_faults=lambda chunks, attempt: [c[:10] for c in chunks],
+        )
+        assert res.cancelled
+        assert not res.ok
+        assert "watchdog" in res.error
+        assert wd.trips == 1
+        assert mon.watchdog_trips == 1
+
+    def test_backoff_deterministic(self):
+        a = TransferEngine(SINETLink(seed=10))._backoff_s(1, 3)
+        b = TransferEngine(SINETLink(seed=10))._backoff_s(1, 3)
+        assert a == b
+        assert a > 0
+
+
 class TestFileWatcher:
     def test_detects_completed_file(self, tmp_path):
         w = FileWatcher(tmp_path, "*.pawr")
@@ -135,6 +267,59 @@ class TestFileWatcher:
         (tmp_path / "notes.txt").write_bytes(b"x")
         w.poll()
         assert w.poll() == []
+
+    def test_growth_between_polls_resets_settle(self, tmp_path):
+        # satellite check: a file that grows between polls must restart
+        # its settle count, not be emitted with the truncated size
+        w = FileWatcher(tmp_path, "*.pawr", settle_polls=2)
+        p = tmp_path / "scan.pawr"
+        p.write_bytes(b"aa")
+        assert w.poll() == []  # first sighting
+        assert w.poll() == []  # stable x1 (< settle_polls)
+        p.write_bytes(b"aaaa")  # grew mid-settle
+        assert w.poll() == []  # reset: first sighting of new signature
+        assert w.poll() == []  # stable x1
+        events = w.poll()  # stable x2: settled
+        assert len(events) == 1
+        assert events[0].size == 4
+
+    def test_mtime_only_rewrite_resets_settle(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr", settle_polls=2)
+        p = tmp_path / "scan.pawr"
+        p.write_bytes(b"abcd")
+        w.poll()
+        w.poll()
+        # in-place rewrite: same size, newer mtime
+        st = p.stat()
+        os.utime(p, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        assert w.poll() == []  # signature changed: settle restarts
+        assert w.poll() == []
+        assert len(w.poll()) == 1
+
+    def test_vanished_file_recreated_fresh(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr")
+        p = tmp_path / "scan.pawr"
+        p.write_bytes(b"x")
+        w.poll()
+        assert len(w.poll()) == 1
+        p.unlink()
+        w.poll()  # purge
+        p.write_bytes(b"yy")
+        assert w.poll() == []  # fresh settle count
+        events = w.poll()
+        assert len(events) == 1
+        assert events[0].size == 2
+
+    def test_settle_polls_three(self, tmp_path):
+        w = FileWatcher(tmp_path, "*.pawr", settle_polls=3)
+        (tmp_path / "scan.pawr").write_bytes(b"x")
+        polls = [w.poll() for _ in range(4)]
+        assert polls[:3] == [[], [], []]
+        assert len(polls[3]) == 1
+
+    def test_settle_polls_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileWatcher(tmp_path, settle_polls=0)
 
 
 class TestFailSafe:
