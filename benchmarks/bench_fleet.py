@@ -1,0 +1,283 @@
+"""Fleet-operations gate: tenant sweep + identity + policy dividend.
+
+Production after the Games would run a fleet of (phased-array radar,
+inner domain) tenants on shared compute under the same "< 3 minutes"
+promise the paper made for one. This benchmark pins down the three
+claims the fleet layer stands on:
+
+* **tenant sweep** — aggregate cycles/s (host wall time) and fleet
+  deadline-hit fraction at 1/2/4/8 tenants under a 0.9 shared budget
+  and phase-offset storms;
+* **single-tenant identity** — a 1-tenant dedicated fleet produces the
+  *same records* as the stand-alone ``RealtimeWorkflow`` it refactors
+  (max-plus level), and a 1-tenant coupled fleet drives a real
+  mini-OSSE domain to a byte-identical ensemble vs direct
+  ``BDASystem.cycle()`` (bit level) — the refactor changed shape, not
+  behaviour;
+* **policy dividend** — at 4 tenants under the shared budget, the
+  deadline-aware (earliest-feasible-slack) dispatcher beats the naive
+  round-robin baseline on deadline-hit fraction.
+
+Run as a script (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke    # CI
+
+Writes ``BENCH_fleet.json``. All gates are enforced in both modes;
+``--smoke`` only shrinks round counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import (  # noqa: E402
+    LETKFConfig,
+    RadarConfig,
+    ScaleConfig,
+    WorkflowConfig,
+)
+from repro.core import BDASystem  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    DomainTenant,
+    FleetConfig,
+    FleetScheduler,
+    storm_rain,
+)
+from repro.model.initial import convective_sounding  # noqa: E402
+from repro.resilience.faults import StreamFaultInjector, StreamFaultRates  # noqa: E402
+from repro.workflow.realtime import RealtimeWorkflow  # noqa: E402
+
+TENANT_COUNTS = (1, 2, 4, 8)
+BUDGET_FRACTION = 0.9
+STORM_PEAK_KM2 = 8000.0
+
+
+def records_sha256(records) -> str:
+    h = hashlib.sha256()
+    for r in records:
+        h.update(repr(r).encode())
+    return h.hexdigest()
+
+
+def ensemble_sha256(bda: BDASystem) -> str:
+    h = hashlib.sha256()
+    for _, arr in sorted(bda.ensemble.state.fields.items()):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def build_bda(seed: int) -> BDASystem:
+    scfg = ScaleConfig().reduced(nx=12, nz=10, members=4)
+    lcfg = LETKFConfig(
+        ensemble_size=4, analysis_zmin=0.0, analysis_zmax=20000.0,
+        localization_h=15000.0, localization_v=5000.0,
+        gross_error_refl_dbz=100.0, gross_error_doppler_ms=100.0,
+        eigensolver="lapack",
+    )
+    bda = BDASystem(
+        scfg, lcfg, RadarConfig().reduced(n_elevations=6, n_azimuths=24, n_gates=40),
+        sounding=convective_sounding(), seed=seed,
+    )
+    bda.trigger_convection(n=2, amplitude=4.0)
+    bda.spinup_nature(120.0)
+    return bda
+
+
+def tenant_sweep(args) -> list[dict]:
+    """Aggregate throughput + deadline fraction vs tenant count."""
+    rain = storm_rain(STORM_PEAK_KM2)
+    rows = []
+    for n in TENANT_COUNTS:
+        cfg = FleetConfig(
+            n_tenants=n, policy="deadline",
+            budget_fraction=BUDGET_FRACTION, seed=args.seed,
+        )
+        fleet = FleetScheduler.from_config(cfg)
+        t0 = time.perf_counter()
+        report = fleet.run(args.rounds, rain=rain)
+        wall_s = time.perf_counter() - t0
+        n_cycles = sum(t.n_cycles for t in report.tenants)
+        row = {
+            "n_tenants": n,
+            "n_rounds": args.rounds,
+            "budget_fraction": BUDGET_FRACTION,
+            "part1_blocks": report.part1_blocks,
+            "part2_slots": report.part2_slots,
+            "n_cycles": n_cycles,
+            "wall_s": wall_s,
+            "aggregate_cycles_per_s": n_cycles / wall_s if wall_s else 0.0,
+            "availability": report.availability,
+            "deadline_fraction": report.deadline_fraction,
+        }
+        rows.append(row)
+        print(
+            f"tenants {n}: {n_cycles} cycles in {wall_s:6.2f} s "
+            f"({row['aggregate_cycles_per_s']:8.1f} cycles/s)  "
+            f"avail {report.availability:6.1%}  "
+            f"deadline {report.deadline_fraction:6.1%}"
+        )
+    return rows
+
+
+def single_tenant_identity(args) -> dict:
+    """1-tenant dedicated fleet == stand-alone RealtimeWorkflow."""
+    rain = storm_rain(STORM_PEAK_KM2)
+    wcfg = WorkflowConfig()
+
+    solo = RealtimeWorkflow(
+        wcfg, seed=args.seed,
+        stream_injector=StreamFaultInjector(
+            StreamFaultRates.all_off(), seed=args.seed,
+            cycle_interval_s=wcfg.cycle_interval_s,
+        ),
+        radar_id="tenant-0",
+    )
+    for k in range(args.identity_rounds):
+        solo.run_cycle(k, rain_area_km2=rain(0, k))
+
+    fleet = FleetScheduler(
+        [DomainTenant("tenant-0", wcfg, seed=args.seed)], pool=None
+    )
+    fleet.run(args.identity_rounds, rain=rain)
+
+    h_solo = records_sha256(solo.records)
+    h_fleet = records_sha256(fleet.tenants[0].records)
+    if fleet.tenants[0].records != solo.records or h_solo != h_fleet:
+        raise SystemExit(
+            f"1-tenant fleet records diverge from the stand-alone "
+            f"RealtimeWorkflow ({h_fleet} != {h_solo})"
+        )
+    return {
+        "n_rounds": args.identity_rounds,
+        "seed": args.seed,
+        "records_sha256": h_solo,
+        "bit_identical": True,
+    }
+
+
+def coupled_domain_identity(args) -> dict:
+    """1-tenant coupled fleet drives the real domain bit-identically."""
+    direct = build_bda(args.seed)
+    for _ in range(args.osse_cycles):
+        direct.cycle()
+
+    routed = build_bda(args.seed)
+    tenant = DomainTenant("tokyo", WorkflowConfig(), seed=args.seed, bda=routed)
+    fleet = FleetScheduler([tenant], pool=None)
+    fleet.run(args.osse_cycles)
+
+    h_direct = ensemble_sha256(direct)
+    h_routed = ensemble_sha256(routed)
+    if h_direct != h_routed:
+        raise SystemExit(
+            f"coupled 1-tenant fleet ensemble is not bit-identical to "
+            f"direct BDASystem cycling ({h_routed} != {h_direct})"
+        )
+    return {
+        "n_cycles": args.osse_cycles,
+        "seed": args.seed,
+        "ensemble_sha256": h_direct,
+        "bit_identical": True,
+    }
+
+
+def policy_dividend(args) -> dict:
+    """Deadline-aware dispatch must beat round-robin at 4 tenants."""
+    rain = storm_rain(STORM_PEAK_KM2)
+    fractions = {}
+    for policy in ("deadline", "round-robin"):
+        cfg = FleetConfig(
+            n_tenants=4, policy=policy,
+            budget_fraction=BUDGET_FRACTION, seed=args.seed,
+        )
+        report = FleetScheduler.from_config(cfg).run(args.rounds, rain=rain)
+        fractions[policy] = report.deadline_fraction
+        print(f"policy {policy:12s}: deadline {report.deadline_fraction:6.1%}")
+    delta = fractions["deadline"] - fractions["round-robin"]
+    if delta <= 0.0:
+        raise SystemExit(
+            f"deadline-aware dispatch did not beat round-robin at 4 "
+            f"tenants: {fractions['deadline']:.4f} vs "
+            f"{fractions['round-robin']:.4f}"
+        )
+    return {
+        "n_tenants": 4,
+        "n_rounds": args.rounds,
+        "budget_fraction": BUDGET_FRACTION,
+        "deadline_fraction_edf": fractions["deadline"],
+        "deadline_fraction_round_robin": fractions["round-robin"],
+        "delta": delta,
+    }
+
+
+def run(args) -> dict:
+    print(f"tenant sweep ({args.rounds} rounds, budget {BUDGET_FRACTION}) ...")
+    sweep = tenant_sweep(args)
+
+    print("checking 1-tenant fleet identity (records vs RealtimeWorkflow) ...")
+    identity = single_tenant_identity(args)
+    print(f"records identical over {identity['n_rounds']} rounds: "
+          f"sha256 {identity['records_sha256'][:16]}...")
+
+    print("checking coupled-domain identity (fleet vs direct OSSE) ...")
+    coupled = coupled_domain_identity(args)
+    print(f"ensembles identical over {coupled['n_cycles']} cycles: "
+          f"sha256 {coupled['ensemble_sha256'][:16]}...")
+
+    print("checking policy dividend (deadline vs round-robin, 4 tenants) ...")
+    dividend = policy_dividend(args)
+    print(f"deadline beats round-robin by {dividend['delta']:+.1%}")
+
+    return {
+        "config": {
+            "rounds": args.rounds,
+            "identity_rounds": args.identity_rounds,
+            "osse_cycles": args.osse_cycles,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "tenant_sweep": sweep,
+        "single_tenant_identity": identity,
+        "coupled_domain_identity": coupled,
+        "policy_dividend": dividend,
+        "gate_ok": True,
+    }
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--rounds", type=int, default=400,
+                   help="fleet rounds per sweep/policy point")
+    p.add_argument("--identity-rounds", type=int, default=200,
+                   help="rounds for the record-level identity gate")
+    p.add_argument("--osse-cycles", type=int, default=3,
+                   help="OSSE cycles for the coupled bit-identity gate")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--out", type=str, default="BENCH_fleet.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink round counts (all gates still enforced)")
+    args = p.parse_args(argv)
+    if args.smoke:
+        args.rounds = min(args.rounds, 120)
+        args.identity_rounds = min(args.identity_rounds, 60)
+        args.osse_cycles = min(args.osse_cycles, 2)
+
+    report = run(args)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,17 +90,14 @@ def bit_identity_check(seed: int, n_cycles: int) -> dict:
     for _ in range(n_cycles):
         # BDASystem.cycle(), with the observation hand-off routed
         # through the ingest buffer (on-time, clean stream)
-        routed.nature = routed.nature_model.integrate(routed.nature, 30.0)
-        obs = routed.observe_nature()
-        routed._inject_additive_spread()
+        obs = routed.prepare_cycle()
         t = routed.nature.time
         env = envelope_from_observations(
             routed.radar_config.name, obs, t_valid=t, arrival_time=t
         )
         buf.offer(env)
         decision = buf.decide(t)
-        res = routed.cycler.run_cycle(admission=decision)
-        routed.cycle_count += 1
+        res = routed.assimilate(admission=decision)
         actions.append((decision.action, res.mode))
 
     h_direct = ensemble_sha256(direct)

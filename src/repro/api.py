@@ -37,6 +37,12 @@ _EXPORTS = {
     "WorkflowMonitor": ".workflow.monitor",
     "FaultCampaign": ".resilience.campaign",
     "ResilienceReport": ".resilience.campaign",
+    # multi-domain fleet operations
+    "FleetScheduler": ".fleet",
+    "FleetConfig": ".fleet",
+    "FleetReport": ".fleet",
+    "DomainTenant": ".fleet",
+    "ComputePool": ".fleet",
     # streaming ingest
     "IngestBuffer": ".ingest.buffer",
     "ScanEnvelope": ".ingest.buffer",

@@ -8,7 +8,9 @@ Rule scoping is path-based (mirroring where each contract applies):
 
 * DET001 everywhere;
 * DET002 everywhere except ``telemetry/`` and ``workflow/`` (the two
-  layers allowed to read wall clocks);
+  layers allowed to read wall clocks), but re-armed for any ``fleet``
+  path — fleet scheduling decisions must be replayable even though the
+  fleet layer sits next to the wall-clock-exempt workflow code;
 * DTY001 in the single-precision hot paths ``letkf/`` and ``eigen/``;
 * MUT001 in kernel modules: ``model/`` and ``letkf/core.py``;
 * LAY001 in ``letkf_transform``-adjacent code: ``letkf/`` and
@@ -109,6 +111,11 @@ def _scopes(path: str) -> set[str]:
     scopes = {"det001", "det002"}
     if "telemetry" in parts or "workflow" in parts:
         scopes.discard("det002")
+    if "fleet" in parts:
+        # the fleet scheduler rides on the wall-clock-exempt workflow
+        # layer but its own decisions must stay replayable: DET002
+        # applies to fleet code wherever it lives
+        scopes.add("det002")
     if "letkf" in parts or "eigen" in parts:
         scopes.add("dtype")
     if "model" in parts or ("letkf" in parts and name == "core.py"):

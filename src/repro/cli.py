@@ -14,6 +14,9 @@ Gives downstream users the paper's artifacts without writing code:
 * ``ingest-campaign`` (alias ``ingestcampaign``) — streaming-ingest
   chaos campaign: out-of-order/late/duplicate/dropped scans plus
   corrupt wire chunks, asserting zero stale/duplicate assimilations;
+* ``fleet`` — multi-domain fleet run: N (radar, domain) tenants
+  multiplexed over one shared, budgeted compute pool with
+  deadline-aware dispatch;
 * ``quick-cycle`` (alias ``quickcycle``) — a tiny OSSE cycling demo
   (the quickstart in one command);
 * ``telemetry`` — replay a recorded ``--telemetry`` run directory into
@@ -201,6 +204,32 @@ def _cmd_ingestcampaign(args) -> int:
     return EXIT_OK
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from .fleet import FleetConfig, FleetScheduler, storm_rain
+    from .report import fleet_text
+
+    tel = _make_telemetry(args)
+    cfg = FleetConfig(
+        n_tenants=args.tenants,
+        policy=args.policy,
+        budget_fraction=args.budget,
+        seed=args.seed,
+    )
+    fleet = FleetScheduler.from_config(cfg, telemetry=tel)
+    rain = storm_rain(args.storm_rain) if args.storm_rain > 0 else None
+    report = fleet.run(args.rounds, rain=rain)
+    print(fleet_text(report))
+    if args.json:
+        path = _resolve_out(args, args.json)
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    _write_telemetry(args, tel)
+    return EXIT_OK
+
+
 def _cmd_calibrate(args) -> int:
     from .workflow.calibration import calibrate
 
@@ -324,6 +353,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("calibrate", help="measure kernels, extrapolate to paper scale")
 
+    fl = sub.add_parser(
+        "fleet",
+        help="multi-domain fleet run: N tenants on one shared compute pool",
+        parents=[_common_parent(seed_default=2021)],
+    )
+    fl.add_argument("--tenants", type=int, default=2,
+                    help="number of (radar, domain) tenants (default 2)")
+    fl.add_argument("--rounds", type=int, default=200,
+                    help="30-s fleet rounds to simulate (default 200)")
+    fl.add_argument(
+        "--policy", choices=("deadline", "round-robin"), default="deadline",
+        help="dispatch policy: earliest feasible slack first, or the "
+             "naive rotating baseline",
+    )
+    fl.add_argument(
+        "--budget", type=float, default=0.9,
+        help="pool size as a fraction of N dedicated allocations "
+             "(default 0.9: mild shared-budget contention)",
+    )
+    fl.add_argument(
+        "--storm-rain", type=float, default=8000.0, metavar="KM2",
+        help="peak rain area of the phase-offset storm profile; 0 "
+             "disables storms (default 8000)",
+    )
+    fl.add_argument("--json", type=str, default=None, metavar="FILE",
+                    help="write the fleet report as JSON")
+
     fc = sub.add_parser(
         "fault-campaign", aliases=["faultcampaign"],
         help="seeded fault-injection campaign with recovery metrics",
@@ -389,6 +445,7 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "fig5": _cmd_fig5,
     "calibrate": _cmd_calibrate,
+    "fleet": _cmd_fleet,
     "fault-campaign": _cmd_faultcampaign,
     "faultcampaign": _cmd_faultcampaign,
     "ingest-campaign": _cmd_ingestcampaign,

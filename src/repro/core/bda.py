@@ -71,6 +71,7 @@ class BDASystem:
         use_raw_volumes: bool = False,
         backend: str | ExecutionConfig | ExecutionBackend | None = None,
         telemetry=None,
+        scope: dict[str, str] | None = None,
     ):
         self.scale_config = scale_config
         self.letkf_config = letkf_config
@@ -99,7 +100,7 @@ class BDASystem:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cycler = DACycler(
             self.model, self.ensemble, letkf_config, self.obsope,
-            backend=self.backend, telemetry=telemetry,
+            backend=self.backend, telemetry=telemetry, scope=scope,
         )
         self.cycle_count = 0
         self.last_scan: VolumeScan | None = None
@@ -192,14 +193,44 @@ class BDASystem:
 
     # ------------------------------------------------------------------
 
-    def cycle(self) -> CycleResult:
-        """One 30-second BDA cycle: advance truth, observe, assimilate."""
+    def prepare_cycle(self) -> list[GriddedObservations]:
+        """Observation half of one 30-s cycle: advance truth, observe.
+
+        Advances the nature run 30 s, observes it, and injects the
+        per-cycle additive spread — everything that must happen whether
+        or not the resulting scan survives delivery. Returns the gridded
+        observation volumes; hand them (or an ingest
+        :class:`~repro.ingest.buffer.AdmissionDecision` wrapping them)
+        to :meth:`assimilate` to finish the cycle. ``cycle()`` is
+        exactly ``assimilate(observations=prepare_cycle())``; the split
+        lets a fleet tenant ship the observations through its admission
+        buffer in between.
+        """
         self.nature = self.nature_model.integrate(self.nature, 30.0)
         obs = self.observe_nature()
         self._inject_additive_spread()
-        result = self.cycler.run_cycle(obs)
+        return obs
+
+    def assimilate(
+        self,
+        observations: list[GriddedObservations] | None = None,
+        *,
+        admission=None,
+    ) -> CycleResult:
+        """Assimilation half of one 30-s cycle.
+
+        Accepts either the observation volumes directly or an
+        :class:`~repro.ingest.buffer.AdmissionDecision` routing them
+        (``admission=None`` with no observations is an explicit
+        forecast-only free run). Counts the cycle either way.
+        """
+        result = self.cycler.run_cycle(observations, admission=admission)
         self.cycle_count += 1
         return result
+
+    def cycle(self) -> CycleResult:
+        """One 30-second BDA cycle: advance truth, observe, assimilate."""
+        return self.assimilate(self.prepare_cycle())
 
     def run_cycles(self, n: int) -> list[CycleResult]:
         return [self.cycle() for _ in range(n)]

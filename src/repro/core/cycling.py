@@ -88,9 +88,14 @@ class DACycler:
         recovery_spread_factor: float = 0.5,
         backend: str | ExecutionConfig | ExecutionBackend | None = None,
         telemetry: Telemetry | None = None,
+        scope: dict[str, str] | None = None,
     ):
         self.model = model
         self.ensemble = ensemble
+        #: extra labels stamped on every cycle-level metric ({} when the
+        #: cycler runs stand-alone; a fleet sets {"tenant": <id>} so
+        #: per-domain DA health rolls up per tenant in one registry)
+        self.scope: dict[str, str] = dict(scope or {})
         #: injected telemetry bundle (tracer + metrics + kernel profiler);
         #: defaults to the shared no-op so un-instrumented cycles pay
         #: only attribute checks
@@ -359,33 +364,37 @@ class DACycler:
                 n_members_used=len(healthy) if do_analysis else 0,
             )
 
-        # cycle-level metrics (no-ops on the null registry)
-        tel.counter("bda_cycles_total", help="DA cycles run").inc()
+        # cycle-level metrics (no-ops on the null registry); ``scope``
+        # adds the fleet's per-tenant labels when one is set
+        scope = self.scope
+        tel.counter("bda_cycles_total", help="DA cycles run", **scope).inc()
         if mode != "analysis":
             tel.counter("bda_degraded_cycles_total",
-                        help="cycles served by a degraded path").inc()
+                        help="cycles served by a degraded path", **scope).inc()
         tel.histogram("bda_stage_seconds", help="per-stage wall time",
-                      stage="forecast").observe(t_fcst)
+                      stage="forecast", **scope).observe(t_fcst)
         tel.histogram("bda_stage_seconds", help="per-stage wall time",
-                      stage="letkf").observe(t_letkf)
+                      stage="letkf", **scope).observe(t_letkf)
         if t_fcst > 0:
             tel.gauge("bda_members_per_second",
-                      help="ensemble-forecast throughput").set(
+                      help="ensemble-forecast throughput", **scope).set(
                 self.ensemble.state.n_members / t_fcst
             )
         if do_analysis:
             tel.gauge("letkf_active_fraction",
-                      help="fraction of analysis points with local obs").set(
+                      help="fraction of analysis points with local obs",
+                      **scope).set(
                 diag.active_fraction
             )
             tel.gauge("letkf_obs_per_point",
-                      help="mean valid local obs per active point").set(
+                      help="mean valid local obs per active point",
+                      **scope).set(
                 diag.obs_per_point_mean
             )
         if admission is not None:
             tel.counter("bda_admissions_total",
                         help="cycles routed through ingest admission",
-                        action=admission.action).inc()
+                        action=admission.action, **scope).inc()
 
         self._cycle += 1
         res = CycleResult(

@@ -1,0 +1,40 @@
+"""Multi-domain fleet operations.
+
+The paper runs one (MP-PAWR, inner domain) pair; production during the
+Games would run a fleet of them on shared compute under the same
+"< 3 minutes" promise. This package is that layer:
+
+* :class:`~repro.fleet.tenant.DomainTenant` — one (radar network,
+  inner domain, ingest buffer, degradation ladder, telemetry scope)
+  tenant, a :class:`~repro.workflow.realtime.RealtimeWorkflow`
+  subclass;
+* :class:`~repro.fleet.pool.ComputePool` — the shared, budgeted
+  part-<1>/part-<2> resource pool;
+* :class:`~repro.fleet.scheduler.FleetScheduler` — asyncio-driven
+  prepare fan-out + deadline-aware (earliest-slack-first) dispatch,
+  seed-deterministic and replayable by construction.
+
+Determinism contract: this package is DET002-scoped by ``reprolint`` —
+unlike ``workflow/`` it may **not** read wall clocks; every scheduling
+decision is a function of (seed, offered envelopes, deadlines) only.
+"""
+
+from .pool import ComputePool
+from .scheduler import (
+    FleetConfig,
+    FleetReport,
+    FleetScheduler,
+    TenantSummary,
+    storm_rain,
+)
+from .tenant import DomainTenant
+
+__all__ = [
+    "ComputePool",
+    "DomainTenant",
+    "FleetConfig",
+    "FleetReport",
+    "FleetScheduler",
+    "TenantSummary",
+    "storm_rain",
+]

@@ -1,0 +1,119 @@
+"""The fleet's shared, budgeted compute pool.
+
+A single-domain :class:`~repro.workflow.realtime.RealtimeWorkflow` owns
+a dedicated part-<1> allocation (8008 nodes) and its own five rotating
+part-<2> slots. A fleet of N (radar, domain) tenants sharing one
+machine cannot: the pool holds ``part1_blocks`` interchangeable part-<1>
+node blocks and ``part2_slots`` interchangeable part-<2> slots, and
+every acquisition goes to the earliest-free unit (ties broken by lowest
+index). That selection is a pure function of the pool's max-plus state,
+so fleet runs replay bit-identically regardless of how the asyncio
+scheduler interleaved the tenants' prepare phases.
+
+Budget accounting: :meth:`ComputePool.for_tenants` sizes the pool as a
+fraction of what N dedicated single-domain allocations would provide —
+``budget_fraction=1.0`` reproduces N full allocations, ``0.9`` forces
+the transient contention that makes deadline-aware dispatch matter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..workflow.events import Resource
+
+__all__ = ["ComputePool"]
+
+#: part-<2> slots one dedicated single-domain allocation provides
+_PART2_SLOTS_PER_TENANT = 5
+
+
+class ComputePool:
+    """Earliest-free multiplexing of part-<1> blocks and part-<2> slots."""
+
+    def __init__(self, *, part1_blocks: int = 1, part2_slots: int = 5):
+        if part1_blocks < 1 or part2_slots < 1:
+            raise ValueError("pool needs at least one part-1 block and one part-2 slot")
+        self.part1 = [Resource(f"fleet-part1-{i}") for i in range(part1_blocks)]
+        self.part2 = [Resource(f"fleet-part2-{i}") for i in range(part2_slots)]
+
+    @classmethod
+    def for_tenants(
+        cls, n_tenants: int, *, budget_fraction: float = 1.0
+    ) -> "ComputePool":
+        """Size the pool as a fraction of N dedicated allocations.
+
+        ``budget_fraction=1.0`` gives every tenant exactly what it would
+        own stand-alone (one part-<1> block, five part-<2> slots);
+        smaller fractions shrink both tiers (never below one unit),
+        creating the shared-budget contention the fleet scheduler
+        arbitrates.
+        """
+        if n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        return cls(
+            part1_blocks=max(1, math.ceil(n_tenants * budget_fraction)),
+            part2_slots=max(
+                1, math.ceil(n_tenants * _PART2_SLOTS_PER_TENANT * budget_fraction)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _earliest(units: list[Resource]) -> Resource:
+        # deterministic: earliest free_at wins, lowest index breaks ties
+        return min(units, key=lambda r: r.free_at)
+
+    def acquire_part1(self, t_request: float, duration: float) -> float:
+        """Run a part-<1> job on the earliest-free block; returns start."""
+        return self._earliest(self.part1).acquire(t_request, duration)
+
+    def acquire_part2(self, t_request: float, duration: float) -> float:
+        """Run a part-<2> job on the earliest-free slot; returns start."""
+        return self._earliest(self.part2).acquire(t_request, duration)
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, t_total: float) -> dict:
+        """Busy fractions over ``t_total`` seconds, per tier."""
+        def _tier(units: list[Resource]) -> dict:
+            return {
+                "units": len(units),
+                "busy_fraction": (
+                    sum(r.busy_seconds for r in units) / (len(units) * t_total)
+                    if t_total > 0 else 0.0
+                ),
+                "acquisitions": sum(r.acquisitions for r in units),
+            }
+
+        return {"part1": _tier(self.part1), "part2": _tier(self.part2)}
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        def _unit(r: Resource) -> dict:
+            return {
+                "free_at": r.free_at,
+                "busy_seconds": r.busy_seconds,
+                "acquisitions": r.acquisitions,
+            }
+
+        return {
+            "part1": [_unit(r) for r in self.part1],
+            "part2": [_unit(r) for r in self.part2],
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        for tier, units in (("part1", self.part1), ("part2", self.part2)):
+            rows = d[tier]
+            if len(rows) != len(units):
+                raise ValueError(
+                    f"checkpoint has {len(rows)} {tier} units, pool has {len(units)}"
+                )
+            for r, row in zip(units, rows):
+                r.free_at = float(row["free_at"])
+                r.busy_seconds = float(row["busy_seconds"])
+                r.acquisitions = int(row["acquisitions"])

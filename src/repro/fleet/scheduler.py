@@ -1,0 +1,412 @@
+"""Deadline-aware multiplexing of N (radar, domain) tenants.
+
+The production shape of the paper's system: one machine, many metro
+domains, every domain on the same 30-second cadence against the same
+"< 3 minutes" promise. Per round k the fleet
+
+1. **prepares** every tenant's cycle concurrently (asyncio): faults,
+   stage-cost draws, JIT-DT transfer supervision, scan admission
+   through the tenant's own :class:`~repro.ingest.buffer.IngestBuffer`
+   — all against per-tenant RNG streams, so the prepared batch is
+   identical however the event loop interleaves the tasks;
+2. **dispatches** the batch against the shared
+   :class:`~repro.fleet.pool.ComputePool` in priority order.
+
+The default ``"deadline"`` policy is earliest-slack-first: a tenant's
+slack is its deadline minus the finish time *predicted* from the
+RNG-free :meth:`~repro.workflow.scheduler.StageCostModel.estimate` —
+a tenant in heavy rain (bigger predicted LETKF + forecast) with a late
+scan preempts a quiet on-time one. Priority is a pure function of
+(offered load, deadlines, per-tenant seeds); it never reads a wall
+clock, never consumes an RNG draw, and breaks ties by rain then tenant
+id — so a fleet run replays bit-identically, which
+``tests/test_fleet.py`` pins down to arbitrary asyncio wakeup
+interleavings with Hypothesis. The ``"round-robin"`` policy (rotate
+the start tenant by round) is the naive baseline the fleet benchmark
+must beat under a shared budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+from ..telemetry import NULL_TELEMETRY
+from ..workflow.realtime import PreparedCycle
+from .pool import ComputePool
+from .tenant import DomainTenant
+
+__all__ = [
+    "FleetConfig",
+    "FleetScheduler",
+    "FleetReport",
+    "TenantSummary",
+    "storm_rain",
+]
+
+
+def storm_rain(
+    peak_km2: float = 8000.0,
+    base_km2: float = 100.0,
+    *,
+    period: int = 100,
+    storm_rounds: int = 20,
+    phase_stride: int = 25,
+):
+    """Deterministic phase-offset storm profile for fleet runs.
+
+    Tenant ``i`` sees a ``storm_rounds``-round storm of ``peak_km2``
+    every ``period`` rounds, phase-shifted by ``i * phase_stride`` — so
+    storms sweep across the fleet instead of striking it in unison,
+    which is exactly the offered-load heterogeneity a deadline-aware
+    dispatcher can exploit and a round-robin one cannot. Pure function
+    of (tenant index, round): no RNG, no wall clock.
+    """
+    def rain(i: int, k: int) -> float:
+        return peak_km2 if (k + phase_stride * i) % period < storm_rounds \
+            else base_km2
+
+    return rain
+
+_POLICIES = ("deadline", "round-robin")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Declarative fleet shape (the ``python -m repro fleet`` surface)."""
+
+    n_tenants: int = 2
+    #: dispatch policy: "deadline" (earliest slack first) or "round-robin"
+    policy: str = "deadline"
+    #: pool size as a fraction of N dedicated allocations (1.0 = no
+    #: contention; < 1.0 = shared-budget contention)
+    budget_fraction: float = 1.0
+    #: base RNG seed; tenant i runs every stream off seed + 1000 * i
+    seed: int = 2021
+    #: scan-wait budget as a fraction of the cycle interval
+    wait_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    tenant_id: str
+    n_cycles: int
+    n_produced: int
+    n_degraded: int
+    deadline_hits: int
+    mean_tts_s: float
+
+    @property
+    def availability(self) -> float:
+        return self.n_produced / self.n_cycles if self.n_cycles else 0.0
+
+    @property
+    def deadline_fraction(self) -> float:
+        return self.deadline_hits / self.n_produced if self.n_produced else 0.0
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Per-tenant rollups + fleet aggregates for one fleet run."""
+
+    n_tenants: int
+    n_rounds: int
+    policy: str
+    part1_blocks: int
+    part2_slots: int
+    tenants: tuple[TenantSummary, ...]
+    pool_utilization: dict = field(default_factory=dict)
+
+    @property
+    def n_produced(self) -> int:
+        return sum(t.n_produced for t in self.tenants)
+
+    @property
+    def deadline_fraction(self) -> float:
+        """Fleet-aggregate deadline-hit fraction (production-weighted)."""
+        produced = self.n_produced
+        hits = sum(t.deadline_hits for t in self.tenants)
+        return hits / produced if produced else 0.0
+
+    @property
+    def availability(self) -> float:
+        cycles = sum(t.n_cycles for t in self.tenants)
+        produced = self.n_produced
+        return produced / cycles if cycles else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_tenants": self.n_tenants,
+            "n_rounds": self.n_rounds,
+            "policy": self.policy,
+            "part1_blocks": self.part1_blocks,
+            "part2_slots": self.part2_slots,
+            "n_produced": self.n_produced,
+            "availability": self.availability,
+            "deadline_fraction": self.deadline_fraction,
+            "pool_utilization": self.pool_utilization,
+            "tenants": [
+                {
+                    "tenant_id": t.tenant_id,
+                    "n_cycles": t.n_cycles,
+                    "n_produced": t.n_produced,
+                    "n_degraded": t.n_degraded,
+                    "availability": t.availability,
+                    "deadline_fraction": t.deadline_fraction,
+                    "mean_tts_s": t.mean_tts_s,
+                }
+                for t in self.tenants
+            ],
+        }
+
+
+class FleetScheduler:
+    """Runs N tenants' 30-s rounds against one shared compute pool."""
+
+    def __init__(
+        self,
+        tenants: list[DomainTenant],
+        *,
+        pool: ComputePool | None = None,
+        policy: str = "deadline",
+        telemetry=None,
+        interleave=None,
+    ):
+        if not tenants:
+            raise ValueError("a fleet needs at least one tenant")
+        ids = [t.tenant_id for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"tenant ids must be unique, got {ids}")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        self.tenants = list(tenants)
+        #: shared budgeted pool; None = every tenant keeps its dedicated
+        #: resources (a 1-tenant dedicated fleet is bit-identical to the
+        #: stand-alone RealtimeWorkflow — the benchmark's identity gate)
+        self.pool = pool
+        for t in self.tenants:
+            t.pool = pool
+        self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: optional async hook awaited at every prepare-task checkpoint —
+        #: the seam the Hypothesis interleaving-invariance test drives
+        self.interleave = interleave
+        self.round = 0
+        #: (round, tenant_id, slack_s) in dispatch order, every round —
+        #: the replayable decision trail the determinism tests compare
+        self.dispatch_log: list[tuple[int, str, float]] = []
+
+    @classmethod
+    def from_config(
+        cls,
+        cfg: FleetConfig,
+        *,
+        workflow_config=None,
+        telemetry=None,
+    ) -> "FleetScheduler":
+        """Build a homogeneous fleet (tenant-0..N-1, derived seeds)."""
+        from ..config import WorkflowConfig
+
+        wcfg = workflow_config or WorkflowConfig()
+        tenants = [
+            DomainTenant(
+                f"tenant-{i}", wcfg, seed=cfg.seed + 1000 * i,
+                telemetry=telemetry, wait_fraction=cfg.wait_fraction,
+            )
+            for i in range(cfg.n_tenants)
+        ]
+        pool = ComputePool.for_tenants(
+            cfg.n_tenants, budget_fraction=cfg.budget_fraction
+        )
+        return cls(tenants, pool=pool, policy=cfg.policy, telemetry=telemetry)
+
+    # ------------------------------------------------------------------
+
+    async def _checkpoint(self, tag: str) -> None:
+        if self.interleave is not None:
+            await self.interleave(tag)
+        else:
+            await asyncio.sleep(0)
+
+    async def _prepare_task(
+        self, tenant: DomainTenant, cycle: int, rain: float, outage: bool
+    ) -> PreparedCycle:
+        await self._checkpoint(f"pre:{tenant.tenant_id}:{cycle}")
+        prep = tenant.prepare_cycle(
+            cycle, rain_area_km2=rain, in_outage=outage
+        )
+        await self._checkpoint(f"post:{tenant.tenant_id}:{cycle}")
+        return prep
+
+    def _slack(self, tenant: DomainTenant, prep: PreparedCycle) -> float:
+        """Predicted deadline slack [s]; -inf-ward = more urgent.
+
+        Finish time is predicted from the tenant's *expected* costs
+        (:meth:`StageCostModel.estimate` — RNG-free, so scheduling never
+        perturbs the cost stream) on top of the scan-in-hand time and
+        the tenant's own part-<1> backlog. Failed cycles need no compute
+        and sort last with +inf slack.
+        """
+        if prep.record is not None:
+            return math.inf
+        est = tenant.costs.estimate(prep.rain_area_km2)
+        t_start = max(prep.t_transferred, tenant._part1_done)
+        finish = t_start + est.part1_busy + est.part2_busy
+        return (prep.t_obs + tenant.config.deadline_s) - finish
+
+    def _dispatch_order(
+        self, cycle: int, preps: list[PreparedCycle]
+    ) -> list[int]:
+        n = len(self.tenants)
+        if self.policy == "round-robin":
+            start = cycle % n
+            return [(start + i) % n for i in range(n)]
+        # earliest *feasible* slack first: among cycles predicted to make
+        # their deadline, the tightest goes first; cycles already
+        # predicted to miss go last (classic EDF would let a doomed storm
+        # cycle starve every still-feasible one under overload). Ties:
+        # heavier rain, then tenant id — all deterministic.
+        return sorted(
+            range(n),
+            key=lambda i: (
+                self._slack(self.tenants[i], preps[i]) < 0.0,
+                self._slack(self.tenants[i], preps[i]),
+                -preps[i].rain_area_km2,
+                self.tenants[i].tenant_id,
+            ),
+        )
+
+    async def run_round_async(
+        self, *, rain=None, outage=None
+    ) -> list[PreparedCycle]:
+        """One fleet round: prepare all tenants concurrently, dispatch.
+
+        ``rain``/``outage`` are optional callables of
+        ``(tenant_index, cycle)`` giving each tenant's offered rain area
+        [km^2] and radar-outage flag.
+        """
+        k = self.round
+        preps = list(await asyncio.gather(*(
+            self._prepare_task(
+                t, k,
+                float(rain(i, k)) if rain is not None else 0.0,
+                bool(outage(i, k)) if outage is not None else False,
+            )
+            for i, t in enumerate(self.tenants)
+        )))
+        order = self._dispatch_order(k, preps)
+        tel = self.telemetry
+        for i in order:
+            tenant = self.tenants[i]
+            slack = self._slack(tenant, preps[i])
+            self.dispatch_log.append((k, tenant.tenant_id, slack))
+            rec = tenant.resolve_cycle(preps[i])
+            if tel.enabled:
+                tel.counter(
+                    "fleet_cycles_total", tenant=tenant.tenant_id
+                ).inc()
+                if rec.ok:
+                    tel.counter(
+                        "fleet_cycles_ok_total", tenant=tenant.tenant_id
+                    ).inc()
+                    if rec.time_to_solution <= tenant.config.deadline_s:
+                        tel.counter(
+                            "fleet_deadline_hit_total",
+                            tenant=tenant.tenant_id,
+                        ).inc()
+        self.round += 1
+        if tel.enabled:
+            tel.gauge("fleet_rounds").set(float(self.round))
+        return preps
+
+    async def run_async(self, n_rounds: int, *, rain=None, outage=None) -> None:
+        for _ in range(n_rounds):
+            await self.run_round_async(rain=rain, outage=outage)
+
+    def run(self, n_rounds: int, *, rain=None, outage=None) -> FleetReport:
+        """Drive ``n_rounds`` fleet rounds to completion; returns rollups."""
+        asyncio.run(self.run_async(n_rounds, rain=rain, outage=outage))
+        return self.report()
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> FleetReport:
+        summaries = []
+        for t in self.tenants:
+            done = [r for r in t.records if r.ok]
+            hits = sum(
+                1 for r in done if r.time_to_solution <= t.config.deadline_s
+            )
+            tts = [r.time_to_solution for r in done]
+            summaries.append(TenantSummary(
+                tenant_id=t.tenant_id,
+                n_cycles=len(t.records),
+                n_produced=len(done),
+                n_degraded=sum(1 for r in done if r.degraded),
+                deadline_hits=hits,
+                mean_tts_s=sum(tts) / len(tts) if tts else math.nan,
+            ))
+        horizon = self.round * (
+            self.tenants[0].config.cycle_interval_s if self.tenants else 0.0
+        )
+        return FleetReport(
+            n_tenants=len(self.tenants),
+            n_rounds=self.round,
+            policy=self.policy,
+            part1_blocks=len(self.pool.part1) if self.pool else len(self.tenants),
+            part2_slots=(
+                len(self.pool.part2) if self.pool
+                else sum(len(t.part2_slots) for t in self.tenants)
+            ),
+            tenants=tuple(summaries),
+            pool_utilization=(
+                self.pool.utilization(horizon) if self.pool else {}
+            ),
+        )
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume the whole fleet bit-identically.
+
+        Extends the PR-6 single-stream layout with a ``tenants`` key:
+        one full per-tenant state (RNG, resources, fail-safe, ingest
+        buffer, pending arrivals, stream-fault counters) per tenant id,
+        plus the shared pool and the dispatch trail.
+        """
+        return {
+            "round": self.round,
+            "policy": self.policy,
+            "dispatch_log": [list(row) for row in self.dispatch_log],
+            "pool": self.pool.state_dict() if self.pool else None,
+            "tenants": {t.tenant_id: t.state_dict() for t in self.tenants},
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        if d["policy"] != self.policy:
+            raise ValueError(
+                f"checkpoint used policy {d['policy']!r}, fleet runs "
+                f"{self.policy!r}"
+            )
+        want = {t.tenant_id for t in self.tenants}
+        have = set(d["tenants"])
+        if want != have:
+            raise ValueError(
+                f"checkpoint tenants {sorted(have)} != fleet tenants "
+                f"{sorted(want)}"
+            )
+        self.round = int(d["round"])
+        self.dispatch_log = [
+            (int(k), str(tid), float(s)) for k, tid, s in d["dispatch_log"]
+        ]
+        if self.pool is not None:
+            self.pool.load_state_dict(d["pool"])
+        for t in self.tenants:
+            t.load_state_dict(d["tenants"][t.tenant_id])

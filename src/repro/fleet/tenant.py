@@ -1,0 +1,160 @@
+"""One (radar network, inner domain) tenant of the fleet.
+
+A :class:`DomainTenant` is the multi-domain unit of deployment the
+paper's production successor would run per metro area: one phased-array
+radar feed, one 30-second inner domain, one ingest admission buffer,
+one degradation ladder, one telemetry scope — all behind the same
+max-plus pipeline recurrence as the single-domain
+:class:`~repro.workflow.realtime.RealtimeWorkflow` it subclasses.
+
+Two things distinguish a tenant from the stand-alone workflow:
+
+* **pool routing** — with a :class:`~repro.fleet.pool.ComputePool`
+  attached, part-<1>/part-<2> acquisitions go to the shared budgeted
+  pool (earliest-free unit) instead of dedicated resources; consecutive
+  cycles of the *same* tenant still serialize on part <1> (one domain
+  cannot assimilate cycle k+1 before k's analysis exists);
+* **domain coupling** — with a :class:`~repro.core.bda.BDASystem`
+  attached, every admitted scan carries the tenant's *real* observation
+  volumes as its payload and the admission decision drives the real
+  DA cycler, so the fleet's admission bookkeeping and the ensemble's
+  trajectory stay bit-identical to running that domain alone.
+
+Every tenant owns its own seeded RNG streams (cost model, fault
+injectors, domain) — fleet composition cannot perturb any tenant's
+stream, which is what makes fleet runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from ..config import ExecutionConfig, WorkflowConfig
+from ..core.bda import BDASystem
+from ..ingest.buffer import ScanEnvelope, envelope_from_observations
+from ..resilience.faults import (
+    FaultInjector,
+    StreamFaultInjector,
+    StreamFaultRates,
+)
+from ..resilience.policy import CircuitBreaker
+from ..workflow.realtime import CycleRecord, PreparedCycle, RealtimeWorkflow
+from ..workflow.scheduler import StageCostModel
+from .pool import ComputePool
+
+__all__ = ["DomainTenant"]
+
+
+class DomainTenant(RealtimeWorkflow):
+    """A fleet tenant: RealtimeWorkflow + identity + pool/domain hooks."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        config: WorkflowConfig | None = None,
+        costs: StageCostModel | None = None,
+        *,
+        seed: int = 42,
+        pool: ComputePool | None = None,
+        bda: BDASystem | None = None,
+        injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
+        execution: ExecutionConfig | None = None,
+        telemetry=None,
+        stream_injector: StreamFaultInjector | None = None,
+        radar_id: str | None = None,
+        wait_fraction: float = 0.5,
+    ):
+        if not tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        config = config or WorkflowConfig()
+        if stream_injector is None:
+            # every tenant routes through its IngestBuffer; a fault-free
+            # stream delivers each scan exactly at its fault-free ready
+            # time, which PR-6's identity gate proved timing-identical
+            # to the pre-ingest recurrence
+            stream_injector = StreamFaultInjector(
+                StreamFaultRates.all_off(), seed=seed,
+                cycle_interval_s=config.cycle_interval_s,
+            )
+        super().__init__(
+            config, costs, seed=seed, injector=injector, breaker=breaker,
+            execution=execution, telemetry=telemetry,
+            stream_injector=stream_injector,
+            radar_id=radar_id or tenant_id, wait_fraction=wait_fraction,
+        )
+        self.tenant_id = tenant_id
+        self.pool = pool
+        self.bda = bda
+        self._labels = {"tenant": tenant_id}
+        #: end of this tenant's previous part-<1> job: same-domain cycles
+        #: serialize even when the shared pool has idle blocks
+        self._part1_done = 0.0
+        #: observations prepared for a cycle but not yet assimilated
+        self._obs_cache: dict[int, list] = {}
+
+    # -- shared-pool acquisition ----------------------------------------
+
+    def _acquire_part1(self, t_request: float, duration: float) -> float:
+        if self.pool is None:
+            return super()._acquire_part1(t_request, duration)
+        start = self.pool.acquire_part1(
+            max(t_request, self._part1_done), duration
+        )
+        self._part1_done = start + duration
+        return start
+
+    def _acquire_part2(self, cycle: int, t_request: float, duration: float) -> float:
+        if self.pool is None:
+            return super()._acquire_part2(cycle, t_request, duration)
+        return self.pool.acquire_part2(t_request, duration)
+
+    # -- domain coupling ------------------------------------------------
+
+    def _make_envelope(
+        self, cycle: int, t_obs: float, arrival_time: float
+    ) -> ScanEnvelope:
+        if self.bda is None:
+            return super()._make_envelope(cycle, t_obs, arrival_time)
+        # real payload: content-hashed observation volumes, so duplicate
+        # deliveries of the same scan still collapse by identity
+        return envelope_from_observations(
+            self.radar_id, self._observe(cycle),
+            t_valid=t_obs, arrival_time=arrival_time,
+        )
+
+    def _observe(self, cycle: int) -> list:
+        if cycle not in self._obs_cache:
+            self._obs_cache[cycle] = self.bda.prepare_cycle()
+        return self._obs_cache[cycle]
+
+    def resolve_cycle(self, prep: PreparedCycle) -> CycleRecord:
+        rec = super().resolve_cycle(prep)
+        if self.bda is not None:
+            # advance the domain even when the scan never made it: truth
+            # moves on and a dropped scan costs an analysis, not a cycle
+            self._observe(prep.cycle)
+            self._obs_cache.pop(prep.cycle, None)
+            self.bda.assimilate(admission=prep.decision)
+        return rec
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Tenant state = inherited workflow state + tenant sequencing.
+
+        The coupled :class:`~repro.core.bda.BDASystem` (when attached)
+        checkpoints separately through ``DACycler.save`` — ensemble
+        arrays do not belong in the fleet's JSON-sized state.
+        """
+        out = super().state_dict()
+        out["tenant_id"] = self.tenant_id
+        out["part1_done"] = self._part1_done
+        return out
+
+    def load_state_dict(self, d: dict) -> None:
+        if d.get("tenant_id") != self.tenant_id:
+            raise ValueError(
+                f"checkpoint is for tenant {d.get('tenant_id')!r}, "
+                f"not {self.tenant_id!r}"
+            )
+        super().load_state_dict(d)
+        self._part1_done = float(d["part1_done"])

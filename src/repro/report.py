@@ -26,6 +26,7 @@ __all__ = [
     "table3_text",
     "histogram_text",
     "resilience_text",
+    "fleet_text",
     "metrics_snapshot_text",
     "telemetry_run_text",
 ]
@@ -140,6 +141,45 @@ def resilience_text(report) -> str:
     return "\n".join(lines)
 
 
+def fleet_text(report) -> str:
+    """Render a :class:`~repro.fleet.FleetReport`.
+
+    One line per tenant plus the fleet aggregate: the multi-domain
+    version of the Fig.-5 caption numbers, under a shared compute
+    budget instead of a dedicated allocation.
+    """
+    lines = [
+        f"{'fleet':<28}{report.n_tenants} tenants x {report.n_rounds} rounds "
+        f"({report.policy} dispatch)",
+        f"{'shared budget':<28}{report.part1_blocks} part-1 blocks, "
+        f"{report.part2_slots} part-2 slots",
+        f"{'tenant':<14}{'cycles':>8}{'produced':>10}{'degraded':>10}"
+        f"{'avail':>9}{'deadline':>10}{'mean TTS':>11}",
+        "-" * 72,
+    ]
+    for t in report.tenants:
+        mean_tts = f"{t.mean_tts_s:9.1f} s" if np.isfinite(t.mean_tts_s) else "      n/a"
+        lines.append(
+            f"{t.tenant_id:<14}{t.n_cycles:>8}{t.n_produced:>10}"
+            f"{t.n_degraded:>10}{t.availability:>9.1%}"
+            f"{t.deadline_fraction:>10.1%}{mean_tts:>11}"
+        )
+    lines.append("-" * 72)
+    lines.append(
+        f"{'aggregate':<14}{'':>8}{report.n_produced:>10}{'':>10}"
+        f"{report.availability:>9.1%}{report.deadline_fraction:>10.1%}"
+    )
+    util = report.pool_utilization
+    if util:
+        lines.append(
+            f"pool utilization: part-1 {util['part1']['busy_fraction']:.1%} "
+            f"over {util['part1']['units']} blocks, "
+            f"part-2 {util['part2']['busy_fraction']:.1%} "
+            f"over {util['part2']['units']} slots"
+        )
+    return "\n".join(lines)
+
+
 def histogram_text(edges: np.ndarray, counts: np.ndarray, *, width: int = 50) -> str:
     """ASCII histogram (the Fig. 5c panel)."""
     peak = max(int(counts.max()), 1)
@@ -191,7 +231,50 @@ def metrics_snapshot_text(reg, *, deadline_s: float = 180.0) -> str:
             lines.append(f"{'kernel ' + k:<28}{kernel_counter.value:8.3f} s "
                          f"over {int(calls)} calls")
     lines.extend(_ingest_lines(reg))
+    lines.extend(_fleet_lines(reg))
     return "\n".join(lines) if lines else "(empty metrics snapshot)"
+
+
+def _fleet_lines(reg) -> list[str]:
+    """Per-tenant fleet rollup (present when a fleet run was recorded).
+
+    Consumes the ``fleet_*`` counters the scheduler maintains, one line
+    per tenant label plus the aggregate — the registry-side mirror of
+    :func:`fleet_text`.
+    """
+    tenants = sorted(
+        {
+            m.labels["tenant"]
+            for m in reg
+            if m.name == "fleet_cycles_total" and "tenant" in m.labels
+        }
+    )
+    if not tenants:
+        return []
+
+    def _val(name: str, **labels) -> float:
+        m = reg.get("counter", name, **labels)
+        return 0.0 if m is None else m.value
+
+    lines = ["fleet rollup (per tenant):"]
+    total = ok = hit = 0
+    for tenant in tenants:
+        cycles = int(_val("fleet_cycles_total", tenant=tenant))
+        produced = int(_val("fleet_cycles_ok_total", tenant=tenant))
+        hits = int(_val("fleet_deadline_hit_total", tenant=tenant))
+        total += cycles
+        ok += produced
+        hit += hits
+        deadline = f"{hits / produced:.1%}" if produced else "n/a"
+        lines.append(
+            f"  [{tenant}] {cycles} cycles, {produced} produced, "
+            f"deadline {deadline}"
+        )
+    if ok:
+        lines.append(
+            f"  aggregate: {ok}/{total} produced, deadline {hit / ok:.1%}"
+        )
+    return lines
 
 
 def _ingest_lines(reg) -> list[str]:

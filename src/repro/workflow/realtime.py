@@ -38,7 +38,7 @@ from ..telemetry import NULL_TELEMETRY, STAGE_BUCKETS
 from .events import Resource
 from .scheduler import CycleCosts, StageCostModel
 
-__all__ = ["CycleRecord", "RealtimeWorkflow"]
+__all__ = ["CycleRecord", "PreparedCycle", "RealtimeWorkflow"]
 
 #: fault kinds that degrade the product rather than delay/skip it
 _DEGRADING_KINDS = frozenset(
@@ -102,6 +102,43 @@ class CycleRecord:
         }
 
 
+@dataclass
+class PreparedCycle:
+    """A cycle after ingest/admission but before compute dispatch.
+
+    :meth:`RealtimeWorkflow.prepare_cycle` produces one of these;
+    :meth:`RealtimeWorkflow.resolve_cycle` consumes it. The split is the
+    seam the multi-domain fleet scheduler threads through: every
+    tenant's cycle is *prepared* (faults drawn, costs drawn, transfer
+    supervised, scan admitted) independently, then the fleet dispatches
+    the resulting batch against the shared compute pool in
+    deadline-priority order. All random draws happen in ``prepare``;
+    ``resolve`` is a pure max-plus recurrence over resource state, so
+    dispatch order affects *contention*, never the sampled workload.
+    """
+
+    cycle: int
+    t_obs: float
+    rain_area_km2: float
+    fault: str
+    #: fault kind -> event, for the compute-side fault handling
+    by_kind: dict[str, FaultEvent]
+    #: drawn stage costs (None when the cycle already failed in prepare)
+    costs: CycleCosts | None = None
+    t_file: float = 0.0
+    #: scan-in-hand time: transfer complete, admission wait included
+    t_transferred: float = 0.0
+    admission: str = ""
+    decision: object = None
+    #: set when the cycle terminated during prepare (outage, transfer
+    #: failure, missing scan) — resolve returns it unchanged
+    record: CycleRecord | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.record is not None
+
+
 class RealtimeWorkflow:
     """Event-free sequential simulation of the cyclic pipeline.
 
@@ -111,6 +148,14 @@ class RealtimeWorkflow:
     the event-queue formulation but orders of magnitude faster for the
     ~92k-cycle month (the :mod:`repro.workflow.events` kernel remains
     the substrate for workloads with genuinely dynamic structure).
+
+    :meth:`run_cycle` is the single-domain entry point; it is exactly
+    ``resolve_cycle(prepare_cycle(...))``. The two phases are public so
+    a :class:`~repro.fleet.FleetScheduler` can interleave the prepare
+    phases of many tenants and order their resolve phases by deadline
+    slack; subclasses route the part-<1>/part-<2> acquisitions through
+    a shared pool by overriding :meth:`_acquire_part1` /
+    :meth:`_acquire_part2`.
     """
 
     def __init__(
@@ -160,6 +205,9 @@ class RealtimeWorkflow:
         #: a reordered scan can outlive its own cycle's window
         self._arrivals: list[tuple[float, int, ScanEnvelope]] = []
         self._arrival_seq = 0
+        #: extra labels stamped on every workflow metric ({} single-domain;
+        #: a fleet tenant sets {"tenant": <id>} for per-domain rollups)
+        self._labels: dict[str, str] = {}
         self.records: list[CycleRecord] = []
 
     def run_cycle(
@@ -170,26 +218,52 @@ class RealtimeWorkflow:
         in_outage: bool = False,
     ) -> CycleRecord:
         """Simulate one 30-s cycle; returns (and stores) its record."""
+        return self.resolve_cycle(
+            self.prepare_cycle(
+                cycle, rain_area_km2=rain_area_km2, in_outage=in_outage
+            )
+        )
+
+    def prepare_cycle(
+        self,
+        cycle: int,
+        *,
+        rain_area_km2: float = 0.0,
+        in_outage: bool = False,
+    ) -> PreparedCycle:
+        """Phase 1: faults, cost draws, JIT-DT transfer, scan admission.
+
+        Everything stochastic happens here, against this workflow's own
+        RNG streams, so concurrent tenants' prepare phases commute: the
+        resulting :class:`PreparedCycle` batch is identical no matter
+        how an asyncio scheduler interleaves them.
+        """
         t_obs = cycle * self.config.cycle_interval_s
         faults: list[FaultEvent] = (
             self.injector.faults_for_cycle(cycle) if self.injector is not None else []
         )
         by_kind = {f.kind: f for f in faults}
         fault_str = ",".join(f.kind for f in faults)
+        prep = PreparedCycle(
+            cycle=cycle, t_obs=t_obs, rain_area_km2=rain_area_km2,
+            fault=fault_str, by_kind=by_kind,
+        )
 
         if in_outage:
-            rec = CycleRecord(
+            prep.record = self._record(CycleRecord(
                 cycle=cycle, t_obs=t_obs, ok=False, skipped_reason="outage",
                 rain_area_km2=rain_area_km2, fault=fault_str,
-            )
-            return self._record(rec)
+            ))
+            return prep
 
         c: CycleCosts = self.costs.draw(rain_area_km2)
+        prep.costs = c
         t_file = t_obs + c.file_creation
         if "clock-skew" in by_kind:
             # the radar host's clock drifted: the file timestamp lands in
             # the past/future and JIT-DT waits out the skew to realign
             t_file += by_kind["clock-skew"].severity
+        prep.t_file = t_file
 
         # JIT-DT with fail-safe supervision: pre-draw retries in case
         # attempts stall (the default policy keeps the legacy 2 attempts)
@@ -208,11 +282,11 @@ class RealtimeWorkflow:
         transfer_total = self.failsafe.supervise(t_file, attempts)
         if transfer_total is None:
             reason = "circuit-open" if circuit_was_open else "transfer-failed"
-            rec = CycleRecord(
+            prep.record = self._record(CycleRecord(
                 cycle=cycle, t_obs=t_obs, ok=False, skipped_reason=reason,
                 rain_area_km2=rain_area_km2, fault=fault_str,
-            )
-            return self._record(rec)
+            ))
+            return prep
         if "transfer-corrupt" in by_kind:
             # checksum mismatch on arrival: retransmit once
             transfer_total += by_kind["transfer-corrupt"].severity
@@ -220,18 +294,18 @@ class RealtimeWorkflow:
 
         # streaming ingest: with a stream injector attached, the scan
         # passes through the admission buffer at the arrival boundary
-        admission = ""
         if self.ingest is not None:
             decision = self._ingest_decide(cycle, t_obs, t_transferred)
-            admission = decision.action
+            prep.decision = decision
+            prep.admission = decision.action
             if decision.action == SKIP:
-                rec = CycleRecord(
+                prep.record = self._record(CycleRecord(
                     cycle=cycle, t_obs=t_obs, ok=False,
                     skipped_reason="scan-missing",
                     rain_area_km2=rain_area_km2, fault=fault_str,
-                    admission=admission,
-                )
-                return self._record(rec)
+                    admission=prep.admission,
+                ))
+                return prep
             deadline = t_obs + self.wait_fraction * self.config.cycle_interval_s
             if decision.action == ADMIT:
                 # a late but in-budget scan stalls the pipeline until it
@@ -241,12 +315,27 @@ class RealtimeWorkflow:
                 # substitute-previous: the full wait budget was spent
                 # before falling back to the resident previous scan
                 t_transferred = max(t_transferred, deadline)
+        prep.t_transferred = t_transferred
+        return prep
+
+    def resolve_cycle(self, prep: PreparedCycle) -> CycleRecord:
+        """Phase 2: dispatch the prepared cycle onto compute resources.
+
+        Deterministic given ``prep`` and current resource state — no RNG
+        draws. Cycles that already terminated in prepare pass straight
+        through (their record was stored there).
+        """
+        if prep.record is not None:
+            return prep.record
+        cycle, by_kind = prep.cycle, prep.by_kind
+        c = prep.costs
+        t_transferred = prep.t_transferred
 
         # part <1>: LETKF + 30-s ensemble forecasts occupy the 8008 nodes
         if "part1-down" in by_kind:
             # failed node block held out of service for its repair time
-            self.part1.acquire(t_transferred, by_kind["part1-down"].severity)
-        start1 = self.part1.acquire(t_transferred, c.part1_busy)
+            self._acquire_part1(t_transferred, by_kind["part1-down"].severity)
+        start1 = self._acquire_part1(t_transferred, c.part1_busy)
         if "volume-truncated" in by_kind or "volume-nan" in by_kind:
             # the volume fails input validation: the cycle degrades to a
             # forecast-only free run (no LETKF transform to pay for)
@@ -261,27 +350,40 @@ class RealtimeWorkflow:
             t_analysis = start1 + letkf_cost
 
         # part <2>: rotating slot hosts the 30-minute forecast
-        slot = self.part2_slots[cycle % len(self.part2_slots)]
         if "part2-down" in by_kind:
-            slot.acquire(t_analysis, by_kind["part2-down"].severity)
-        start2 = slot.acquire(t_analysis, c.forecast_30min + c.product_write)
-        t_product = start2 + c.forecast_30min + c.product_write
+            self._acquire_part2(cycle, t_analysis, by_kind["part2-down"].severity)
+        start2 = self._acquire_part2(cycle, t_analysis, c.part2_busy)
+        t_product = start2 + c.part2_busy
 
         rec = CycleRecord(
             cycle=cycle,
-            t_obs=t_obs,
+            t_obs=prep.t_obs,
             ok=True,
-            t_file=t_file,
+            t_file=prep.t_file,
             t_transferred=t_transferred,
             t_analysis=t_analysis,
             t_product=t_product,
-            rain_area_km2=rain_area_km2,
+            rain_area_km2=prep.rain_area_km2,
             degraded=bool(_DEGRADING_KINDS & by_kind.keys())
-            or admission not in ("", ADMIT),
-            fault=fault_str,
-            admission=admission,
+            or prep.admission not in ("", ADMIT),
+            fault=prep.fault,
+            admission=prep.admission,
         )
         return self._record(rec)
+
+    # -- resource acquisition hooks ------------------------------------
+    #
+    # The single-domain workflow owns a dedicated part-<1> allocation and
+    # its own rotating part-<2> slots; a fleet tenant overrides these two
+    # methods to route the same acquisitions through the shared
+    # :class:`~repro.fleet.ComputePool`.
+
+    def _acquire_part1(self, t_request: float, duration: float) -> float:
+        return self.part1.acquire(t_request, duration)
+
+    def _acquire_part2(self, cycle: int, t_request: float, duration: float) -> float:
+        slot = self.part2_slots[cycle % len(self.part2_slots)]
+        return slot.acquire(t_request, duration)
 
     # -- streaming ingest ----------------------------------------------
 
@@ -293,12 +395,8 @@ class RealtimeWorkflow:
         window) up to ``wait_fraction`` of the cycle interval past
         T_obs, then resolves without it.
         """
-        sig = f"scan-{cycle:010d}"
         for arr in self.stream_injector.scan_arrivals(cycle, t_ready=t_ready):
-            env = ScanEnvelope(
-                radar_id=self.radar_id, t_valid=t_obs, signature=sig,
-                arrival_time=arr.arrival_time,
-            )
+            env = self._make_envelope(cycle, t_obs, arr.arrival_time)
             heapq.heappush(
                 self._arrivals, (arr.arrival_time, self._arrival_seq, env)
             )
@@ -311,6 +409,21 @@ class RealtimeWorkflow:
             decision = self.ingest.decide(t_obs, now=deadline, deadline=deadline)
         return decision
 
+    def _make_envelope(
+        self, cycle: int, t_obs: float, arrival_time: float
+    ) -> ScanEnvelope:
+        """Build the scan envelope one arrival carries.
+
+        The simulated pipeline ships an empty payload with a synthetic
+        per-cycle signature; a coupled fleet tenant overrides this to
+        attach the tenant's real observation volumes (content-hashed, so
+        duplicate arrivals still deduplicate).
+        """
+        return ScanEnvelope(
+            radar_id=self.radar_id, t_valid=t_obs,
+            signature=f"scan-{cycle:010d}", arrival_time=arrival_time,
+        )
+
     def _deliver_due(self, until: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= until:
             _, _, env = heapq.heappop(self._arrivals)
@@ -321,23 +434,26 @@ class RealtimeWorkflow:
         self.records.append(rec)
         tel = self.telemetry
         if tel.enabled:
-            tel.counter("workflow_cycles_total").inc()
+            labels = self._labels
+            tel.counter("workflow_cycles_total", **labels).inc()
             if rec.ok:
                 for stage, seconds in rec.breakdown().items():
                     tel.histogram(
                         "workflow_stage_seconds", buckets=STAGE_BUCKETS,
-                        stage=stage,
+                        stage=stage, **labels,
                     ).observe(seconds)
             else:
                 tel.counter(
                     "workflow_cycles_skipped_total",
-                    reason=rec.skipped_reason or "failed",
+                    reason=rec.skipped_reason or "failed", **labels,
                 ).inc()
             if rec.degraded:
-                tel.counter("workflow_degraded_total").inc()
+                tel.counter("workflow_degraded_total", **labels).inc()
             breaker = self.failsafe.breaker
             if breaker is not None:
-                tel.gauge("breaker_open").set(1.0 if breaker.is_open else 0.0)
+                tel.gauge("breaker_open", **labels).set(
+                    1.0 if breaker.is_open else 0.0
+                )
         return rec
 
     # ------------------------------------------------------------------

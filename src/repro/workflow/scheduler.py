@@ -37,6 +37,11 @@ class CycleCosts:
         """Time the part-<1> nodes are occupied this cycle (<1-1> + <1-2>)."""
         return self.letkf + self.forecast_30s
 
+    @property
+    def part2_busy(self) -> float:
+        """Time a part-<2> slot is occupied this cycle (forecast + product)."""
+        return self.forecast_30min + self.product_write
+
 
 class StageCostModel:
     """Stochastic per-cycle stage costs, conditioned on rain area.
@@ -47,6 +52,17 @@ class StageCostModel:
     loop — fill ``relative_throughput`` from the numbers in
     ``BENCH_cycle_throughput.json`` to see what a faster ensemble engine
     buys in end-to-end time-to-solution.
+
+    **Per-tenant contract.** A cost model is single-stream state: it owns
+    one seeded RNG, and every :meth:`draw` advances that stream. In a
+    multi-domain fleet each :class:`~repro.fleet.DomainTenant` therefore
+    owns its *own* ``StageCostModel`` (its own seed, its own
+    ``ExecutionConfig`` throughput scaling) — sharing one instance across
+    tenants would entangle their random streams and make per-tenant
+    replay depend on fleet composition. Schedulers that need a cost
+    *forecast* (e.g. deadline-slack dispatch) must use :meth:`estimate`,
+    which is a pure function of the configuration and consumes no RNG
+    draws, so scheduling decisions never perturb any tenant's stream.
     """
 
     def __init__(
@@ -63,8 +79,40 @@ class StageCostModel:
             1.0 / execution.relative_throughput if execution is not None else 1.0
         )
 
+    def estimate(self, rain_area_km2: float = 0.0) -> CycleCosts:
+        """Expected (deterministic) stage costs for one cycle.
+
+        The RNG-free companion to :meth:`draw`: stage means conditioned
+        on the offered rain area, with the same throughput scaling, the
+        same clamping floors, and the straggler tail folded in at its
+        expected value. Consumes **no** random draws — calling it any
+        number of times, in any order, leaves :attr:`rng` untouched —
+        which is what makes it safe as a scheduling oracle: a fleet
+        dispatcher may estimate every tenant's cost every round without
+        perturbing any tenant's replayable cost stream.
+        """
+        c = self.config
+        rain_extra = c.rain_area_cost_s_per_100km2 * rain_area_km2 / 100.0
+        goodput = c.jitdt.effective_goodput_gbps * 1e9 / 8.0
+        return CycleCosts(
+            file_creation=max(1.0, c.file_creation_mean_s),
+            transfer=c.jitdt.latency_s + c.jitdt.file_bytes / goodput + c.jitdt.jitter_s,
+            transfer_stalled=False,
+            letkf=max(2.0, c.letkf_mean_s + rain_extra),
+            forecast_30s=max(
+                1.0,
+                (c.member_forecast_30s_mean_s + 0.3 * rain_extra) * self._fcst_scale,
+            ),
+            forecast_30min=max(
+                30.0,
+                (c.forecast_30min_mean_s + 1.2 * rain_extra) * self._fcst_scale
+                + c.straggler_probability * c.straggler_mean_s,
+            ),
+            product_write=1.0,
+        )
+
     def draw(self, rain_area_km2: float = 0.0) -> CycleCosts:
-        """Sample one cycle's costs.
+        """Sample one cycle's costs (advances the model's RNG stream).
 
         ``rain_area_km2`` is the >= 1 mm/h rain area in the domain; the
         LETKF (more observations with information content) and the

@@ -29,12 +29,22 @@ class TestApiSurface:
         }
         assert expected <= set(api.__all__)
 
+    def test_fleet_surface_present(self):
+        expected = {
+            "FleetScheduler", "FleetConfig", "FleetReport", "DomainTenant",
+            "ComputePool",
+        }
+        assert expected <= set(api.__all__)
+
     def test_reexports_are_the_implementation_objects(self):
         from repro.core.bda import BDASystem
+        from repro.fleet import DomainTenant, FleetScheduler
         from repro.telemetry import Telemetry
 
         assert api.BDASystem is BDASystem
         assert api.Telemetry is Telemetry
+        assert api.FleetScheduler is FleetScheduler
+        assert api.DomainTenant is DomainTenant
 
     def test_unknown_name_raises_attribute_error(self):
         with pytest.raises(AttributeError):

@@ -61,6 +61,15 @@ class TestRuleFixtures:
     def test_det002_off_under_workflow(self):
         assert lint_file(FIXTURES / "workflow" / "clocks_allowed.py") == []
 
+    def test_det002_rearmed_for_fleet_paths(self):
+        # fleet scheduling must be replayable: the workflow/telemetry
+        # wall-clock exemption does not extend to any fleet/ path, even
+        # one nested under workflow/.
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, "src/repro/workflow/clocks.py") == []
+        assert codes(lint_source(src, "src/repro/fleet/scheduler.py")) == ["DET002"]
+        assert codes(lint_source(src, "pkg/workflow/fleet/dispatch.py")) == ["DET002"]
+
     def test_dty001_dtype_discipline(self):
         found = lint_file(FIXTURES / "letkf" / "dty001.py")
         assert codes(found) == ["DTY001"] * 5
