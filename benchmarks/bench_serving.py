@@ -1,0 +1,242 @@
+"""Serving-tier gate: 10k-client steady state + stale-while-revalidate.
+
+The paper's endpoint is served products: map views refreshed every 30
+seconds for a public crowd. This benchmark pins down the serving
+contract:
+
+* **steady-state load** — a deterministic population of simulated
+  clients (browser-style ETag memories, zipf-ish tile popularity)
+  polls per-tenant tile pyramids; after the first refresh tick the
+  delta cache must answer >= 90% of tile traffic without rendering
+  (304s + render-cache hits), while requests/s and p99 latency are
+  recorded from the real in-process handler;
+* **stale-while-revalidate** — a cycle that misses its deadline must
+  serve the previous cycle's tiles with an explicit staleness header
+  (degradation-ladder rung in ``X-Repro-Rung``), never a 5xx, never a
+  partial product;
+* **no 5xx, ever** — across the full load run every response is < 500.
+
+Run as a script (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI
+
+Writes ``BENCH_serving.json``. All gates are enforced in both modes;
+``--smoke`` only shrinks the population and the fleet warm-up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serving import (  # noqa: E402
+    LoadGenerator,
+    PublishedCycle,
+    ServingAPI,
+    ServingStore,
+    demo_store,
+)
+from repro.serving.store import CyclePublisher  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
+
+HIT_RATE_GATE = 0.90
+
+
+def _newest_t(store) -> float:
+    return max(
+        (sh.newest_good().t_product
+         for t in store.tenants
+         if (sh := store.shelf(t)).newest_good() is not None),
+        default=0.0,
+    )
+
+
+def steady_state_load(args) -> dict:
+    """10k clients against fleet-published shelves; gate the hit rate."""
+    store = demo_store(
+        n_tenants=args.tenants, rounds=args.fleet_rounds, seed=args.seed
+    )
+    now = _newest_t(store)
+    tel = Telemetry()
+    api = ServingAPI(store, telemetry=tel, clock=lambda: now)
+    gen = LoadGenerator(api, n_clients=args.clients, seed=args.seed)
+
+    # tick 1 fills the client-side ETag memories and the render cache
+    warm = gen.run(rounds=1, now=now)
+    # steady state: the store unchanged between 30-s refresh ticks
+    rep = gen.run(rounds=args.load_rounds, now=now)
+
+    bad = {c: n for c, n in {**warm.status_counts,
+                             **rep.status_counts}.items() if c >= 500}
+    if bad:
+        raise SystemExit(f"serving returned 5xx responses: {bad}")
+    if rep.cache_hit_rate < HIT_RATE_GATE:
+        raise SystemExit(
+            f"steady-state cache hit rate {rep.cache_hit_rate:.1%} is "
+            f"under the {HIT_RATE_GATE:.0%} gate"
+        )
+    print(
+        f"  {rep.n_requests} requests from {args.clients} clients: "
+        f"{rep.requests_per_s:10.0f} req/s, p50 {rep.p50_ms:.3f} ms, "
+        f"p99 {rep.p99_ms:.3f} ms"
+    )
+    print(
+        f"  steady-state cache hit rate {rep.cache_hit_rate:6.1%} "
+        f"({rep.not_modified} x 304) [gate >= {HIT_RATE_GATE:.0%}]"
+    )
+    return {
+        "n_clients": args.clients,
+        "n_tenants": args.tenants,
+        "fleet_rounds": args.fleet_rounds,
+        "warmup": warm.as_dict(),
+        "steady_state": rep.as_dict(),
+        "requests_per_s": rep.requests_per_s,
+        "p99_ms": rep.p99_ms,
+        "cache_hit_rate": rep.cache_hit_rate,
+        "hit_rate_gate": HIT_RATE_GATE,
+    }
+
+
+def stale_while_revalidate(args) -> dict:
+    """A missed-deadline cycle serves the previous cycle's tiles."""
+    store = ServingStore()
+    pub = CyclePublisher(store, "tokyo", seed=args.seed)
+
+    class _Rec:
+        pass
+
+    good = _Rec()
+    good.ok = True
+    good.cycle = 0
+    good.t_obs = 0.0
+    good.t_product = 25.0
+    good.degraded = False
+    good.rain_area_km2 = 5000.0
+    pub.on_record(good)
+
+    missed = _Rec()
+    missed.ok = False
+    missed.cycle = 1
+    missed.t_obs = 30.0
+    missed.skipped_reason = "deadline-miss"
+    pub.on_record(missed)
+
+    api = ServingAPI(store, telemetry=Telemetry())
+    tile = "/v1/tokyo/tiles/rain/latest/1/0/0.png"
+    resp = api.handle("GET", tile, now=40.0)
+    if resp.status != 200:
+        raise SystemExit(
+            f"missed-deadline latest answered {resp.status}, not 200"
+        )
+    if resp.headers.get("X-Repro-Cycle") != "0":
+        raise SystemExit(
+            f"expected the previous cycle's tiles (cycle 0), got "
+            f"{resp.headers.get('X-Repro-Cycle')}"
+        )
+    rung = resp.headers.get("X-Repro-Rung")
+    if rung != "substitute" or "X-Repro-Staleness" not in resp.headers:
+        raise SystemExit(
+            f"missed-deadline serve must be marked (rung={rung}, "
+            f"headers={sorted(resp.headers)})"
+        )
+    # far past the SLO the same request is still 200, rung 'stale'
+    late = api.handle("GET", tile, now=2000.0)
+    if late.status != 200 or late.headers.get("X-Repro-Rung") != "stale":
+        raise SystemExit(
+            f"SLO-expired latest must serve stale, got {late.status} "
+            f"rung {late.headers.get('X-Repro-Rung')}"
+        )
+    print(
+        f"  missed deadline: 200, cycle 0 substituted, rung {rung!r}, "
+        f"staleness {resp.headers['X-Repro-Staleness']} s; "
+        f"SLO-expired: 200, rung 'stale'"
+    )
+    return {
+        "status": resp.status,
+        "served_cycle": 0,
+        "rung": rung,
+        "staleness_header": resp.headers["X-Repro-Staleness"],
+        "slo_expired_rung": late.headers["X-Repro-Rung"],
+        "gate_ok": True,
+    }
+
+
+def partial_product_refused(args) -> dict:
+    """An ok cycle missing a product field must be refused at publish."""
+    store = ServingStore()
+    try:
+        store.publish("tokyo", PublishedCycle(
+            cycle=0, t_obs=0.0, t_product=25.0, ok=True,
+            fields={"rain": __import__("numpy").zeros((8, 8), "f4")},
+        ))
+    except ValueError as e:
+        print(f"  partial publish refused: {e}")
+        return {"refused": True, "error": str(e)}
+    raise SystemExit("a partial product was published without error")
+
+
+def run(args) -> dict:
+    print(
+        f"steady-state load ({args.clients} clients, {args.tenants} "
+        f"tenants, {args.load_rounds} refresh ticks) ..."
+    )
+    load = steady_state_load(args)
+
+    print("stale-while-revalidate (missed deadline, SLO expiry) ...")
+    swr = stale_while_revalidate(args)
+
+    print("partial-product refusal ...")
+    partial = partial_product_refused(args)
+
+    return {
+        "config": {
+            "clients": args.clients,
+            "tenants": args.tenants,
+            "fleet_rounds": args.fleet_rounds,
+            "load_rounds": args.load_rounds,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "requests_per_s": load["requests_per_s"],
+        "p99_ms": load["p99_ms"],
+        "cache_hit_rate": load["cache_hit_rate"],
+        "steady_state_load": load,
+        "stale_while_revalidate": swr,
+        "partial_product_refused": partial,
+        "gate_ok": True,
+    }
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--clients", type=int, default=10000,
+                   help="simulated client population (default 10000)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="fleet tenants to publish and serve (default 2)")
+    p.add_argument("--fleet-rounds", type=int, default=40,
+                   help="30-s fleet rounds populating the shelves")
+    p.add_argument("--load-rounds", type=int, default=2,
+                   help="steady-state refresh ticks to measure")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--out", type=str, default="BENCH_serving.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink the population (all gates still enforced)")
+    args = p.parse_args(argv)
+    if args.smoke:
+        args.clients = min(args.clients, 500)
+        args.fleet_rounds = min(args.fleet_rounds, 20)
+
+    report = run(args)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

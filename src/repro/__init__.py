@@ -30,8 +30,15 @@ def __getattr__(name: str):
     subpackages at ``import repro`` time; :mod:`repro.api` stays the
     canonical spelling.
     """
-    from . import api
+    from importlib import import_module
 
+    # a plain `from . import api` would bounce through this __getattr__
+    # again (the import system probes hasattr(repro, "api") first)
+    api = import_module(".api", __name__)
+    if name == "api":
+        return api
     if name in api.__all__:
-        return getattr(api, name)
+        # resolve() skips the flat-spelling DeprecationWarning: the
+        # top-level delegation is supported, only flat repro.api.* warns
+        return api.resolve(name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""The supported public surface of the package, in versioned namespaces.
+
+The canonical spelling groups the surface by subsystem::
+
+    from repro.api.core import BDASystem
+    from repro.api.config import ScaleConfig
+    from repro.api.serving import ServingStore
+
+Namespaces: :mod:`~repro.api.core`, :mod:`~repro.api.config`,
+:mod:`~repro.api.telemetry`, :mod:`~repro.api.workflow`,
+:mod:`~repro.api.fleet`, :mod:`~repro.api.ingest`,
+:mod:`~repro.api.serving`. Every public name lives in exactly one of
+them; ``__api_version__`` states the surface's own version,
+independently of the package release.
+
+Compatibility: the pre-namespace flat spellings
+(``from repro.api import BDASystem``) keep working but emit a
+``DeprecationWarning`` naming the namespace to import from instead.
+``__all__`` remains the flat compatibility contract; names outside it
+(and underscore-prefixed internals anywhere) may change without notice.
+Imports are lazy (PEP 562) throughout: touching a name pays only for
+the modules that name actually needs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from importlib import import_module
+
+#: version of this public API surface (not the package release):
+#: bumped to 2 when the flat list became versioned namespaces
+__api_version__ = "2.0"
+
+_NAMESPACES = (
+    "core",
+    "config",
+    "telemetry",
+    "workflow",
+    "fleet",
+    "ingest",
+    "serving",
+)
+
+#: legacy flat name -> owning namespace (the pre-2.0 surface, frozen)
+_LEGACY = {
+    "BDASystem": "core",
+    "ForecastProduct": "core",
+    "DACycler": "core",
+    "CycleResult": "core",
+    "Ensemble": "core",
+    "EnsembleState": "core",
+    "ExecutionBackend": "core",
+    "make_backend": "core",
+    "Telemetry": "telemetry",
+    "MetricsRegistry": "telemetry",
+    "Tracer": "telemetry",
+    "KernelProfiler": "telemetry",
+    "RealtimeWorkflow": "workflow",
+    "CycleRecord": "workflow",
+    "WorkflowMonitor": "workflow",
+    "FaultCampaign": "workflow",
+    "ResilienceReport": "workflow",
+    "FleetScheduler": "fleet",
+    "FleetConfig": "fleet",
+    "FleetReport": "fleet",
+    "DomainTenant": "fleet",
+    "ComputePool": "fleet",
+    "IngestBuffer": "ingest",
+    "ScanEnvelope": "ingest",
+    "AdmissionDecision": "ingest",
+    "IngestChaosCampaign": "ingest",
+    "IngestChaosReport": "ingest",
+    "StreamFaultInjector": "ingest",
+    "StreamFaultRates": "ingest",
+    "ScaleConfig": "config",
+    "LETKFConfig": "config",
+    "RadarConfig": "config",
+    "JITDTConfig": "config",
+    "WorkflowConfig": "config",
+    "ExecutionConfig": "config",
+}
+
+__all__ = sorted(_LEGACY)
+
+
+def resolve(name: str):
+    """Resolve a flat legacy name without the deprecation warning.
+
+    The escape hatch for in-package delegation (``repro.BDASystem``)
+    and tooling that enumerates the legacy surface on purpose.
+    """
+    try:
+        ns = _LEGACY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(f".{ns}", __package__), name)
+
+
+def __getattr__(name: str):
+    if name in _NAMESPACES:
+        return import_module(f".{name}", __package__)
+    if name in _LEGACY:
+        # deliberately NOT cached in globals(): every flat access warns
+        warnings.warn(
+            f"'repro.api.{name}' is deprecated; import it from "
+            f"'repro.api.{_LEGACY[name]}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | set(_NAMESPACES))

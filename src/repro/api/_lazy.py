@@ -1,0 +1,43 @@
+"""Lazy re-export plumbing shared by the :mod:`repro.api` namespaces.
+
+Each namespace module declares ``name -> implementation module`` and
+installs PEP 562 hooks with one line::
+
+    __all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)
+
+Touching a name pays only for the modules that name actually needs, so
+``from repro.api.config import ScaleConfig`` never drags in the
+scipy-heavy model code.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+
+def lazy_namespace(module_name: str, exports: dict[str, str]):
+    """Build ``(__all__, __getattr__, __dir__)`` for a namespace module.
+
+    ``exports`` maps public name -> implementation module path relative
+    to the ``repro`` package (e.g. ``".core.bda"``). Resolved names are
+    cached on the namespace module, so the import cost is paid once.
+    """
+    all_names = sorted(exports)
+
+    def __getattr__(name: str):
+        try:
+            target = exports[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {name!r}"
+            ) from None
+        value = getattr(import_module(target, "repro"), name)
+        import sys
+
+        setattr(sys.modules[module_name], name, value)
+        return value
+
+    def __dir__():
+        return sorted(set(all_names) | {"__all__"})
+
+    return all_names, __getattr__, __dir__

@@ -1,0 +1,21 @@
+"""``repro.api.config`` — the declarative configuration dataclasses.
+
+Importing this namespace stays light by contract: no scipy, no model
+code — it is safe to reach for a config in a CLI entry point or a
+scheduler that never runs the model.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "ScaleConfig": ".config",
+    "LETKFConfig": ".config",
+    "RadarConfig": ".config",
+    "JITDTConfig": ".config",
+    "WorkflowConfig": ".config",
+    "ExecutionConfig": ".config",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

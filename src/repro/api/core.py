@@ -1,0 +1,26 @@
+"""``repro.api.core`` — the assembled BDA system and its cycling engine.
+
+The 30-second loop of the paper: ensemble forecast, LETKF analysis,
+forecast products, with the batched state and execution backends that
+PR 2 introduced.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "BDASystem": ".core.bda",
+    "ForecastProduct": ".core.bda",
+    "DACycler": ".core.cycling",
+    "CycleResult": ".core.cycling",
+    "Ensemble": ".core.ensemble",
+    "EnsembleState": ".model.ensemble_state",
+    "ExecutionBackend": ".core.backends",
+    "make_backend": ".core.backends",
+    "ProductCatalog": ".core.catalog",
+    "CatalogEntry": ".core.catalog",
+    "ProductWriter": ".core.products",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

@@ -1,0 +1,19 @@
+"""``repro.api.fleet`` — multi-domain fleet operations.
+
+N (radar, domain) tenants on one machine under a deadline-aware
+scheduler and a shared, budgeted compute pool.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "FleetScheduler": ".fleet",
+    "FleetConfig": ".fleet",
+    "FleetReport": ".fleet",
+    "DomainTenant": ".fleet",
+    "ComputePool": ".fleet",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

@@ -1,0 +1,22 @@
+"""``repro.api.ingest`` — streaming scan ingest and its chaos harness.
+
+The JIT-DT-facing edge: scan admission with out-of-order / late /
+duplicate / corrupt handling, plus the stream-fault injectors and
+chaos campaigns that certify it.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "IngestBuffer": ".ingest.buffer",
+    "ScanEnvelope": ".ingest.buffer",
+    "AdmissionDecision": ".ingest.buffer",
+    "IngestChaosCampaign": ".ingest.chaos",
+    "IngestChaosReport": ".ingest.chaos",
+    "StreamFaultInjector": ".resilience.faults",
+    "StreamFaultRates": ".resilience.faults",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

@@ -1,0 +1,26 @@
+"""``repro.api.serving`` — the forecast-product serving tier.
+
+The public face of Fig. 1: the multi-tenant product store with its
+freshness ladder, the tile-pyramid HTTP handler + asyncio server, and
+the deterministic load generator behind ``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "ServingStore": ".serving.store",
+    "ProductSpec": ".serving.store",
+    "PublishedCycle": ".serving.store",
+    "CyclePublisher": ".serving.store",
+    "demo_store": ".serving.store",
+    "ServingAPI": ".serving.http",
+    "AsyncTileServer": ".serving.http",
+    "run_selftest": ".serving.http",
+    "TileCache": ".serving.tiles",
+    "LoadGenerator": ".serving.loadgen",
+    "LoadReport": ".serving.loadgen",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

@@ -1,0 +1,19 @@
+"""``repro.api.telemetry`` — tracing, metrics, and kernel profiling.
+
+The injectable observability bundle: pass one :class:`Telemetry` to a
+top-level object and every layer below it reports into the same
+registry (Prometheus-exportable via ``MetricsRegistry.to_prometheus``).
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "Telemetry": ".telemetry",
+    "MetricsRegistry": ".telemetry",
+    "Tracer": ".telemetry",
+    "KernelProfiler": ".telemetry",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

@@ -1,0 +1,20 @@
+"""``repro.api.workflow`` — the real-time workflow and its resilience.
+
+One radar, one domain, the paper's "< 3 minutes" promise: the cycling
+workflow, its cycle records, the campaign monitor, and the fault
+campaigns that probe the degradation ladder.
+"""
+
+from __future__ import annotations
+
+from ._lazy import lazy_namespace
+
+_EXPORTS = {
+    "RealtimeWorkflow": ".workflow.realtime",
+    "CycleRecord": ".workflow.realtime",
+    "WorkflowMonitor": ".workflow.monitor",
+    "FaultCampaign": ".resilience.campaign",
+    "ResilienceReport": ".resilience.campaign",
+}
+
+__all__, __getattr__, __dir__ = lazy_namespace(__name__, _EXPORTS)

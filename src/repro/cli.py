@@ -8,23 +8,29 @@ Gives downstream users the paper's artifacts without writing code:
   summary + histogram (optionally render the Fig.-5a panel PNG);
 * ``calibrate`` — measure this host's kernels and report the
   paper-scale extrapolation;
-* ``fault-campaign`` (alias ``faultcampaign``) — seeded fault-injection
-  campaign over the pipeline with recovery metrics and
-  checkpoint/resume;
-* ``ingest-campaign`` (alias ``ingestcampaign``) — streaming-ingest
-  chaos campaign: out-of-order/late/duplicate/dropped scans plus
-  corrupt wire chunks, asserting zero stale/duplicate assimilations;
+* ``fault-campaign`` — seeded fault-injection campaign over the
+  pipeline with recovery metrics and checkpoint/resume;
+* ``ingest-campaign`` — streaming-ingest chaos campaign:
+  out-of-order/late/duplicate/dropped scans plus corrupt wire chunks,
+  asserting zero stale/duplicate assimilations;
 * ``fleet`` — multi-domain fleet run: N (radar, domain) tenants
   multiplexed over one shared, budgeted compute pool with
   deadline-aware dispatch;
-* ``quick-cycle`` (alias ``quickcycle``) — a tiny OSSE cycling demo
-  (the quickstart in one command);
+* ``serve`` — run a fleet to populate per-tenant product shelves, then
+  serve them over HTTP (tiles, catalogs, /metrics); ``--selftest``
+  runs the CI round trip instead of serving forever;
+* ``quick-cycle`` — a tiny OSSE cycling demo (the quickstart in one
+  command);
 * ``telemetry`` — replay a recorded ``--telemetry`` run directory into
   the Fig.-4/5-style TTS breakdown and metrics summary.
 
 Common flags (``--seed``, ``--out``, ``--telemetry``) come from one
 shared parent parser, so every command spells them the same way. Exit
 codes are uniform: 0 success, 1 runtime failure, 2 usage error.
+
+The PR-3 run-together alias spellings (``faultcampaign``,
+``ingestcampaign``, ``quickcycle``) were deprecated then and are hard
+errors now; the error names the hyphenated command to use.
 """
 
 from __future__ import annotations
@@ -230,6 +236,57 @@ def _cmd_fleet(args) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import time
+
+    from .serving import AsyncTileServer, ServingAPI, demo_store, run_selftest
+    from .telemetry import Telemetry
+
+    print(
+        f"populating shelves: {args.tenants} tenant(s) x {args.rounds} "
+        "fleet rounds ..."
+    )
+    store = demo_store(
+        n_tenants=args.tenants, rounds=args.rounds, seed=args.seed
+    )
+    if args.selftest:
+        for line in asyncio.run(run_selftest(store)):
+            print(line)
+        print("serving selftest: ok")
+        return EXIT_OK
+    # serving is an observability surface; its telemetry is always on
+    tel = Telemetry()
+    newest = max(
+        (sh.newest_good().t_product
+         for t in store.tenants
+         if (sh := store.shelf(t)).newest_good() is not None),
+        default=0.0,
+    )
+    # anchor the store's simulated timebase to a monotonic interval
+    # clock at startup, so served ages advance in real time
+    t0 = time.monotonic()
+    api = ServingAPI(
+        store, telemetry=tel, clock=lambda: newest + time.monotonic() - t0
+    )
+    server = AsyncTileServer(api, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        tenant = store.tenants[0]
+        print(f"serving on http://{server.host}:{server.port}")
+        print(f"  try: /v1/{tenant}/catalog")
+        print(f"       /v1/{tenant}/tiles/rain/latest/1/0/0.png")
+        print("       /metrics")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshut down")
+    return EXIT_OK
+
+
 def _cmd_calibrate(args) -> int:
     from .workflow.calibration import calibrate
 
@@ -380,8 +437,27 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--json", type=str, default=None, metavar="FILE",
                     help="write the fleet report as JSON")
 
+    sv = sub.add_parser(
+        "serve",
+        help="serve fleet-published products over HTTP (tiles + catalog)",
+        parents=[_common_parent(seed_default=2021)],
+    )
+    sv.add_argument("--host", type=str, default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8030,
+                    help="listen port; 0 picks an ephemeral one (default 8030)")
+    sv.add_argument("--tenants", type=int, default=2,
+                    help="fleet tenants to populate and serve (default 2)")
+    sv.add_argument("--rounds", type=int, default=40,
+                    help="30-s fleet rounds to publish before serving "
+                         "(default 40)")
+    sv.add_argument(
+        "--selftest", action="store_true",
+        help="run the end-to-end serving round trip (tile, ETag "
+             "revalidation, staleness, /metrics) and exit",
+    )
+
     fc = sub.add_parser(
-        "fault-campaign", aliases=["faultcampaign"],
+        "fault-campaign",
         help="seeded fault-injection campaign with recovery metrics",
         parents=[_common_parent(seed_default=2021)],
     )
@@ -392,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="resume from a checkpoint written by --checkpoint")
 
     ic = sub.add_parser(
-        "ingest-campaign", aliases=["ingestcampaign"],
+        "ingest-campaign",
         help="streaming-ingest chaos campaign (scan + wire faults)",
         parents=[_common_parent(seed_default=2021)],
     )
@@ -410,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the chaos report as JSON")
 
     qc = sub.add_parser(
-        "quick-cycle", aliases=["quickcycle"],
+        "quick-cycle",
         help="tiny OSSE cycling demo",
         parents=[_common_parent(seed_default=7)],
     )
@@ -446,17 +522,33 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "calibrate": _cmd_calibrate,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "fault-campaign": _cmd_faultcampaign,
-    "faultcampaign": _cmd_faultcampaign,
     "ingest-campaign": _cmd_ingestcampaign,
-    "ingestcampaign": _cmd_ingestcampaign,
     "quick-cycle": _cmd_quickcycle,
-    "quickcycle": _cmd_quickcycle,
     "telemetry": _cmd_telemetry,
+}
+
+#: alias spellings deprecated in PR 3, removed in PR 8 -> migration hint
+_REMOVED = {
+    "faultcampaign": "fault-campaign",
+    "ingestcampaign": "ingest-campaign",
+    "quickcycle": "quick-cycle",
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    for token in argv:
+        if token in _REMOVED:
+            print(
+                f"error: the alias spelling {token!r} was removed; use "
+                f"{_REMOVED[token]!r}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if not token.startswith("-"):
+            break  # only the leading command position is scanned
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

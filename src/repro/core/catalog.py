@@ -6,17 +6,36 @@ The catalog is that publication layer: per-cycle product entries with
 the metadata a frontend needs (valid time, lead, max intensity, file
 paths), a JSON index it can poll, retention control, and per-level
 "tile" export for the app's 3-D renderer.
+
+Wire schema versioning: the index is a versioned document
+(``{"schema_version": N, "entries": [...]}``) since v2; consumers and
+:meth:`ProductCatalog.load` follow the compat contract
+
+* **older readers keep working** — v1 wrote a bare entry list, and
+  ``load`` still accepts it;
+* **unknown fields are tolerated** — entries from a *newer* writer may
+  carry fields this reader does not know; they are dropped, not fatal;
+* **a torn index is an explicit error** — a truncated/partially-written
+  ``catalog.json`` raises ``ValueError`` instead of half-loading (the
+  atomic tmp+replace write means a torn file is corruption, not an
+  in-progress publish).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
-__all__ = ["CatalogEntry", "ProductCatalog"]
+__all__ = ["SCHEMA_VERSION", "CatalogEntry", "ProductCatalog"]
+
+#: version of the serialized catalog/tile-index documents (v1 = the
+#: unversioned bare-list format; v2 adds the envelope + content hashes)
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -30,10 +49,24 @@ class CatalogEntry:
     max_dbz: float
     max_rain_mmh: float
     files: dict[str, str] = field(default_factory=dict)
+    #: sha256 content hashes of published artifacts, keyed like ``files``
+    hashes: dict[str, str] = field(default_factory=dict)
 
     @property
     def time_to_solution(self) -> float:
         return self.t_published - self.t_obs
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> "CatalogEntry":
+        """Build an entry from a wire dict, tolerating unknown fields.
+
+        A catalog written by a newer schema may carry fields this
+        reader does not know about; per the compat contract they are
+        ignored rather than fatal. Missing *required* fields still
+        raise ``TypeError`` — silence there would fabricate data.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in row.items() if k in known})
 
 
 class ProductCatalog:
@@ -56,24 +89,52 @@ class ProductCatalog:
         self.entries.append(entry)
         if len(self.entries) > self.retention:
             self.entries = self.entries[-self.retention :]
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": [asdict(e) for e in self.entries],
+        }
         tmp = self.index_path.with_suffix(".json.tmp")
         with open(tmp, "w") as f:
-            json.dump([asdict(e) for e in self.entries], f, indent=1)
+            json.dump(doc, f, indent=1)
         tmp.replace(self.index_path)
 
     @classmethod
     def load(cls, directory: str | Path) -> "ProductCatalog":
+        """Load an index written by any schema version.
+
+        Accepts the v1 bare-list form and the v2+ envelope form;
+        unknown entry fields and unknown envelope keys are ignored. A
+        syntactically broken index (truncated write, corruption) raises
+        ``ValueError`` — never a silently partial catalog.
+        """
         cat = cls(directory)
-        if cat.index_path.exists():
-            with open(cat.index_path) as f:
-                rows = json.load(f)
-            cat.entries = [CatalogEntry(**row) for row in rows]
+        if not cat.index_path.exists():
+            return cat
+        with open(cat.index_path) as f:
+            text = f.read()
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ValueError(
+                f"catalog index {cat.index_path} is truncated or corrupt: {e}"
+            ) from e
+        if isinstance(doc, list):  # v1: bare entry list
+            rows = doc
+        elif isinstance(doc, dict) and isinstance(doc.get("entries"), list):
+            rows = doc["entries"]
+        else:
+            raise ValueError(
+                f"catalog index {cat.index_path} has an unrecognized layout "
+                f"({type(doc).__name__})"
+            )
+        cat.entries = [CatalogEntry.from_dict(row) for row in rows]
         return cat
 
     def latest(self) -> CatalogEntry | None:
         return self.entries[-1] if self.entries else None
 
     def between(self, t0: float, t1: float) -> list[CatalogEntry]:
+        """Entries with ``t0 <= t_obs < t1`` (half-open, like ranges)."""
         return [e for e in self.entries if t0 <= e.t_obs < t1]
 
     # -- the smartphone-app 3-D tiles (Fig. 1b) ---------------------------
@@ -85,21 +146,32 @@ class ProductCatalog:
 
         The MTI app renders stacked semi-transparent level slices; we
         export every ``every``-th model level plus a manifest recording
-        the heights, which is everything a 3-D frontend needs.
+        the heights and each tile's content hash (the serving tier's
+        delta-caching key), which is everything a 3-D frontend needs.
         """
         from ..viz.mapview import render_map_view
-        from ..viz.png import write_png
+        from ..viz.png import encode_png
 
         tiles_dir = self.directory / f"tiles_{cycle:06d}"
         tiles_dir.mkdir(exist_ok=True)
-        manifest: dict[str, object] = {"cycle": cycle, "levels": []}
+        levels: list[dict[str, object]] = []
+        manifest: dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "cycle": cycle,
+            "levels": levels,
+        }
         paths: dict[str, str] = {}
         for k in range(0, dbz.shape[0], every):
             img = render_map_view(dbz[k], kind="reflectivity", upscale=2)
+            png = encode_png(img)
             p = tiles_dir / f"level_{k:03d}.png"
-            write_png(str(p), img)
-            manifest["levels"].append({"k": k, "height_m": float(z_heights[k]),
-                                       "file": p.name})
+            p.write_bytes(png)
+            levels.append({
+                "k": k,
+                "height_m": float(z_heights[k]),
+                "file": p.name,
+                "sha256": hashlib.sha256(png).hexdigest(),
+            })
             paths[f"level_{k:03d}"] = str(p)
         mpath = tiles_dir / "manifest.json"
         with open(mpath, "w") as f:

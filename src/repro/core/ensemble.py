@@ -16,7 +16,6 @@ perturbation loops, diagnostics).
 
 from __future__ import annotations
 
-import warnings
 
 import numpy as np
 
@@ -31,8 +30,9 @@ class _MemberList:
     """Sequence proxy over the batch: views out, copies in.
 
     ``members[i]`` yields a zero-copy :class:`ModelState` view (writes to
-    its arrays land in the batch); ``members[i] = state`` copies a state
-    into slot ``i``. Slices return lists of views.
+    its arrays land in the batch); slices return lists of views. Item
+    assignment was removed — mutate through
+    ``ensemble.state.set_member(i, state)``.
     """
 
     def __init__(self, state: EnsembleState):
@@ -50,14 +50,12 @@ class _MemberList:
         return self._state.member_view(int(key))
 
     def __setitem__(self, key, value: ModelState) -> None:
-        warnings.warn(
-            "assigning through ensemble.members[i] is deprecated; use "
+        # deprecated in PR 3 (DeprecationWarning), removed in PR 8
+        raise TypeError(
+            "assigning through ensemble.members[i] was removed; use "
             "ensemble.state.set_member(i, state) (EnsembleState is the "
-            "supported mutation surface)",
-            DeprecationWarning,
-            stacklevel=2,
+            "supported mutation surface)"
         )
-        self._state.set_member(int(key), value)
 
 
 class Ensemble:

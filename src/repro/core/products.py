@@ -4,11 +4,14 @@ The production system publishes (a) a map view of rain intensity on the
 RIKEN webpage and (b) 3-D views in MTI's smartphone application. The
 product writer renders both from a forecast state and writes them to
 disk — the product file's mtime is exactly the T_fcst of the paper's
-time-to-solution measurement.
+time-to-solution measurement. Every written PNG is content-hashed
+(sha256, recorded in the metadata JSON) so the serving tier and the
+catalog can delta-cache on content rather than on paths or mtimes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -21,7 +24,8 @@ from ..model.state import ModelState
 from ..radar.reflectivity import dbz_from_state
 from ..viz.birdseye import render_birdseye
 from ..viz.mapview import render_map_view
-from ..viz.png import write_png
+from ..viz.png import encode_png
+from .catalog import SCHEMA_VERSION
 
 __all__ = ["ProductWriter"]
 
@@ -50,37 +54,47 @@ class ProductWriter:
         rain = surface_rain_rate(state)
 
         paths: dict[str, str] = {}
+        hashes: dict[str, str] = {}
+
+        def emit(name: str, path: Path, img: np.ndarray) -> None:
+            png = encode_png(img)
+            path.write_bytes(png)
+            paths[name] = str(path)
+            hashes[name] = hashlib.sha256(png).hexdigest()
 
         map_img = render_map_view(dbz[k2km], kind="reflectivity")
-        p_map = self.directory / f"mapview_{cycle:06d}.png"
-        write_png(str(p_map), map_img)
-        paths["mapview"] = str(p_map)
+        emit("mapview", self.directory / f"mapview_{cycle:06d}.png", map_img)
 
         rain_img = render_map_view(rain, kind="rainrate")
-        p_rain = self.directory / f"rainrate_{cycle:06d}.png"
-        write_png(str(p_rain), rain_img)
-        paths["rainrate"] = str(p_rain)
+        emit("rainrate", self.directory / f"rainrate_{cycle:06d}.png", rain_img)
 
         if with_3d:
             bird = render_birdseye(
                 dbz.astype(np.float64), z_heights=g.z_c, dx=g.dx
             )
-            p_3d = self.directory / f"birdseye_{cycle:06d}.png"
-            write_png(str(p_3d), bird)
-            paths["birdseye"] = str(p_3d)
+            emit("birdseye", self.directory / f"birdseye_{cycle:06d}.png", bird)
 
         meta = {
+            "schema_version": SCHEMA_VERSION,
             "cycle": cycle,
             "valid_time_s": state.time,
             "max_dbz": float(np.max(dbz)),
             "max_rain_mmh": float(np.max(rain)),
             "map_height_m": self.map_height,
+            "sha256": dict(hashes),
         }
         p_meta = self.directory / f"product_{cycle:06d}.json"
         with open(p_meta, "w") as f:
             json.dump(meta, f, indent=1)
         paths["metadata"] = str(p_meta)
         return paths
+
+    def content_hashes(self, cycle: int) -> dict[str, str]:
+        """The recorded sha256 hashes of a cycle's written products."""
+        p_meta = self.directory / f"product_{cycle:06d}.json"
+        with open(p_meta) as f:
+            meta = json.load(f)
+        return dict(meta.get("sha256", {}))
 
     def product_mtime(self, cycle: int) -> float:
         """mtime of the cycle's map-view product — the T_fcst observable."""

@@ -227,6 +227,23 @@ class FleetScheduler:
         )
         return cls(tenants, pool=pool, policy=cfg.policy, telemetry=telemetry)
 
+    def attach_serving(self, store, *, field_shape=(48, 48)) -> None:
+        """Attach one serving publisher per tenant to ``store``.
+
+        Each tenant's cycle-completion hook gets a
+        :class:`~repro.serving.store.CyclePublisher` whose field seed is
+        derived from the tenant's position (deterministic, disjoint from
+        the workflow seed streams — publishing never perturbs the
+        schedule). After this, every fleet round lands its outcomes on
+        the store's shelves, deadline misses included.
+        """
+        from ..serving.store import CyclePublisher
+
+        for i, t in enumerate(self.tenants):
+            t.publisher = CyclePublisher(
+                store, t.tenant_id, seed=7000 + i, field_shape=field_shape
+            )
+
     # ------------------------------------------------------------------
 
     async def _checkpoint(self, tag: str) -> None:

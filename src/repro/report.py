@@ -232,7 +232,59 @@ def metrics_snapshot_text(reg, *, deadline_s: float = 180.0) -> str:
                          f"over {int(calls)} calls")
     lines.extend(_ingest_lines(reg))
     lines.extend(_fleet_lines(reg))
+    lines.extend(_serving_lines(reg))
     return "\n".join(lines) if lines else "(empty metrics snapshot)"
+
+
+def _serving_lines(reg) -> list[str]:
+    """Serving-tier rollup (present when the HTTP tier handled traffic).
+
+    Consumes the ``serving_*`` counters the request handler maintains:
+    request/304 totals, tile payloads per (tenant, product), and the
+    freshness-SLO breach count — the registry-side mirror of the
+    ``BENCH_serving.json`` steady-state numbers.
+    """
+    total = 0.0
+    by_code: dict[str, float] = {}
+    for m in reg:
+        if m.name == "serving_requests_total":
+            total += m.value
+            code = m.labels.get("code", "?")
+            by_code[code] = by_code.get(code, 0.0) + m.value
+    if not total:
+        return []
+
+    def _val(name: str, **labels) -> float:
+        m = reg.get("counter", name, **labels)
+        return 0.0 if m is None else m.value
+
+    codes = ", ".join(
+        f"{int(v)} x {c}" for c, v in sorted(by_code.items())
+    )
+    lines = [
+        "serving rollup:",
+        f"  {int(total)} requests ({codes})",
+    ]
+    nm = _val("serving_not_modified_total")
+    if nm:
+        lines.append(f"  {int(nm)} conditional 304s (delta cache)")
+    tiles = [
+        (m.labels.get("tenant", "?"), m.labels.get("product", "?"), m.value)
+        for m in reg
+        if m.name == "serving_tiles_total"
+    ]
+    for tenant, product, n in sorted(tiles):
+        lines.append(f"  [{tenant}] {product}: {int(n)} tile payloads")
+    breaches = sum(
+        m.value for m in reg if m.name == "serving_slo_breach_total"
+    )
+    shed = _val("serving_shed_total")
+    if breaches or shed:
+        lines.append(
+            f"  {int(breaches)} freshness-SLO breaches, "
+            f"{int(shed)} requests shed"
+        )
+    return lines
 
 
 def _fleet_lines(reg) -> list[str]:

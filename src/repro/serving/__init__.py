@@ -1,0 +1,58 @@
+"""Forecast-product serving tier (the public face of Fig. 1).
+
+The paper's deliverable is *served products*: map-view rain on the
+RIKEN webpage and 3-D views in the MTI smartphone app, refreshed every
+30 seconds throughout the Games. This package is that tier for the
+reproduction:
+
+* :mod:`~repro.serving.tiles` — tile-pyramid rendering with content
+  ETags (delta caching: unchanged sky revalidates to 304);
+* :mod:`~repro.serving.store` — the multi-tenant publication store and
+  the serving side of the degradation ladder
+  (fresh / substitute / stale / unavailable);
+* :mod:`~repro.serving.http` — the transport-independent request
+  handler + an asyncio HTTP/1.1 server with admission control;
+* :mod:`~repro.serving.loadgen` — the deterministic client population
+  behind ``benchmarks/bench_serving.py``.
+
+Start one with ``python -m repro serve``.
+"""
+
+from .http import AsyncTileServer, Response, ServingAPI, run_selftest
+from .loadgen import LoadGenerator, LoadReport
+from .store import (
+    DEFAULT_PRODUCTS,
+    SERVING_LADDER,
+    CyclePublisher,
+    ProductSpec,
+    PublishedCycle,
+    Resolution,
+    ServingStore,
+    TenantShelf,
+    demo_store,
+)
+from .tiles import TILE_PX, TileCache, max_zoom, render_tile, tile_etag, tile_slices
+
+__all__ = [
+    "TILE_PX",
+    "max_zoom",
+    "tile_slices",
+    "tile_etag",
+    "render_tile",
+    "TileCache",
+    "SERVING_LADDER",
+    "DEFAULT_PRODUCTS",
+    "ProductSpec",
+    "PublishedCycle",
+    "Resolution",
+    "TenantShelf",
+    "ServingStore",
+    "CyclePublisher",
+    "demo_store",
+    "Response",
+    "ServingAPI",
+    "AsyncTileServer",
+    "run_selftest",
+    "LoadGenerator",
+    "LoadReport",
+]

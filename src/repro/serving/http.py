@@ -1,0 +1,593 @@
+"""Async HTTP serving of the product catalog (the Fig.-1 public face).
+
+Two layers, deliberately split:
+
+* :class:`ServingAPI` — the transport-independent request handler: a
+  pure function of (store state, request, ``now``) to a
+  :class:`Response`. The load-generator bench drives it directly with a
+  virtual clock, so cache-hit rates and staleness decisions are
+  seed-deterministic; the asyncio server drives the very same object.
+* :class:`AsyncTileServer` — a minimal HTTP/1.1 server on stdlib
+  ``asyncio`` streams (no framework): keep-alive, bounded header size,
+  and admission-controlled concurrency — past ``max_inflight`` in-flight
+  requests it sheds with 429 + ``Retry-After`` rather than queueing
+  unboundedly (load-shedding is backpressure here; a missed forecast
+  deadline is never an error, see the store's ladder).
+
+Versioned public wire surface (``/v1/``)::
+
+    GET /v1                                        API descriptor
+    GET /v1/tenants                                tenant freshness list
+    GET /v1/{tenant}/catalog                       versioned catalog JSON
+    GET /v1/{tenant}/latest                        resolved latest metadata
+    GET /v1/{tenant}/tiles/{product}/{cycle|latest}/{z}/{x}/{y}.png
+    GET /metrics                                   Prometheus text
+    GET /healthz                                   liveness
+
+Conditional requests: tile and catalog responses carry strong ETags;
+``If-None-Match`` revalidates to 304 without rendering (tile ETags hash
+the field subregion, so an unchanged sky revalidates across cycles).
+Stale responses carry ``X-Repro-Rung``, ``X-Repro-Staleness`` and
+``Warning: 110`` headers — stale-while-revalidate, never a 5xx.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..telemetry import NULL_TELEMETRY
+from .store import ServingStore
+from .tiles import TileCache, max_zoom, render_tile, tile_etag
+
+__all__ = ["Response", "ServingAPI", "AsyncTileServer", "run_selftest"]
+
+#: wire API version: the /v1/ prefix and the response shapes
+WIRE_VERSION = 1
+
+_REASONS = {
+    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+}
+
+#: request-latency histogram buckets [s] — sub-millisecond to 1 s
+_LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                    0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+@dataclass
+class Response:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def reason(self) -> str:
+        return _REASONS.get(self.status, "Unknown")
+
+
+def _json_response(status: int, obj, headers: dict[str, str] | None = None) -> Response:
+    body = (json.dumps(obj, indent=1) + "\n").encode()
+    h = {"Content-Type": "application/json"}
+    if headers:
+        h.update(headers)
+    return Response(status, body, h)
+
+
+def _error(status: int, message: str) -> Response:
+    return _json_response(status, {"error": message})
+
+
+class ServingAPI:
+    """Routes requests against a :class:`~repro.serving.store.ServingStore`.
+
+    ``clock`` supplies "now" in the store's timebase when a request does
+    not pass one explicitly; the bench and tests inject virtual clocks,
+    the demo server anchors a monotonic clock at startup. The handler
+    itself performs no I/O and reads no wall clock.
+    """
+
+    def __init__(
+        self,
+        store: ServingStore,
+        *,
+        telemetry=None,
+        tile_cache_size: int = 4096,
+        clock=None,
+    ):
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.tiles = TileCache(tile_cache_size)
+        self.clock = clock
+        #: deterministic counters, maintained with or without telemetry
+        self.stats = {
+            "requests": 0, "tile_requests": 0, "not_modified": 0,
+            "tile_not_modified": 0, "stale_served": 0, "shed": 0,
+            "errors_4xx": 0,
+        }
+
+    # -- entry point ----------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        headers: dict[str, str] | None = None,
+        *,
+        now: float | None = None,
+    ) -> Response:
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        if now is None:
+            now = self.clock() if self.clock is not None else 0.0
+        resp = self._route(method, path.split("?", 1)[0], headers, now)
+        self.stats["requests"] += 1
+        if 400 <= resp.status < 500:
+            self.stats["errors_4xx"] += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "serving_requests_total",
+                help="HTTP requests served", code=str(resp.status),
+            ).inc()
+        return resp
+
+    # -- routing --------------------------------------------------------
+
+    def _route(self, method, path, headers, now) -> Response:
+        if method not in ("GET", "HEAD"):
+            return _error(405, f"method {method} not allowed")
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz":
+            return Response(200, b"ok\n", {"Content-Type": "text/plain"})
+        if path == "/metrics":
+            text = self.telemetry.metrics.to_prometheus()
+            return Response(
+                200, text.encode(),
+                {"Content-Type": "text/plain; version=0.0.4"},
+            )
+        if not parts or parts[0] != "v1":
+            return _error(404, f"unknown path {path!r}; the API lives under /v1")
+        if len(parts) == 1:
+            return self._descriptor(now)
+        if parts[1] == "tenants" and len(parts) == 2:
+            return _json_response(200, self.store.tenant_summary(now))
+        tenant = parts[1]
+        if len(parts) == 3 and parts[2] == "catalog":
+            return self._catalog(tenant, headers, now)
+        if len(parts) == 3 and parts[2] == "latest":
+            return self._latest(tenant, now)
+        if len(parts) == 8 and parts[2] == "tiles":
+            return self._tile(tenant, parts[3:], headers, now)
+        return _error(404, f"unknown path {path!r}")
+
+    def _descriptor(self, now) -> Response:
+        from ..core.catalog import SCHEMA_VERSION
+
+        return _json_response(200, {
+            "api_version": WIRE_VERSION,
+            "schema_version": SCHEMA_VERSION,
+            "products": sorted(self.store.products),
+            "tenants": self.store.tenants,
+            "endpoints": [
+                "/v1/tenants",
+                "/v1/{tenant}/catalog",
+                "/v1/{tenant}/latest",
+                "/v1/{tenant}/tiles/{product}/{cycle|latest}/{z}/{x}/{y}.png",
+                "/metrics",
+                "/healthz",
+            ],
+        })
+
+    def _catalog(self, tenant, headers, now) -> Response:
+        doc = self.store.catalog_dict(tenant, now)
+        if doc is None:
+            return _error(404, f"unknown tenant {tenant!r}")
+        etag = f'"cat-{tenant}-{doc["version"]}"'
+        if headers.get("if-none-match") == etag:
+            self.stats["not_modified"] += 1
+            return Response(304, b"", {"ETag": etag})
+        return _json_response(200, doc, {"ETag": etag})
+
+    def _latest(self, tenant, now) -> Response:
+        product = next(iter(sorted(self.store.products)))
+        res = self.store.resolve(tenant, "latest", product, now)
+        if res is None:
+            return _error(404, f"no published product for tenant {tenant!r}")
+        body = {
+            "cycle": res.cycle.cycle,
+            "t_obs": res.cycle.t_obs,
+            "t_product": res.cycle.t_product,
+            "rung": res.rung,
+            "age_s": res.age_s,
+            "staleness_s": res.staleness_s,
+            "degraded": res.cycle.degraded,
+            "meta": res.cycle.meta,
+        }
+        return _json_response(200, body, self._freshness_headers(res))
+
+    # -- tiles ----------------------------------------------------------
+
+    def _tile(self, tenant, rest, headers, now) -> Response:
+        product, selector, zs, xs, ys = rest
+        if not ys.endswith(".png"):
+            return _error(404, "tile paths end in .png")
+        try:
+            z, x, y = int(zs), int(xs), int(ys[:-4])
+        except ValueError:
+            return _error(400, "tile address must be integers z/x/y")
+        if selector != "latest":
+            try:
+                selector = int(selector)
+            except ValueError:
+                return _error(400, f"bad cycle selector {selector!r}")
+        if product not in self.store.products:
+            return _error(404, f"unknown product {product!r}")
+        res = self.store.resolve(tenant, selector, product, now)
+        if res is None:
+            return _error(
+                404, f"no servable cycle for {tenant}/{product}/{selector}"
+            )
+        pc = res.cycle
+        fld = pc.fields[product]
+        try:
+            etag = tile_etag(fld, z, x, y, kind=self.store.products[product].kind)
+        except KeyError:
+            return _error(
+                404,
+                f"tile ({z}/{x}/{y}) out of range (max zoom "
+                f"{max_zoom(fld.shape)})",
+            )
+        self.stats["tile_requests"] += 1
+        self._observe_freshness(tenant, product, res)
+        resp_headers = {
+            "ETag": etag,
+            "Content-Type": "image/png",
+            "Cache-Control": "public, max-age=1, stale-while-revalidate=30",
+            "X-Repro-Cycle": str(pc.cycle),
+        }
+        resp_headers.update(self._freshness_headers(res))
+        if headers.get("if-none-match") == etag:
+            # delta path: content unchanged, no render, no payload
+            self.stats["not_modified"] += 1
+            self.stats["tile_not_modified"] += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "serving_not_modified_total",
+                    help="conditional requests answered 304",
+                ).inc()
+            return Response(304, b"", resp_headers)
+        key = (tenant, pc.cycle, product, z, x, y)
+        cached = self.tiles.get(key)
+        if cached is None:
+            png = render_tile(
+                fld, z, x, y, kind=self.store.products[product].kind
+            )
+            self.tiles.put(key, etag, png)
+        else:
+            png = cached[1]
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "serving_tiles_total", help="tile payloads served",
+                tenant=tenant, product=product,
+            ).inc()
+        return Response(200, png, resp_headers)
+
+    # -- freshness bookkeeping -------------------------------------------
+
+    def _freshness_headers(self, res) -> dict[str, str]:
+        h = {
+            "Age": str(int(res.age_s)),
+            "X-Repro-Rung": res.rung,
+        }
+        if res.rung != "fresh":
+            h["X-Repro-Staleness"] = f"{res.staleness_s:.1f}"
+            h["Warning"] = '110 - "Response is Stale"'
+        if res.cycle.degraded:
+            h["X-Repro-Degraded"] = "1"
+        return h
+
+    def _observe_freshness(self, tenant, product, res) -> None:
+        if res.rung != "fresh":
+            self.stats["stale_served"] += 1
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        tel.gauge(
+            "serving_freshness_age_seconds",
+            help="age of the served product at request time",
+            tenant=tenant, product=product,
+        ).set(res.age_s)
+        if res.rung != "fresh":
+            tel.counter(
+                "serving_stale_served_total",
+                help="requests served past the freshness SLO (ladder rung)",
+                tenant=tenant, rung=res.rung,
+            ).inc()
+            tel.counter(
+                "serving_slo_breach_total",
+                help="freshness SLO breaches observed at request time",
+                tenant=tenant, product=product,
+            ).inc()
+
+    # -- cache stats ------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Steady-state cache effectiveness: 304s + tile-cache hits over
+        all tile requests (1.0 = no tile was rendered twice)."""
+        total = self.stats["tile_requests"]
+        if not total:
+            return 0.0
+        return (self.stats["tile_not_modified"] + self.tiles.hits) / total
+
+
+# ---------------------------------------------------------------------------
+# asyncio transport
+# ---------------------------------------------------------------------------
+
+_MAX_HEADER_BYTES = 16384
+
+
+class AsyncTileServer:
+    """HTTP/1.1 keep-alive server over asyncio streams, no framework.
+
+    Admission control: at most ``max_inflight`` requests are processed
+    concurrently; excess connections receive immediate 429s (shed) so a
+    traffic spike degrades to retries instead of unbounded queueing.
+    """
+
+    def __init__(
+        self,
+        api: ServingAPI,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+    ):
+        self.api = api
+        self.host = host
+        self.port = port
+        self.max_inflight = int(max_inflight)
+        self._inflight = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling --------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), timeout=10.0
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    ConnectionResetError,
+                ):
+                    return
+                except asyncio.LimitOverrunError:
+                    await self._write(
+                        writer, _error(431, "header block too large"), close=True
+                    )
+                    return
+                if len(head) > _MAX_HEADER_BYTES:
+                    await self._write(
+                        writer, _error(431, "header block too large"), close=True
+                    )
+                    return
+                request = self._parse(head)
+                if request is None:
+                    await self._write(
+                        writer, _error(400, "malformed request"), close=True
+                    )
+                    return
+                method, path, headers = request
+                close = headers.get("connection", "").lower() == "close"
+                if self._inflight >= self.max_inflight:
+                    self.api.stats["shed"] += 1
+                    if self.api.telemetry.enabled:
+                        self.api.telemetry.counter(
+                            "serving_shed_total",
+                            help="requests shed by admission control",
+                        ).inc()
+                    resp = _error(429, "server saturated, retry")
+                    resp.headers["Retry-After"] = "1"
+                    await self._write(writer, resp, close=close)
+                    if close:
+                        return
+                    continue
+                self._inflight += 1
+                try:
+                    t0 = time.perf_counter()
+                    resp = self.api.handle(method, path, headers)
+                    if self.api.telemetry.enabled:
+                        self.api.telemetry.histogram(
+                            "serving_request_seconds",
+                            buckets=_LATENCY_BUCKETS,
+                            help="request handling latency",
+                        ).observe(time.perf_counter() - t0)
+                    # let concurrently-queued connections interleave
+                    await asyncio.sleep(0)
+                finally:
+                    self._inflight -= 1
+                if method == "HEAD":
+                    resp = Response(resp.status, b"", resp.headers)
+                await self._write(writer, resp, close=close)
+                if close:
+                    return
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _parse(head: bytes):
+        try:
+            text = head.decode("latin-1")
+            request_line, *header_lines = text.split("\r\n")
+            method, path, version = request_line.split(" ")
+            if not version.startswith("HTTP/"):
+                return None
+            headers: dict[str, str] = {}
+            for line in header_lines:
+                if not line:
+                    continue
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            return method, path, headers
+        except ValueError:
+            return None
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, resp: Response, *, close: bool
+    ) -> None:
+        lines = [f"HTTP/1.1 {resp.status} {resp.reason}"]
+        headers = dict(resp.headers)
+        headers.setdefault("Content-Length", str(len(resp.body)))
+        headers["Connection"] = "close" if close else "keep-alive"
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        if resp.body:
+            writer.write(resp.body)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# self-test (the CI serving smoke)
+# ---------------------------------------------------------------------------
+
+
+async def _fetch(host: str, port: int, path: str, headers=None):
+    """One-shot HTTP GET returning (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    lines = [f"GET {path} HTTP/1.1", f"Host: {host}", "Connection: close"]
+    for k, v in (headers or {}).items():
+        lines.append(f"{k}: {v}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode())
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("latin-1").split("\r\n")
+    status = int(status_line.split(" ")[1])
+    hdrs = {}
+    for line in header_lines:
+        name, _, value = line.partition(":")
+        hdrs[name.strip().lower()] = value.strip()
+    return status, hdrs, body
+
+
+async def run_selftest(store: ServingStore, *, telemetry=None) -> list[str]:
+    """End-to-end serving round trip over real sockets.
+
+    Starts the server on an ephemeral port and exercises the public
+    surface: tile fetch, ETag revalidation (304), staleness headers on
+    an SLO-expired latest, catalog + metrics scrape. Raises
+    ``AssertionError`` on any contract violation; returns the printed
+    summary lines.
+    """
+    from ..telemetry import Telemetry
+
+    tel = telemetry if telemetry is not None else Telemetry()
+    newest = max(
+        (sh.newest_good().t_product
+         for t in store.tenants
+         if (sh := store.shelf(t)).newest_good() is not None),
+        default=0.0,
+    )
+    api = ServingAPI(store, telemetry=tel, clock=lambda: newest)
+    server = AsyncTileServer(api)
+    await server.start()
+    host, port = server.host, server.port
+    out = []
+    try:
+        status, _, body = await _fetch(host, port, "/healthz")
+        assert status == 200 and body.strip() == b"ok", (status, body)
+
+        status, _, body = await _fetch(host, port, "/v1/tenants")
+        tenants = json.loads(body)
+        assert status == 200 and tenants, "no tenants to serve"
+        tenant = tenants[0]["tenant"]
+        out.append(f"tenants: {[t['tenant'] for t in tenants]}")
+
+        tile = f"/v1/{tenant}/tiles/rain/latest/1/0/0.png"
+        status, hdrs, body = await _fetch(host, port, tile)
+        assert status == 200, (status, body)
+        assert body.startswith(b"\x89PNG"), "tile payload is not a PNG"
+        etag = hdrs["etag"]
+        out.append(
+            f"tile fetch: 200, {len(body)} bytes, cycle "
+            f"{hdrs['x-repro-cycle']}, rung {hdrs['x-repro-rung']}"
+        )
+
+        status, hdrs2, body2 = await _fetch(
+            host, port, tile, headers={"If-None-Match": etag}
+        )
+        assert status == 304 and not body2, (status, len(body2))
+        assert hdrs2["etag"] == etag
+        out.append("etag revalidation: 304 (no payload, no render)")
+
+        # staleness: ask with a clock far past the freshness SLO
+        api.clock = lambda: newest + 1800.0
+        status, hdrs3, _ = await _fetch(host, port, tile)
+        assert status == 200, "stale latest must serve, never error"
+        assert hdrs3["x-repro-rung"] != "fresh", hdrs3
+        assert "x-repro-staleness" in hdrs3, hdrs3
+        out.append(
+            f"stale-while-revalidate: 200, rung {hdrs3['x-repro-rung']}, "
+            f"staleness {hdrs3['x-repro-staleness']} s"
+        )
+        api.clock = lambda: newest
+
+        status, _, body = await _fetch(host, port, f"/v1/{tenant}/catalog")
+        doc = json.loads(body)
+        assert status == 200 and doc["schema_version"] >= 2, doc.keys()
+        out.append(
+            f"catalog: {len(doc['entries'])} entries, schema_version "
+            f"{doc['schema_version']}"
+        )
+
+        status, _, body = await _fetch(host, port, "/metrics")
+        text = body.decode()
+        assert status == 200 and "serving_requests_total" in text, text[:200]
+        out.append(
+            f"metrics scrape: {len(text.splitlines())} lines, "
+            f"{api.stats['requests']} requests handled"
+        )
+    finally:
+        await server.aclose()
+    return out

@@ -1,0 +1,175 @@
+"""Deterministic load generator for the serving tier (the Fig.-1 crowd).
+
+Simulates ``n_clients`` map viewers polling tiles at the paper's 30-s
+refresh: each client keeps a viewport of tiles (zipf-ish popularity —
+everyone watches the storm, few browse the edges), remembers the ETags
+it has seen, and revalidates with ``If-None-Match`` exactly like a
+browser cache. Driven against the in-process :class:`ServingAPI`
+handler so a 10k-client day is a pure seeded computation: same seed,
+same request stream, same hit rate — while the *measured* latency is
+real handler latency.
+
+DET002 note: the generator takes an injectable ``timer`` for latency
+measurement; ``None`` (the default) uses ``time.perf_counter``, a
+monotonic interval clock, never wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .http import ServingAPI
+
+__all__ = ["LoadReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    n_clients: int
+    n_rounds: int
+    n_requests: int
+    elapsed_s: float
+    p50_ms: float
+    p99_ms: float
+    status_counts: dict[int, int]
+    not_modified: int
+    stale_served: int
+    cache_hit_rate: float
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.n_requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_clients": self.n_clients,
+            "n_rounds": self.n_rounds,
+            "n_requests": self.n_requests,
+            "elapsed_s": self.elapsed_s,
+            "requests_per_s": self.requests_per_s,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "status_counts": {str(k): v for k, v in
+                              sorted(self.status_counts.items())},
+            "not_modified": self.not_modified,
+            "stale_served": self.stale_served,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class LoadGenerator:
+    """Seeded client population against a :class:`ServingAPI` handler."""
+
+    def __init__(
+        self,
+        api: ServingAPI,
+        *,
+        n_clients: int = 1000,
+        seed: int = 0,
+        max_zoom: int = 2,
+        catalog_every: int = 16,
+        timer=None,
+    ):
+        self.api = api
+        self.n_clients = int(n_clients)
+        self.rng = np.random.default_rng(seed)
+        self.max_zoom = int(max_zoom)
+        #: 1-in-N chance per client round of a catalog poll instead of tiles
+        self.catalog_every = int(catalog_every)
+        self.timer = timer if timer is not None else time.perf_counter
+        tenants = api.store.tenants
+        if not tenants:
+            raise ValueError("load generation needs a populated store")
+        products = sorted(api.store.products)
+        #: per-client fixed (tenant, product) affinity + viewport tiles,
+        #: drawn once: a viewer watches one domain, not all of them
+        self._assign = []
+        addresses = self._tile_addresses()
+        weights = self._zipf_weights(len(addresses))
+        for _ in range(self.n_clients):
+            tenant = tenants[int(self.rng.integers(len(tenants)))]
+            product = products[int(self.rng.integers(len(products)))]
+            view = self.rng.choice(
+                len(addresses), size=min(4, len(addresses)),
+                replace=False, p=weights,
+            )
+            self._assign.append(
+                (tenant, product, [addresses[i] for i in view])
+            )
+        #: client -> {path: etag} browser-cache memory
+        self._etags: list[dict[str, str]] = [{} for _ in range(self.n_clients)]
+
+    def _tile_addresses(self) -> list[tuple[int, int, int]]:
+        out = []
+        for z in range(self.max_zoom + 1):
+            for y in range(1 << z):
+                for x in range(1 << z):
+                    out.append((z, x, y))
+        return out
+
+    def _zipf_weights(self, n: int) -> np.ndarray:
+        # zoom-0 overview first, popularity ~ 1/rank
+        w = 1.0 / np.arange(1, n + 1, dtype=np.float64)
+        return w / w.sum()
+
+    # ------------------------------------------------------------------
+
+    def run(self, *, rounds: int = 1, now: float = 0.0) -> LoadReport:
+        """Every client fetches its viewport ``rounds`` times at ``now``.
+
+        One "round" is one 30-s refresh tick of the whole population;
+        repeated rounds at an unchanged store are the steady state where
+        delta caching must convert almost everything into 304s.
+        """
+        latencies: list[float] = []
+        status_counts: dict[int, int] = {}
+        stale0 = self.api.stats["stale_served"]
+        nm0 = self.api.stats["not_modified"]
+        timer = self.timer
+        t_start = timer()
+        n_requests = 0
+        for r in range(rounds):
+            for c in range(self.n_clients):
+                tenant, product, view = self._assign[c]
+                memory = self._etags[c]
+                if self.catalog_every and (c + r) % self.catalog_every == 0:
+                    requests = [f"/v1/{tenant}/catalog"]
+                else:
+                    requests = [
+                        f"/v1/{tenant}/tiles/{product}/latest/{z}/{x}/{y}.png"
+                        for (z, x, y) in view
+                    ]
+                for path in requests:
+                    headers = {}
+                    etag = memory.get(path)
+                    if etag is not None:
+                        headers["If-None-Match"] = etag
+                    t0 = timer()
+                    resp = self.api.handle("GET", path, headers, now=now)
+                    latencies.append(timer() - t0)
+                    n_requests += 1
+                    status_counts[resp.status] = (
+                        status_counts.get(resp.status, 0) + 1
+                    )
+                    new_etag = resp.headers.get("ETag")
+                    if new_etag is not None and resp.status in (200, 304):
+                        memory[path] = new_etag
+        elapsed = timer() - t_start
+        lat_ms = np.asarray(latencies, dtype=np.float64) * 1e3
+        return LoadReport(
+            n_clients=self.n_clients,
+            n_rounds=rounds,
+            n_requests=n_requests,
+            elapsed_s=float(elapsed),
+            p50_ms=float(np.percentile(lat_ms, 50)) if len(lat_ms) else 0.0,
+            p99_ms=float(np.percentile(lat_ms, 99)) if len(lat_ms) else 0.0,
+            status_counts=status_counts,
+            not_modified=self.api.stats["not_modified"] - nm0,
+            stale_served=self.api.stats["stale_served"] - stale0,
+            cache_hit_rate=self.api.cache_hit_rate,
+        )

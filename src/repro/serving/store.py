@@ -1,0 +1,382 @@
+"""The serving tier's product store: what the HTTP layer reads.
+
+The paper's endpoint is *published products* — map-view rain on the
+RIKEN webpage, 3-D views in the MTI app — refreshed every 30 seconds
+for a month. :class:`ServingStore` is the in-memory publication surface
+between the cycling engines (one :class:`CyclePublisher` per tenant,
+attached to the workflow's cycle-completion hook) and the consumers
+(the :mod:`repro.serving.http` handler, the load-generator bench).
+
+Freshness is the serving contract, not bandwidth: at a 30-s refresh a
+product's value decays in minutes, so every ``latest`` resolution runs
+the serving side of the PR-1 degradation ladder instead of erroring:
+
+* ``fresh`` — the newest good cycle is within the product's SLO age
+  (the serving analog of the cycler's ``analysis`` rung);
+* ``substitute`` — the newest *published* cycle produced no forecast
+  (outage, skip, failure) and an older good cycle is served in its
+  place — exactly the ingest layer's substitute-previous rung, one
+  level up the stack;
+* ``stale`` — a good cycle exists but has aged past its freshness SLO
+  (pipeline running behind); it is still served, marked stale;
+* ``unavailable`` — nothing good to serve (the HTTP layer answers 404,
+  never a 5xx, never a partial product).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.catalog import SCHEMA_VERSION
+
+__all__ = [
+    "SERVING_LADDER",
+    "ProductSpec",
+    "PublishedCycle",
+    "Resolution",
+    "TenantShelf",
+    "ServingStore",
+    "CyclePublisher",
+    "demo_store",
+    "DEFAULT_PRODUCTS",
+]
+
+#: serving-side degradation ladder, best rung first
+SERVING_LADDER = ("fresh", "substitute", "stale", "unavailable")
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """One served product family and its freshness SLO."""
+
+    name: str
+    #: colormap kind (:func:`repro.viz.colormap.apply_colormap`)
+    kind: str
+    #: freshness SLO [s]: a ``latest`` older than this is served stale
+    slo_age_s: float = 180.0
+
+
+#: the Fig.-1 product families with the paper's "< 3 minutes" promise
+DEFAULT_PRODUCTS = (
+    ProductSpec("rain", "rainrate", slo_age_s=180.0),
+    ProductSpec("dbz", "reflectivity", slo_age_s=180.0),
+)
+
+
+@dataclass
+class PublishedCycle:
+    """One cycle's published state: the fields, or the fact it failed."""
+
+    cycle: int
+    t_obs: float
+    #: product completion time (T_fcst); equals ``t_obs`` when not ok
+    t_product: float
+    ok: bool
+    degraded: bool = False
+    #: product name -> 2-D field; empty when the cycle produced nothing
+    fields: dict[str, np.ndarray] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving a (tenant, cycle-or-latest) request."""
+
+    cycle: "PublishedCycle"
+    #: ladder rung this resolution landed on (never ``unavailable``)
+    rung: str
+    #: seconds past the product's freshness SLO (0 when fresh)
+    staleness_s: float
+    #: age of the served product [s] at resolution time
+    age_s: float
+
+
+class TenantShelf:
+    """Per-tenant retained window of published cycles (newest last)."""
+
+    def __init__(self, tenant_id: str, *, retention: int = 240):
+        self.tenant_id = tenant_id
+        self.retention = int(retention)
+        self._cycles: OrderedDict[int, PublishedCycle] = OrderedDict()
+        #: bumped on every publish; the catalog ETag derives from it
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    def publish(self, pc: PublishedCycle) -> None:
+        if self._cycles and pc.cycle <= next(reversed(self._cycles)):
+            raise ValueError(
+                f"tenant {self.tenant_id!r}: cycles must be published in "
+                f"increasing order (got {pc.cycle})"
+            )
+        self._cycles[pc.cycle] = pc
+        while len(self._cycles) > self.retention:
+            self._cycles.popitem(last=False)
+        self.version += 1
+
+    def get(self, cycle: int) -> PublishedCycle | None:
+        return self._cycles.get(cycle)
+
+    def newest(self) -> PublishedCycle | None:
+        return next(reversed(self._cycles.values())) if self._cycles else None
+
+    def newest_good(self) -> PublishedCycle | None:
+        for pc in reversed(self._cycles.values()):
+            if pc.ok:
+                return pc
+        return None
+
+    def cycles(self) -> list[PublishedCycle]:
+        return list(self._cycles.values())
+
+
+class ServingStore:
+    """Multi-tenant product store with freshness-ladder resolution."""
+
+    def __init__(
+        self,
+        *,
+        products: tuple[ProductSpec, ...] = DEFAULT_PRODUCTS,
+        retention: int = 240,
+    ):
+        if not products:
+            raise ValueError("a serving store needs at least one product")
+        self.products: dict[str, ProductSpec] = {p.name: p for p in products}
+        self.retention = int(retention)
+        self._shelves: dict[str, TenantShelf] = {}
+
+    # -- publication ----------------------------------------------------
+
+    def shelf(self, tenant: str) -> TenantShelf:
+        sh = self._shelves.get(tenant)
+        if sh is None:
+            sh = self._shelves[tenant] = TenantShelf(
+                tenant, retention=self.retention
+            )
+        return sh
+
+    def publish(self, tenant: str, pc: PublishedCycle) -> None:
+        if pc.ok:
+            missing = set(self.products) - set(pc.fields)
+            if missing:
+                raise ValueError(
+                    f"ok cycle {pc.cycle} is missing product fields "
+                    f"{sorted(missing)}: partial products must not be "
+                    "published"
+                )
+        self.shelf(tenant).publish(pc)
+
+    @property
+    def tenants(self) -> list[str]:
+        return sorted(self._shelves)
+
+    # -- resolution (the freshness ladder) ------------------------------
+
+    def resolve(
+        self, tenant: str, selector: int | str, product: str, now: float
+    ) -> Resolution | None:
+        """Resolve a tile/metadata request to a published cycle.
+
+        ``selector`` is an explicit cycle number or ``"latest"``.
+        Returns ``None`` on the ``unavailable`` rung (unknown tenant,
+        unknown cycle, or no good cycle to serve) — the transport maps
+        that to 404. Never raises for missing data.
+        """
+        spec = self.products.get(product)
+        sh = self._shelves.get(tenant)
+        if spec is None or sh is None:
+            return None
+        if selector != "latest":
+            pc = sh.get(int(selector))
+            if pc is None or not pc.ok:
+                return None
+            age = max(0.0, now - pc.t_product)
+            over = max(0.0, age - spec.slo_age_s)
+            return Resolution(
+                pc, "stale" if over > 0 else "fresh", over, age
+            )
+        good = sh.newest_good()
+        if good is None:
+            return None
+        newest = sh.newest()
+        age = max(0.0, now - good.t_product)
+        over = max(0.0, age - spec.slo_age_s)
+        # worst applicable rung wins: a substituted cycle that has also
+        # aged past its SLO is reported stale (further down the ladder)
+        if over > 0:
+            rung = "stale"
+        elif newest is not None and not newest.ok:
+            rung = "substitute"
+        else:
+            rung = "fresh"
+        return Resolution(good, rung, over if rung != "fresh" else 0.0, age)
+
+    # -- wire surface ----------------------------------------------------
+
+    def catalog_dict(self, tenant: str, now: float) -> dict | None:
+        """The tenant's versioned catalog document (the polled index)."""
+        sh = self._shelves.get(tenant)
+        if sh is None:
+            return None
+        entries = []
+        for pc in sh.cycles():
+            row: dict = {
+                "cycle": pc.cycle,
+                "t_obs": pc.t_obs,
+                "t_product": pc.t_product,
+                "ok": pc.ok,
+                "degraded": pc.degraded,
+            }
+            if pc.ok:
+                row["products"] = {
+                    name: {"max": float(np.max(pc.fields[name]))}
+                    for name in sorted(self.products)
+                }
+            entries.append(row)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tenant": tenant,
+            "version": sh.version,
+            "products": sorted(self.products),
+            "tile_url": "/v1/{tenant}/tiles/{product}/{cycle}/{z}/{x}/{y}.png",
+            "entries": entries,
+        }
+
+    def tenant_summary(self, now: float) -> list[dict]:
+        out = []
+        for tenant in self.tenants:
+            sh = self._shelves[tenant]
+            first_product = next(iter(sorted(self.products)))
+            res = self.resolve(tenant, "latest", first_product, now)
+            out.append({
+                "tenant": tenant,
+                "cycles": len(sh),
+                "latest": res.cycle.cycle if res else None,
+                "rung": res.rung if res else "unavailable",
+                "age_s": res.age_s if res else math.inf,
+            })
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the publish hook (workflow/fleet -> store)
+# ---------------------------------------------------------------------------
+
+
+class CyclePublisher:
+    """Publishes a tenant's completed cycles into a :class:`ServingStore`.
+
+    Attach one per tenant through ``RealtimeWorkflow(publisher=...)`` (or
+    :meth:`repro.fleet.FleetScheduler.attach_serving`): the workflow
+    calls :meth:`on_record` from its cycle-completion path, failed and
+    produced cycles alike, so the shelf always reflects what the
+    pipeline actually delivered — the substitute rung needs the failed
+    cycles on the shelf to know the newest cycle missed.
+
+    Fields come from ``field_source(record)`` when given (a coupled
+    tenant renders its real ensemble-mean rain); otherwise a
+    deterministic synthetic storm field seeded by ``(seed, cycle)`` and
+    scaled by the record's offered rain area stands in — same role as
+    the OSSE harness standing in for the real atmosphere.
+    """
+
+    def __init__(
+        self,
+        store: ServingStore,
+        tenant_id: str,
+        *,
+        seed: int = 0,
+        field_shape: tuple[int, int] = (48, 48),
+        field_source=None,
+    ):
+        self.store = store
+        self.tenant_id = tenant_id
+        self.seed = int(seed)
+        self.field_shape = (int(field_shape[0]), int(field_shape[1]))
+        self.field_source = field_source
+        self.published = 0
+
+    def on_record(self, rec) -> None:
+        """Cycle-completion hook (receives a ``CycleRecord``)."""
+        if not rec.ok:
+            pc = PublishedCycle(
+                cycle=rec.cycle, t_obs=rec.t_obs, t_product=rec.t_obs,
+                ok=False, meta={"skipped_reason": rec.skipped_reason},
+            )
+        else:
+            fields = None
+            if self.field_source is not None:
+                fields = self.field_source(rec)
+            if fields is None:
+                fields = self._synthesize(rec)
+            pc = PublishedCycle(
+                cycle=rec.cycle, t_obs=rec.t_obs, t_product=rec.t_product,
+                ok=True, degraded=rec.degraded, fields=fields,
+                meta={"rain_area_km2": rec.rain_area_km2},
+            )
+        self.store.publish(self.tenant_id, pc)
+        self.published += 1
+
+    def _synthesize(self, rec) -> dict[str, np.ndarray]:
+        """Deterministic storm-like fields for one cycle.
+
+        Pure function of ``(seed, cycle, rain_area_km2)``: smooth
+        Gaussian rain cells whose count and amplitude scale with the
+        offered rain area, plus the matching Z-R reflectivity — enough
+        spatial structure that tiles differ and delta caching has real
+        work to do, with zero dependence on publish order.
+        """
+        rng = np.random.default_rng((self.seed, rec.cycle))
+        ny, nx = self.field_shape
+        rain = np.zeros((ny, nx), dtype=np.float32)
+        area = max(0.0, float(rec.rain_area_km2))
+        n_cells = 1 + int(min(area / 2000.0, 6.0))
+        amp = 2.0 + 40.0 * min(area / 8000.0, 1.5)
+        jj, ii = np.mgrid[0:ny, 0:nx].astype(np.float32)
+        for _ in range(n_cells):
+            cy, cx = rng.uniform(0, ny), rng.uniform(0, nx)
+            r = rng.uniform(2.0, 6.0)
+            a = amp * rng.uniform(0.5, 1.0)
+            rain += a * np.exp(
+                -((jj - cy) ** 2 + (ii - cx) ** 2) / (2.0 * r * r)
+            ).astype(np.float32)
+        # Z = 200 R^1.6 (Marshall-Palmer), floored at clear-air
+        with np.errstate(divide="ignore"):
+            dbz = 10.0 * np.log10(200.0 * np.maximum(rain, 1e-3) ** 1.6)
+        return {
+            "rain": rain,
+            "dbz": np.maximum(dbz, -30.0).astype(np.float32),
+        }
+
+
+def demo_store(
+    *,
+    n_tenants: int = 2,
+    rounds: int = 40,
+    seed: int = 2021,
+    storm_peak_km2: float = 8000.0,
+    field_shape: tuple[int, int] = (48, 48),
+    retention: int = 240,
+) -> ServingStore:
+    """A populated store from a real fleet run (the ``serve`` demo).
+
+    Runs the PR-7 :class:`~repro.fleet.FleetScheduler` for ``rounds``
+    30-s rounds with serving publishers attached, so what the demo
+    server serves is exactly what the fleet's per-tenant pipelines
+    published — deadline misses, degraded cycles and all.
+    """
+    from ..fleet import FleetConfig, FleetScheduler, storm_rain
+
+    store = ServingStore(retention=retention)
+    fleet = FleetScheduler.from_config(
+        FleetConfig(n_tenants=n_tenants, seed=seed)
+    )
+    fleet.attach_serving(store, field_shape=field_shape)
+    rain = storm_rain(storm_peak_km2) if storm_peak_km2 > 0 else None
+    fleet.run(rounds, rain=rain)
+    return store

@@ -1,0 +1,140 @@
+"""Tile-pyramid rendering of 2-D forecast fields (the served products).
+
+The public map view of Fig. 1a is served to browsers and the app as a
+quadtree of raster tiles: zoom level ``z`` splits the domain into
+``2^z x 2^z`` tiles addressed ``(z, x, y)`` with ``x`` counting from the
+west edge and ``y`` from the north edge (slippy-map convention). Every
+tile renders through the same colormaps as the committed product PNGs,
+so a stitched pyramid level reproduces the full map view exactly.
+
+Content addressing: a tile's ETag is a hash of the *field subregion*
+plus the render parameters — not of the encoded PNG — so conditional
+requests (``If-None-Match``) revalidate without rendering, and a tile
+whose underlying field did not change between cycles keeps its ETag
+across cycles (the delta-caching contract: unchanged sky = 304).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..viz.colormap import apply_colormap
+from ..viz.png import encode_png
+
+__all__ = [
+    "TILE_PX",
+    "max_zoom",
+    "tile_slices",
+    "tile_etag",
+    "render_tile",
+    "TileCache",
+]
+
+#: target edge length of a rendered tile [px] (nearest-neighbour upscale)
+TILE_PX = 64
+
+
+def max_zoom(shape: tuple[int, int]) -> int:
+    """Deepest zoom whose tiles still cover >= 1 grid cell per tile."""
+    n = min(int(shape[0]), int(shape[1]))
+    if n < 1:
+        raise ValueError(f"field shape {shape} has an empty axis")
+    z = 0
+    while (2 << z) <= n:
+        z += 1
+    return z
+
+
+def tile_slices(
+    shape: tuple[int, int], z: int, x: int, y: int
+) -> tuple[slice, slice]:
+    """Field-index slices (rows, cols) covered by tile ``(z, x, y)``.
+
+    Row 0 of the field is the domain's south edge (model convention);
+    tile ``y`` counts from the **north** edge, matching the rendered
+    image orientation. Raises ``KeyError`` for out-of-range addresses —
+    the HTTP layer maps that to 404.
+    """
+    ny, nx = int(shape[0]), int(shape[1])
+    if z < 0 or z > max_zoom((ny, nx)):
+        raise KeyError(f"zoom {z} out of range for field {ny}x{nx}")
+    n = 1 << z
+    if not (0 <= x < n and 0 <= y < n):
+        raise KeyError(f"tile ({x}, {y}) out of range at zoom {z}")
+    # y from north: band j (from south) = n-1-y
+    j = n - 1 - y
+    rows = slice(ny * j // n, ny * (j + 1) // n)
+    cols = slice(nx * x // n, nx * (x + 1) // n)
+    return rows, cols
+
+
+def tile_etag(
+    field: np.ndarray, z: int, x: int, y: int, *, kind: str
+) -> str:
+    """Strong ETag for one tile: content hash of the subregion + params.
+
+    Cheap by construction (no colormap, no PNG encode): revalidating a
+    tile costs one hash over at most the full field's bytes, and tiles
+    of identical content share the ETag across cycles.
+    """
+    rows, cols = tile_slices(field.shape, z, x, y)
+    sub = np.ascontiguousarray(field[rows, cols])
+    h = hashlib.sha256()
+    h.update(f"{kind}|{sub.dtype.str}|{sub.shape}|".encode())
+    h.update(sub.tobytes())
+    return f'"{h.hexdigest()[:32]}"'
+
+
+def render_tile(
+    field: np.ndarray, z: int, x: int, y: int, *, kind: str
+) -> bytes:
+    """Render one tile to PNG bytes (north up, nearest upscale)."""
+    rows, cols = tile_slices(field.shape, z, x, y)
+    img = apply_colormap(field[rows, cols], kind)[::-1]
+    factor = max(1, TILE_PX // max(img.shape[0], img.shape[1]))
+    if factor > 1:
+        img = np.repeat(np.repeat(img, factor, axis=0), factor, axis=1)
+    return encode_png(np.ascontiguousarray(img))
+
+
+class TileCache:
+    """Bounded LRU of rendered tiles keyed ``(tenant, cycle, product, z, x, y)``.
+
+    The cache holds encoded PNG bytes + the tile's ETag; eviction is
+    least-recently-used. Hit/miss counts are plain integers so the
+    serving stats stay deterministic with telemetry disabled.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: OrderedDict[tuple, tuple[str, bytes]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, key: tuple) -> tuple[str, bytes] | None:
+        item = self._items.get(key)
+        if item is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.hits += 1
+        return item
+
+    def put(self, key: tuple, etag: str, png: bytes) -> None:
+        self._items[key] = (etag, png)
+        self._items.move_to_end(key)
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -171,6 +171,7 @@ class RealtimeWorkflow:
         stream_injector: StreamFaultInjector | None = None,
         radar_id: str = "mp-pawr",
         wait_fraction: float = 0.5,
+        publisher=None,
     ):
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -208,6 +209,11 @@ class RealtimeWorkflow:
         #: extra labels stamped on every workflow metric ({} single-domain;
         #: a fleet tenant sets {"tenant": <id>} for per-domain rollups)
         self._labels: dict[str, str] = {}
+        #: cycle-completion hook: any object with ``on_record(rec)`` —
+        #: the serving tier attaches a
+        #: :class:`~repro.serving.store.CyclePublisher` here so every
+        #: completed (or failed) cycle lands on the tenant's shelf
+        self.publisher = publisher
         self.records: list[CycleRecord] = []
 
     def run_cycle(
@@ -432,6 +438,8 @@ class RealtimeWorkflow:
     def _record(self, rec: CycleRecord) -> CycleRecord:
         """Store a cycle record and mirror it into the metrics registry."""
         self.records.append(rec)
+        if self.publisher is not None:
+            self.publisher.on_record(rec)
         tel = self.telemetry
         if tel.enabled:
             labels = self._labels

@@ -1,64 +1,143 @@
-"""The consolidated public API surface (repro.api)."""
+"""The versioned public API surface (repro.api + its namespaces)."""
 
 import subprocess
 import sys
+import warnings
+from importlib import import_module
 
 import pytest
 
 import repro
 import repro.api as api
 
+NAMESPACES = ("core", "config", "telemetry", "workflow", "fleet",
+              "ingest", "serving")
 
-class TestApiSurface:
-    def test_all_names_resolve(self):
-        for name in api.__all__:
-            assert getattr(api, name) is not None
+
+def _namespace(name):
+    return import_module(f"repro.api.{name}")
+
+
+class TestNamespaces:
+    def test_api_version_present(self):
+        assert isinstance(api.__api_version__, str)
+        assert api.__api_version__.split(".")[0] == "2"
+
+    def test_every_namespace_importable(self):
+        for ns in NAMESPACES:
+            mod = _namespace(ns)
+            assert mod.__all__, f"namespace {ns} exports nothing"
+
+    def test_namespace_attribute_access_on_api(self):
+        assert api.core.BDASystem.__name__ == "BDASystem"
+        assert api.serving.ServingStore.__name__ == "ServingStore"
+
+    def test_every_public_symbol_has_docstring_and_one_namespace(self):
+        """The satellite contract: documented, and owned exactly once."""
+        seen = {}
+        for ns in NAMESPACES:
+            mod = _namespace(ns)
+            for name in mod.__all__:
+                assert name not in seen, (
+                    f"{name} exported by both {seen[name]} and {ns}"
+                )
+                seen[name] = ns
+                obj = getattr(mod, name)
+                assert getattr(obj, "__doc__", None), (
+                    f"repro.api.{ns}.{name} has no docstring"
+                )
+        # the whole legacy flat surface is owned by some namespace
+        assert set(api.__all__) <= set(seen)
+
+    def test_namespace_reexports_are_the_implementation_objects(self):
+        from repro.core.bda import BDASystem
+        from repro.fleet import FleetScheduler
+        from repro.serving import ServingStore
+        from repro.telemetry import Telemetry
+
+        assert api.core.BDASystem is BDASystem
+        assert api.telemetry.Telemetry is Telemetry
+        assert api.fleet.FleetScheduler is FleetScheduler
+        assert api.serving.ServingStore is ServingStore
+
+    def test_namespace_unknown_name(self):
+        with pytest.raises(AttributeError):
+            api.core.not_a_thing
+
+
+class TestLegacyFlatSurface:
+    def test_flat_names_resolve_with_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.core"):
+            assert api.BDASystem is not None
+
+    def test_flat_warning_fires_every_access(self):
+        """The warning must not be cached away after the first access."""
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            api.WorkflowConfig
+            api.WorkflowConfig
+        assert len(w) == 2
+        assert all(issubclass(x.category, DeprecationWarning) for x in w)
+
+    def test_flat_names_are_the_namespace_objects(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert api.Telemetry is api.telemetry.Telemetry
+            assert api.FleetScheduler is api.fleet.FleetScheduler
 
     def test_star_import_exposes_documented_surface(self):
         ns = {}
-        exec("from repro.api import *", ns)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            exec("from repro.api import *", ns)
         exported = {k for k in ns if not k.startswith("_")}
-        assert exported == set(api.__all__)
+        assert set(api.__all__) <= exported
 
     def test_core_entry_points_present(self):
         expected = {
             "BDASystem", "DACycler", "EnsembleState", "ExecutionConfig",
             "Telemetry", "FaultCampaign", "ScaleConfig", "LETKFConfig",
             "RadarConfig", "WorkflowConfig", "RealtimeWorkflow",
-            "WorkflowMonitor",
+            "WorkflowMonitor", "FleetScheduler", "FleetConfig",
+            "FleetReport", "DomainTenant", "ComputePool",
         }
         assert expected <= set(api.__all__)
 
-    def test_fleet_surface_present(self):
-        expected = {
-            "FleetScheduler", "FleetConfig", "FleetReport", "DomainTenant",
-            "ComputePool",
-        }
-        assert expected <= set(api.__all__)
-
-    def test_reexports_are_the_implementation_objects(self):
-        from repro.core.bda import BDASystem
-        from repro.fleet import DomainTenant, FleetScheduler
-        from repro.telemetry import Telemetry
-
-        assert api.BDASystem is BDASystem
-        assert api.Telemetry is Telemetry
-        assert api.FleetScheduler is FleetScheduler
-        assert api.DomainTenant is DomainTenant
+    def test_resolve_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert api.resolve("BDASystem").__name__ == "BDASystem"
 
     def test_unknown_name_raises_attribute_error(self):
         with pytest.raises(AttributeError):
             api.does_not_exist
+        with pytest.raises(AttributeError):
+            api.resolve("does_not_exist")
 
-    def test_dir_lists_public_names(self):
+    def test_dir_lists_flat_names_and_namespaces(self):
         listing = dir(api)
         assert "BDASystem" in listing and "Telemetry" in listing
+        for ns in NAMESPACES:
+            assert ns in listing
 
 
 class TestPackageDelegation:
-    def test_package_delegates_to_api(self):
-        assert repro.BDASystem is api.BDASystem
-        assert repro.ExecutionConfig is api.ExecutionConfig
+    def test_package_delegates_to_api_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            bda = repro.BDASystem
+            cfg = repro.ExecutionConfig
+        assert bda is api.resolve("BDASystem")
+        assert cfg is api.resolve("ExecutionConfig")
+
+    def test_from_repro_import_api_works(self):
+        # guards the lazy-delegation recursion (from repro import api
+        # probes repro.__getattr__("api") through _handle_fromlist)
+        proc = subprocess.run(
+            [sys.executable, "-c", "from repro import api; api.__api_version__"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
 
     def test_package_unknown_name(self):
         with pytest.raises(AttributeError):
@@ -70,7 +149,7 @@ class TestPackageDelegation:
     def test_config_import_stays_light(self):
         """Reaching a config class must not drag in the heavy model code."""
         code = (
-            "import sys; from repro.api import ScaleConfig; "
+            "import sys; from repro.api.config import ScaleConfig; "
             "assert 'repro.model.model' not in sys.modules, 'model imported'; "
             "assert 'scipy' not in sys.modules, 'scipy imported'"
         )

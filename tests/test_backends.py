@@ -81,12 +81,14 @@ class TestEnsembleState:
         assert np.all(ens.state.fields["qv"][1] == 0.25)
         assert not np.any(ens.state.fields["qv"][0] == 0.25)
 
-    def test_members_proxy_get_set(self):
+    def test_members_proxy_get_and_removed_set(self):
         _, _, ens = tiny_ensemble(members=3)
         replacement = ens.members[0].copy()
         replacement.fields["qv"][...] = 0.125
-        with pytest.warns(DeprecationWarning, match="set_member"):
+        # item assignment was deprecated in PR 3 and is a hard error now
+        with pytest.raises(TypeError, match="set_member"):
             ens.members[2] = replacement
+        ens.state.set_member(2, replacement)
         assert np.all(ens.state.fields["qv"][2] == 0.125)
         assert len(ens.members[:2]) == 2
         assert len(list(ens.members)) == 3

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.catalog import CatalogEntry, ProductCatalog
+from repro.core.catalog import SCHEMA_VERSION, CatalogEntry, ProductCatalog
 from repro.verify.objects import find_objects, sal
 from repro.workflow.calibration import calibrate
 
@@ -118,7 +118,8 @@ class TestCatalog:
         for c in range(5):
             cat.publish(self.make_entry(c))
         data = json.loads(cat.index_path.read_text())
-        assert len(data) == 5
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert len(data["entries"]) == 5
         assert cat.latest().cycle == 4
 
     def test_monotonic_cycles_enforced(self, tmp_path):
@@ -150,6 +151,8 @@ class TestCatalog:
         assert [e.cycle for e in sel] == [2, 3, 4]
 
     def test_level_tiles(self, tmp_path, developed_nature):
+        import hashlib
+
         from repro.radar.reflectivity import dbz_from_state
 
         cat = ProductCatalog(tmp_path)
@@ -158,7 +161,125 @@ class TestCatalog:
             dbz, developed_nature.grid.z_c, cycle=1, every=4
         )
         manifest = json.loads(open(paths["manifest"]).read())
+        assert manifest["schema_version"] == SCHEMA_VERSION
         assert len(manifest["levels"]) == int(np.ceil(dbz.shape[0] / 4))
         for lv in manifest["levels"]:
-            assert (tmp_path / f"tiles_000001/{lv['file']}").exists()
+            tile = tmp_path / f"tiles_000001/{lv['file']}"
+            assert tile.exists()
             assert lv["height_m"] >= 0
+            # the manifest hash is the tile's actual content hash
+            assert lv["sha256"] == hashlib.sha256(tile.read_bytes()).hexdigest()
+
+
+class TestCatalogWireSchema:
+    """Versioned-index compat: old readers' data keeps loading."""
+
+    FIXTURES = __import__("pathlib").Path(__file__).parent / "fixtures" / "catalog"
+
+    def test_v1_golden_fixture_loads(self, tmp_path):
+        (tmp_path / "catalog.json").write_text(
+            (self.FIXTURES / "catalog_v1.json").read_text()
+        )
+        cat = ProductCatalog.load(tmp_path)
+        assert [e.cycle for e in cat.entries] == [0, 1]
+        assert cat.latest().max_rain_mmh == 51.0
+        # fields v1 never wrote get their defaults
+        assert cat.latest().hashes == {}
+
+    def test_future_version_fixture_loads_unknown_fields_dropped(self, tmp_path):
+        (tmp_path / "catalog.json").write_text(
+            (self.FIXTURES / "catalog_v9_future.json").read_text()
+        )
+        cat = ProductCatalog.load(tmp_path)
+        assert [e.cycle for e in cat.entries] == [7]
+        e = cat.latest()
+        assert e.hashes["mapview"].startswith("0123")
+        assert not hasattr(e, "embargo_until")
+
+    def test_roundtrip_is_current_version(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        cat.publish(CatalogEntry(
+            cycle=0, t_obs=0.0, t_published=145.0, valid_time=1800.0,
+            max_dbz=40.0, max_rain_mmh=30.0,
+            hashes={"mapview": "ab" * 32},
+        ))
+        cat2 = ProductCatalog.load(tmp_path)
+        assert cat2.entries == cat.entries
+        assert json.loads(cat.index_path.read_text())["schema_version"] \
+            == SCHEMA_VERSION
+
+    def test_truncated_index_is_an_explicit_error(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        cat.publish(CatalogEntry(
+            cycle=0, t_obs=0.0, t_published=145.0, valid_time=1800.0,
+            max_dbz=40.0, max_rain_mmh=30.0,
+        ))
+        full = cat.index_path.read_text()
+        cat.index_path.write_text(full[: len(full) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            ProductCatalog.load(tmp_path)
+
+    def test_unrecognized_layout_is_an_explicit_error(self, tmp_path):
+        tmp_path.joinpath("catalog.json").write_text('"just a string"')
+        with pytest.raises(ValueError, match="unrecognized layout"):
+            ProductCatalog.load(tmp_path)
+
+
+class TestCatalogEdgeCases:
+    def make_entry(self, cycle):
+        return CatalogEntry(
+            cycle=cycle, t_obs=cycle * 30.0, t_published=cycle * 30.0 + 145.0,
+            valid_time=cycle * 30.0 + 1800.0, max_dbz=42.0, max_rain_mmh=35.0,
+        )
+
+    def test_retention_evicts_oldest_first_in_order(self, tmp_path):
+        cat = ProductCatalog(tmp_path, retention=4)
+        for c in range(11):
+            cat.publish(self.make_entry(c))
+            kept = [e.cycle for e in cat.entries]
+            # always the newest window, always ascending
+            assert kept == sorted(kept)
+            assert kept == list(range(max(0, c - 3), c + 1))
+        # the on-disk index matches the in-memory window
+        cat2 = ProductCatalog.load(tmp_path)
+        assert [e.cycle for e in cat2.entries] == [7, 8, 9, 10]
+
+    def test_between_is_half_open(self, tmp_path):
+        cat = ProductCatalog(tmp_path)
+        for c in range(5):
+            cat.publish(self.make_entry(c))  # t_obs = 0, 30, 60, 90, 120
+        assert [e.cycle for e in cat.between(30.0, 90.0)] == [1, 2]
+        assert [e.cycle for e in cat.between(30.0, 90.000001)] == [1, 2, 3]
+        assert cat.between(31.0, 31.0) == []
+        assert [e.cycle for e in cat.between(-1e9, 1e9)] == [0, 1, 2, 3, 4]
+
+    def test_concurrent_publish_while_read(self, tmp_path):
+        """Readers never observe a torn index during publishes."""
+        import threading
+
+        cat = ProductCatalog(tmp_path, retention=50)
+        cat.publish(self.make_entry(0))
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = ProductCatalog.load(tmp_path)
+                    cycles = [e.cycle for e in snap.entries]
+                    assert cycles == sorted(cycles) and cycles
+                except Exception as e:  # noqa: BLE001 - collected for the assert
+                    failures.append(repr(e))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for c in range(1, 120):
+                cat.publish(self.make_entry(c))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures, failures

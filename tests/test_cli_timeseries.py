@@ -47,7 +47,8 @@ class TestTimeseriesPanel:
 class TestCLI:
     def test_parser_commands(self):
         p = build_parser()
-        for cmd in ("table1", "table2", "table3", "fig5", "calibrate", "quickcycle"):
+        for cmd in ("table1", "table2", "table3", "fig5", "calibrate",
+                    "quick-cycle", "serve"):
             args = p.parse_args([cmd])
             assert args.command == cmd
 

@@ -1,0 +1,436 @@
+"""Serving tier: tiles, freshness ladder, HTTP surface, load generator."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AsyncTileServer,
+    CyclePublisher,
+    LoadGenerator,
+    PublishedCycle,
+    ServingAPI,
+    ServingStore,
+    TileCache,
+    demo_store,
+    max_zoom,
+    render_tile,
+    run_selftest,
+    tile_etag,
+    tile_slices,
+)
+from repro.serving.http import _fetch
+from repro.telemetry import Telemetry
+
+
+def field(seed=0, shape=(32, 32)):
+    return np.random.default_rng(seed).random(shape, dtype=np.float32) * 50.0
+
+
+def good_cycle(cycle, *, t0=None, shape=(32, 32), seed=None):
+    t = cycle * 30.0 if t0 is None else t0
+    f = field(cycle if seed is None else seed, shape)
+    return PublishedCycle(
+        cycle=cycle, t_obs=t, t_product=t + 25.0, ok=True,
+        fields={"rain": f, "dbz": f + 10.0},
+    )
+
+
+def failed_cycle(cycle):
+    t = cycle * 30.0
+    return PublishedCycle(
+        cycle=cycle, t_obs=t, t_product=t, ok=False,
+        meta={"skipped_reason": "deadline-miss"},
+    )
+
+
+class TestTiles:
+    def test_max_zoom(self):
+        assert max_zoom((48, 48)) == 5   # 2^5 = 32 <= 48 < 64
+        assert max_zoom((32, 32)) == 5   # exactly one cell per tile edge
+        assert max_zoom((1, 1)) == 0
+        with pytest.raises(ValueError):
+            max_zoom((0, 4))
+
+    def test_zoom0_is_the_whole_field(self):
+        rows, cols = tile_slices((40, 48), 0, 0, 0)
+        assert (rows, cols) == (slice(0, 40), slice(0, 48))
+
+    def test_tiles_partition_the_field(self):
+        ny, nx = 33, 47  # deliberately not divisible
+        for z in (1, 2):
+            n = 1 << z
+            cover = np.zeros((ny, nx), dtype=int)
+            for y in range(n):
+                for x in range(n):
+                    rows, cols = tile_slices((ny, nx), z, x, y)
+                    cover[rows, cols] += 1
+            assert np.all(cover == 1)
+
+    def test_y_counts_from_north(self):
+        # row 0 of the field is the south edge; tile y=0 is the NORTH band
+        rows, _ = tile_slices((32, 32), 1, 0, 0)
+        assert rows == slice(16, 32)
+        rows, _ = tile_slices((32, 32), 1, 0, 1)
+        assert rows == slice(0, 16)
+
+    def test_out_of_range_raises_keyerror(self):
+        for z, x, y in ((1, 2, 0), (1, 0, -1), (99, 0, 0), (-1, 0, 0)):
+            with pytest.raises(KeyError):
+                tile_slices((32, 32), z, x, y)
+
+    def test_etag_is_content_addressed(self):
+        a, b = field(1), field(1)
+        assert tile_etag(a, 1, 0, 1, kind="rainrate") == \
+            tile_etag(b, 1, 0, 1, kind="rainrate")
+        # different subregion, kind, or content -> different tag
+        assert tile_etag(a, 1, 0, 0, kind="rainrate") != \
+            tile_etag(a, 1, 0, 1, kind="rainrate")
+        assert tile_etag(a, 1, 0, 1, kind="reflectivity") != \
+            tile_etag(a, 1, 0, 1, kind="rainrate")
+        b[0, 0] += 1.0
+        assert tile_etag(b, 0, 0, 0, kind="rainrate") != \
+            tile_etag(a, 0, 0, 0, kind="rainrate")
+
+    def test_render_tile_is_png(self):
+        png = render_tile(field(), 1, 0, 0, kind="rainrate")
+        assert png.startswith(b"\x89PNG")
+
+    def test_cache_lru_eviction_and_stats(self):
+        c = TileCache(2)
+        c.put(("a",), "e1", b"1")
+        c.put(("b",), "e2", b"2")
+        assert c.get(("a",)) == ("e1", b"1")   # refreshes 'a'
+        c.put(("c",), "e3", b"3")              # evicts 'b' (LRU)
+        assert c.get(("b",)) is None
+        assert c.get(("a",)) is not None and c.get(("c",)) is not None
+        assert c.hits == 3 and c.misses == 1
+        assert c.hit_rate == pytest.approx(0.75)
+
+
+class TestStoreLadder:
+    def test_fresh_within_slo(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        res = store.resolve("t", "latest", "rain", now=60.0)
+        assert res.rung == "fresh" and res.cycle.cycle == 0
+        assert res.staleness_s == 0.0
+
+    def test_substitute_when_newest_failed(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        store.publish("t", failed_cycle(1))
+        res = store.resolve("t", "latest", "rain", now=40.0)
+        assert res.rung == "substitute"
+        assert res.cycle.cycle == 0  # the previous cycle's products
+
+    def test_stale_past_slo_still_serves(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        res = store.resolve("t", "latest", "rain", now=1000.0)
+        assert res.rung == "stale"
+        assert res.staleness_s == pytest.approx(1000.0 - 25.0 - 180.0)
+
+    def test_stale_outranks_substitute(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        store.publish("t", failed_cycle(1))
+        res = store.resolve("t", "latest", "rain", now=2000.0)
+        assert res.rung == "stale"
+
+    def test_unavailable_is_none_never_raises(self):
+        store = ServingStore()
+        assert store.resolve("nope", "latest", "rain", 0.0) is None
+        store.publish("t", failed_cycle(0))
+        assert store.resolve("t", "latest", "rain", 0.0) is None
+        store.publish("t", good_cycle(1))
+        assert store.resolve("t", "latest", "unknown-product", 50.0) is None
+        assert store.resolve("t", 99, "rain", 50.0) is None
+
+    def test_partial_product_refused_at_publish(self):
+        store = ServingStore()
+        pc = good_cycle(0)
+        del pc.fields["dbz"]
+        with pytest.raises(ValueError, match="partial products"):
+            store.publish("t", pc)
+
+    def test_monotonic_publish_and_retention(self):
+        store = ServingStore(retention=3)
+        for c in range(6):
+            store.publish("t", good_cycle(c))
+        sh = store.shelf("t")
+        assert [pc.cycle for pc in sh.cycles()] == [3, 4, 5]
+        with pytest.raises(ValueError, match="increasing order"):
+            store.publish("t", good_cycle(5))
+
+    def test_catalog_dict_versioned_and_version_bumps(self):
+        from repro.core.catalog import SCHEMA_VERSION
+
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        d1 = store.catalog_dict("t", now=30.0)
+        assert d1["schema_version"] == SCHEMA_VERSION
+        assert d1["products"] == ["dbz", "rain"]
+        store.publish("t", good_cycle(1))
+        d2 = store.catalog_dict("t", now=60.0)
+        assert d2["version"] == d1["version"] + 1
+        assert store.catalog_dict("nope", 0.0) is None
+
+
+class TestPublisherHook:
+    def test_workflow_publishes_every_cycle(self):
+        from repro.config import WorkflowConfig
+        from repro.workflow.realtime import RealtimeWorkflow
+
+        store = ServingStore()
+        wf = RealtimeWorkflow(
+            WorkflowConfig(), seed=11,
+            publisher=CyclePublisher(store, "solo", seed=3),
+        )
+        for k in range(8):
+            wf.run_cycle(k, rain_area_km2=3000.0)
+        sh = store.shelf("solo")
+        assert len(sh) == len(wf.records) == 8
+        # failed cycles land on the shelf too (the substitute rung
+        # needs them to know the newest cycle missed)
+        shelved_ok = [pc.ok for pc in sh.cycles()]
+        assert shelved_ok == [r.ok for r in wf.records]
+
+    def test_synthesized_fields_are_deterministic(self):
+        s1, s2 = ServingStore(), ServingStore()
+
+        class Rec:
+            ok, cycle, t_obs, t_product = True, 4, 120.0, 145.0
+            degraded, rain_area_km2 = False, 5000.0
+
+        CyclePublisher(s1, "t", seed=9).on_record(Rec())
+        CyclePublisher(s2, "t", seed=9).on_record(Rec())
+        a = s1.shelf("t").newest().fields
+        b = s2.shelf("t").newest().fields
+        np.testing.assert_array_equal(a["rain"], b["rain"])
+        np.testing.assert_array_equal(a["dbz"], b["dbz"])
+
+    def test_fleet_attach_serving_populates_all_tenants(self):
+        store = demo_store(n_tenants=2, rounds=6, seed=5)
+        assert store.tenants == ["tenant-0", "tenant-1"]
+        for t in store.tenants:
+            assert len(store.shelf(t)) == 6
+
+
+class TestHTTPHandler:
+    def api(self, *, telemetry=None, now=60.0):
+        store = ServingStore()
+        store.publish("tokyo", good_cycle(0))
+        store.publish("tokyo", good_cycle(1))
+        api = ServingAPI(store, telemetry=telemetry, clock=lambda: now)
+        return api
+
+    def test_healthz_and_descriptor(self):
+        api = self.api()
+        assert api.handle("GET", "/healthz").status == 200
+        resp = api.handle("GET", "/v1")
+        doc = json.loads(resp.body)
+        assert doc["api_version"] == 1 and "tokyo" in doc["tenants"]
+
+    def test_tile_fetch_and_revalidation(self):
+        api = self.api()
+        path = "/v1/tokyo/tiles/rain/latest/1/0/0.png"
+        r1 = api.handle("GET", path)
+        assert r1.status == 200 and r1.body.startswith(b"\x89PNG")
+        assert r1.headers["X-Repro-Cycle"] == "1"
+        assert r1.headers["X-Repro-Rung"] == "fresh"
+        etag = r1.headers["ETag"]
+        r2 = api.handle("GET", path, {"If-None-Match": etag})
+        assert r2.status == 304 and not r2.body
+        assert api.stats["tile_not_modified"] == 1
+
+    def test_etag_survives_unchanged_content_across_cycles(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0, seed=7))
+        api = ServingAPI(store, clock=lambda: 30.0)
+        path = "/v1/t/tiles/rain/latest/0/0/0.png"
+        etag = api.handle("GET", path).headers["ETag"]
+        # next cycle publishes the *same* field content
+        store.publish("t", good_cycle(1, seed=7))
+        r = api.handle("GET", path, {"If-None-Match": etag})
+        assert r.status == 304          # no re-render, no payload
+        assert r.headers["X-Repro-Cycle"] == "1"
+
+    def test_missed_deadline_serves_previous_with_staleness_header(self):
+        api = self.api()
+        api.store.publish("tokyo", failed_cycle(2))
+        r = api.handle("GET", "/v1/tokyo/tiles/rain/latest/1/0/0.png",
+                       now=70.0)
+        assert r.status == 200
+        assert r.headers["X-Repro-Cycle"] == "1"
+        assert r.headers["X-Repro-Rung"] == "substitute"
+        assert "X-Repro-Staleness" in r.headers
+        assert "Warning" in r.headers
+
+    def test_errors_are_4xx_json_never_5xx(self):
+        api = self.api()
+        cases = [
+            ("GET", "/v1/tokyo/tiles/rain/latest/9/0/0.png", 404),  # zoom
+            ("GET", "/v1/tokyo/tiles/nope/latest/0/0/0.png", 404),
+            ("GET", "/v1/ghost/tiles/rain/latest/0/0/0.png", 404),
+            ("GET", "/v1/tokyo/tiles/rain/latest/a/b/c.png", 400),
+            ("GET", "/v1/tokyo/tiles/rain/latest/0/0/0", 404),
+            ("GET", "/nope", 404),
+            ("POST", "/v1/tokyo/catalog", 405),
+            ("GET", "/v1/ghost/catalog", 404),
+        ]
+        for method, path, want in cases:
+            resp = api.handle(method, path)
+            assert resp.status == want, (method, path, resp.status)
+            assert json.loads(resp.body)["error"]
+
+    def test_catalog_etag_revalidates_and_changes_on_publish(self):
+        api = self.api()
+        r1 = api.handle("GET", "/v1/tokyo/catalog")
+        etag = r1.headers["ETag"]
+        assert api.handle(
+            "GET", "/v1/tokyo/catalog", {"If-None-Match": etag}
+        ).status == 304
+        api.store.publish("tokyo", good_cycle(2))
+        r2 = api.handle("GET", "/v1/tokyo/catalog", {"If-None-Match": etag})
+        assert r2.status == 200 and r2.headers["ETag"] != etag
+
+    def test_serving_metrics_recorded(self):
+        tel = Telemetry()
+        api = self.api(telemetry=tel)
+        api.handle("GET", "/v1/tokyo/tiles/rain/latest/0/0/0.png")
+        api.handle("GET", "/v1/tokyo/tiles/rain/latest/0/0/0.png", now=900.0)
+        text = tel.metrics.to_prometheus()
+        assert "serving_requests_total" in text
+        assert "serving_tiles_total" in text
+        assert "serving_freshness_age_seconds" in text
+        assert "serving_slo_breach_total" in text
+        resp = api.handle("GET", "/metrics")
+        assert resp.status == 200 and b"serving_requests_total" in resp.body
+
+
+class TestAsyncServer:
+    def test_selftest_round_trip(self):
+        store = ServingStore()
+        for c in range(3):
+            store.publish("tokyo", good_cycle(c))
+        lines = asyncio.run(run_selftest(store))
+        assert any("etag revalidation: 304" in ln for ln in lines)
+        assert any("stale-while-revalidate: 200" in ln for ln in lines)
+
+    def test_backpressure_sheds_with_429(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        api = ServingAPI(store, clock=lambda: 30.0)
+
+        async def drive():
+            server = AsyncTileServer(api, max_inflight=0)  # always saturated
+            await server.start()
+            try:
+                return await _fetch(
+                    server.host, server.port, "/v1/t/catalog"
+                )
+            finally:
+                await server.aclose()
+
+        status, headers, _ = asyncio.run(drive())
+        assert status == 429
+        assert headers["retry-after"] == "1"
+        assert api.stats["shed"] == 1
+
+    def test_keep_alive_serves_multiple_requests(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        api = ServingAPI(store, clock=lambda: 30.0)
+
+        async def drive():
+            server = AsyncTileServer(api)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                statuses = []
+                for _ in range(3):
+                    writer.write(
+                        b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    statuses.append(int(head.split(b" ")[1]))
+                    body = await reader.readexactly(3)  # "ok\n"
+                    assert body == b"ok\n"
+                writer.close()
+                await writer.wait_closed()
+                return statuses
+            finally:
+                await server.aclose()
+
+        assert asyncio.run(drive()) == [200, 200, 200]
+
+    def test_malformed_request_is_400(self):
+        store = ServingStore()
+        store.publish("t", good_cycle(0))
+        api = ServingAPI(store, clock=lambda: 30.0)
+
+        async def drive():
+            server = AsyncTileServer(api)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"NOT A REQUEST\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                writer.close()
+                await writer.wait_closed()
+                return int(head.split(b" ")[1])
+            finally:
+                await server.aclose()
+
+        assert asyncio.run(drive()) == 400
+
+
+class TestLoadGenerator:
+    def make_api(self):
+        store = ServingStore()
+        for c in range(4):
+            store.publish("a", good_cycle(c))
+            store.publish("b", good_cycle(c, seed=100 + c))
+        return ServingAPI(store, clock=lambda: 4 * 30.0)
+
+    def test_request_stream_is_seed_deterministic(self):
+        reports = []
+        for _ in range(2):
+            api = self.make_api()
+            gen = LoadGenerator(api, n_clients=80, seed=42)
+            rep = gen.run(rounds=2, now=120.0)
+            reports.append(rep)
+        a, b = reports
+        assert a.n_requests == b.n_requests
+        assert a.status_counts == b.status_counts
+        assert a.not_modified == b.not_modified
+        assert a.cache_hit_rate == b.cache_hit_rate
+
+    def test_steady_state_hits_the_cache_gate(self):
+        api = self.make_api()
+        gen = LoadGenerator(api, n_clients=200, seed=1)
+        gen.run(rounds=1, now=120.0)       # warm ETag memories
+        rep = gen.run(rounds=2, now=120.0)  # steady state
+        assert rep.cache_hit_rate >= 0.90
+        assert all(code < 500 for code in rep.status_counts)
+        assert rep.status_counts.get(304, 0) > 0
+
+    def test_virtual_timer_makes_latency_deterministic(self):
+        ticks = iter(range(100000))
+        api = self.make_api()
+        gen = LoadGenerator(
+            api, n_clients=20, seed=3, timer=lambda: next(ticks) * 1e-3
+        )
+        rep = gen.run(rounds=1, now=120.0)
+        # every request "took" exactly 1 ms on the virtual clock
+        assert rep.p50_ms == pytest.approx(1.0)
+        assert rep.p99_ms == pytest.approx(1.0)

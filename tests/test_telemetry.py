@@ -404,17 +404,27 @@ class TestInstrumentedComponents:
 
 
 class TestCLI:
-    def test_alias_spellings_accepted(self):
+    def test_hyphenated_spellings_accepted(self):
         from repro.cli import build_parser
 
         p = build_parser()
-        for spelling in ("quickcycle", "quick-cycle"):
-            args = p.parse_args([spelling, "--members", "3"])
-            assert args.command == spelling
-            assert args.members == 3
-        for spelling in ("faultcampaign", "fault-campaign"):
-            args = p.parse_args([spelling, "--cycles", "10"])
-            assert args.command == spelling
+        args = p.parse_args(["quick-cycle", "--members", "3"])
+        assert args.command == "quick-cycle"
+        assert args.members == 3
+        args = p.parse_args(["fault-campaign", "--cycles", "10"])
+        assert args.command == "fault-campaign"
+
+    def test_removed_alias_spellings_error_with_hint(self, capsys):
+        from repro.cli import EXIT_USAGE, main
+
+        for spelling, hint in (
+            ("quickcycle", "quick-cycle"),
+            ("faultcampaign", "fault-campaign"),
+            ("ingestcampaign", "ingest-campaign"),
+        ):
+            assert main([spelling]) == EXIT_USAGE
+            err = capsys.readouterr().err
+            assert "removed" in err and hint in err
 
     def test_common_flags_on_every_campaign_command(self):
         from repro.cli import build_parser
@@ -473,18 +483,16 @@ class TestCLI:
 
 
 class TestDeprecation:
-    def test_member_list_setitem_warns_exactly_once(self, small_scale_config):
+    def test_member_list_setitem_is_a_hard_error(self, small_scale_config):
         from repro.core.ensemble import Ensemble
         from repro.model.model import ScaleRM
 
         model = ScaleRM(small_scale_config)
         ens = Ensemble.from_model(model, 3, np.random.default_rng(0))
         replacement = ens.members[0].copy()
-        with pytest.warns(DeprecationWarning) as warned:
+        # deprecated in PR 3, removed now: the error names the migration
+        with pytest.raises(TypeError, match="set_member"):
             ens.members[1] = replacement
-        dep = [w for w in warned if issubclass(w.category, DeprecationWarning)]
-        assert len(dep) == 1
-        assert "set_member" in str(dep[0].message)
 
     def test_supported_mutation_path_is_silent(self, small_scale_config):
         import warnings
