@@ -17,7 +17,9 @@ _EXPORTS = {
     "Ensemble": ".core.ensemble",
     "EnsembleState": ".model.ensemble_state",
     "ExecutionBackend": ".core.backends",
+    "ProcessesBackend": ".core.backends",
     "make_backend": ".core.backends",
+    "SharedArena": ".model.shm",
     "ProductCatalog": ".core.catalog",
     "CatalogEntry": ".core.catalog",
     "ProductWriter": ".core.products",

@@ -319,18 +319,24 @@ def _cmd_quickcycle(args) -> int:
     bda = BDASystem(
         scfg, lcfg, RadarConfig().reduced(),
         sounding=convective_sounding(cape_factor=1.1), seed=args.seed,
-        backend=ExecutionConfig(backend=args.backend, sanitize=args.sanitize),
+        backend=ExecutionConfig(
+            backend=args.backend, sanitize=args.sanitize,
+            workers=args.workers, precision=args.precision,
+        ),
         telemetry=tel,
     )
-    bda.trigger_convection(n=2, amplitude=5.0)
-    print("spinning up nature run ...")
-    bda.spinup_nature(1800.0)
-    for i in range(args.cycles):
-        res = bda.cycle()
-        print(f"cycle {res.cycle}: {res.diagnostics.summary()}")
-        if monitor is not None:
-            monitor.observe(_record_from_cycle(tel, res, i))
-    print(f"analysis theta RMSE vs truth: {bda.analysis_rmse('theta_p'):.4f}")
+    with bda:  # stop worker pools / unlink shared segments on the way out
+        bda.trigger_convection(n=2, amplitude=5.0)
+        print("spinning up nature run ...")
+        bda.spinup_nature(1800.0)
+        for i in range(args.cycles):
+            res = bda.cycle()
+            print(f"cycle {res.cycle}: {res.diagnostics.summary()}")
+            if monitor is not None:
+                monitor.observe(_record_from_cycle(tel, res, i))
+        print(
+            f"analysis theta RMSE vs truth: {bda.analysis_rmse('theta_p'):.4f}"
+        )
     if monitor is not None:
         print(monitor.summary())
         _write_telemetry(args, tel)
@@ -493,10 +499,22 @@ def build_parser() -> argparse.ArgumentParser:
     qc.add_argument("--members", type=int, default=6)
     qc.add_argument("--cycles", type=int, default=4)
     qc.add_argument(
-        "--backend", choices=("serial", "vectorized", "sharded"),
+        "--backend", choices=("serial", "vectorized", "sharded", "processes"),
         default="vectorized",
         help="ensemble execution backend (vectorized is bit-identical to "
-             "serial; sharded adds virtual-MPI member blocks)",
+             "serial; sharded adds virtual-MPI member blocks; processes "
+             "spreads member blocks over a real worker-process pool, "
+             "bit-identical to vectorized)",
+    )
+    qc.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --backend processes (default: cpu count)",
+    )
+    qc.add_argument(
+        "--precision", choices=("single", "double"), default="single",
+        help="LETKF hot-path floating-point mode (default single); results "
+             "are bit-identical across reruns within a mode, never across "
+             "modes",
     )
     qc.add_argument(
         "--sanitize", action="store_true",

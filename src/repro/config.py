@@ -402,12 +402,30 @@ class ExecutionConfig:
     through the kernels at once (the default — bit-identical to serial
     because every kernel is member-independent); ``sharded`` splits the
     member axis into ``n_shards`` blocks and runs each block through the
-    virtual-MPI communicator, modelling the part <1-2> node groups.
+    virtual-MPI communicator, modelling the part <1-2> node groups;
+    ``processes`` spreads member blocks over a persistent pool of
+    worker processes that exchange state through shared-memory slabs
+    (bit-identical to ``vectorized`` — each worker runs the same
+    member-independent vectorized kernels on its block).
+
+    ``precision`` selects the LETKF/eigen hot-path dtype: ``"single"``
+    (float32 end-to-end, the paper's own choice and the default) or
+    ``"double"``.  Results are bit-identical across reruns *within* a
+    precision mode, never across modes.
     """
 
     backend: str = "vectorized"
     #: member-axis blocks for the sharded backend
     n_shards: int = 2
+    #: worker-process count for the ``processes`` backend (``None`` =
+    #: one per available core); also bounds LETKF row sharding
+    workers: Optional[int] = None
+    #: LETKF/eigen hot-path dtype: ``"single"`` or ``"double"``
+    precision: str = "single"
+    #: which backend the sharded backend delegates each member block
+    #: to: ``"vectorized"`` (default), ``"serial"``, or ``"processes"``
+    #: (virtual-MPI comm modelling composed with real cores)
+    sharded_inner: str = "vectorized"
     #: measured throughput of this backend relative to the serial
     #: per-member loop (fill from BENCH_cycle_throughput.json); the
     #: workflow cost model divides forecast-stage times by this
@@ -420,12 +438,26 @@ class ExecutionConfig:
     sanitize: bool = False
 
     def __post_init__(self):
-        if self.backend not in ("serial", "vectorized", "sharded"):
+        if self.backend not in ("serial", "vectorized", "sharded", "processes"):
             raise ValueError(f"unknown execution backend {self.backend!r}")
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+        if self.precision not in ("single", "double"):
+            raise ValueError(
+                f"precision must be 'single' or 'double', got {self.precision!r}"
+            )
+        if self.sharded_inner not in ("serial", "vectorized", "processes"):
+            raise ValueError(
+                f"unknown sharded inner backend {self.sharded_inner!r}"
+            )
         if self.relative_throughput <= 0.0:
             raise ValueError("relative_throughput must be positive")
+
+    def precision_dtype(self) -> "np.dtype":
+        """The numpy dtype selected by :attr:`precision`."""
+        return np.dtype(np.float32 if self.precision == "single" else np.float64)
 
 
 # ---------------------------------------------------------------------------

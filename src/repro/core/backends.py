@@ -7,7 +7,7 @@ compute — is a backend object with a single method::
 
     new_state = backend.forecast(model, ensemble_state, duration)
 
-Three implementations ship:
+Four implementations ship:
 
 ``serial``
     Integrates one member view at a time through the model. This is the
@@ -22,9 +22,22 @@ Three implementations ship:
     loop while amortising Python/numpy dispatch over the ensemble.
 ``sharded``
     Splits the member axis into blocks and routes each block through the
-    virtual-MPI communicator (scatter -> integrate vectorized -> gather),
-    modelling the part <1-2> node-group decomposition and recording the
-    traffic in :class:`~repro.comm.vmpi.CommStats`.
+    virtual-MPI communicator (scatter -> integrate -> gather), modelling
+    the part <1-2> node-group decomposition and recording the traffic in
+    :class:`~repro.comm.vmpi.CommStats`.  Each block is integrated by a
+    delegate *inner* backend (composition rule: ``sharded`` models the
+    communication topology, the inner backend supplies the compute — so
+    ``ShardedBackend(inner=ProcessesBackend(...))`` runs virtual-MPI
+    accounting over real cores).
+``processes``
+    The only backend that spends real cores: a persistent pool of
+    worker processes, each long-lived worker attached once to named
+    ``multiprocessing.shared_memory`` slabs
+    (:mod:`repro.model.shm`), integrating a deterministic contiguous
+    member block in place.  Bit-identical to ``vectorized`` because
+    every worker runs the same member-independent vectorized kernels
+    over its block.  The same pool also row-shards the compacted LETKF
+    transform (:meth:`ProcessesBackend.letkf_runner`).
 
 Backends are selected with :func:`make_backend`, which accepts a name,
 an :class:`~repro.config.ExecutionConfig`, or an already-built backend.
@@ -32,17 +45,28 @@ an :class:`~repro.config.ExecutionConfig`, or an already-built backend.
 
 from __future__ import annotations
 
+import atexit
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+import warnings
+from multiprocessing import get_context, resource_tracker
+
 import numpy as np
 
 from ..comm.vmpi import CommStats, LinkModel, VirtualComm
 from ..config import ExecutionConfig
 from ..model.ensemble_state import EnsembleState
+from ..model.shm import SharedStateSlab, state_spec
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "VectorizedBackend",
     "ShardedBackend",
+    "ProcessesBackend",
     "SanitizedBackend",
     "make_backend",
 ]
@@ -55,6 +79,9 @@ class ExecutionBackend:
 
     def forecast(self, model, state: EnsembleState, duration: float) -> EnsembleState:
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; a no-op for in-process backends."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -85,18 +112,30 @@ class VectorizedBackend(ExecutionBackend):
 class ShardedBackend(ExecutionBackend):
     """Member-axis blocks over the virtual MPI.
 
-    Each shard integrates its block vectorized, so the numbers match the
-    other backends; what this adds is the communication accounting of
+    Each shard integrates its block through a delegate ``inner``
+    backend (default: plain vectorized), so the numbers match the other
+    backends; what this layer adds is the communication accounting of
     distributing the ensemble (``last_stats`` after each forecast).
+
+    Composition rule: ``sharded`` owns the *topology* (how the member
+    axis is scattered/gathered and what traffic that costs) and the
+    inner backend owns the *compute* for one block.  Passing
+    ``inner=ProcessesBackend(...)`` therefore models virtual-MPI comm
+    while actually spending real cores per block; the inner backend
+    must itself be deterministic and member-independent for the
+    bit-identity contract to carry through.
     """
 
     name = "sharded"
 
-    def __init__(self, n_shards: int = 2, link: LinkModel | None = None):
+    def __init__(self, n_shards: int = 2, link: LinkModel | None = None,
+                 inner: ExecutionBackend | None = None):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.n_shards = n_shards
         self.link = link
+        #: per-block compute delegate; ``None`` means plain vectorized
+        self.inner = inner if inner is not None else VectorizedBackend()
         #: traffic accounting of the most recent forecast call
         self.last_stats: CommStats | None = None
 
@@ -132,7 +171,7 @@ class ShardedBackend(ExecutionBackend):
                 nsteps=state.nsteps,
                 aux=blk["aux"],
             )
-            return model.integrate(shard, duration)
+            return self.inner.forecast(model, shard, duration)
 
         results = comm.run(program)
 
@@ -159,8 +198,522 @@ class ShardedBackend(ExecutionBackend):
             aux=out_aux,
         )
 
+    def close(self) -> None:
+        self.inner.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ShardedBackend(n_shards={self.n_shards})"
+        return f"ShardedBackend(n_shards={self.n_shards}, inner={self.inner!r})"
+
+
+# ---------------------------------------------------------------------------
+# the processes backend: a persistent shared-memory worker pool
+# ---------------------------------------------------------------------------
+
+#: attached-slab cache size per worker; segment names are never reused,
+#: so a stale cache entry can only waste address space, never alias data
+_WORKER_SLAB_CACHE = 6
+
+#: below this many active LETKF rows per worker the parent transforms
+#: directly — dispatch plus slab copies would beat the per-row work
+_MIN_LETKF_ROWS_PER_WORKER = 64
+
+
+def _attach_cached(cache: dict[str, SharedStateSlab], manifest: dict) -> SharedStateSlab:
+    """Worker-side slab lookup: attach once, evict FIFO past the cap."""
+    name = manifest["name"]
+    slab = cache.get(name)
+    if slab is None:
+        slab = SharedStateSlab.attach(manifest)
+        cache[name] = slab
+        while len(cache) > _WORKER_SLAB_CACHE:
+            cache.pop(next(iter(cache))).close()
+    return slab
+
+
+def _pool_worker(worker_id: int, task_q, result_q) -> None:
+    """Worker main loop.
+
+    Module-level so both ``fork`` and ``spawn`` start methods can reach
+    it.  The worker holds exactly two pieces of sticky state — its
+    attached-slab cache and the last model it was shipped — and
+    otherwise runs one task at a time from its private queue (which is
+    what makes member→worker assignment deterministic: block ``w``
+    always lands on worker ``w``).
+    """
+    from ..letkf.core import letkf_transform
+
+    cache: dict[str, SharedStateSlab] = {}
+    model = None
+    while True:
+        task = task_q.get()
+        op = task["op"]
+        if op == "stop":
+            break
+        if op == "exit":  # test hook: simulate a hard crash
+            os._exit(13)
+        res: dict = {"op": op, "seq": task["seq"], "worker": worker_id, "ok": True}
+        try:
+            t0 = time.perf_counter()
+            if task.get("model") is not None:
+                model = pickle.loads(task["model"])
+            if op == "forecast":
+                src = _attach_cached(cache, task["in"])
+                dst = _attach_cached(cache, task["out"])
+                lo, hi = task["lo"], task["hi"]
+                blk = src.state(
+                    model.grid, model.reference,
+                    time=task["time"], nsteps=task["nsteps"],
+                    lo=lo, hi=hi, aux_keys=task["aux_keys"],
+                )
+                out = model.integrate(blk, task["duration"])
+                for k, arr in out.fields.items():
+                    dst.fields[k][lo:hi] = arr
+                slab_aux: list[str] = []
+                extra: dict[str, np.ndarray] = {}
+                for k, arr in out.aux.items():
+                    slot = dst.aux.get(k)
+                    if slot is not None and slot[lo:hi].shape == arr.shape:
+                        slot[lo:hi] = arr
+                        slab_aux.append(k)
+                    else:
+                        extra[k] = arr
+                res.update(
+                    time=out.time, nsteps=out.nsteps, lo=lo, hi=hi,
+                    members=hi - lo, slab_aux=slab_aux, extra_aux=extra,
+                )
+            elif op == "letkf":
+                slab = _attach_cached(cache, task["in"])
+                lo, hi, no = task["lo"], task["hi"], task["n_obs"]
+                W = letkf_transform(
+                    slab.fields["dYb"][lo:hi, :no, :],
+                    slab.fields["d"][lo:hi, :no],
+                    slab.fields["rinv"][lo:hi, :no],
+                    backend=task["eigensolver"],
+                    rtpp_factor=task["rtpp_factor"],
+                    assume_active=True,
+                    precision=task.get("precision"),
+                )
+                slab.fields["W"][lo:hi] = W
+                res.update(lo=lo, hi=hi, rows=hi - lo)
+            elif op != "ping":
+                raise ValueError(f"unknown pool op {op!r}")
+            res["seconds"] = time.perf_counter() - t0
+        except BaseException:
+            res["ok"] = False
+            res["error"] = traceback.format_exc()
+        result_q.put(res)
+    for slab in cache.values():
+        slab.close()
+
+
+class ProcessesBackend(ExecutionBackend):
+    """Persistent worker-process pool over shared-memory state slabs.
+
+    The only backend that spends real cores.  The parent lays the
+    member batch out in a named shared-memory input slab, hands each
+    long-lived worker a deterministic contiguous member block
+    (``np.array_split`` order, block ``w`` always on worker ``w``), and
+    workers integrate their block with the same vectorized kernels the
+    ``vectorized`` backend uses — writing results straight into a
+    shared output slab.  Nothing crosses a pipe but block metadata, so
+    the per-cycle overhead is two slab copies, not a pickled ensemble.
+
+    Bit-identity: every model kernel is member-independent, so a block
+    of members integrates to exactly the same bits regardless of which
+    process runs it; ``processes`` is therefore bit-identical to
+    ``vectorized`` (and ``serial``) in either precision mode.
+
+    Robustness: a worker that dies mid-task is detected, its block is
+    recomputed in the parent (identical numbers), and the worker is
+    respawned with a fresh queue.  Segments are unlinked on
+    :meth:`close`, at interpreter exit (``atexit``), and — if the
+    parent is killed outright — by the resource tracker's crash net
+    (see :mod:`repro.model.shm`).
+
+    The same pool row-shards the compacted LETKF transform: see
+    :meth:`letkf_runner`.
+    """
+
+    name = "processes"
+
+    def __init__(self, n_workers: int | None = None, *,
+                 start_method: str | None = None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1 (or None for auto)")
+        self.n_workers = n_workers if n_workers is not None else max(1, os.cpu_count() or 1)
+        if start_method is None:
+            import multiprocessing
+
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.start_method = start_method
+        self._ctx = get_context(start_method)
+        self._procs: list = []
+        self._task_qs: list = []
+        self._result_q = None
+        self._seq = 0
+        self._model_ref = None
+        self._model_blob: bytes | None = None
+        self._model_seen: set[int] = set()
+        self._pickle_warned = False
+        self._in_slab: SharedStateSlab | None = None
+        self._out_slab: SharedStateSlab | None = None
+        self._letkf_slab: SharedStateSlab | None = None
+        #: aux keys (shape-tail, dtype) seen coming out of integration,
+        #: so the next output slab reserves slots for them
+        self._learned_aux: dict[str, tuple] = {}
+        #: per-block timings of the most recent forecast call,
+        #: ``[{"op", "worker", "members", "seconds"}, ...]`` — the
+        #: cycler merges these into the ``bda_*`` metrics
+        self.last_timings: list[dict] = []
+        #: per-block timings of the most recent sharded LETKF transform
+        self.last_letkf_timings: list[dict] = []
+        atexit.register(self.close)
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _spawn(self, w: int) -> None:
+        # Start the parent's resource-tracker daemon *before* forking so
+        # every worker inherits its fd.  A worker forked earlier would
+        # lazily spawn a private tracker on its first slab attach, and
+        # the parent's unlink-time unregisters would never reach it —
+        # leaving it to warn about (already-unlinked) segments at exit.
+        resource_tracker.ensure_running()
+        tq = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_pool_worker, args=(w, tq, self._result_q),
+            daemon=True, name=f"repro-pool-{w}",
+        )
+        proc.start()
+        if w < len(self._procs):
+            self._task_qs[w] = tq
+            self._procs[w] = proc
+        else:
+            self._task_qs.append(tq)
+            self._procs.append(proc)
+        self._model_seen.discard(w)
+
+    def _ensure_pool(self) -> bool:
+        if self._procs:
+            return True
+        if self.n_workers <= 1:
+            return False
+        self._result_q = self._ctx.Queue()
+        for w in range(self.n_workers):
+            self._spawn(w)
+        return True
+
+    def _respawn(self, w: int) -> None:
+        proc = self._procs[w]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5)
+        self._spawn(w)
+
+    def close(self) -> None:
+        """Stop workers, unmap and unlink every slab.  Idempotent."""
+        atexit.unregister(self.close)
+        procs, self._procs = self._procs, []
+        task_qs, self._task_qs = self._task_qs, []
+        for proc, tq in zip(procs, task_qs):
+            if proc.is_alive():
+                try:
+                    tq.put({"op": "stop"})
+                except (OSError, ValueError):
+                    pass
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for tq in task_qs:
+            tq.cancel_join_thread()
+            tq.close()
+        if self._result_q is not None:
+            self._result_q.cancel_join_thread()
+            self._result_q.close()
+            self._result_q = None
+        for attr in ("_in_slab", "_out_slab", "_letkf_slab"):
+            slab = getattr(self, attr)
+            if slab is not None:
+                slab.close()
+                setattr(self, attr, None)
+        self._model_seen = set()
+        self._model_ref = None
+        self._model_blob = None
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ProcessesBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- model shipping ------------------------------------------------
+
+    def _refresh_model(self, model) -> bool:
+        """(Re)pickle the model when its identity changes.
+
+        Profiler hooks are stripped for the trip (workers run
+        unprofiled; the parent still profiles its own stages).  An
+        unpicklable model downgrades the backend to in-process
+        vectorized forecasts with a one-time warning rather than
+        failing the cycle.
+        """
+        if model is self._model_ref:
+            return self._model_blob is not None
+        hooks = [getattr(model, "dynamics", None)]
+        physics = getattr(model, "physics", None)
+        if physics is not None:
+            hooks.append(getattr(physics, "microphysics", None))
+        stripped = []
+        for obj in hooks:
+            if obj is not None and getattr(obj, "profiler", None) is not None:
+                stripped.append((obj, obj.profiler))
+                obj.profiler = None
+        try:
+            self._model_blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            self._model_blob = None
+            if not self._pickle_warned:
+                warnings.warn(
+                    f"model is not picklable ({exc!r}); the processes "
+                    "backend is falling back to in-process vectorized "
+                    "forecasts",
+                    RuntimeWarning, stacklevel=3,
+                )
+                self._pickle_warned = True
+        finally:
+            for obj, prof in stripped:
+                obj.profiler = prof
+        self._model_ref = model
+        self._model_seen = set()
+        return self._model_blob is not None
+
+    # -- slab management -----------------------------------------------
+
+    @staticmethod
+    def _reuse(slab: SharedStateSlab | None, fields_spec, aux_spec) -> SharedStateSlab:
+        if slab is not None:
+            if slab.matches(fields_spec, aux_spec):
+                return slab
+            slab.close()
+        return SharedStateSlab(fields_spec, aux_spec)
+
+    def _ensure_letkf_slab(self, n_act: int, n_obs: int, m: int, dtype) -> SharedStateSlab:
+        slab = self._letkf_slab
+        dt = str(np.dtype(dtype))
+        if slab is not None:
+            rows, obs, mm = slab.fields["dYb"].shape
+            if (mm == m and str(slab.fields["dYb"].dtype) == dt
+                    and rows >= n_act and obs >= n_obs):
+                return slab
+            slab.close()
+        # geometric growth in both the row and obs dimensions so a
+        # coverage wiggle does not reallocate every chunk
+        rows = max(256, 1 << (n_act - 1).bit_length())
+        obs = max(8, 1 << (n_obs - 1).bit_length())
+        spec = {
+            "dYb": ((rows, obs, m), dt),
+            "d": ((rows, obs), dt),
+            "rinv": ((rows, obs), dt),
+            "W": ((rows, m, m), dt),
+        }
+        self._letkf_slab = SharedStateSlab(spec, {})
+        return self._letkf_slab
+
+    # -- dispatch/collect ----------------------------------------------
+
+    def _collect(self, seq: int, pending: dict, fallback) -> dict:
+        """One result per pending worker; crashed blocks are recomputed
+        in the parent (bit-identical) and the worker respawned."""
+        out: dict[int, dict] = {}
+        while pending:
+            try:
+                res = self._result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                for w in list(pending):
+                    if not self._procs[w].is_alive():
+                        lo, hi = pending.pop(w)
+                        out[w] = fallback(w, lo, hi)
+                        self._respawn(w)
+                continue
+            if res.get("seq") != seq or res.get("worker") not in pending:
+                continue  # stale result from before a crash recovery
+            if not res["ok"]:
+                raise RuntimeError(
+                    f"pool worker {res['worker']} failed:\n{res.get('error')}"
+                )
+            pending.pop(res["worker"])
+            out[res["worker"]] = res
+        return out
+
+    # -- the forecast op -----------------------------------------------
+
+    def forecast(self, model, state: EnsembleState, duration: float) -> EnsembleState:
+        m = state.n_members
+        n = min(self.n_workers, m)
+        self.last_timings = []
+        if n <= 1 or not self._ensure_pool() or not self._refresh_model(model):
+            return model.integrate(state, duration)
+
+        fields_spec, aux_spec = state_spec(state)
+        self._in_slab = self._reuse(self._in_slab, fields_spec, aux_spec)
+        out_aux_spec = dict(aux_spec)
+        for k, (tail, dt) in self._learned_aux.items():
+            out_aux_spec.setdefault(k, ((m,) + tuple(tail), dt))
+        out_aux_spec = {k: out_aux_spec[k] for k in sorted(out_aux_spec)}
+        self._out_slab = self._reuse(self._out_slab, fields_spec, out_aux_spec)
+        self._in_slab.load(state)
+
+        aux_keys = sorted(state.aux)
+        splits = np.array_split(np.arange(m), n)
+        self._seq += 1
+        seq = self._seq
+        pending: dict[int, tuple[int, int]] = {}
+        for w, idx in enumerate(splits):
+            lo, hi = int(idx[0]), int(idx[-1]) + 1
+            self._task_qs[w].put({
+                "op": "forecast", "seq": seq, "lo": lo, "hi": hi,
+                "duration": duration, "time": state.time,
+                "nsteps": state.nsteps, "aux_keys": aux_keys,
+                "in": self._in_slab.manifest, "out": self._out_slab.manifest,
+                "model": None if w in self._model_seen else self._model_blob,
+            })
+            self._model_seen.add(w)
+            pending[w] = (lo, hi)
+
+        def fallback(w: int, lo: int, hi: int) -> dict:
+            t0 = time.perf_counter()
+            blk = self._in_slab.state(
+                state.grid, state.reference, time=state.time,
+                nsteps=state.nsteps, lo=lo, hi=hi, aux_keys=aux_keys,
+            )
+            out = model.integrate(blk, duration)
+            for k, arr in out.fields.items():
+                self._out_slab.fields[k][lo:hi] = arr
+            slab_aux: list[str] = []
+            extra: dict[str, np.ndarray] = {}
+            for k, arr in out.aux.items():
+                slot = self._out_slab.aux.get(k)
+                if slot is not None and slot[lo:hi].shape == arr.shape:
+                    slot[lo:hi] = arr
+                    slab_aux.append(k)
+                else:
+                    extra[k] = arr
+            return {
+                "worker": w, "ok": True, "time": out.time,
+                "nsteps": out.nsteps, "lo": lo, "hi": hi,
+                "members": hi - lo, "slab_aux": slab_aux,
+                "extra_aux": extra, "seconds": time.perf_counter() - t0,
+            }
+
+        results = self._collect(seq, pending, fallback)
+        order = sorted(results)
+        first = results[order[0]]
+
+        slab_aux_common = set(first["slab_aux"])
+        extra_common = set(first["extra_aux"])
+        for w in order[1:]:
+            slab_aux_common &= set(results[w]["slab_aux"])
+            extra_common &= set(results[w]["extra_aux"])
+
+        out_state = self._out_slab.state(
+            state.grid, state.reference,
+            time=first["time"], nsteps=first["nsteps"],
+            aux_keys=sorted(slab_aux_common), copy=True,
+        )
+        for k in sorted(extra_common):
+            parts = [results[w]["extra_aux"][k] for w in order]
+            out_state.aux[k] = np.concatenate(parts, axis=0)
+            self._learned_aux[k] = (tuple(parts[0].shape[1:]), str(parts[0].dtype))
+
+        self.last_timings = [
+            {"op": "forecast", "worker": w,
+             "members": results[w]["members"],
+             "seconds": results[w]["seconds"]}
+            for w in order
+        ]
+        return out_state
+
+    # -- the row-sharded LETKF transform -------------------------------
+
+    def letkf_runner(self, dYb, d, rinv, *, backend: str = "kedv",
+                     rtpp_factor: float = 0.0, return_pa_trace: bool = False,
+                     profiler=None, has_obs=None, assume_active: bool = False,
+                     precision: str | None = None):
+        """Drop-in for :func:`~repro.letkf.core.letkf_transform` that
+        shards the active rows across the pool.
+
+        Each per-row transform is independent and the slab row slices
+        carry the same pinned memory-layout class as the solver's
+        workspace views, so the sharded result is bit-identical to the
+        direct call.  Falls back to the direct transform for small
+        batches, the dense (``has_obs``) path, the Pa-trace diagnostic
+        path, or when the pool is unavailable.
+        """
+        from ..letkf.core import letkf_transform
+
+        n_act = dYb.shape[0]
+        n = min(self.n_workers, max(1, n_act // _MIN_LETKF_ROWS_PER_WORKER))
+        if (return_pa_trace or not assume_active or n <= 1
+                or not self._ensure_pool()):
+            return letkf_transform(
+                dYb, d, rinv, backend=backend, rtpp_factor=rtpp_factor,
+                return_pa_trace=return_pa_trace, profiler=profiler,
+                has_obs=has_obs, assume_active=assume_active,
+                precision=precision,
+            )
+
+        _, n_obs, m = dYb.shape
+        slab = self._ensure_letkf_slab(n_act, n_obs, m, dYb.dtype)
+        slab.fields["dYb"][:n_act, :n_obs] = dYb
+        slab.fields["d"][:n_act, :n_obs] = d
+        slab.fields["rinv"][:n_act, :n_obs] = rinv
+
+        self._seq += 1
+        seq = self._seq
+        splits = np.array_split(np.arange(n_act), n)
+        pending: dict[int, tuple[int, int]] = {}
+        for w, idx in enumerate(splits):
+            lo, hi = int(idx[0]), int(idx[-1]) + 1
+            self._task_qs[w].put({
+                "op": "letkf", "seq": seq, "lo": lo, "hi": hi,
+                "n_obs": n_obs, "in": slab.manifest,
+                "eigensolver": backend, "rtpp_factor": rtpp_factor,
+                "precision": precision, "model": None,
+            })
+            pending[w] = (lo, hi)
+
+        def fallback(w: int, lo: int, hi: int) -> dict:
+            t0 = time.perf_counter()
+            W = letkf_transform(
+                dYb[lo:hi], d[lo:hi], rinv[lo:hi], backend=backend,
+                rtpp_factor=rtpp_factor, assume_active=True,
+                precision=precision,
+            )
+            slab.fields["W"][lo:hi] = W
+            return {"worker": w, "ok": True, "lo": lo, "hi": hi,
+                    "rows": hi - lo, "seconds": time.perf_counter() - t0}
+
+        results = self._collect(seq, pending, fallback)
+        self.last_letkf_timings = [
+            {"op": "letkf", "worker": w, "rows": results[w]["rows"],
+             "seconds": results[w]["seconds"]}
+            for w in sorted(results)
+        ]
+        return slab.fields["W"][:n_act].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ProcessesBackend(n_workers={self.n_workers}, "
+                f"start_method={self.start_method!r})")
 
 
 class SanitizedBackend(ExecutionBackend):
@@ -202,6 +755,9 @@ class SanitizedBackend(ExecutionBackend):
         san.check_outputs(rec, {f"fields.{k}": v for k, v in out.fields.items()})
         return out
 
+    def close(self) -> None:
+        self.inner.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SanitizedBackend({self.inner!r})"
 
@@ -234,8 +790,15 @@ def make_backend(
             backend = SerialBackend()
         elif spec.backend == "vectorized":
             backend = VectorizedBackend()
+        elif spec.backend == "processes":
+            backend = ProcessesBackend(n_workers=spec.workers)
         else:
-            backend = ShardedBackend(n_shards=spec.n_shards)
+            inner: ExecutionBackend | None = None
+            if spec.sharded_inner == "serial":
+                inner = SerialBackend()
+            elif spec.sharded_inner == "processes":
+                inner = ProcessesBackend(n_workers=spec.workers)
+            backend = ShardedBackend(n_shards=spec.n_shards, inner=inner)
 
     if sanitize and not isinstance(backend, SanitizedBackend):
         backend = SanitizedBackend(backend)

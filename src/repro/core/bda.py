@@ -96,11 +96,17 @@ class BDASystem:
         self.pawr = PAWRSimulator(radar_config, self.model.grid, seed=seed + 1)
         #: execution backend shared by the cycler and the part-<2> forecasts
         self.backend = make_backend(backend)
+        #: hot-path precision mode, read off an ExecutionConfig spec
+        #: before it is resolved into a backend instance
+        precision = (
+            backend.precision if isinstance(backend, ExecutionConfig) else None
+        )
         #: injected telemetry bundle (tracer + metrics + kernel profiler)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cycler = DACycler(
             self.model, self.ensemble, letkf_config, self.obsope,
-            backend=self.backend, telemetry=telemetry, scope=scope,
+            backend=self.backend, precision=precision,
+            telemetry=telemetry, scope=scope,
         )
         self.cycle_count = 0
         self.last_scan: VolumeScan | None = None
@@ -287,3 +293,20 @@ class BDASystem:
         truth = self.nature.to_analysis()[var]
         arrays = self.ensemble.analysis_arrays()[var]
         return float(np.sqrt(np.mean((arrays.mean(axis=0) - truth) ** 2)))
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared segments).
+
+        A no-op for the in-process backends; the ``processes`` backend
+        stops its workers and unlinks its slabs here (they would
+        otherwise be swept at interpreter exit).  Idempotent.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "BDASystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

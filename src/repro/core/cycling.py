@@ -87,6 +87,7 @@ class DACycler:
         guard: bool = True,
         recovery_spread_factor: float = 0.5,
         backend: str | ExecutionConfig | ExecutionBackend | None = None,
+        precision: str | None = None,
         telemetry: Telemetry | None = None,
         scope: dict[str, str] | None = None,
     ):
@@ -102,8 +103,15 @@ class DACycler:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if telemetry is not None:
             telemetry.instrument_model(model)
+        #: hot-path precision mode ("single"/"double"): an explicit
+        #: argument wins, else it is read off an
+        #: :class:`~repro.config.ExecutionConfig` backend spec;
+        #: ``None`` keeps the LETKF config's own dtype
+        if precision is None and isinstance(backend, ExecutionConfig):
+            precision = backend.precision
         self.letkf = LETKFSolver(
-            model.grid, letkf_config, profiler=self.telemetry.profiler
+            model.grid, letkf_config, profiler=self.telemetry.profiler,
+            precision=precision,
         )
         self.obsope = obs_operator
         #: precomputed "assimilable cells" mask: radar coverage ∩ the
@@ -121,6 +129,13 @@ class DACycler:
         #: :class:`~repro.core.backends.SanitizedBackend` when one was
         #: built (``ExecutionConfig(sanitize=True)``), else the no-op
         self.sanitizer = getattr(self.backend, "sanitizer", NULL_SANITIZER)
+        # a processes pool (possibly inside a SanitizedBackend wrapper)
+        # also row-shards the compacted LETKF transform: install its
+        # runner on the solver (bit-identical to the direct call)
+        pool = getattr(self.backend, "inner", self.backend)
+        if hasattr(pool, "letkf_runner"):
+            self.letkf.transform_runner = pool.letkf_runner
+        self._pool = pool if hasattr(pool, "last_timings") else None
         #: NaN/Inf guards + rollback enabled (off = fail fast, for tests)
         self.guard = guard
         #: refilled members get this fraction of the survivors' spread
@@ -307,7 +322,10 @@ class DACycler:
                         arrays = batch.analysis_arrays()
                     with tracer.span("solver"):
                         san = self.sanitizer
-                        san.check_dtype("letkf", arrays, self.letkf.dtype)
+                        # inputs arrive in the model grid's dtype; the
+                        # solver casts to its own precision-mode dtype
+                        # internally (asserted at the eigensolver)
+                        san.check_dtype("letkf", arrays, self.model.grid.dtype)
                         inputs = {f"xb.{k}": v for k, v in arrays.items()}
                         inputs.update({f"hxb.{k}": v for k, v in hxb.items()})
                         with san.guard("letkf", inputs) as rec:
@@ -375,6 +393,22 @@ class DACycler:
                       stage="forecast", **scope).observe(t_fcst)
         tel.histogram("bda_stage_seconds", help="per-stage wall time",
                       stage="letkf", **scope).observe(t_letkf)
+        if self._pool is not None:
+            # per-block worker timings from the processes pool, merged
+            # into the same registry the stage timers live in
+            for rec in self._pool.last_timings:
+                tel.histogram(
+                    "bda_worker_block_seconds",
+                    help="per-worker member-block forecast wall time",
+                    worker=str(rec["worker"]), op=rec["op"], **scope,
+                ).observe(rec["seconds"])
+            for rec in self._pool.last_letkf_timings:
+                tel.histogram(
+                    "bda_worker_block_seconds",
+                    help="per-worker member-block forecast wall time",
+                    worker=str(rec["worker"]), op=rec["op"], **scope,
+                ).observe(rec["seconds"])
+            self._pool.last_letkf_timings = []
         if t_fcst > 0:
             tel.gauge("bda_members_per_second",
                       help="ensemble-forecast throughput", **scope).set(

@@ -7,16 +7,33 @@ import numpy as np
 from .kedv import eigh_kedv
 from .lapack import eigh_batched
 
-__all__ = ["eigh_dispatch", "BACKENDS"]
+__all__ = ["eigh_dispatch", "precision_of", "BACKENDS", "PRECISION_DTYPES"]
 
 BACKENDS = {
     "lapack": eigh_batched,
     "kedv": eigh_kedv,
 }
 
+#: the two supported LETKF hot-path precisions (the paper's production
+#: system runs "single"; "double" is the verification reference)
+PRECISION_DTYPES = {
+    "single": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+}
+
+
+def precision_of(dtype) -> str:
+    """The precision-mode name ("single"/"double") of a hot-path dtype."""
+    dt = np.dtype(dtype)
+    for name, cand in PRECISION_DTYPES.items():
+        if cand == dt:
+            return name
+    raise ValueError(f"no precision mode carries dtype {dt}")
+
 
 def eigh_dispatch(
-    mats: np.ndarray, backend: str = "kedv", *, profiler=None
+    mats: np.ndarray, backend: str = "kedv", *, profiler=None,
+    precision: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Eigendecompose a batch of symmetric matrices with the named backend.
 
@@ -25,7 +42,22 @@ def eigh_dispatch(
     production system switched to. An enabled
     :class:`~repro.telemetry.profile.KernelProfiler` records per-call
     wall time and the batch bytes handled.
+
+    Both backends compute in the caller's dtype, so the batch arrives
+    here in whatever the solver's precision mode selected.  Passing
+    ``precision`` ("single" or "double") asserts that contract at the
+    bottom of the stack: a silent float64 promotion anywhere upstream
+    of the eigensolve raises instead of quietly doubling the flops.
     """
+    if precision is not None:
+        expected = PRECISION_DTYPES.get(precision)
+        if expected is None:
+            raise ValueError(f"unknown precision mode {precision!r}")
+        if mats.dtype != expected:
+            raise TypeError(
+                f"precision mode {precision!r} expects {expected} "
+                f"eigenproblems, got {mats.dtype}"
+            )
     try:
         fn = BACKENDS[backend]
     except KeyError:

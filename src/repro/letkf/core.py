@@ -139,6 +139,7 @@ def letkf_transform(
     profiler=None,
     has_obs: np.ndarray | None = None,
     assume_active: bool = False,
+    precision: str | None = None,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Batched ensemble-space analysis weights.
 
@@ -171,6 +172,11 @@ def letkf_transform(
         The caller guarantees every point has at least one active
         observation (the batch was compacted to active rows); the
         identity fill for no-obs points is skipped entirely.
+    precision:
+        Optional precision-mode name ("single"/"double") forwarded to
+        :func:`~repro.eigen.batched.eigh_dispatch`, which asserts the
+        eigenproblems actually arrive in that dtype — the end-to-end
+        dtype-discipline tripwire for the float32 hot path.
 
     Returns
     -------
@@ -188,11 +194,11 @@ def letkf_transform(
         with profiler.profile("letkf_transform", nbytes):
             return _transform(
                 dYb, d, rinv, backend, rtpp_factor, return_pa_trace,
-                profiler, has_obs, assume_active,
+                profiler, has_obs, assume_active, precision,
             )
     return _transform(
         dYb, d, rinv, backend, rtpp_factor, return_pa_trace,
-        profiler, has_obs, assume_active,
+        profiler, has_obs, assume_active, precision,
     )
 
 
@@ -206,6 +212,7 @@ def _transform(
     profiler,
     has_obs: np.ndarray | None,
     assume_active: bool,
+    precision: str | None = None,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     G, No, m = dYb.shape
     dtype = dYb.dtype
@@ -239,7 +246,8 @@ def _transform(
     idx = np.arange(m)
     A[:, idx, idx] += dtype.type(m - 1)
 
-    w, V = eigh_dispatch(A, backend=backend, profiler=profiler)
+    w, V = eigh_dispatch(A, backend=backend, profiler=profiler,
+                         precision=precision)
     # A is SPD by construction; guard tiny/negative eigenvalues from
     # single-precision roundoff
     floor = np.finfo(dtype).eps * np.maximum(w[:, -1:], 1.0) * m

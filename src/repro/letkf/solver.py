@@ -95,10 +95,36 @@ class AnalysisDiagnostics:
 class LETKFSolver:
     """LETKF analysis on the model grid with Table-2 configuration."""
 
-    def __init__(self, grid: Grid, config: LETKFConfig, *, profiler=None):
+    def __init__(self, grid: Grid, config: LETKFConfig, *, profiler=None,
+                 precision: str | None = None, transform_runner=None):
         self.grid = grid
         self.config = config
-        self.dtype = config.numpy_dtype()
+        #: hot-path dtype: the config's dtype unless an explicit
+        #: precision mode ("single"/"double", from
+        #: :class:`~repro.config.ExecutionConfig`) overrides it
+        if precision is not None:
+            from ..eigen.batched import PRECISION_DTYPES
+
+            try:
+                self.dtype = np.dtype(PRECISION_DTYPES[precision])
+            except KeyError:
+                raise ValueError(
+                    f"unknown precision mode {precision!r}"
+                ) from None
+        else:
+            self.dtype = config.numpy_dtype()
+        #: the precision-mode name of :attr:`dtype`; threaded through
+        #: :func:`~repro.letkf.core.letkf_transform` down to
+        #: :func:`~repro.eigen.batched.eigh_dispatch`, which asserts
+        #: the eigenproblems really arrive in this dtype
+        from ..eigen.batched import precision_of
+
+        self.precision = precision_of(self.dtype)
+        #: optional drop-in replacement for
+        #: :func:`~repro.letkf.core.letkf_transform` (same signature);
+        #: the ``processes`` backend installs its row-sharded pool
+        #: runner here.  ``None`` means call the transform directly.
+        self.transform_runner = transform_runner
         #: optional :class:`~repro.telemetry.profile.KernelProfiler`
         #: threaded down to the batched eigensolver
         self.profiler = profiler
@@ -411,7 +437,8 @@ class LETKFSolver:
                 d = np.subtract(y, hmean, out=ws.d[:n_act, :K])
                 rinv = np.multiply(w_sel, vsel, out=ws.rinv[:n_act, :K])
 
-            W = letkf_transform(
+            transform = self.transform_runner or letkf_transform
+            W = transform(
                 dYb,
                 d,
                 rinv,
@@ -419,6 +446,7 @@ class LETKFSolver:
                 rtpp_factor=cfg.rtpp_factor,
                 profiler=self.profiler,
                 assume_active=True,
+                precision=self.precision,
             )
 
             # -- apply weights at active points, scatter back ------------
@@ -535,6 +563,7 @@ class LETKFSolver:
                 rtpp_factor=cfg.rtpp_factor,
                 profiler=self.profiler,
                 has_obs=has_obs,
+                precision=self.precision,
             )
 
             # apply weights to every analysis variable in the chunk

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..eigen.batched import precision_of
 from ..grid import Grid
 from .localization import LocalizationStencil
 
@@ -70,6 +71,10 @@ class LETKFWorkspace:
         level_chunk: int,
     ):
         dtype = np.dtype(dtype)
+        #: the precision mode every buffer here is pinned to ("single"
+        #: or "double"); any other dtype is rejected up front so a
+        #: mixed-precision chain fails at allocation, not in the solver
+        self.precision = precision_of(dtype)
         offs = stencil.offsets
         pk = int(np.max(np.abs(offs[:, 0]))) if len(offs) else 0
         pj = int(np.max(np.abs(offs[:, 1]))) if len(offs) else 0

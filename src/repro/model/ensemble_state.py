@@ -28,9 +28,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from .shm import SharedArena, SharedStateSlab, state_spec
 from .state import ModelState, PROGNOSTIC_VARS, WATER_SPECIES
 
-__all__ = ["EnsembleState", "AUX_DEFAULTS"]
+__all__ = [
+    "EnsembleState",
+    "AUX_DEFAULTS",
+    "SharedArena",
+    "SharedStateSlab",
+    "state_spec",
+]
 
 #: fill values for per-state closure arrays when a member joining a
 #: batch has not carried them yet (fresh states before the first
@@ -117,6 +124,20 @@ class EnsembleState(ModelState):
                 batch[...] = _aux_default(k, st, [st])
                 batch[i] = val
                 self.aux[k] = batch
+
+    def to_shared(self, arena: SharedArena) -> "EnsembleState":
+        """A shared-memory-backed copy of this batch.
+
+        Allocates a named-segment slab through ``arena``
+        (:class:`~repro.model.shm.SharedArena`), copies the member
+        arrays in once, and returns a batch whose arrays are views into
+        the segment — so :meth:`member_view` hands out zero-copy
+        windows onto pages any attached process can map.  The arena
+        owns the segment lifetime; checkpoints of a shared batch
+        round-trip bit-identically because ``state_dict`` copies the
+        array *values*, never the mapping.
+        """
+        return arena.share(self)
 
     def subset(self, idx) -> "EnsembleState":
         """A new batch holding members ``idx`` (fancy-index copy)."""

@@ -50,15 +50,27 @@ class TestNamespaces:
         assert set(api.__all__) <= set(seen)
 
     def test_namespace_reexports_are_the_implementation_objects(self):
+        from repro.core.backends import ProcessesBackend
         from repro.core.bda import BDASystem
         from repro.fleet import FleetScheduler
+        from repro.model.shm import SharedArena
         from repro.serving import ServingStore
         from repro.telemetry import Telemetry
 
         assert api.core.BDASystem is BDASystem
+        assert api.core.ProcessesBackend is ProcessesBackend
+        assert api.core.SharedArena is SharedArena
         assert api.telemetry.Telemetry is Telemetry
         assert api.fleet.FleetScheduler is FleetScheduler
         assert api.serving.ServingStore is ServingStore
+
+    def test_execution_knobs_reachable_through_config_namespace(self):
+        """--workers / --precision surface: the spec fields are public."""
+        cfg = api.config.ExecutionConfig(
+            backend="processes", workers=2, precision="double"
+        )
+        assert cfg.workers == 2
+        assert cfg.precision_dtype().itemsize == 8
 
     def test_namespace_unknown_name(self):
         with pytest.raises(AttributeError):

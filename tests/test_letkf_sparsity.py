@@ -142,6 +142,31 @@ class TestTransformCompaction:
         eye = np.eye(m, dtype=np.float32)
         assert all(np.array_equal(W_full[i], eye) for i in inact)
 
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_row_compaction_bit_identical_per_precision(self, precision):
+        """The compaction contract holds in both precision modes.
+
+        Each mode is bit-exact *within itself*; nothing is compared
+        across modes (see the precision contract in docs).
+        """
+        dt = np.float32 if precision == "single" else np.float64
+        rng = np.random.default_rng(77)
+        dYb, d, rinv = (a.astype(dt) for a in make_batch(rng, 30, 12, 8, 0.3))
+        W_full = letkf_transform(
+            dYb, d, rinv, backend="lapack", precision=precision
+        )
+        assert W_full.dtype == dt
+        act = np.flatnonzero(np.any(rinv > 0.0, axis=1))
+        W_act = letkf_transform(
+            np.ascontiguousarray(dYb[act]),
+            np.ascontiguousarray(d[act]),
+            np.ascontiguousarray(rinv[act]),
+            backend="lapack",
+            assume_active=True,
+            precision=precision,
+        )
+        assert np.array_equal(W_full[act], W_act)
+
     def test_has_obs_passthrough_matches_derived(self):
         rng = np.random.default_rng(0)
         dYb, d, rinv = make_batch(rng, 30, 12, 8, 0.4)
@@ -198,10 +223,14 @@ class TestObservationSelection:
 
 
 class TestSolverSparsePath:
+    @pytest.mark.parametrize("precision", ["single", "double"])
     @pytest.mark.parametrize("frac", [0.02, 0.15, 1.0])
-    def test_bit_identical_on_active_cells(self, frac):
+    def test_bit_identical_on_active_cells(self, frac, precision):
         grid, cfg, ens, obs, hxb = solver_case(frac=frac)
-        solver = LETKFSolver(grid, cfg)
+        solver = LETKFSolver(grid, cfg, precision=precision)
+        assert solver.dtype == (
+            np.float32 if precision == "single" else np.float64
+        )
         act = dilated_active_cells(solver, obs[0].valid)
         a_dense, d_dense = solver.analyze(
             {k: v.copy() for k, v in ens.items()}, obs, hxb, sparse=False
