@@ -1,19 +1,24 @@
-"""Correctness tooling: static ``reprolint`` + runtime array sanitizer.
+"""Correctness tooling: static ``reprolint`` + runtime sanitizers.
 
 Two sides of one contract (see ``docs/architecture.md`` — "Correctness
 tooling"):
 
 * the **static** side — :mod:`repro.checks.linter` /
   :mod:`repro.checks.runner` — is an AST linter (``python -m
-  repro.checks lint``) enforcing the determinism / dtype / layout rules
-  of :mod:`repro.checks.rules`, with a committed baseline for
-  grandfathered findings (:mod:`repro.checks.baseline`);
-* the **runtime** side — :mod:`repro.checks.sanitizer` — wraps kernel
+  repro.checks lint``) enforcing the determinism / dtype / layout /
+  concurrency / resource-lifecycle rules of :mod:`repro.checks.rules`,
+  with a committed baseline for grandfathered findings
+  (:mod:`repro.checks.baseline`);
+* the **runtime** side — :mod:`repro.checks.sanitizer` wraps kernel
   entry points to assert dtype/contiguity, trap in-place mutation of
   inputs, and detect NaN/Inf creation, enabled via
-  ``ExecutionConfig(sanitize=True)`` / ``--sanitize``.
+  ``ExecutionConfig(sanitize=True)`` / ``--sanitize``;
+  :mod:`repro.checks.concurrency` is its concurrency sibling — block
+  ownership tags on shared slab handoffs
+  (``ExecutionConfig(concurrency_checks=True)``), an asyncio loop-stall
+  probe, and shared-memory leak accounting.
 
-The linter half is stdlib-only; the sanitizer (which needs numpy) is
+The linter half is stdlib-only; the sanitizers (which need numpy) are
 imported lazily so ``python -m repro.checks`` works without the
 scientific stack.
 """
@@ -27,6 +32,13 @@ from .linter import Finding, lint_file, lint_paths, lint_source
 from .rules import RULES, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .concurrency import (
+        ConcurrencySanitizer,
+        LoopStallProbe,
+        NullConcurrencySanitizer,
+        OwnershipError,
+        SegmentLeakMonitor,
+    )
     from .sanitizer import (
         ArraySanitizer,
         NullSanitizer,
@@ -47,9 +59,18 @@ __all__ = [
     "NULL_SANITIZER",
     "SanitizerError",
     "make_sanitizer",
+    # lazy (numpy-backed) concurrency sanitizer surface
+    "ConcurrencySanitizer",
+    "NullConcurrencySanitizer",
+    "NULL_CONCURRENCY",
+    "OwnershipError",
+    "make_concurrency_sanitizer",
+    "LoopStallProbe",
+    "SegmentLeakMonitor",
+    "live_shm_segments",
 ]
 
-_LAZY = {
+_LAZY_SANITIZER = {
     "ArraySanitizer",
     "NullSanitizer",
     "NULL_SANITIZER",
@@ -57,12 +78,27 @@ _LAZY = {
     "make_sanitizer",
 }
 
+_LAZY_CONCURRENCY = {
+    "ConcurrencySanitizer",
+    "NullConcurrencySanitizer",
+    "NULL_CONCURRENCY",
+    "OwnershipError",
+    "make_concurrency_sanitizer",
+    "LoopStallProbe",
+    "SegmentLeakMonitor",
+    "live_shm_segments",
+}
+
 
 def __getattr__(name: str):
-    if name in _LAZY:
+    if name in _LAZY_SANITIZER:
         from . import sanitizer
 
         return getattr(sanitizer, name)
+    if name in _LAZY_CONCURRENCY:
+        from . import concurrency
+
+        return getattr(concurrency, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,0 +1,417 @@
+"""Runtime concurrency sanitizer — the dynamic side of the ASY/SHM/OWN
+rule family.
+
+``reprolint`` proves the static shape of the concurrency contracts
+(ASY001/ASY002/SHM001/RES001/OWN001); this module traps at run time the
+violations it cannot:
+
+* :class:`ConcurrencySanitizer` — opt-in ownership tags on shared slab
+  block views.  At block handoff the parent records the designated
+  writer (worker id + pid) per member range in a ledger and flips its
+  own views ``writeable=False``; a foreign in-parent write then
+  surfaces as an :class:`OwnershipError` naming the block instead of
+  silently racing the worker.  The sanctioned crash-recovery path
+  reclaims a block explicitly (:meth:`_Handoff.reclaim`), which is the
+  runtime mirror of the ``# reprolint: ok OWN001`` annotation.
+* :class:`LoopStallProbe` — an asyncio heartbeat task (handle
+  retained, per ASY002) that measures how late the loop wakes it up;
+  lags over the threshold count as stalls and feed the
+  ``checks_loop_stall_seconds`` telemetry histogram.
+* :class:`SegmentLeakMonitor` / :func:`live_shm_segments` — first-class
+  leak accounting over the ``reproshm-*`` namespace (creation registry
+  plus a ``/dev/shm`` scan), counted through
+  ``checks_shm_leaked_total``; the test suite's per-test sweep and the
+  :mod:`repro.model.shm` atexit sweep both report through it.
+
+Like :class:`~repro.checks.sanitizer.ArraySanitizer`, everything here
+follows the telemetry null-object pattern (:data:`NULL_CONCURRENCY`)
+and every check is read-only — flag flips on the *same* arrays, ledger
+bookkeeping on the side — so a sanitized run is bit-identical to an
+unsanitized one; ``tests/test_checks.py`` locks that in on a
+processes-backend run.
+
+Flag-flip caveat: numpy refuses ``writeable=True`` on a view whose
+base is read-only, so :meth:`_Handoff.reclaim` thaws the handed-off
+*base* arrays for the duration of the reclaim.  The ledger — not the
+flag — remains the source of truth for who owns which member range.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OwnershipError",
+    "ConcurrencySanitizer",
+    "NullConcurrencySanitizer",
+    "NULL_CONCURRENCY",
+    "make_concurrency_sanitizer",
+    "LoopStallProbe",
+    "SegmentLeakMonitor",
+    "live_shm_segments",
+]
+
+#: (kind, ident, pid) — e.g. ("worker", 3, 12345) or ("parent", 0, pid)
+Owner = Tuple[str, int, int]
+
+
+def worker_owner(worker_id: int, pid: Optional[int] = None) -> Owner:
+    """The ledger tag for pool worker ``worker_id``."""
+    return ("worker", int(worker_id), int(os.getpid() if pid is None else pid))
+
+
+def parent_owner() -> Owner:
+    """The ledger tag for the dispatching parent process."""
+    return ("parent", 0, os.getpid())
+
+
+class OwnershipError(RuntimeError):
+    """A process wrote (or claimed) a shared block it does not own."""
+
+
+class _Lease:
+    """One ledger entry: members ``[lo, hi)`` of one resource."""
+
+    __slots__ = ("lo", "hi", "owner")
+
+    def __init__(self, lo: int, hi: int, owner: Owner):
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.owner = owner
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        return self.lo < hi and lo < self.hi
+
+
+class ConcurrencySanitizer:
+    """Opt-in ownership checks around shared slab block handoffs."""
+
+    enabled = True
+
+    def __init__(self, telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
+        #: resource name -> live leases
+        self._ledger: dict[str, list[_Lease]] = {}
+        #: handoffs entered (test / debug aid)
+        self.handoffs = 0
+        self.violations = 0
+
+    # -- the ledger ------------------------------------------------------
+
+    def acquire(self, resource: str, lo: int, hi: int, owner: Owner) -> None:
+        """Record ``owner`` as the writer of ``resource[lo:hi)``.
+
+        Raises :class:`OwnershipError` if any overlapping range is
+        already leased to a different owner.
+        """
+        for lease in self._ledger.get(resource, ()):
+            if lease.overlaps(lo, hi) and lease.owner != owner:
+                self.violations += 1
+                raise OwnershipError(
+                    f"block {resource}[{lo}:{hi}) is owned by "
+                    f"{lease.owner} ([{lease.lo}:{lease.hi})); "
+                    f"{owner} may not claim it"
+                )
+        self._ledger.setdefault(resource, []).append(_Lease(lo, hi, owner))
+
+    def release(self, resource: str, lo: int, hi: int, owner: Owner) -> None:
+        """Drop ``owner``'s lease on ``resource[lo:hi)`` (idempotent)."""
+        leases = self._ledger.get(resource, [])
+        self._ledger[resource] = [
+            l for l in leases
+            if not (l.lo == lo and l.hi == hi and l.owner == owner)
+        ]
+
+    def owner_of(self, resource: str, index: int) -> Optional[Owner]:
+        """The recorded writer of member ``index``, or None."""
+        for lease in self._ledger.get(resource, ()):
+            if lease.lo <= index < lease.hi:
+                return lease.owner
+        return None
+
+    def assert_owner(self, resource: str, lo: int, hi: int, owner: Owner) -> None:
+        """Raise unless every lease overlapping ``[lo, hi)`` is ours."""
+        for lease in self._ledger.get(resource, ()):
+            if lease.overlaps(lo, hi) and lease.owner != owner:
+                self.violations += 1
+                raise OwnershipError(
+                    f"foreign write: {resource}[{lo}:{hi}) is owned by "
+                    f"{lease.owner}, not {owner}"
+                )
+
+    # -- block handoff ---------------------------------------------------
+
+    @contextmanager
+    def handoff(
+        self,
+        resource: str,
+        arrays: Mapping[str, np.ndarray],
+        leases: Iterable[Tuple[int, int, Owner]],
+    ) -> Iterator["_Handoff"]:
+        """Guard a dispatch window: lease blocks, freeze our views.
+
+        ``arrays`` are this process's views over the shared segment;
+        they are flipped ``writeable=False`` for the duration so any
+        in-parent write races the workers loudly (read-only
+        ``ValueError`` mapped to :class:`OwnershipError`).  The
+        sanctioned recovery path goes through :meth:`_Handoff.reclaim`.
+        Flags are restored and leases dropped on exit, so the arrays
+        themselves are untouched and the run stays bit-identical.
+        """
+        leases = [(int(lo), int(hi), owner) for lo, hi, owner in leases]
+        self.handoffs += 1
+        for lo, hi, owner in leases:
+            self.acquire(resource, lo, hi, owner)
+        frozen = [a for a in arrays.values() if a.flags.writeable]
+        for a in frozen:
+            a.flags.writeable = False
+        handle = _Handoff(self, resource, frozen)
+        try:
+            yield handle
+        except ValueError as exc:
+            if "read-only" in str(exc):
+                self.violations += 1
+                raise OwnershipError(
+                    f"foreign write into a handed-off block of "
+                    f"'{resource}': {exc}"
+                ) from exc
+            raise
+        finally:
+            for a in frozen:
+                with contextlib.suppress(ValueError):
+                    a.flags.writeable = True
+            for lo, hi, owner in leases:
+                self.release(resource, lo, hi, owner)
+
+
+class _Handoff:
+    """The live handoff window; supports sanctioned block reclaims."""
+
+    __slots__ = ("_san", "resource", "_frozen")
+
+    def __init__(self, san: ConcurrencySanitizer, resource: str,
+                 frozen: Sequence[np.ndarray]):
+        self._san = san
+        self.resource = resource
+        self._frozen = frozen
+
+    @contextmanager
+    def reclaim(
+        self, lo: int, hi: int, owner: Owner, *, steal: bool = False
+    ) -> Iterator[None]:
+        """Write into ``[lo, hi)`` from this process, audited.
+
+        Without ``steal`` the caller must already own the range
+        (foreign claims raise).  ``steal=True`` transfers any live
+        leases on the range to ``owner`` first — the crash-recovery
+        contract: a worker died, the parent recomputes its block.
+        """
+        if steal:
+            leases = self._san._ledger.get(self.resource, [])
+            for lease in leases:
+                if lease.overlaps(lo, hi):
+                    lease.owner = owner
+        else:
+            self._san.assert_owner(self.resource, lo, hi, owner)
+        thawed = []
+        for a in self._frozen:
+            if not a.flags.writeable:
+                with contextlib.suppress(ValueError):
+                    a.flags.writeable = True
+                    thawed.append(a)
+        try:
+            yield
+        finally:
+            for a in thawed:
+                a.flags.writeable = False
+
+
+class NullConcurrencySanitizer:
+    """The disabled sanitizer: every operation is a no-op."""
+
+    enabled = False
+
+    def acquire(self, resource, lo, hi, owner) -> None:
+        pass
+
+    def release(self, resource, lo, hi, owner) -> None:
+        pass
+
+    def owner_of(self, resource, index):
+        return None
+
+    def assert_owner(self, resource, lo, hi, owner) -> None:
+        pass
+
+    @contextmanager
+    def handoff(self, resource, arrays, leases) -> Iterator["_NullHandoff"]:
+        yield _NULL_HANDOFF
+
+
+class _NullHandoff:
+    @contextmanager
+    def reclaim(self, lo, hi, owner, *, steal: bool = False) -> Iterator[None]:
+        yield
+
+
+_NULL_HANDOFF = _NullHandoff()
+
+#: the shared disabled sanitizer every component defaults to
+NULL_CONCURRENCY = NullConcurrencySanitizer()
+
+
+def make_concurrency_sanitizer(
+    enabled: bool, telemetry=None
+) -> ConcurrencySanitizer | NullConcurrencySanitizer:
+    """An enabled sanitizer, or the shared null object."""
+    return ConcurrencySanitizer(telemetry) if enabled else NULL_CONCURRENCY
+
+
+# ---------------------------------------------------------------------------
+# asyncio loop-stall probe
+# ---------------------------------------------------------------------------
+
+
+class LoopStallProbe:
+    """Heartbeat task measuring event-loop wakeup lag.
+
+    Sleeps ``interval_s`` in a loop and compares how late the loop
+    actually woke it up; any lag at or above ``threshold_s`` counts as
+    a stall (a blocking callback held the loop — the runtime face of
+    ASY001).  Observations feed the ``checks_loop_stall_seconds``
+    histogram and ``checks_loop_stalls_total`` counter.
+
+    The probe timestamps with ``time.perf_counter`` (monotonic interval
+    clock, not a wall clock): stall *detection* is measurement, and
+    none of its readings feed back into scheduling decisions.
+    """
+
+    def __init__(
+        self,
+        threshold_s: float = 0.25,
+        interval_s: float = 0.05,
+        telemetry=None,
+    ) -> None:
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.threshold_s = float(threshold_s)
+        self.interval_s = float(interval_s)
+        self.stalls = 0
+        self.worst_lag_s = 0.0
+        self._hist = telemetry.metrics.histogram(
+            "checks_loop_stall_seconds",
+            help="event-loop wakeup lag of stalls over the probe threshold",
+        )
+        self._counter = telemetry.metrics.counter(
+            "checks_loop_stalls_total",
+            help="event-loop stalls detected by the probe",
+        )
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        """Arm the probe on the running loop (handle retained)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="loop-stall-probe"
+            )
+
+    async def _run(self) -> None:
+        while True:
+            t0 = time.perf_counter()
+            await asyncio.sleep(self.interval_s)
+            lag = time.perf_counter() - t0 - self.interval_s
+            if lag >= self.threshold_s:
+                self.stalls += 1
+                self.worst_lag_s = max(self.worst_lag_s, lag)
+                self._hist.observe(lag)
+                self._counter.inc()
+
+    async def stop(self) -> None:
+        """Disarm; safe to call twice or before :meth:`start`."""
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+
+# ---------------------------------------------------------------------------
+# shared-memory leak accounting
+# ---------------------------------------------------------------------------
+
+
+def live_shm_segments() -> set[str]:
+    """This repo's live ``reproshm-*`` segments (registry + /dev/shm)."""
+    import repro.model.shm as shm
+
+    names = set(shm.live_segment_names())
+    try:
+        names |= {
+            n for n in os.listdir("/dev/shm") if n.startswith("reproshm-")
+        }
+    except OSError:  # non-Linux or no tmpfs mount: registry check only
+        pass
+    return names
+
+
+class SegmentLeakMonitor:
+    """Before/after leak accounting over the shared-segment namespace.
+
+    ``snapshot()`` at the start of a scope, ``check()`` at the end:
+    anything new still live is a leak, counted through
+    ``checks_shm_leaked_total``.  The per-test conftest sweep is this
+    check; the :mod:`repro.model.shm` atexit sweep reports through
+    :func:`attach_sweep_telemetry`.
+    """
+
+    def __init__(self, telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._counter = telemetry.metrics.counter(
+            "checks_shm_leaked_total",
+            help="shared-memory segments found leaked by the monitor",
+        )
+        self._before: set[str] = set()
+        self.snapshot()
+
+    def snapshot(self) -> set[str]:
+        """Record the current segment set as the baseline."""
+        self._before = live_shm_segments()
+        return set(self._before)
+
+    def check(self) -> set[str]:
+        """Segments that appeared since :meth:`snapshot` and still live."""
+        leaked = live_shm_segments() - self._before
+        if leaked:
+            self._counter.inc(len(leaked))
+        return leaked
+
+
+def attach_sweep_telemetry(telemetry) -> None:
+    """Count segments the atexit sweep had to reclaim as leaks."""
+    import repro.model.shm as shm
+
+    counter = telemetry.metrics.counter(
+        "checks_shm_leaked_total",
+        help="shared-memory segments found leaked by the monitor",
+    )
+
+    def _on_sweep(names: Sequence[str]) -> None:
+        counter.inc(len(names))
+
+    shm.add_sweep_listener(_on_sweep)

@@ -14,7 +14,14 @@ Rule scoping is path-based (mirroring where each contract applies):
 * DTY001 in the single-precision hot paths ``letkf/`` and ``eigen/``;
 * MUT001 in kernel modules: ``model/`` and ``letkf/core.py``;
 * LAY001 in ``letkf_transform``-adjacent code: ``letkf/`` and
-  ``comm/parallel_letkf.py``.
+  ``comm/parallel_letkf.py``;
+* ASY001/ASY002 in the event-loop subsystems ``fleet/`` and
+  ``serving/`` (the only layers that run coroutines);
+* SHM001/RES001 everywhere — shared-memory segments and process/
+  socket-holding resources leak identically from any layer;
+* OWN001 everywhere except ``model/shm.py`` (the ownership layer
+  itself): the only sanctioned slab writers are the pool worker block
+  functions and the ``letkf_runner`` shards.
 
 Suppression: ``# reprolint: ok CODE[,CODE...] <reason>`` on the
 offending statement (any of its physical lines) or on the line directly
@@ -122,6 +129,14 @@ def _scopes(path: str) -> set[str]:
         scopes.add("kernel")
     if "letkf" in parts or name == "parallel_letkf.py":
         scopes.add("layout")
+    if "fleet" in parts or "serving" in parts:
+        scopes.add("async")
+    scopes.add("shm")
+    scopes.add("res")
+    if not ("model" in parts and name == "shm.py"):
+        # model/shm.py IS the ownership layer; everywhere else, slab
+        # writes outside the sanctioned owners are foreign
+        scopes.add("own")
     return scopes
 
 
@@ -229,6 +244,50 @@ _PIN_FUNCS = {
     "numpy.ascontiguousarray", "numpy.asfortranarray", "numpy.copy",
     "numpy.array",
 }
+#: calls that block the event loop when issued from a coroutine
+_ASYNC_BLOCKING = {
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.waitpid",
+    "socket.create_connection",
+    # unbounded numpy work: a full GEMM/solve stalls the 30 s loop
+    "numpy.einsum", "numpy.matmul", "numpy.dot", "numpy.tensordot",
+}
+_ASYNC_BLOCKING_PREFIXES = ("numpy.linalg.",)
+#: sync-file-I/O method names (Path-style) blocking from a coroutine
+_ASYNC_BLOCKING_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+}
+#: process/socket/segment-holding constructors RES001 tracks (matched
+#: on the terminal identifier so both bare and dotted spellings hit)
+_RES_CTORS = {
+    "ProcessesBackend", "AsyncTileServer", "ChunkAssembler",
+    "SharedArena", "SharedStateSlab",
+    "ThreadPoolExecutor", "ProcessPoolExecutor", "Pool",
+}
+_RES_RELEASE_METHODS = {"close", "aclose", "shutdown", "terminate"}
+_SHM_CTOR = "multiprocessing.shared_memory.SharedMemory"
+#: the only functions allowed to write into shared slab/arena blocks
+_OWN_SANCTIONED = {"_pool_worker", "letkf_runner"}
+
+
+def _terminal_ident(node: ast.AST) -> str | None:
+    """Last identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _looks_shared(node: ast.AST) -> bool:
+    """Name convention: terminal identifier mentions slab/arena."""
+    ident = _terminal_ident(node)
+    if ident is None:
+        return False
+    low = ident.lower()
+    return "slab" in low or "arena" in low
 
 
 def _is_f64_dtype_value(node: ast.AST, aliases: dict[str, str]) -> bool:
@@ -285,17 +344,39 @@ class _Linter:
                         node.value, "DTY001",
                         "float64 dtype literal in a single-precision hot path",
                     )
-        for fn in self._functions(tree):
+        if "async" in self.scopes:
+            self._check_unawaited(tree)
+        for fn, stack in self._functions(tree):
             if "kernel" in self.scopes:
                 self._check_mutation(fn)
             if "layout" in self.scopes:
                 self._check_layout(fn)
+            if "async" in self.scopes and isinstance(fn, ast.AsyncFunctionDef):
+                self._check_async_blocking(fn)
+            if "shm" in self.scopes:
+                self._check_shm_lifecycle(fn)
+            if "res" in self.scopes:
+                self._check_resource_lifecycle(fn)
+            if "own" in self.scopes:
+                self._check_ownership(fn, stack)
 
     @staticmethod
-    def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node
+    def _functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, tuple[str, ...]]]:
+        """Yield every function with its enclosing-function name stack."""
+        out: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, tuple[str, ...]]] = []
+
+        def visit(node: ast.AST, stack: tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((child, stack))
+                    visit(child, stack + (child.name,))
+                else:
+                    visit(child, stack)
+
+        visit(tree, ())
+        yield from out
 
     # -- DET001 / DET002 / DTY001 (call-shaped) -------------------------
 
@@ -531,6 +612,309 @@ class _Linter:
                     floating.add(name)
                 else:
                     floating.discard(name)
+
+    # -- ASY001 ---------------------------------------------------------
+
+    def _check_async_blocking(self, fn: ast.AsyncFunctionDef) -> None:
+        for node in self._walk_own(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve(node.func, self.aliases)
+            if resolved is not None and (
+                resolved in _ASYNC_BLOCKING
+                or resolved.startswith(_ASYNC_BLOCKING_PREFIXES)
+            ):
+                self.flag(
+                    node, "ASY001",
+                    f"blocking call {resolved}() inside 'async def "
+                    f"{fn.name}' stalls the event loop",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and "open" not in self.aliases
+            ):
+                self.flag(
+                    node, "ASY001",
+                    f"sync file open() inside 'async def {fn.name}' "
+                    "stalls the event loop",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ASYNC_BLOCKING_METHODS
+            ):
+                self.flag(
+                    node, "ASY001",
+                    f"sync file I/O .{node.func.attr}() inside 'async def "
+                    f"{fn.name}' stalls the event loop",
+                )
+
+    # -- ASY002 ---------------------------------------------------------
+
+    def _check_unawaited(self, tree: ast.Module) -> None:
+        async_names = {
+            n.name for n in ast.walk(tree)
+            if isinstance(n, ast.AsyncFunctionDef)
+        }
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            call = node.value
+            resolved = _resolve(call.func, self.aliases)
+            fire_forget = resolved in (
+                "asyncio.create_task", "asyncio.ensure_future"
+            )
+            if not fire_forget and isinstance(call.func, ast.Attribute):
+                # loop.create_task(...) spelled through a loop variable
+                recv = call.func.value
+                if (
+                    call.func.attr in ("create_task", "ensure_future")
+                    and isinstance(recv, ast.Name)
+                    and "loop" in recv.id.lower()
+                ):
+                    fire_forget = True
+            if fire_forget:
+                self.flag(
+                    call, "ASY002",
+                    "fire-and-forget create_task: the task handle is "
+                    "dropped, so the task can be garbage-collected "
+                    "mid-flight and its exception is lost",
+                )
+            elif isinstance(call.func, ast.Name) and call.func.id in async_names:
+                self.flag(
+                    call, "ASY002",
+                    f"coroutine '{call.func.id}()' is never awaited — the "
+                    "call builds a coroutine object and discards it",
+                )
+
+    # -- SHM001 / RES001 shared dataflow --------------------------------
+
+    @staticmethod
+    def _escaped_names(fn: ast.AST) -> set[str]:
+        """Names whose value leaves the function (stored, passed,
+        returned, aliased) — ownership transfers, so the handle is not
+        provably leaked here. Full walk: closures count as escapes'
+        observers, not new scopes."""
+        esc: set[str] = set()
+
+        def mark(node: ast.AST | None) -> None:
+            if isinstance(node, ast.Name):
+                esc.add(node.id)
+            elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+                for e in node.elts:
+                    mark(e)
+            elif isinstance(node, ast.Dict):
+                for v in node.values:
+                    mark(v)
+            elif isinstance(node, ast.Starred):
+                mark(node.value)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                for a in node.args:
+                    mark(a)
+                for kw in node.keywords:
+                    mark(kw.value)
+            elif isinstance(node, ast.Assign):
+                if not (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    # storing into an attribute/subscript/alias hands the
+                    # value to another owner
+                    mark(node.value)
+            elif isinstance(node, ast.AnnAssign):
+                mark(node.value)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                mark(node.value)
+        return esc
+
+    @staticmethod
+    def _released_names(fn: ast.AST, methods: set[str]) -> set[str]:
+        """Names that get a release-method call or a with-block."""
+        rel: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Name) and node.func.attr in methods:
+                    rel.add(recv.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Name):
+                        rel.add(item.context_expr.id)
+        return rel
+
+    def _check_shm_lifecycle(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        created: dict[str, tuple[ast.Call, bool]] = {}
+        for node in self._walk_own(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            if _resolve(node.value.func, self.aliases) != _SHM_CTOR:
+                continue
+            is_create = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.value.keywords
+            )
+            created[node.targets[0].id] = (node.value, is_create)
+        if not created:
+            return
+        esc = self._escaped_names(fn)
+        rel = self._released_names(fn, {"close", "unlink"})
+        for name, (node, is_create) in created.items():
+            if name in esc or name in rel:
+                continue
+            if is_create:
+                self.flag(
+                    node, "SHM001",
+                    f"SharedMemory(create=True) handle '{name}' never "
+                    "reaches close()/unlink() and never escapes — the "
+                    "segment outlives the process in /dev/shm",
+                )
+            else:
+                self.flag(
+                    node, "SHM001",
+                    f"attached SharedMemory handle '{name}' never reaches "
+                    "close() and never escapes — the mapping leaks",
+                )
+
+    def _check_resource_lifecycle(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        tracked: dict[str, ast.Call] = {}
+        for node in self._walk_own(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            resolved = _resolve(node.value.func, self.aliases)
+            last = (
+                resolved.rsplit(".", 1)[-1]
+                if resolved
+                else _terminal_ident(node.value.func)
+            )
+            if last in _RES_CTORS:
+                tracked[node.targets[0].id] = node.value
+        if not tracked:
+            return
+        esc = self._escaped_names(fn)
+        rel = self._released_names(fn, _RES_RELEASE_METHODS)
+        for name, node in tracked.items():
+            if name in esc or name in rel:
+                continue
+            ctor = _terminal_ident(node.func) or "resource"
+            self.flag(
+                node, "RES001",
+                f"{ctor} '{name}' is constructed but no exit path "
+                "closes it (no close()/aclose()/shutdown(), no context "
+                "manager, never handed off)",
+            )
+
+    # -- OWN001 ---------------------------------------------------------
+
+    def _check_ownership(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        stack: tuple[str, ...],
+    ) -> None:
+        if fn.name in _OWN_SANCTIONED or any(s in _OWN_SANCTIONED for s in stack):
+            return
+
+        shared: set[str] = set()
+        blocks: set[str] = set()
+
+        def is_shared_base(node: ast.AST) -> bool:
+            if isinstance(node, ast.Name) and node.id in shared:
+                return True
+            return _looks_shared(node)
+
+        def is_block_target(node: ast.AST) -> bool:
+            """Does this subscript write land in a shared block?"""
+            while isinstance(node, ast.Subscript):
+                node = node.value
+            if isinstance(node, ast.Attribute) and node.attr in ("fields", "aux"):
+                return is_shared_base(node.value)
+            return isinstance(node, ast.Name) and node.id in blocks
+
+        # pass 1: collect shared handles and block views (flow-insensitive)
+        for node in self._walk_own(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            name = node.targets[0].id
+            value = node.value
+            if isinstance(value, ast.Call):
+                func = value.func
+                resolved = _resolve(func, self.aliases)
+                last = (
+                    resolved.rsplit(".", 1)[-1]
+                    if resolved
+                    else _terminal_ident(func)
+                )
+                if last in ("SharedStateSlab", "SharedArena", "_attach_cached"):
+                    shared.add(name)
+                elif isinstance(func, ast.Attribute) and func.attr in (
+                    "attach", "to_shared", "share"
+                ):
+                    shared.add(name)
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in ("fields", "aux")
+                    and is_shared_base(func.value.value)
+                ):
+                    blocks.add(name)
+            elif isinstance(value, ast.Subscript):
+                base = value
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute) and base.attr in (
+                    "fields", "aux"
+                ) and is_shared_base(base.value):
+                    blocks.add(name)
+
+        # pass 2: flag foreign writes
+        for node in self._walk_own(fn):
+            if isinstance(node, ast.Assign):
+                targets: list[ast.AST] = []
+                for t in node.targets:
+                    targets.extend(t.elts if isinstance(t, ast.Tuple) else [t])
+                for t in targets:
+                    if isinstance(t, ast.Subscript) and is_block_target(t):
+                        self.flag(
+                            t, "OWN001",
+                            f"'{fn.name}' writes into a shared slab/arena "
+                            "block but is not a sanctioned owner "
+                            "(worker block functions and letkf_runner "
+                            "shards only)",
+                        )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Subscript
+            ):
+                if is_block_target(node.target):
+                    self.flag(
+                        node.target, "OWN001",
+                        f"'{fn.name}' writes into a shared slab/arena "
+                        "block but is not a sanctioned owner "
+                        "(worker block functions and letkf_runner "
+                        "shards only)",
+                    )
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,11 @@ DET002    wall-clock reads outside the telemetry/workflow layers
 DTY001    dtype discipline in the single-precision hot paths
 MUT001    in-place mutation of function parameters in kernel modules
 LAY001    layout-floating GEMM/einsum operands near ``letkf_transform``
+ASY001    blocking call inside ``async def`` (stalls the event loop)
+ASY002    un-awaited coroutine / fire-and-forget task without a handle
+SHM001    shared-memory segment that provably never reaches close/unlink
+RES001    pool/executor/server constructed without a close on exit paths
+OWN001    slab/arena block write outside the designated owner
 ========  ==========================================================
 
 Findings are suppressed inline with ``# reprolint: ok <CODE> <reason>``
@@ -88,6 +93,67 @@ RULES: dict[str, Rule] = {
                 "a layout-floating view breaks bit-reproducibility between "
                 "code paths; pin with np.ascontiguousarray(...) or annotate "
                 "the documented layout contract"
+            ),
+        ),
+        Rule(
+            code="ASY001",
+            name="blocking-call-in-async",
+            summary="blocking call inside an async def stalls the event loop",
+            hint=(
+                "the 30-second cycle cannot absorb a stalled loop: await "
+                "asyncio.sleep(...) instead of time.sleep, wrap sync I/O and "
+                "heavy numpy work in 'await asyncio.to_thread(...)', or move "
+                "the blocking work out of the coroutine entirely"
+            ),
+        ),
+        Rule(
+            code="ASY002",
+            name="unawaited-coroutine",
+            summary="un-awaited coroutine or fire-and-forget create_task "
+            "without a retained handle",
+            hint=(
+                "a bare coroutine call never runs and a task without a "
+                "retained reference can be garbage-collected mid-flight: "
+                "'await' the coroutine, or keep the create_task handle "
+                "(task = loop.create_task(...)) and await/cancel it on "
+                "shutdown"
+            ),
+        ),
+        Rule(
+            code="SHM001",
+            name="shm-lifecycle",
+            summary="SharedMemory handle that provably never reaches "
+            "close()/unlink() or an ownership registry",
+            hint=(
+                "every SharedMemory(create=True) must end in unlink() and "
+                "every attach in close(), or the segment outlives the "
+                "process in /dev/shm; route ownership through "
+                "repro.model.shm (SharedStateSlab / SharedArena are context "
+                "managers) or close in a try/finally"
+            ),
+        ),
+        Rule(
+            code="RES001",
+            name="resource-lifecycle",
+            summary="pool/executor/server constructed without close() or a "
+            "context manager on every exit path",
+            hint=(
+                "backends, servers, and assemblers hold processes, sockets, "
+                "or shared segments: prefer 'with make_backend(...) as b:' / "
+                "'async with'/'await server.aclose()' in a finally, or hand "
+                "the object to an owner that closes it"
+            ),
+        ),
+        Rule(
+            code="OWN001",
+            name="foreign-slab-write",
+            summary="write to a shared slab/arena block outside the "
+            "designated owner",
+            hint=(
+                "shared-memory blocks have exactly one writer per handoff "
+                "(worker block functions and letkf_runner shards): move the "
+                "write into the owning worker, or annotate the documented "
+                "recovery path with '# reprolint: ok OWN001 <reason>'"
             ),
         ),
     )

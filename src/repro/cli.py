@@ -224,15 +224,30 @@ def _cmd_fleet(args) -> int:
         seed=args.seed,
     )
     fleet = FleetScheduler.from_config(cfg, telemetry=tel)
+    if args.stall_threshold > 0:
+        from .checks.concurrency import LoopStallProbe
+
+        fleet.stall_probe = LoopStallProbe(
+            threshold_s=args.stall_threshold, telemetry=tel
+        )
     rain = storm_rain(args.storm_rain) if args.storm_rain > 0 else None
     report = fleet.run(args.rounds, rain=rain)
     print(fleet_text(report))
+    if fleet.stall_probe is not None:
+        probe = fleet.stall_probe
+        print(
+            f"loop-stall probe: {probe.stalls} stall(s) over "
+            f"{probe.threshold_s:.3f} s (worst lag {probe.worst_lag_s:.3f} s)"
+        )
     if args.json:
         path = _resolve_out(args, args.json)
         Path(path).parent.mkdir(parents=True, exist_ok=True)
         Path(path).write_text(json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"wrote {path}")
     _write_telemetry(args, tel)
+    if fleet.stall_probe is not None and fleet.stall_probe.stalls > 0:
+        print("error: event-loop stalls detected", file=sys.stderr)
+        return EXIT_ERROR
     return EXIT_OK
 
 
@@ -273,12 +288,15 @@ def _cmd_serve(args) -> int:
 
     async def _serve() -> None:
         await server.start()
-        tenant = store.tenants[0]
-        print(f"serving on http://{server.host}:{server.port}")
-        print(f"  try: /v1/{tenant}/catalog")
-        print(f"       /v1/{tenant}/tiles/rain/latest/1/0/0.png")
-        print("       /metrics")
-        await server.serve_forever()
+        try:
+            tenant = store.tenants[0]
+            print(f"serving on http://{server.host}:{server.port}")
+            print(f"  try: /v1/{tenant}/catalog")
+            print(f"       /v1/{tenant}/tiles/rain/latest/1/0/0.png")
+            print("       /metrics")
+            await server.serve_forever()
+        finally:
+            await server.aclose()
 
     try:
         asyncio.run(_serve())
@@ -439,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--storm-rain", type=float, default=8000.0, metavar="KM2",
         help="peak rain area of the phase-offset storm profile; 0 "
              "disables storms (default 8000)",
+    )
+    fl.add_argument(
+        "--stall-threshold", type=float, default=0.0, metavar="SEC",
+        help="arm the event-loop stall probe with this lag threshold "
+             "in seconds; any stall fails the run (0 disables, the "
+             "default)",
     )
     fl.add_argument("--json", type=str, default=None, metavar="FILE",
                     help="write the fleet report as JSON")

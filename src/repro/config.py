@@ -436,6 +436,14 @@ class ExecutionConfig:
     #: (the null-object sanitizer costs one attribute check); checks
     #: are read-only, so a sanitized run stays bit-identical
     sanitize: bool = False
+    #: arm the runtime concurrency sanitizer
+    #: (:mod:`repro.checks.concurrency`) on the ``processes`` backend:
+    #: block handoffs record the designated writer per member range and
+    #: write-protect the parent's slab views, so a foreign write raises
+    #: :class:`~repro.checks.concurrency.OwnershipError` instead of
+    #: racing a worker. Off by default; the checks are read-only, so a
+    #: checked run stays bit-identical
+    concurrency_checks: bool = False
 
     def __post_init__(self):
         if self.backend not in ("serial", "vectorized", "sharded", "processes"):

@@ -56,6 +56,7 @@ from multiprocessing import get_context, resource_tracker
 
 import numpy as np
 
+from ..checks.concurrency import NULL_CONCURRENCY, parent_owner, worker_owner
 from ..comm.vmpi import CommStats, LinkModel, VirtualComm
 from ..config import ExecutionConfig
 from ..model.ensemble_state import EnsembleState
@@ -337,9 +338,15 @@ class ProcessesBackend(ExecutionBackend):
     name = "processes"
 
     def __init__(self, n_workers: int | None = None, *,
-                 start_method: str | None = None):
+                 start_method: str | None = None, concurrency=None):
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1 (or None for auto)")
+        if concurrency is None:
+            concurrency = NULL_CONCURRENCY
+        #: the injected concurrency sanitizer guarding block handoffs
+        #: (:data:`~repro.checks.concurrency.NULL_CONCURRENCY` unless
+        #: ``ExecutionConfig(concurrency_checks=True)`` armed it)
+        self.concurrency = concurrency
         self.n_workers = n_workers if n_workers is not None else max(1, os.cpu_count() or 1)
         if start_method is None:
             import multiprocessing
@@ -590,32 +597,50 @@ class ProcessesBackend(ExecutionBackend):
             self._model_seen.add(w)
             pending[w] = (lo, hi)
 
-        def fallback(w: int, lo: int, hi: int) -> dict:
-            t0 = time.perf_counter()
-            blk = self._in_slab.state(
-                state.grid, state.reference, time=state.time,
-                nsteps=state.nsteps, lo=lo, hi=hi, aux_keys=aux_keys,
-            )
-            out = model.integrate(blk, duration)
-            for k, arr in out.fields.items():
-                self._out_slab.fields[k][lo:hi] = arr
-            slab_aux: list[str] = []
-            extra: dict[str, np.ndarray] = {}
-            for k, arr in out.aux.items():
-                slot = self._out_slab.aux.get(k)
-                if slot is not None and slot[lo:hi].shape == arr.shape:
-                    slot[lo:hi] = arr
-                    slab_aux.append(k)
-                else:
-                    extra[k] = arr
-            return {
-                "worker": w, "ok": True, "time": out.time,
-                "nsteps": out.nsteps, "lo": lo, "hi": hi,
-                "members": hi - lo, "slab_aux": slab_aux,
-                "extra_aux": extra, "seconds": time.perf_counter() - t0,
-            }
+        guarded = {f"fields.{k}": v for k, v in self._out_slab.fields.items()}
+        guarded.update(
+            {f"aux.{k}": v for k, v in self._out_slab.aux.items()}
+        )
+        leases = [
+            (lo, hi, worker_owner(w)) for w, (lo, hi) in pending.items()
+        ]
 
-        results = self._collect(seq, pending, fallback)
+        with self.concurrency.handoff(
+            self._out_slab.name, guarded, leases
+        ) as hoff:
+
+            def fallback(w: int, lo: int, hi: int) -> dict:
+                t0 = time.perf_counter()
+                blk = self._in_slab.state(
+                    state.grid, state.reference, time=state.time,
+                    nsteps=state.nsteps, lo=lo, hi=hi, aux_keys=aux_keys,
+                )
+                out = model.integrate(blk, duration)
+                # crash-recovery block recompute: the dead worker's
+                # range is reclaimed by the parent, which stands in as
+                # the block's writer (audited by the sanitizer ledger)
+                with hoff.reclaim(lo, hi, parent_owner(), steal=True):
+                    for k, arr in out.fields.items():
+                        # reprolint: ok OWN001 crash-recovery recompute under an audited reclaim
+                        self._out_slab.fields[k][lo:hi] = arr
+                    slab_aux: list[str] = []
+                    extra: dict[str, np.ndarray] = {}
+                    for k, arr in out.aux.items():
+                        slot = self._out_slab.aux.get(k)
+                        if slot is not None and slot[lo:hi].shape == arr.shape:
+                            # reprolint: ok OWN001 crash-recovery recompute under an audited reclaim
+                            slot[lo:hi] = arr
+                            slab_aux.append(k)
+                        else:
+                            extra[k] = arr
+                return {
+                    "worker": w, "ok": True, "time": out.time,
+                    "nsteps": out.nsteps, "lo": lo, "hi": hi,
+                    "members": hi - lo, "slab_aux": slab_aux,
+                    "extra_aux": extra, "seconds": time.perf_counter() - t0,
+                }
+
+            results = self._collect(seq, pending, fallback)
         order = sorted(results)
         first = results[order[0]]
 
@@ -692,18 +717,24 @@ class ProcessesBackend(ExecutionBackend):
             })
             pending[w] = (lo, hi)
 
-        def fallback(w: int, lo: int, hi: int) -> dict:
-            t0 = time.perf_counter()
-            W = letkf_transform(
-                dYb[lo:hi], d[lo:hi], rinv[lo:hi], backend=backend,
-                rtpp_factor=rtpp_factor, assume_active=True,
-                precision=precision,
-            )
-            slab.fields["W"][lo:hi] = W
-            return {"worker": w, "ok": True, "lo": lo, "hi": hi,
-                    "rows": hi - lo, "seconds": time.perf_counter() - t0}
+        leases = [
+            (lo, hi, worker_owner(w)) for w, (lo, hi) in pending.items()
+        ]
+        with self.concurrency.handoff(slab.name, slab.fields, leases) as hoff:
 
-        results = self._collect(seq, pending, fallback)
+            def fallback(w: int, lo: int, hi: int) -> dict:
+                t0 = time.perf_counter()
+                W = letkf_transform(
+                    dYb[lo:hi], d[lo:hi], rinv[lo:hi], backend=backend,
+                    rtpp_factor=rtpp_factor, assume_active=True,
+                    precision=precision,
+                )
+                with hoff.reclaim(lo, hi, parent_owner(), steal=True):
+                    slab.fields["W"][lo:hi] = W
+                return {"worker": w, "ok": True, "lo": lo, "hi": hi,
+                        "rows": hi - lo, "seconds": time.perf_counter() - t0}
+
+            results = self._collect(seq, pending, fallback)
         self.last_letkf_timings = [
             {"op": "letkf", "worker": w, "rows": results[w]["rows"],
              "seconds": results[w]["seconds"]}
@@ -786,18 +817,27 @@ def make_backend(
             spec = ExecutionConfig(backend=spec)
         if not isinstance(spec, ExecutionConfig):
             raise TypeError(f"cannot build an execution backend from {spec!r}")
+        concurrency = None
+        if spec.concurrency_checks:
+            from ..checks.concurrency import make_concurrency_sanitizer
+
+            concurrency = make_concurrency_sanitizer(True)
         if spec.backend == "serial":
             backend = SerialBackend()
         elif spec.backend == "vectorized":
             backend = VectorizedBackend()
         elif spec.backend == "processes":
-            backend = ProcessesBackend(n_workers=spec.workers)
+            backend = ProcessesBackend(
+                n_workers=spec.workers, concurrency=concurrency
+            )
         else:
             inner: ExecutionBackend | None = None
             if spec.sharded_inner == "serial":
                 inner = SerialBackend()
             elif spec.sharded_inner == "processes":
-                inner = ProcessesBackend(n_workers=spec.workers)
+                inner = ProcessesBackend(
+                    n_workers=spec.workers, concurrency=concurrency
+                )
             backend = ShardedBackend(n_shards=spec.n_shards, inner=inner)
 
     if sanitize and not isinstance(backend, SanitizedBackend):

@@ -178,6 +178,7 @@ class FleetScheduler:
         policy: str = "deadline",
         telemetry=None,
         interleave=None,
+        stall_probe=None,
     ):
         if not tenants:
             raise ValueError("a fleet needs at least one tenant")
@@ -198,6 +199,11 @@ class FleetScheduler:
         #: optional async hook awaited at every prepare-task checkpoint —
         #: the seam the Hypothesis interleaving-invariance test drives
         self.interleave = interleave
+        #: optional :class:`~repro.checks.concurrency.LoopStallProbe`
+        #: armed for the duration of :meth:`run_async` — the runtime
+        #: face of ASY001 (a blocking prepare callback shows up as a
+        #: stall in ``checks_loop_stall_seconds``)
+        self.stall_probe = stall_probe
         self.round = 0
         #: (round, tenant_id, slack_s) in dispatch order, every round —
         #: the replayable decision trail the determinism tests compare
@@ -344,8 +350,15 @@ class FleetScheduler:
         return preps
 
     async def run_async(self, n_rounds: int, *, rain=None, outage=None) -> None:
-        for _ in range(n_rounds):
-            await self.run_round_async(rain=rain, outage=outage)
+        probe = self.stall_probe
+        if probe is not None:
+            probe.start()
+        try:
+            for _ in range(n_rounds):
+                await self.run_round_async(rain=rain, outage=outage)
+        finally:
+            if probe is not None:
+                await probe.stop()
 
     def run(self, n_rounds: int, *, rain=None, outage=None) -> FleetReport:
         """Drive ``n_rounds`` fleet rounds to completion; returns rollups."""

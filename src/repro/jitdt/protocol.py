@@ -192,3 +192,21 @@ class ChunkAssembler:
         if missing:
             raise ProtocolError(f"missing chunks: {sorted(missing)[:5]}...")
         return b"".join(self._parts[i] for i in range(self.total))
+
+    # -- lifecycle (RES001's preferred idiom) --------------------------
+
+    def close(self) -> None:
+        """Drop the buffered chunk bodies (idempotent).
+
+        An assembler mid-transfer holds up to a full payload of chunk
+        bodies; closing releases them eagerly instead of waiting for
+        the garbage collector to notice an abandoned transfer.
+        """
+        self._parts = {}
+        self.total = None
+
+    def __enter__(self) -> "ChunkAssembler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

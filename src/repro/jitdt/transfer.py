@@ -199,44 +199,48 @@ class TransferEngine:
                     raise RuntimeError("protocol round-trip corrupted the payload")
                 ok = True
             else:
-                asm = ChunkAssembler()
-                asm.ingest_many(chunk_faults(list(chunks), 0))
-                n_corrupt = asm.n_rejected
-                # CRC-driven repair: request only the damaged/missing
-                # slots, bounded by the retry policy
-                attempt = 1
-                while not asm.complete and attempt < self.retry.max_attempts:
-                    missing = sorted(asm.missing) if asm.total is not None else None
-                    resend = (
-                        chunks if missing is None
-                        else [chunks[i] for i in missing]
-                    )
-                    seconds += self._backoff_s(attempt - 1, len(resend))
-                    if self.watchdog is not None and self.watchdog.exceeded(seconds):
-                        cancelled = True
-                        error = (
-                            f"watchdog cancelled transfer at {seconds:.1f} s "
-                            f"(budget {self.watchdog.budget_s:.1f} s)"
+                with ChunkAssembler() as asm:
+                    asm.ingest_many(chunk_faults(list(chunks), 0))
+                    n_corrupt = asm.n_rejected
+                    # CRC-driven repair: request only the damaged/missing
+                    # slots, bounded by the retry policy
+                    attempt = 1
+                    while not asm.complete and attempt < self.retry.max_attempts:
+                        missing = sorted(asm.missing) if asm.total is not None else None
+                        resend = (
+                            chunks if missing is None
+                            else [chunks[i] for i in missing]
                         )
-                        break
-                    before = asm.n_rejected
-                    asm.ingest_many(chunk_faults(resend, attempt))
-                    n_corrupt += asm.n_rejected - before
-                    n_retransmits += 1
-                    attempt += 1
-                ok = asm.complete and not cancelled
-                if ok:
-                    received = asm.payload()
-                    if received != payload:  # pragma: no cover - CRC guards this
-                        raise RuntimeError("protocol round-trip corrupted the payload")
-                else:
-                    received = None
-                    if not error:
-                        n_missing = len(asm.missing) if asm.total is not None else "all"
-                        error = (
-                            f"unrepairable after {n_retransmits} retransmits "
-                            f"({n_missing} chunks missing)"
-                        )
+                        seconds += self._backoff_s(attempt - 1, len(resend))
+                        if self.watchdog is not None and self.watchdog.exceeded(seconds):
+                            cancelled = True
+                            error = (
+                                f"watchdog cancelled transfer at {seconds:.1f} s "
+                                f"(budget {self.watchdog.budget_s:.1f} s)"
+                            )
+                            break
+                        before = asm.n_rejected
+                        asm.ingest_many(chunk_faults(resend, attempt))
+                        n_corrupt += asm.n_rejected - before
+                        n_retransmits += 1
+                        attempt += 1
+                    ok = asm.complete and not cancelled
+                    if ok:
+                        received = asm.payload()
+                        if received != payload:  # pragma: no cover - CRC guards this
+                            raise RuntimeError(
+                                "protocol round-trip corrupted the payload"
+                            )
+                    else:
+                        received = None
+                        if not error:
+                            n_missing = (
+                                len(asm.missing) if asm.total is not None else "all"
+                            )
+                            error = (
+                                f"unrepairable after {n_retransmits} retransmits "
+                                f"({n_missing} chunks missing)"
+                            )
 
             res = TransferResult(
                 nbytes=len(payload),

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import warnings
 from multiprocessing import resource_tracker, shared_memory
 from typing import Iterator, Mapping, Optional, Sequence
 
@@ -50,8 +51,10 @@ import numpy as np
 __all__ = [
     "SharedArena",
     "SharedStateSlab",
+    "add_sweep_listener",
     "live_segment_names",
     "state_spec",
+    "sweep_leaked",
 ]
 
 #: byte alignment of every array inside a slab (cache-line / SIMD width)
@@ -76,7 +79,27 @@ def live_segment_names() -> frozenset[str]:
     return frozenset(_CREATED)
 
 
-def _atexit_sweep() -> None:
+#: callables notified with the list of swept (leaked) segment names;
+#: repro.checks.concurrency.attach_sweep_telemetry registers here to
+#: count sweeps through the checks_shm_leaked_total metric
+_SWEEP_LISTENERS: list = []
+
+
+def add_sweep_listener(fn) -> None:
+    """Register ``fn(names)`` to observe every non-empty leak sweep."""
+    _SWEEP_LISTENERS.append(fn)
+
+
+def sweep_leaked() -> list[str]:
+    """Unlink every still-registered segment; report what leaked.
+
+    A segment reaching this sweep means its owner never called
+    :meth:`SharedStateSlab.close` — a lifecycle bug (SHM001's runtime
+    face), so the sweep is loud: the leaked names go to every
+    registered listener and a :class:`ResourceWarning`, not just
+    silently to ``unlink``.
+    """
+    swept: list[str] = []
     for name in list(_CREATED):
         seg = _CREATED.pop(name, None)
         if seg is None:
@@ -86,9 +109,23 @@ def _atexit_sweep() -> None:
             seg.unlink()
         except OSError:  # already gone (e.g. unlinked by a sibling)
             pass
+        swept.append(name)
+    if swept:
+        for fn in _SWEEP_LISTENERS:
+            try:
+                fn(list(swept))
+            except Exception:  # a listener must not break the sweep
+                pass
+        warnings.warn(
+            f"swept {len(swept)} leaked shared-memory segment(s): "
+            f"{sorted(swept)} — the owner never called close()",
+            ResourceWarning,
+            stacklevel=2,
+        )
+    return swept
 
 
-atexit.register(_atexit_sweep)
+atexit.register(sweep_leaked)
 
 
 def _untrack(seg: shared_memory.SharedMemory, creator_pid: Optional[int]) -> None:

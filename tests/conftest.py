@@ -7,8 +7,6 @@ enough for second-scale tests.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
@@ -18,32 +16,22 @@ from repro.model import ScaleRM, convective_sounding, warm_bubble
 from repro.model.reference import ReferenceState
 
 
-def _shm_segment_names() -> set[str]:
-    """Names of this repo's live shared-memory segments (best effort)."""
-    import repro.model.shm as shm
-
-    names = set(shm.live_segment_names())
-    try:
-        names |= {
-            n for n in os.listdir("/dev/shm") if n.startswith("reproshm-")
-        }
-    except OSError:  # non-Linux or no tmpfs mount: registry check only
-        pass
-    return names
-
-
 @pytest.fixture(autouse=True)
 def no_leaked_shm_segments():
     """Every test must unlink the shared-memory segments it creates.
 
-    The sweep compares this repo's segment namespace (``reproshm-*``)
-    before and after each test, on disk and in the creation registry —
-    a leak in any test fails *that* test rather than surfacing as a
-    resource-tracker warning at interpreter exit.
+    The sweep is the first-class runtime leak check from
+    :mod:`repro.checks.concurrency`: it compares this repo's segment
+    namespace (``reproshm-*``) before and after each test, on disk and
+    in the creation registry — a leak in any test fails *that* test
+    rather than surfacing as a resource-tracker warning at interpreter
+    exit.
     """
-    before = _shm_segment_names()
+    from repro.checks.concurrency import SegmentLeakMonitor
+
+    monitor = SegmentLeakMonitor()
     yield
-    leaked = _shm_segment_names() - before
+    leaked = monitor.check()
     assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 

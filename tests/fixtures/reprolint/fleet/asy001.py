@@ -1,0 +1,30 @@
+"""ASY001 fixture: blocking calls inside async defs (fleet//serving/)."""
+import asyncio
+import subprocess
+import time
+
+import numpy as np
+
+
+async def bad_blocking(path, a, b):
+    time.sleep(0.1)  # positive: sync sleep in a coroutine
+    subprocess.run(["true"])  # positive: subprocess blocks the loop
+    data = open(path).read()  # positive: sync file open
+    text = path.read_text()  # positive: Path-style sync file I/O
+    w = np.linalg.solve(a, b)  # positive: unbounded numpy work
+    return data, text, w
+
+
+async def good_async(path):
+    await asyncio.sleep(0.1)  # negative: async sleep yields the loop
+    data = await asyncio.to_thread(path.read_text)  # negative: off-loop
+    return data
+
+
+def sync_helper(path):
+    time.sleep(0.0)  # negative: not a coroutine
+    return open(path).read()  # negative: sync code may block
+
+
+async def tolerated():
+    time.sleep(0.0)  # reprolint: ok ASY001 fixture demonstrates suppression

@@ -1,0 +1,23 @@
+"""ASY002 fixture: un-awaited coroutines / dropped task handles."""
+import asyncio
+
+
+async def work():
+    await asyncio.sleep(0)
+
+
+async def bad(loop):
+    asyncio.create_task(work())  # positive: task handle dropped
+    asyncio.ensure_future(work())  # positive: future handle dropped
+    loop.create_task(work())  # positive: loop-spelled fire-and-forget
+    work()  # positive: coroutine built and discarded, never awaited
+
+
+async def good(loop):
+    await work()  # negative: awaited
+    task = asyncio.create_task(work())  # negative: handle retained
+    await task
+
+
+async def tolerated():
+    asyncio.create_task(work())  # reprolint: ok ASY002 fixture demonstrates suppression

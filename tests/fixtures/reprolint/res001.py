@@ -1,0 +1,39 @@
+"""RES001 fixture: pool/executor/server lifecycle (applies everywhere)."""
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.jitdt.protocol import ChunkAssembler
+
+
+def bad_pool(items, fn):
+    pool = ThreadPoolExecutor(max_workers=2)  # positive: never shut down
+    return [pool.submit(fn, i) for i in items]
+
+
+def bad_assembler(chunks):
+    asm = ChunkAssembler()  # positive: buffered chunks never released
+    asm.ingest_many(chunks)
+    return asm.complete
+
+
+def good_with(items, fn):
+    with ThreadPoolExecutor(max_workers=2) as pool:  # negative: managed
+        return list(pool.map(fn, items))
+
+
+def good_closed(chunks):
+    asm = ChunkAssembler()  # negative: closed on every exit path
+    try:
+        asm.ingest_many(chunks)
+        return asm.missing
+    finally:
+        asm.close()
+
+
+def good_handoff():
+    asm = ChunkAssembler()  # negative: ownership handed to the caller
+    return asm
+
+
+def tolerated():
+    pool = ThreadPoolExecutor(max_workers=1)  # reprolint: ok RES001 fixture demonstrates suppression
+    return pool.submit(print)

@@ -1,0 +1,41 @@
+"""SHM001 fixture: shared-memory segment lifecycle (applies everywhere)."""
+from multiprocessing import shared_memory
+
+REGISTRY = {}
+
+
+def bad_create(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)  # positive
+    return seg.buf[0]
+
+
+def bad_attach(name):
+    seg = shared_memory.SharedMemory(name=name)  # positive: never closed
+    return bytes(seg.buf[:4])
+
+
+def good_create(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)  # negative
+    try:
+        return bytes(seg.buf[:1])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def good_registered(size):
+    # negative: the handle escapes into the ownership registry, whose
+    # sweep unlinks it
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    REGISTRY[seg.name] = seg
+    return seg.name
+
+
+def good_handoff(name):
+    seg = shared_memory.SharedMemory(name=name)  # negative: caller owns it
+    return seg
+
+
+def tolerated(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)  # reprolint: ok SHM001 fixture demonstrates suppression
+    return seg.buf

@@ -3,14 +3,17 @@
 The golden fixtures under ``tests/fixtures/reprolint/`` carry one file
 per rule with positive, negative, and suppressed sites; the directory
 layout arms the path-scoped rules (``letkf/`` -> DTY001+LAY001,
-``model/`` -> MUT001, ``workflow/`` -> DET002 off). The integration
-test at the bottom locks in the sanitizer's bit-identity guarantee on a
-real cycling run.
+``model/`` -> MUT001, ``workflow/`` -> DET002 off, ``fleet/`` ->
+ASY001+ASY002; SHM001/RES001/OWN001 apply everywhere). The
+integration tests at the bottom lock in the bit-identity guarantees of
+both runtime sanitizers (array + concurrency) on real cycling runs.
 """
 
+import asyncio
 import json
 import subprocess
 import sys
+import time
 from pathlib import Path
 from types import SimpleNamespace
 
@@ -20,15 +23,22 @@ import pytest
 from repro.checks import (
     ArraySanitizer,
     Baseline,
+    ConcurrencySanitizer,
     Finding,
+    LoopStallProbe,
+    NULL_CONCURRENCY,
     NULL_SANITIZER,
+    OwnershipError,
     RULES,
     SanitizerError,
+    SegmentLeakMonitor,
     lint_file,
     lint_paths,
     lint_source,
+    make_concurrency_sanitizer,
     make_sanitizer,
 )
+from repro.checks.concurrency import parent_owner, worker_owner
 from repro.checks.runner import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE
 from repro.checks.runner import main as checks_main
 
@@ -90,6 +100,46 @@ class TestRuleFixtures:
         assert codes(found) == ["LAY001"] * 3
         assert [f.line for f in found] == [6, 8, 10]
 
+    def test_asy001_blocking_in_async(self):
+        found = lint_file(FIXTURES / "fleet" / "asy001.py")
+        assert codes(found) == ["ASY001"] * 5
+        assert [f.line for f in found] == [10, 11, 12, 13, 14]
+
+    def test_asy001_scoped_to_fleet_and_serving(self):
+        # the same source off the async tiers is out of scope; under
+        # serving/ it is just as armed as under fleet/
+        source = (FIXTURES / "fleet" / "asy001.py").read_text()
+        assert lint_source(source, "pkg/radar/asy001.py") == []
+        found = lint_source(source, "src/repro/serving/tiles.py")
+        assert codes(found) == ["ASY001"] * 5
+
+    def test_asy002_unawaited_coroutines(self):
+        found = lint_file(FIXTURES / "fleet" / "asy002.py")
+        assert codes(found) == ["ASY002"] * 4
+        assert [f.line for f in found] == [10, 11, 12, 13]
+
+    def test_shm001_segment_lifecycle(self):
+        found = lint_file(FIXTURES / "shm001.py")
+        assert codes(found) == ["SHM001"] * 2
+        assert [f.line for f in found] == [8, 13]
+
+    def test_res001_resource_lifecycle(self):
+        found = lint_file(FIXTURES / "res001.py")
+        assert codes(found) == ["RES001"] * 2
+        assert [f.line for f in found] == [8, 13]
+
+    def test_own001_foreign_slab_writes(self):
+        found = lint_file(FIXTURES / "own001.py")
+        assert codes(found) == ["OWN001"] * 3
+        assert [f.line for f in found] == [5, 10, 14]
+
+    def test_own001_off_inside_the_slab_module(self):
+        # shm.py builds the views it hands out; its writes are the
+        # implementation of ownership, not a violation of it
+        src = 'def fill(out_slab, arr):\n    out_slab.fields["U"][:] = arr\n'
+        assert codes(lint_source(src, "src/repro/core/x.py")) == ["OWN001"]
+        assert lint_source(src, "src/repro/model/shm.py") == []
+
     def test_every_rule_has_a_fixture_hit(self):
         all_found = lint_paths([FIXTURES])
         assert set(codes(all_found)) == set(RULES)
@@ -101,6 +151,11 @@ class TestRuleFixtures:
             "letkf/dty001.py",
             "model/mut001.py",
             "letkf/lay001.py",
+            "fleet/asy001.py",
+            "fleet/asy002.py",
+            "shm001.py",
+            "res001.py",
+            "own001.py",
         ):
             everything = lint_file(FIXTURES / rel, include_suppressed=True)
             suppressed = [f for f in everything if f.suppressed]
@@ -508,6 +563,178 @@ class TestSanitizedBackend:
 
 
 # ---------------------------------------------------------------------------
+# runtime concurrency sanitizer
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrencySanitizer:
+    def test_acquire_conflict_raises(self):
+        san = ConcurrencySanitizer()
+        san.acquire("slab", 0, 2, worker_owner(0))
+        with pytest.raises(OwnershipError, match="may not claim"):
+            san.acquire("slab", 1, 3, worker_owner(1))
+        san.acquire("slab", 2, 4, worker_owner(1))  # disjoint range is fine
+        assert san.owner_of("slab", 0) == worker_owner(0)
+        assert san.owner_of("slab", 3) == worker_owner(1)
+        assert san.owner_of("slab", 9) is None
+        assert san.violations == 1
+
+    def test_release_frees_the_range(self):
+        san = ConcurrencySanitizer()
+        san.acquire("slab", 0, 4, worker_owner(0))
+        san.release("slab", 0, 4, worker_owner(0))
+        san.release("slab", 0, 4, worker_owner(0))  # idempotent
+        san.acquire("slab", 0, 4, worker_owner(1))  # no conflict left
+
+    def test_handoff_traps_foreign_write(self):
+        san = ConcurrencySanitizer()
+        x = np.zeros(4, dtype=np.float64)
+        with pytest.raises(OwnershipError, match="foreign write"):
+            with san.handoff("slab", {"fields.U": x}, [(0, 4, worker_owner(0))]):
+                x[0] = 1.0
+        # flags restored, value untouched, lease dropped
+        assert x.flags.writeable and x[0] == 0.0
+        assert san.violations == 1
+        assert san.owner_of("slab", 0) is None
+
+    def test_handoff_restores_flags_on_success(self):
+        san = ConcurrencySanitizer()
+        x = np.zeros(4, dtype=np.float64)
+        frozen = np.zeros(2)
+        frozen.flags.writeable = False
+        with san.handoff("slab", {"x": x, "ro": frozen}, [(0, 4, worker_owner(0))]):
+            assert not x.flags.writeable
+        assert x.flags.writeable
+        assert not frozen.flags.writeable  # already-read-only stays that way
+        assert san.handoffs == 1
+
+    def test_reclaim_requires_ownership(self):
+        san = ConcurrencySanitizer()
+        x = np.zeros(4, dtype=np.float64)
+        with san.handoff("slab", {"x": x}, [(0, 4, worker_owner(0))]) as hoff:
+            with pytest.raises(OwnershipError, match="foreign write"):
+                with hoff.reclaim(0, 4, parent_owner()):
+                    pass
+
+    def test_reclaim_steal_transfers_lease_and_thaws(self):
+        san = ConcurrencySanitizer()
+        x = np.zeros(4, dtype=np.float64)
+        with san.handoff("slab", {"x": x}, [(0, 4, worker_owner(0))]) as hoff:
+            with hoff.reclaim(0, 4, parent_owner(), steal=True):
+                x[:] = 7.0  # the audited crash-recovery write
+            assert san.owner_of("slab", 1) == parent_owner()
+            assert not x.flags.writeable  # refrozen after the reclaim
+        assert x.flags.writeable and (x == 7.0).all()
+        assert san.violations == 0
+
+    def test_null_object_and_factory(self):
+        assert make_concurrency_sanitizer(False) is NULL_CONCURRENCY
+        assert not NULL_CONCURRENCY.enabled
+        san = make_concurrency_sanitizer(True)
+        assert isinstance(san, ConcurrencySanitizer) and san.enabled
+        x = np.zeros(2, dtype=np.float64)
+        with NULL_CONCURRENCY.handoff(
+            "slab", {"x": x}, [(0, 2, worker_owner(0))]
+        ) as hoff:
+            x[0] = 1.0  # never frozen
+            with hoff.reclaim(0, 2, parent_owner()):
+                pass
+        assert NULL_CONCURRENCY.owner_of("slab", 0) is None
+
+
+class TestLoopStallProbe:
+    def test_detects_a_blocked_loop(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        probe = LoopStallProbe(threshold_s=0.05, interval_s=0.01, telemetry=tel)
+
+        async def scenario():
+            probe.start()
+            probe.start()  # idempotent: one heartbeat task
+            await asyncio.sleep(0.03)
+            time.sleep(0.25)  # a blocking callback holds the loop
+            await asyncio.sleep(0.03)
+            await probe.stop()
+
+        asyncio.run(scenario())
+        assert probe.stalls >= 1
+        assert probe.worst_lag_s >= 0.05
+        assert probe._hist.count == probe.stalls
+        assert probe._counter.value == probe.stalls
+
+    def test_cooperative_loop_is_clean(self):
+        probe = LoopStallProbe(threshold_s=0.25, interval_s=0.01)
+
+        async def scenario():
+            probe.start()
+            for _ in range(5):
+                await asyncio.sleep(0.01)
+            await probe.stop()
+            await probe.stop()  # safe to call twice
+
+        asyncio.run(scenario())
+        assert probe.stalls == 0 and probe.worst_lag_s == 0.0
+
+
+class TestSegmentLeakAccounting:
+    def test_monitor_and_sweep_report_leaks(self):
+        import repro.model.shm as shm
+
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        monitor = SegmentLeakMonitor(telemetry=tel)
+        slab = shm.SharedStateSlab({"U": ((2, 3), "float32")}, {})
+        name = slab.name  # deliberately leaked: no close()
+        leaked = monitor.check()
+        assert name in leaked
+        assert tel.metrics.counter("checks_shm_leaked_total").value >= 1
+
+        seen = []
+
+        def listener(names):
+            seen.extend(names)
+
+        shm.add_sweep_listener(listener)
+        try:
+            with pytest.warns(ResourceWarning, match="leaked"):
+                swept = shm.sweep_leaked()
+        finally:
+            shm._SWEEP_LISTENERS.remove(listener)
+        assert name in swept and name in seen
+        # the sweep reclaimed it: nothing new is live any more
+        monitor_after = SegmentLeakMonitor()
+        assert name not in monitor_after.snapshot()
+        assert monitor.check() == set()
+
+    def test_clean_scope_has_no_leaks(self):
+        import repro.model.shm as shm
+
+        monitor = SegmentLeakMonitor()
+        with shm.SharedStateSlab({"U": ((2, 2), "float64")}, {}) as slab:
+            slab.fields["U"][:] = 1.0
+        assert monitor.check() == set()
+
+    def test_attach_sweep_telemetry_counts(self):
+        import repro.model.shm as shm
+
+        from repro.checks.concurrency import attach_sweep_telemetry
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        attach_sweep_telemetry(tel)
+        try:
+            slab = shm.SharedStateSlab({"U": ((2, 2), "float32")}, {})
+            with pytest.warns(ResourceWarning):
+                shm.sweep_leaked()  # slab still referenced: a true leak
+        finally:
+            shm._SWEEP_LISTENERS.pop()
+        assert tel.metrics.counter("checks_shm_leaked_total").value == 1
+        slab.close()  # already swept; idempotent
+
+
+# ---------------------------------------------------------------------------
 # integration: sanitized cycling is bit-identical
 # ---------------------------------------------------------------------------
 
@@ -551,3 +778,75 @@ class TestSanitizedCycleBitIdentity:
         assert calls["forecast"] >= 1 and calls["letkf"] >= 1
         # and the cycler shares the backend's sanitizer instance
         assert guarded.cycler.sanitizer is guarded.backend.sanitizer
+
+
+# ---------------------------------------------------------------------------
+# integration: concurrency-checked processes runs are bit-identical
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrencyCheckedBackend:
+    def test_processes_forecast_bit_identical_with_checks(self):
+        from repro.config import ExecutionConfig
+        from repro.core.backends import make_backend
+        from repro.model.model import ScaleRM
+
+        from .test_backends import tiny_ensemble
+
+        cfg, _, ens = tiny_ensemble(members=4)
+        spec_off = ExecutionConfig(backend="processes", workers=2)
+        spec_on = ExecutionConfig(
+            backend="processes", workers=2, concurrency_checks=True
+        )
+        with make_backend(spec_off) as off, make_backend(spec_on) as on:
+            assert off.concurrency is NULL_CONCURRENCY
+            assert isinstance(on.concurrency, ConcurrencySanitizer)
+            # two windows: the second exercises the reserved-slab path
+            a = off.forecast(ScaleRM(cfg), ens.state.copy(), 30.0)
+            a = off.forecast(ScaleRM(cfg), a, 30.0)
+            b = on.forecast(ScaleRM(cfg), ens.state.copy(), 30.0)
+            b = on.forecast(ScaleRM(cfg), b, 30.0)
+            assert set(a.fields) == set(b.fields)
+            for k in a.fields:
+                assert np.array_equal(a.fields[k], b.fields[k]), k
+            for k in a.aux:
+                assert np.array_equal(a.aux[k], b.aux[k]), k
+            assert on.concurrency.handoffs >= 2
+            assert on.concurrency.violations == 0
+            # all leases were returned at the end of each window
+            assert all(not v for v in on.concurrency._ledger.values())
+
+    def test_crash_recovery_survives_the_checks(self):
+        from repro.core.backends import ProcessesBackend, VectorizedBackend
+        from repro.model.model import ScaleRM
+
+        from .test_backends import tiny_ensemble
+
+        cfg, _, ens = tiny_ensemble(members=4)
+        vec = VectorizedBackend().forecast(ScaleRM(cfg), ens.state.copy(), 30.0)
+        san = ConcurrencySanitizer()
+        with ProcessesBackend(2, concurrency=san) as pool:
+            pool.forecast(ScaleRM(cfg), ens.state.copy(), 30.0)
+            pool._task_qs[0].put({"op": "exit"})  # hard-kill worker 0
+            out = pool.forecast(ScaleRM(cfg), ens.state.copy(), 30.0)
+        for k in vec.fields:
+            np.testing.assert_array_equal(out.fields[k], vec.fields[k])
+        # the recompute went through the audited reclaim, not a violation
+        assert san.violations == 0
+
+    def test_foreign_write_into_worker_block_raises(self):
+        from repro.model.shm import SharedStateSlab, state_spec
+
+        from .test_backends import tiny_ensemble
+
+        _, _, ens = tiny_ensemble(members=3)
+        fspec, aspec = state_spec(ens.state)
+        san = ConcurrencySanitizer()
+        with SharedStateSlab(fspec, aspec) as slab:
+            leases = [(0, 2, worker_owner(0)), (2, 3, worker_owner(1))]
+            first = next(iter(slab.fields.values()))
+            with pytest.raises(OwnershipError, match="foreign write"):
+                with san.handoff(slab.name, slab.fields, leases):
+                    first[0] = 1.0  # the parent racing its own workers
+            assert first.flags.writeable  # restored for the real owner
+        assert san.violations == 1
